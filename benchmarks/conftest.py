@@ -1,0 +1,61 @@
+"""Benchmark-harness plumbing.
+
+Each ``test_*`` module regenerates one of the paper's tables/figures via
+:mod:`repro.analysis.experiments` and registers the rendered report here;
+the terminal-summary hook prints every report after the pytest-benchmark
+table, so ``pytest benchmarks/ --benchmark-only | tee bench_output.txt``
+captures the paper-style rows uncensored by output capturing.
+
+Reports are also written to ``benchmarks/reports/<ident>.txt``.
+
+Environment knobs:
+
+* ``REPRO_BENCH_PROFILE=fast`` -- halve the actual workload sizes (the
+  nominal paper sizes are unchanged; see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+_REPORTS: list = []
+_REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+
+@pytest.fixture(scope="session")
+def record_report():
+    """Register an ExperimentReport for end-of-session printing."""
+
+    def _record(report) -> None:
+        _REPORTS.append(report)
+        os.makedirs(_REPORT_DIR, exist_ok=True)
+        path = os.path.join(_REPORT_DIR, f"{report.ident}.txt")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(report.render() + "\n")
+            for key, value in report.series.items():
+                if isinstance(value, str):
+                    fh.write(f"\n-- {key} --\n{value}\n")
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def profile():
+    from repro.analysis import active_profile
+
+    return active_profile()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("paper reproduction reports")
+    for report in sorted(_REPORTS, key=lambda r: r.ident):
+        terminalreporter.write_line(report.render())
+        for key, value in report.series.items():
+            if isinstance(value, str):
+                terminalreporter.write_line(f"-- {key} --")
+                terminalreporter.write_line(value)
+        terminalreporter.write_line("")

@@ -1,0 +1,28 @@
+"""Fig. 9: absolute speed-ups of the heuristic strategy.
+
+Shape requirements: speed-up curves are monotone in processor count for
+large sequences, larger sequences sit above smaller ones, and all curves
+stay below linear.
+"""
+
+from repro.analysis.experiments import PAPER_TABLE1, PROC_COUNTS, exp_fig9
+
+
+def test_fig9_absolute_speedups(benchmark, record_report, profile):
+    report = benchmark.pedantic(exp_fig9, args=(profile,), rounds=1, iterations=1)
+    record_report(report)
+
+    curves = {k: v for k, v in report.series.items() if isinstance(k, int)}
+    for kbp, series in curves.items():
+        speedups = [su for _, su in series]
+        # below linear everywhere
+        for (procs, su) in series:
+            assert su < procs + 0.2, (kbp, procs, su)
+        # monotone in procs for the sizes the paper calls "better speed-ups"
+        if kbp >= 50:
+            assert speedups == sorted(speedups), (kbp, speedups)
+    # ordering by size at 8 processors: bigger is better
+    at8 = {kbp: dict(series)[8] for kbp, series in curves.items()}
+    assert at8[400] > at8[150] > at8[50] > at8[15]
+    # paper values for reference: 400k speed-up 4.58, 50k 3.13
+    assert abs(at8[400] - PAPER_TABLE1[400][0] / PAPER_TABLE1[400][3]) < 1.5

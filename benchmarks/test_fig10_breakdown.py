@@ -1,0 +1,29 @@
+"""Fig. 10: execution-time breakdown (computation / communication /
+lock+cv / barrier) of the heuristic strategy at 8 processors.
+
+Shape requirements (the paper's qualitative reading): at small sequence
+sizes the synchronization share dominates; as sizes grow, the computation
+share rises monotonically and dominates at 400 k.
+"""
+
+from repro.analysis.experiments import exp_fig10
+
+
+def test_fig10_breakdown(benchmark, record_report, profile):
+    report = benchmark.pedantic(exp_fig10, args=(profile,), rounds=1, iterations=1)
+    record_report(report)
+
+    fractions = report.series
+    comp = {kbp: fr["computation"] for kbp, fr in fractions.items()}
+    sync = {kbp: fr["lock_cv"] for kbp, fr in fractions.items()}
+    sizes = sorted(fractions)
+    # computation share grows with size
+    comp_series = [comp[kbp] for kbp in sizes]
+    assert comp_series == sorted(comp_series)
+    # small size: synchronization dominates computation
+    assert sync[15] > comp[15]
+    # large size: computation dominates everything else
+    assert comp[400] > 0.5
+    # every breakdown is a proper distribution
+    for fr in fractions.values():
+        assert abs(sum(fr.values()) - 1.0) < 1e-9

@@ -1,0 +1,21 @@
+"""Fig. 13: 8-processor times with and without blocking, 15 k and 50 k.
+
+Shape requirement: the blocked strategy beats the non-blocked one by a
+multiple (the paper quotes a 304% execution-time reduction at 50 k, i.e.
+the non-blocked run takes ~4x longer), and both beat the serial run at 50 k.
+"""
+
+from repro.analysis.experiments import exp_fig13
+
+
+def test_fig13_block_vs_noblock(benchmark, record_report, profile):
+    report = benchmark.pedantic(exp_fig13, args=(profile,), rounds=1, iterations=1)
+    record_report(report)
+
+    rows = {row[0]: row for row in report.rows}
+    for size, row in rows.items():
+        _, serial, no_block, block, gain = row
+        assert block < no_block < serial * 1.05, row
+        assert gain > 2.0, f"blocking gain collapsed for {size}"
+    # the 50k gain is the paper's headline comparison (~3-4x)
+    assert rows["50K x 50K"][4] > 2.5

@@ -1,0 +1,26 @@
+"""Fig. 14: visualization of the similar regions between two genomes.
+
+The paper plots the 123 similar regions found on its 50 kBP pair.  Here a
+synthetic pair with 12 planted homologies is compared and the region plot
+regenerated; every planted region must appear as a dot near its true
+coordinates.
+"""
+
+from repro.analysis.experiments import exp_fig14
+
+
+def test_fig14_dotplot(benchmark, record_report, profile):
+    report = benchmark.pedantic(exp_fig14, args=(profile,), rounds=1, iterations=1)
+    record_report(report)
+
+    rows = {r[0]: r[1] for r in report.rows}
+    found = rows["regions found"]
+    planted = rows["regions planted"]
+    assert found >= planted, "phase 1 missed planted regions"
+    # the plot itself renders non-trivially
+    plot = report.series["plot"]
+    assert plot.count("\n") >= 10
+    assert any(ch in plot for ch in ".:*#")
+    # all found regions have sane rectangles
+    for s0, s1, t0, t1 in report.series["regions"]:
+        assert 0 <= s0 < s1 and 0 <= t0 < t1

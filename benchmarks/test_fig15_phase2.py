@@ -1,0 +1,27 @@
+"""Fig. 15: phase-2 speed-ups for 100 - 5000 subsequence pairs.
+
+Shape requirements from the paper: 2- and 4-processor speed-ups hug linear
+(1.91-2 and 3.76-4 across the whole range); the 8-processor curve peaks in
+the ~1000-pair region (7.57) and sags at both extremes (5.33 at 100 pairs,
+6.80 at 5000 pairs, where the admitted regions are smaller).
+"""
+
+from repro.analysis.experiments import exp_fig15
+
+
+def test_fig15_phase2_speedups(benchmark, record_report, profile):
+    report = benchmark.pedantic(exp_fig15, args=(profile,), rounds=1, iterations=1)
+    record_report(report)
+
+    curves = {pairs: dict(series) for pairs, series in report.series.items()}
+    for pairs, curve in curves.items():
+        # near-linear at low processor counts, as the paper observes
+        assert curve[2] > 1.7, (pairs, curve)
+        assert curve[4] > 3.2, (pairs, curve)
+        assert curve[8] > 4.5, (pairs, curve)
+        # monotone in processors
+        assert curve[2] < curve[4] < curve[8]
+    at8 = {pairs: curve[8] for pairs, curve in curves.items()}
+    # the mid-range beats both extremes (the paper's 1000-pair peak)
+    assert max(at8[1000], at8[2000]) >= at8[100]
+    assert max(at8[1000], at8[2000]) >= at8[5000]

@@ -1,0 +1,22 @@
+"""Fig. 16: the phase-2 output records -- rendered global alignments of two
+phase-1 subsequences, with their coordinates and similarity.
+"""
+
+from repro.analysis.experiments import exp_fig16
+
+
+def test_fig16_alignment_records(benchmark, record_report, profile):
+    report = benchmark.pedantic(exp_fig16, args=(profile,), rounds=1, iterations=1)
+    record_report(report)
+
+    assert len(report.rows) >= 2
+    for key, rendered in report.series.items():
+        # the record carries exactly the fields of Fig. 16
+        for field in ("initial_x:", "final_x:", "initial_y:", "final_y:",
+                      "similarity:", "align_s:", "align_t:"):
+            assert field in rendered, (key, field)
+    # planted homologies at 6% mutation: high-identity alignments
+    identities = [float(row[2].rstrip("%")) for row in report.rows]
+    assert all(i > 60 for i in identities)
+    similarities = [row[1] for row in report.rows]
+    assert all(s > 20 for s in similarities)

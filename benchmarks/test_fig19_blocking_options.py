@@ -1,0 +1,34 @@
+"""Fig. 19: effect of the pre_process blocking options (balanced / equal /
+fixed x 1 k / 4 k, no I/O) on run times.
+
+Shape requirements: sequential "equal" runs are ~20% slower than the others
+at 40/80 k (band = whole sequence -> cache thrashing); the gap closes as
+processors shrink the bands; balanced-4k beats fixed-4k at 8 processors on
+the 80 k input (band-count imbalance).
+"""
+
+import pytest
+
+from repro.analysis.experiments import _FIG18_CONFIGS, _fig18_results, exp_fig19
+
+
+def test_fig19_blocking_options(benchmark, record_report, profile):
+    report = benchmark.pedantic(exp_fig19, args=(profile,), rounds=1, iterations=1)
+    record_report(report)
+
+    results = _fig18_results(profile.name)
+    # sequential: equal is ~20% above fixed/balanced at 40k and 80k
+    for kbp in (40, 80):
+        equal = results[(kbp, 1, "equal", 1000)]
+        fixed = results[(kbp, 1, "fixed", 1000)]
+        assert equal / fixed == pytest.approx(1.2, rel=0.05), (kbp, equal / fixed)
+    # at 16k sequential, all schemes agree (bands fit the cache)
+    assert results[(16, 1, "equal", 1000)] == pytest.approx(
+        results[(16, 1, "fixed", 1000)], rel=0.02
+    )
+    # at 8 processors the equal bands have shrunk: gap mostly gone
+    gap8 = results[(80, 8, "equal", 1000)] / results[(80, 8, "fixed", 1000)]
+    gap1 = results[(80, 1, "equal", 1000)] / results[(80, 1, "fixed", 1000)]
+    assert gap8 < gap1
+    # balanced 4K beats plain fixed 4K at 8 procs on 80k (even band counts)
+    assert results[(80, 8, "balanced", 4000)] < results[(80, 8, "fixed", 4000)]

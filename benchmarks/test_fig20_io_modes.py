@@ -1,0 +1,27 @@
+"""Fig. 20: effect of the I/O options (no I/O / immediate / deferred,
+1 k blocks) on pre_process run times.
+
+Shape requirements: "saving columns at these frequencies has little effect
+on the execution time" and "there is nearly no benefit in using the more
+complex deferred I/O strategy" -- core times across the three modes agree
+within a few percent, with deferred I/O pushing its cost into the
+termination phase (the paper's term times of up to ~20 s).
+"""
+
+from repro.analysis.experiments import exp_fig20
+
+
+def test_fig20_io_modes(benchmark, record_report, profile):
+    report = benchmark.pedantic(exp_fig20, args=(profile,), rounds=1, iterations=1)
+    record_report(report)
+
+    for row in report.rows:
+        label, none, immediate, deferred, term = row
+        # immediate I/O costs at most a few percent of core time
+        assert immediate <= none * 1.08, row
+        # deferred core equals no-I/O core (its cost moved to term)
+        assert abs(deferred - none) / none < 0.02, row
+        assert term >= 0
+    # the deferred term phase actually carries I/O for the big runs
+    big_terms = [row[4] for row in report.rows if row[0].endswith("80K")]
+    assert max(big_terms) > 0.5

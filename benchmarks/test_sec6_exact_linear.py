@@ -1,0 +1,36 @@
+"""Section 6 (Tables 5-7, Eqs. 2-3): the exact space-reduction strategy.
+
+Requirements: the banded reverse scan's measured computed fraction matches
+the closed-form prediction and converges to the paper's ~30% (for the
++1/-1/-2 scheme it is 1/3 - O(1/n')); the worked example reproduces the
+score-6 alignment end to end.
+"""
+
+import pytest
+
+from repro.analysis.experiments import exp_sec6
+from repro.core import exact_best_alignment
+
+
+def test_sec6_space_accounting(benchmark, record_report, profile):
+    report = benchmark.pedantic(exp_sec6, args=(profile,), rounds=1, iterations=1)
+    record_report(report)
+
+    for n, computed, naive, measured, predicted, _paper in report.rows:
+        assert computed < naive
+        assert measured == pytest.approx(predicted, rel=0.05)
+        # the paper's ~30% (asymptotically 1/3)
+        assert 0.28 < measured < 0.40
+    # fractions decrease toward 1/3 as n' grows
+    fractions = [row[3] for row in report.rows]
+    assert fractions == sorted(fractions, reverse=True)
+
+
+def test_sec6_worked_example_roundtrip(benchmark):
+    # the exact strings of the paper's Section 6 example
+    s = "ATATGATCGGAATAGCTCT"
+    t = "TCTCGACGGATTAGTATATATATA"
+    exact = benchmark(exact_best_alignment, s, t)
+    assert exact.result.alignment.score == 6
+    assert exact.result.alignment.verify()
+    assert exact.scan.found

@@ -1,0 +1,58 @@
+"""Section 7 extension bench: very long sequences on a heterogeneous
+hierarchy (message passing between sub-clusters, DSM within each).
+
+The paper's stated future work.  Requirements for the implemented design
+point: adding a second sub-cluster over the slow link still pays off at
+1 MBP-class sizes; the power-proportional column split beats a naive even
+split when the sub-clusters are heterogeneous.
+"""
+
+from repro.analysis import ExperimentReport
+from repro.seq import genome_pair
+from repro.strategies import (
+    HeteroConfig,
+    ScaledWorkload,
+    SubCluster,
+    hetero_serial_time,
+    run_hetero,
+)
+
+
+def test_sec7_hetero_extension(benchmark, record_report):
+    gp = genome_pair(4000, 4000, n_regions=0, rng=70)
+    wl = ScaledWorkload(gp.s, gp.t, scale=250)  # 1 MBP nominal
+
+    def run_all():
+        single = run_hetero(wl, HeteroConfig(clusters=(SubCluster(8, 1.0),)))
+        double = run_hetero(
+            wl, HeteroConfig(clusters=(SubCluster(8, 1.0), SubCluster(8, 1.0)))
+        )
+        hetero = run_hetero(
+            wl, HeteroConfig(clusters=(SubCluster(8, 1.0), SubCluster(4, 2.0)))
+        )
+        return single, double, hetero
+
+    single, double, hetero = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    serial = hetero_serial_time(wl, HeteroConfig(clusters=(SubCluster(8, 1.0),)))
+
+    report = ExperimentReport(
+        ident="sec7_hetero",
+        title="Section 7 extension: 1 MBP comparison on cluster hierarchies",
+        headers=["system", "total time (s)", "speed-up vs 1 node"],
+        rows=[
+            ["1 x (8 nodes)", single.total_time, serial / single.total_time],
+            ["2 x (8 nodes), slow link", double.total_time, serial / double.total_time],
+            ["(8 x 1.0) + (4 x 2.0)", hetero.total_time, serial / hetero.total_time],
+        ],
+        notes=[
+            "the paper's stated future work: message-passing between "
+            "sub-clusters, DSM inside each"
+        ],
+    )
+    record_report(report)
+
+    # the second sub-cluster pays off despite the slow inter-cluster link
+    assert double.total_time < single.total_time
+    assert hetero.total_time < single.total_time
+    # all configurations beat a single node comfortably at this size
+    assert serial / single.total_time > 4.0

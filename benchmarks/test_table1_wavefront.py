@@ -1,0 +1,34 @@
+"""Table 1: total execution times of the heuristic (non-blocked) strategy.
+
+Paper: five sequence sizes (15 k - 400 k) x {serial, 2, 4, 8} processors on
+the 8-node cluster.  Shape requirements checked here: times grow with size,
+shrink with processors, and the large-size 8-processor speed-up lands in
+the paper's 4-5x band while small sizes stay near 1x.
+"""
+
+from repro.analysis.experiments import PAPER_TABLE1, PROC_COUNTS, _table1_results, exp_table1
+
+
+def test_table1_total_times(benchmark, record_report, profile):
+    report = benchmark.pedantic(exp_table1, args=(profile,), rounds=1, iterations=1)
+    record_report(report)
+
+    results = _table1_results(profile.name)
+    for kbp in PAPER_TABLE1:
+        serial = results[(kbp, 1)]
+        times = [results[(kbp, procs)].total_time for procs in PROC_COUNTS]
+        # more processors never hurt, at any size the paper tested
+        assert times[0] > times[1] > times[2], (kbp, times)
+        # and parallel at 8 never loses to serial
+        assert times[2] < serial
+
+    # paper's headline: ~4.6x on the 400k pair, poor speed-up on 15k
+    su_400 = results[(400, 1)] / results[(400, 8)].total_time
+    su_15 = results[(15, 1)] / results[(15, 8)].total_time
+    assert 3.5 < su_400 < 6.5
+    assert su_15 < 2.2
+    # times ordered by problem size at every processor count
+    sizes = sorted(PAPER_TABLE1)
+    for procs in PROC_COUNTS:
+        series = [results[(kbp, procs)].total_time for kbp in sizes]
+        assert series == sorted(series)

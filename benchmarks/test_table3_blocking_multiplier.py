@@ -1,0 +1,26 @@
+"""Table 3: execution times for 8 processors on the 50 k pair under
+blocking multipliers 1x1 .. 5x5.
+
+Shape requirements: times fall monotonically with finer blocking; the
+1x1 -> 5x5 gain is large (paper: 101.8%) and most of it is already
+realised by 3x3, with diminishing returns after (paper: 85% at 3x3).
+"""
+
+from repro.analysis.experiments import PAPER_TABLE3, exp_table3
+
+
+def test_table3_blocking_multiplier(benchmark, record_report, profile):
+    report = benchmark.pedantic(exp_table3, args=(profile,), rounds=1, iterations=1)
+    record_report(report)
+
+    times = report.series["times"]
+    assert times[1] > times[2] > times[3] > times[4] > times[5]
+    total_gain = times[1] / times[5] - 1.0
+    paper_gain = PAPER_TABLE3[1] / PAPER_TABLE3[5] - 1.0
+    # same order of improvement as the paper's 101.8%
+    assert 0.5 * paper_gain < total_gain < 1.5 * paper_gain
+    # diminishing returns: 3x3 already realises most of the gain
+    gain_3 = times[1] / times[3] - 1.0
+    assert gain_3 > 0.6 * total_gain
+    # and 4x4 -> 5x5 is a small step (paper: 368 -> 363)
+    assert times[4] / times[5] < 1.06

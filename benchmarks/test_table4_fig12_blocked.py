@@ -1,0 +1,28 @@
+"""Table 4 + Fig. 12: blocked-strategy times and speed-ups for 8 k / 15 k /
+50 k sequences with the paper's band/block settings.
+
+Shape requirements: near-linear speed-ups for the bigger sequences (paper:
+7.29 at 15 k, 7.21 at 50 k on 8 processors), clearly sub-linear for 8 k
+(paper: 4.55), and measured times within a factor of ~1.35 of the paper's.
+"""
+
+from repro.analysis.experiments import PAPER_TABLE4, PROC_COUNTS, _table4_results, exp_table4_fig12
+
+
+def test_table4_fig12_blocked(benchmark, record_report, profile):
+    report = benchmark.pedantic(exp_table4_fig12, args=(profile,), rounds=1, iterations=1)
+    record_report(report)
+
+    results = _table4_results(profile.name)
+    for kbp, (_b, _k, serial_paper, *paper_times) in PAPER_TABLE4.items():
+        serial = results[(kbp, 1)]
+        # absolute calibration sanity: within 35% of the paper's serial time
+        assert 0.65 < serial / serial_paper < 1.35, (kbp, serial, serial_paper)
+        for procs, paper_time in zip(PROC_COUNTS, paper_times):
+            measured = results[(kbp, procs)].total_time
+            assert 0.65 < measured / paper_time < 1.35, (kbp, procs, measured)
+    # speed-up ordering: big sequences scale best
+    su = {kbp: dict(report.series[kbp])[8] for kbp in PAPER_TABLE4}
+    assert su[50] > su[8]
+    assert su[15] > 6.0 and su[50] > 6.0
+    assert su[8] < 6.9

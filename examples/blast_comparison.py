@@ -1,0 +1,58 @@
+"""Table 2 in miniature: GenomeDSM vs the BLAST-like comparator.
+
+The paper cross-checks its DSM strategies against NCBI BlastN on two
+~50 kBP mitochondrial genomes and finds the best-alignment coordinates
+"very close but not the same".  This example reruns that comparison on a
+synthetic pair with known planted regions, so all three coordinate sets
+(DSM, BLAST-like, ground truth) can be printed side by side.
+
+Run:  python examples/blast_comparison.py
+"""
+
+from repro.blast import blastn
+from repro.seq import genome_pair
+from repro.strategies import BlockedConfig, RegionSettings, ScaledWorkload, run_blocked
+
+pair = genome_pair(8000, 8000, n_regions=3, region_length=500, mutation_rate=0.04, rng=21)
+
+# GenomeDSM: phase 1 of the blocked strategy on the simulated cluster
+dsm = run_blocked(
+    ScaledWorkload(pair.s, pair.t),
+    BlockedConfig(n_procs=8, regions=RegionSettings(threshold=45)),
+)
+
+# BLAST-like: seed-and-extend with gapped refinement
+blast = blastn(pair.s, pair.t)
+
+print(f"GenomeDSM found {len(dsm.alignments)} regions; "
+      f"BlastN-like found {len(blast.hits)} hits "
+      f"({blast.n_seeds} seeds, {blast.n_hsps} HSPs)\n")
+
+print(f"{'':12s} {'GenomeDSM':>24s} {'BlastN-like':>24s} {'planted':>24s}")
+for k, planted in enumerate(pair.regions):
+    def closest(items, key):
+        return min(items, key=key) if items else None
+
+    dsm_best = closest(
+        dsm.alignments, lambda a: abs(a.s_start - planted.s_start) + abs(a.t_start - planted.t_start)
+    )
+    blast_best = closest(
+        [h.alignment for h in blast.hits],
+        lambda a: abs(a.s_start - planted.s_start) + abs(a.t_start - planted.t_start),
+    )
+    for label, getter in (("Begin", 0), ("End", 1)):
+        cells = []
+        for a in (dsm_best, blast_best):
+            cells.append(str(a.paper_coordinates()[getter]) if a else "-")
+        truth = (
+            (planted.s_start + 1, planted.t_start + 1)
+            if label == "Begin"
+            else (planted.s_end, planted.t_end)
+        )
+        name = f"Alignment {k + 1}" if label == "Begin" else ""
+        print(f"{name:12s} {label}: {cells[0]:>18s} {cells[1]:>24s} {str(truth):>24s}")
+    print()
+
+print("As in the paper's Table 2, the two programs agree on where the")
+print("similar regions are, but their exact begin/end coordinates differ")
+print("because each applies different heuristics and parameters.")

@@ -1,0 +1,77 @@
+"""Section 6 walkthrough: exact alignment without quadratic memory.
+
+Re-enacts the paper's worked example (Tables 5-7) step by step:
+
+1. the forward linear-space scan detects the score-6 alignment endpoint;
+2. the dynamic programming over the *reversed prefixes* finds the start
+   (Observation 6.1);
+3. Theorem 6.2's zero-elimination band prunes the reverse corner, and the
+   measured computed fraction converges to the ~30% the paper derives in
+   Eqs. 2-3.
+
+Run:  python examples/exact_memory.py
+"""
+
+from repro.core import (
+    band_limit,
+    exact_best_alignment,
+    predicted_necessary_fraction,
+    reverse_scan,
+    sw_best_endpoint,
+)
+from repro.seq import decode, encode, mutate, random_dna
+
+# The exact input of the paper's Section 6 example.
+S = "TCTCGACGGATTAGTATATATATA"
+T = "ATATGATCGGAATAGCTCT"
+
+print("=== Step 1: forward scan (Table 5) ===")
+endpoint = sw_best_endpoint(T, S)  # the shorter word indexes the rows
+print(
+    f"alignment of score {endpoint.score} detected at positions "
+    f"({endpoint.i}, {endpoint.j})  [paper: score 6 at (14, 15) of s x t]"
+)
+
+print("\n=== Step 2: reverse-prefix scan (Tables 6-7) ===")
+scan = reverse_scan(encode(T)[: endpoint.i], encode(S)[: endpoint.j], endpoint.score)
+print(
+    f"score {scan.score} reappears at reverse cell ({scan.rev_i}, {scan.rev_j}) "
+    f"-> the alignment starts {scan.rev_i} rows / {scan.rev_j} columns before "
+    "its end"
+)
+print(
+    f"banded scan computed {scan.cells_computed} cells vs the naive "
+    f"{scan.cells_full} ({scan.computed_fraction:.0%})"
+)
+print("useful-area border (k + ceil(k/2), Section 6):",
+      [band_limit(k) for k in range(1, 9)])
+
+print("\n=== Step 3: the rebuilt alignment ===")
+exact = exact_best_alignment(T, S)
+print(exact.result.alignment.render())
+print(
+    f"s[{exact.result.s_start}:{exact.result.s_end}] vs "
+    f"t[{exact.result.t_start}:{exact.result.t_end}], "
+    f"score {exact.result.alignment.score}"
+)
+
+print("\n=== The ~30% claim at scale (Eqs. 2-3) ===")
+print(f"{'n-prime':>8s} {'computed':>12s} {'fraction':>9s} {'predicted':>9s}")
+for n in (100, 400, 1600):
+    seq = random_dna(n, rng=n)
+    worst = reverse_scan(seq, seq, n)  # identical pair: the worst case
+    print(
+        f"{n:>8d} {worst.cells_computed:>12,d} "
+        f"{worst.computed_fraction:>8.1%} {predicted_necessary_fraction(n):>8.1%}"
+    )
+
+print("\nOn realistic (mutated) alignments the reverse scan usually stops")
+print("well before the worst case:")
+a = random_dna(1200, rng=5)
+b = mutate(a, 0.08, rng=6)
+exact = exact_best_alignment(a, b)
+print(
+    f"1200 BP pair at 8% divergence: alignment of score "
+    f"{exact.result.alignment.score}, reverse scan computed "
+    f"{exact.scan.computed_fraction:.1%} of its corner"
+)

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment ships setuptools but not ``wheel``, so PEP 517
+editable installs (which build a wheel) fail.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``python setup.py develop``) work from the metadata in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

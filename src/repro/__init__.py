@@ -1,0 +1,36 @@
+"""GenomeDSM reproduction: parallel local sequence alignment on a simulated cluster.
+
+Reproduction of Boukerche, de Melo, Ayala-Rincon & Walter, *Parallel
+strategies for the local biological sequence alignment in a cluster of
+workstations*, JPDC 67 (2007) 170-185.  See DESIGN.md for the system map and
+EXPERIMENTS.md for the paper-vs-measured record.
+
+Subpackages
+-----------
+``repro.core``
+    Alignment algorithms: full-matrix and linear-space Smith-Waterman /
+    Needleman-Wunsch, the Section 4.1 heuristic variant, Hirschberg, and the
+    Section 6 exact space-reduction.
+``repro.seq``
+    DNA alphabet, synthetic genomes with planted homologies, FASTA, dot plots.
+``repro.blast``
+    Seed-and-extend BLAST-like comparator (Table 2 baseline).
+``repro.sim``
+    Discrete-event cluster-of-workstations simulator (nodes, Ethernet, disk).
+``repro.dsm``
+    JIAJIA-like page-based software DSM on top of the simulator.
+``repro.strategies``
+    The paper's three parallel strategies plus phase 2.
+``repro.parallel``
+    Real shared-memory (multiprocessing) backends of the strategies.
+``repro.protein``
+    Protein alignment extension (20-letter alphabet, BLOSUM62).
+``repro.analysis``
+    Speed-up computation, paper-style tables, canned paper experiments.
+"""
+
+__version__ = "1.0.0"
+
+from . import core, seq
+
+__all__ = ["core", "seq", "__version__"]

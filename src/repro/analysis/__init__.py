@@ -1,0 +1,35 @@
+"""Result analysis: speed-ups, table rendering, canned paper experiments."""
+
+from .experiments import (
+    ALL_EXPERIMENTS,
+    DEFAULT_PROFILE,
+    FAST_PROFILE,
+    BenchProfile,
+    ExperimentReport,
+    active_profile,
+)
+from .charts import bar_group, line_chart, speedup_chart
+from .report import run_and_export, to_csv, to_markdown, write_report
+from .speedup import SpeedupCurve, amdahl_bound
+from .tables import ascii_table, format_value, render_bar
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "BenchProfile",
+    "DEFAULT_PROFILE",
+    "ExperimentReport",
+    "FAST_PROFILE",
+    "SpeedupCurve",
+    "active_profile",
+    "amdahl_bound",
+    "ascii_table",
+    "bar_group",
+    "line_chart",
+    "format_value",
+    "render_bar",
+    "run_and_export",
+    "speedup_chart",
+    "to_csv",
+    "to_markdown",
+    "write_report",
+]

@@ -1,0 +1,81 @@
+"""ASCII charts: speed-up curves and bar groups for terminal reports.
+
+The paper's figures are line charts of speed-up vs processors (Figs. 9,
+12, 15, 18) and grouped bars (Figs. 13, 19, 20).  These renderers let the
+benchmark reports and the CLI show the same *shapes* in a terminal, next
+to the numeric tables.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 56,
+    height: int = 16,
+    x_label: str = "processors",
+    y_label: str = "speed-up",
+    y_max: float | None = None,
+) -> str:
+    """Plot one or more (x, y) series on a character grid.
+
+    Each series gets the first character of its label as its marker;
+    overlapping points show ``*``.  Axes are linear, anchored at 0.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("nothing to plot")
+    x_hi = max(x for x, _ in points)
+    y_hi = y_max if y_max is not None else max(y for _, y in points)
+    if x_hi <= 0 or y_hi <= 0:
+        raise ValueError("need positive axis ranges")
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, marker: str) -> None:
+        col = min(width - 1, int(round(x / x_hi * (width - 1))))
+        row = min(height - 1, int(round(y / y_hi * (height - 1))))
+        row = height - 1 - row
+        current = grid[row][col]
+        grid[row][col] = marker if current == " " else "*"
+
+    for label, pts in series.items():
+        marker = (label or "?")[0]
+        for x, y in pts:
+            place(x, y, marker)
+    lines = [f"{y_label} (max {y_hi:g})"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width + f"> {x_label} (max {x_hi:g})")
+    legend = "  ".join(f"{(label or '?')[0]}={label}" for label in series)
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def bar_group(
+    values: Mapping[str, float],
+    width: int = 40,
+    fill: str = "#",
+) -> str:
+    """Horizontal labelled bars, scaled to the largest value."""
+    if not values:
+        raise ValueError("nothing to plot")
+    peak = max(values.values())
+    if peak <= 0:
+        raise ValueError("need a positive value")
+    label_width = max(len(k) for k in values)
+    lines = []
+    for label, value in values.items():
+        n = int(round(value / peak * width))
+        lines.append(f"{label.ljust(label_width)} | {fill * n} {value:g}")
+    return "\n".join(lines)
+
+
+def speedup_chart(curves: Mapping[str, Sequence[tuple[int, float]]], max_procs: int = 8) -> str:
+    """A Fig. 9-style chart: the ideal line plus measured curves."""
+    series: dict[str, Sequence[tuple[float, float]]] = {
+        "ideal": [(p, float(p)) for p in range(1, max_procs + 1)]
+    }
+    series.update({k: [(float(x), float(y)) for x, y in v] for k, v in curves.items()})
+    return line_chart(series, y_max=float(max_procs), y_label="speed-up")

@@ -1,0 +1,81 @@
+"""Exporting experiment reports: Markdown, CSV, and a combined run summary.
+
+The benchmark harness prints plain-text tables; downstream consumers (a
+paper appendix, a spreadsheet, CI artifacts) want Markdown and CSV.  This
+module renders any :class:`repro.analysis.experiments.ExperimentReport`
+into those formats and can materialise a whole run directory.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from pathlib import Path
+from typing import Iterable
+
+from .experiments import ALL_EXPERIMENTS, BenchProfile, ExperimentReport
+from .tables import format_value
+
+
+def to_markdown(report: ExperimentReport) -> str:
+    """GitHub-flavoured Markdown table for one report."""
+    lines = [f"### {report.ident}: {report.title}", ""]
+    lines.append("| " + " | ".join(report.headers) + " |")
+    lines.append("|" + "|".join(" --- " for _ in report.headers) + "|")
+    for row in report.rows:
+        lines.append("| " + " | ".join(format_value(v) for v in row) + " |")
+    for note in report.notes:
+        lines.append("")
+        lines.append(f"> {note}")
+    for key, value in report.series.items():
+        if isinstance(value, str):
+            lines += ["", f"```  # {key}", value, "```"]
+    return "\n".join(lines) + "\n"
+
+
+def to_csv(report: ExperimentReport) -> str:
+    """CSV (header row + data rows) for one report."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(report.headers)
+    for row in report.rows:
+        writer.writerow([format_value(v) for v in row])
+    return buffer.getvalue()
+
+
+def write_report(report: ExperimentReport, directory: str | os.PathLike[str]) -> list[Path]:
+    """Write ``<ident>.md`` and ``<ident>.csv``; returns the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    md = directory / f"{report.ident}.md"
+    md.write_text(to_markdown(report), encoding="utf-8")
+    csv_path = directory / f"{report.ident}.csv"
+    csv_path.write_text(to_csv(report), encoding="utf-8")
+    return [md, csv_path]
+
+
+def run_and_export(
+    names: Iterable[str],
+    directory: str | os.PathLike[str],
+    profile: BenchProfile | None = None,
+) -> list[ExperimentReport]:
+    """Run the named experiments and write all their artifacts.
+
+    Also writes ``SUMMARY.md`` linking every exported report.
+    """
+    directory = Path(directory)
+    reports = []
+    for name in names:
+        if name not in ALL_EXPERIMENTS:
+            raise ValueError(
+                f"unknown experiment {name!r}; available: {', '.join(ALL_EXPERIMENTS)}"
+            )
+        report = ALL_EXPERIMENTS[name](profile)
+        write_report(report, directory)
+        reports.append(report)
+    summary = ["# Reproduction run summary", ""]
+    for report in reports:
+        summary.append(f"- [{report.ident}]({report.ident}.md) — {report.title}")
+    (directory / "SUMMARY.md").write_text("\n".join(summary) + "\n", encoding="utf-8")
+    return reports

@@ -1,0 +1,36 @@
+"""Speed-up bookkeeping for the figure-style experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SpeedupCurve:
+    """One speed-up series: label plus (n_procs -> time) samples."""
+
+    label: str
+    serial_time: float
+    times: dict[int, float] = field(default_factory=dict)
+
+    def add(self, n_procs: int, time: float) -> None:
+        if time <= 0:
+            raise ValueError("non-positive time")
+        self.times[n_procs] = time
+
+    def speedup(self, n_procs: int) -> float:
+        return self.serial_time / self.times[n_procs]
+
+    def efficiency(self, n_procs: int) -> float:
+        """Speed-up divided by the linear ideal."""
+        return self.speedup(n_procs) / n_procs
+
+    def series(self) -> list[tuple[int, float]]:
+        return [(p, self.speedup(p)) for p in sorted(self.times)]
+
+
+def amdahl_bound(serial_fraction: float, n_procs: int) -> float:
+    """Amdahl's-law speed-up ceiling, for sanity checks in the analysis."""
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise ValueError("serial_fraction must be in [0, 1]")
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / n_procs)

@@ -1,0 +1,49 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every experiment prints its rows in the same layout the paper's tables and
+figure captions use, with the paper's reported value next to the measured
+one so the shape comparison is immediate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_value(value) -> str:
+    """Human formatting: floats get 2 decimals, large floats none."""
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render an aligned ASCII table with a header rule."""
+    str_rows = [[format_value(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    rule = "-+-".join("-" * w for w in widths)
+    return "\n".join([line(headers), rule] + [line(r) for r in str_rows])
+
+
+def render_bar(fraction: float, width: int = 40, fill: str = "#") -> str:
+    """A single text bar for breakdown/figure-style output."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    n = round(fraction * width)
+    return fill * n + "." * (width - n)

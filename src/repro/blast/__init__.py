@@ -1,0 +1,31 @@
+"""BLASTN-like seed-and-extend comparator (the paper's Table 2 baseline)."""
+
+from .blastn import BlastHit, BlastnParams, BlastnResult, blastn
+from .extend import HSP, gapped_extend, ungapped_extend
+from .index import WordIndex, kmer_ids
+from .statistics import (
+    EvalueModel,
+    annotate_evalues,
+    estimate_k,
+    expected_pair_score,
+    fit_evalue_model,
+    karlin_lambda,
+)
+
+__all__ = [
+    "HSP",
+    "BlastHit",
+    "BlastnParams",
+    "BlastnResult",
+    "EvalueModel",
+    "annotate_evalues",
+    "WordIndex",
+    "blastn",
+    "estimate_k",
+    "expected_pair_score",
+    "fit_evalue_model",
+    "gapped_extend",
+    "karlin_lambda",
+    "kmer_ids",
+    "ungapped_extend",
+]

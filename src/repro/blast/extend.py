@@ -1,0 +1,138 @@
+"""Seed extension: ungapped X-drop and gapped refinement.
+
+Stage two of BLASTN grows each seed into a High-scoring Segment Pair (HSP)
+by extending along the diagonal in both directions until the running score
+drops ``x_drop`` below its running maximum; stage three refines the best
+HSPs with a (small, windowed) gapped alignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.alignment import LocalAlignment
+from ..core.matrix import smith_waterman
+from ..core.scoring import DEFAULT_SCORING, Scoring
+
+
+@dataclass(frozen=True)
+class HSP:
+    """An ungapped high-scoring segment pair on one diagonal."""
+
+    q_start: int
+    q_end: int  # exclusive
+    t_start: int
+    t_end: int  # exclusive
+    score: int
+
+    @property
+    def diagonal(self) -> int:
+        return self.q_start - self.t_start
+
+    @property
+    def length(self) -> int:
+        return self.q_end - self.q_start
+
+    def as_alignment(self) -> LocalAlignment:
+        return LocalAlignment(
+            score=self.score,
+            s_start=self.q_start,
+            s_end=self.q_end,
+            t_start=self.t_start,
+            t_end=self.t_end,
+        )
+
+
+def _extend_one_way(
+    a: np.ndarray, b: np.ndarray, scoring: Scoring, x_drop: int
+) -> tuple[int, int]:
+    """Greedy ungapped extension along paired slices.
+
+    Returns ``(length, score)`` of the best extension of the common prefix
+    of ``a``/``b`` under the X-drop rule: stop once the running score falls
+    more than ``x_drop`` below the best seen.
+    """
+    m = min(len(a), len(b))
+    if m == 0:
+        return 0, 0
+    steps = np.where(
+        a[:m] == b[:m], np.int32(scoring.match), np.int32(scoring.mismatch)
+    )
+    cumulative = np.cumsum(steps, dtype=np.int64)
+    running_best = np.maximum.accumulate(cumulative)
+    dropped = np.nonzero(running_best - cumulative > x_drop)[0]
+    stop = int(dropped[0]) if dropped.size else m
+    if stop == 0:
+        return 0, 0
+    best = int(np.argmax(cumulative[:stop]))
+    best_score = int(cumulative[best])
+    if best_score <= 0:
+        return 0, 0
+    return best + 1, best_score
+
+
+def ungapped_extend(
+    query: np.ndarray,
+    subject: np.ndarray,
+    q_pos: int,
+    t_pos: int,
+    word_size: int,
+    scoring: Scoring = DEFAULT_SCORING,
+    x_drop: int = 20,
+) -> HSP:
+    """Extend the exact-word seed at (q_pos, t_pos) into an HSP."""
+    seed_score = word_size * scoring.match
+    right_len, right_score = _extend_one_way(
+        query[q_pos + word_size :], subject[t_pos + word_size :], scoring, x_drop
+    )
+    left_len, left_score = _extend_one_way(
+        query[:q_pos][::-1], subject[:t_pos][::-1], scoring, x_drop
+    )
+    return HSP(
+        q_start=q_pos - left_len,
+        q_end=q_pos + word_size + right_len,
+        t_start=t_pos - left_len,
+        t_end=t_pos + word_size + right_len,
+        score=seed_score + left_score + right_score,
+    )
+
+
+def gapped_extend(
+    query: np.ndarray,
+    subject: np.ndarray,
+    hsp: HSP,
+    pad: int = 32,
+    scoring: Scoring = DEFAULT_SCORING,
+    max_window: int = 4096,
+) -> LocalAlignment:
+    """Refine an HSP with a gapped Smith-Waterman over a padded window.
+
+    The window starts as the HSP rectangle grown by ``pad`` on each side;
+    if the traced alignment touches a window edge the window doubles and
+    the trace reruns, so an alignment much longer than its seeding HSP (an
+    ungapped stage stopped by an indel) is still recovered whole.
+    Coordinates of the result are in the full-sequence frame.
+    """
+    while True:
+        q_lo = max(0, hsp.q_start - pad)
+        q_hi = min(len(query), hsp.q_end + pad)
+        t_lo = max(0, hsp.t_start - pad)
+        t_hi = min(len(subject), hsp.t_end + pad)
+        traced = smith_waterman(query[q_lo:q_hi], subject[t_lo:t_hi], scoring)
+        touches_edge = (
+            (traced.s_start == 0 and q_lo > 0)
+            or (traced.t_start == 0 and t_lo > 0)
+            or (traced.s_end == q_hi - q_lo and q_hi < len(query))
+            or (traced.t_end == t_hi - t_lo and t_hi < len(subject))
+        )
+        if not touches_edge or pad >= max_window:
+            return LocalAlignment(
+                score=traced.alignment.score,
+                s_start=traced.s_start + q_lo,
+                s_end=traced.s_end + q_lo,
+                t_start=traced.t_start + t_lo,
+                t_end=traced.t_end + t_lo,
+            )
+        pad *= 2

@@ -1,0 +1,76 @@
+"""k-mer word index for seed-and-extend searching.
+
+BLASTN's first stage finds every exact word match ("seed") between the query
+and the subject.  The index packs each k-mer into a base-4 integer and keeps
+the subject's k-mer ids sorted, so the query join is two ``searchsorted``
+calls plus a vectorized range expansion -- no Python loop over positions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..seq.alphabet import ALPHABET_SIZE, encode
+
+
+def kmer_ids(codes: np.ndarray, k: int) -> np.ndarray:
+    """Base-4 integer id of every k-mer (length ``len(codes) - k + 1``)."""
+    codes = encode(codes)
+    if k <= 0:
+        raise ValueError("word size must be positive")
+    if k > 31:
+        raise ValueError("word size too large for int64 packing")
+    n = len(codes) - k + 1
+    if n <= 0:
+        return np.empty(0, dtype=np.int64)
+    weights = ALPHABET_SIZE ** np.arange(k - 1, -1, -1, dtype=np.int64)
+    windows = np.lib.stride_tricks.sliding_window_view(codes.astype(np.int64), k)
+    return windows @ weights
+
+
+class WordIndex:
+    """Sorted k-mer index of a subject sequence."""
+
+    def __init__(self, subject: np.ndarray | str, word_size: int = 11) -> None:
+        self.subject = encode(subject)
+        self.word_size = word_size
+        ids = kmer_ids(self.subject, word_size)
+        self._order = np.argsort(ids, kind="stable").astype(np.int64)
+        self._sorted_ids = ids[self._order]
+
+    def __len__(self) -> int:
+        return len(self._sorted_ids)
+
+    def lookup(self, word_id: int) -> np.ndarray:
+        """Subject positions whose k-mer equals ``word_id`` (ascending)."""
+        lo = int(np.searchsorted(self._sorted_ids, word_id, side="left"))
+        hi = int(np.searchsorted(self._sorted_ids, word_id, side="right"))
+        return np.sort(self._order[lo:hi])
+
+    def seed_hits(self, query: np.ndarray | str) -> tuple[np.ndarray, np.ndarray]:
+        """All (query_pos, subject_pos) pairs with identical k-mers.
+
+        Returned sorted by diagonal (``query_pos - subject_pos``) then query
+        position, which is the traversal order the extension stage wants.
+        """
+        query = encode(query)
+        q_ids = kmer_ids(query, self.word_size)
+        if q_ids.size == 0 or len(self) == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        left = np.searchsorted(self._sorted_ids, q_ids, side="left")
+        right = np.searchsorted(self._sorted_ids, q_ids, side="right")
+        counts = right - left
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        q_pos = np.repeat(np.arange(len(q_ids), dtype=np.int64), counts)
+        starts = np.repeat(left, counts)
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        t_pos = self._order[starts + offsets]
+        diag = q_pos - t_pos
+        order = np.lexsort((q_pos, diag))
+        return q_pos[order], t_pos[order]

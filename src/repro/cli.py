@@ -1,0 +1,238 @@
+"""``genomedsm`` command-line interface.
+
+Subcommands
+-----------
+``align``      compare two FASTA files (or a synthetic demo pair) with one of
+               the paper's strategies on the simulated cluster and print the
+               similar regions plus their global alignments.
+``experiment`` regenerate one of the paper's tables/figures (or ``all``).
+``generate``   write a synthetic genome pair with planted homologies.
+``dotplot``    print the Fig. 14-style dot plot for two FASTA files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+
+
+def _load_pair(args) -> tuple:
+    """Sequences from FASTA paths, or a seeded demo pair."""
+    from .seq import genome_pair, read_fasta
+
+    if args.demo or not (args.seq_a and args.seq_b):
+        region_length = max(60, args.demo_length // 40)
+        gp = genome_pair(
+            args.demo_length,
+            args.demo_length,
+            n_regions=3,
+            region_length=region_length,
+            mutation_rate=0.05,
+            rng=args.seed,
+            # keep the demo working at any length: shrink the spacing to fit
+            min_separation=min(3 * region_length, args.demo_length // 8),
+        )
+        return gp.s, gp.t
+    a = read_fasta(args.seq_a)
+    b = read_fasta(args.seq_b)
+    if not a or not b:
+        raise SystemExit("empty FASTA input")
+    return a[0].codes, b[0].codes
+
+
+def cmd_align(args) -> int:
+    from .strategies import run_pipeline
+
+    s, t = _load_pair(args)
+    result = run_pipeline(s, t, strategy=args.strategy, n_procs=args.procs)
+    p1 = result.phase1
+    print(
+        f"phase 1 ({p1.name}, {p1.n_procs} simulated processors): "
+        f"{p1.total_time:.2f} virtual s, {len(p1.alignments)} similar regions"
+    )
+    print(
+        f"phase 2: {result.phase2.total_time:.2f} virtual s, "
+        f"{len(result.records)} global alignments"
+    )
+    for rec in result.best_records(args.top):
+        print()
+        print(rec.render())
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from .analysis import ALL_EXPERIMENTS
+
+    names = list(ALL_EXPERIMENTS) if args.name == "all" else [args.name]
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        raise SystemExit(
+            f"unknown experiment(s) {unknown}; available: {', '.join(ALL_EXPERIMENTS)}"
+        )
+    for name in names:
+        report = ALL_EXPERIMENTS[name]()
+        print(report.render())
+        for key, value in report.series.items():
+            if isinstance(value, str):
+                print(f"-- {key} --\n{value}")
+        print()
+    return 0
+
+
+def cmd_tune(args) -> int:
+    from .strategies import tune_blocking
+
+    result = tune_blocking(args.rows, args.cols, n_procs=args.procs)
+    print(
+        f"best blocking multiplier for {args.rows} x {args.cols} on "
+        f"{args.procs} processors: {result.best[0]} x {result.best[1]} "
+        f"({result.best_time:,.1f} virtual s)"
+    )
+    for multiplier, time in result.ranking():
+        marker = " <-- best" if multiplier == result.best else ""
+        print(f"  {multiplier[0]} x {multiplier[1]}: {time:,.1f} s{marker}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .sim import Timeline
+    from .strategies import BlockedConfig, ScaledWorkload, run_blocked
+
+    s, t = _load_pair(args)
+    timeline = Timeline()
+    run_blocked(
+        ScaledWorkload(s, t), BlockedConfig(n_procs=args.procs), timeline=timeline
+    )
+    timeline.write_chrome_trace(args.out)
+    print(
+        f"wrote {args.out}: {len(timeline)} slices over "
+        f"{timeline.span:.2f} virtual s "
+        f"(open in chrome://tracing or https://ui.perfetto.dev)"
+    )
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .analysis import ALL_EXPERIMENTS
+    from .analysis.report import run_and_export
+
+    names = list(ALL_EXPERIMENTS) if args.name == "all" else [args.name]
+    reports = run_and_export(names, args.out)
+    for report in reports:
+        print(f"wrote {args.out}/{report.ident}.md and .csv")
+    return 0
+
+
+def cmd_generate(args) -> int:
+    from .seq import FastaRecord, genome_pair, write_fasta
+
+    gp = genome_pair(
+        args.length,
+        args.length,
+        n_regions=args.regions,
+        region_length=args.region_length,
+        mutation_rate=args.mutation_rate,
+        rng=args.seed,
+    )
+    write_fasta(args.out_a, [FastaRecord("synthetic_s", gp.s)])
+    write_fasta(args.out_b, [FastaRecord("synthetic_t", gp.t)])
+    print(f"wrote {args.out_a} and {args.out_b}")
+    for r in gp.regions:
+        print(
+            f"planted region: s[{r.s_start}:{r.s_end}] ~ t[{r.t_start}:{r.t_end}] "
+            f"identity {r.identity:.0%}"
+        )
+    return 0
+
+
+def cmd_dotplot(args) -> int:
+    from .core import RegionConfig, find_regions
+    from .seq import dotplot
+
+    s, t = _load_pair(args)
+    regions = find_regions(s, t, RegionConfig(threshold=args.threshold))
+    plot = dotplot(
+        [(r.s_start, r.s_end, r.t_start, r.t_end) for r in regions],
+        len(s),
+        len(t),
+    )
+    print(f"{len(regions)} similar regions (threshold {args.threshold})")
+    print(plot.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="genomedsm",
+        description="Parallel local DNA sequence alignment on a simulated "
+        "cluster of workstations (Boukerche et al., JPDC 2007 reproduction).",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_pair_args(p):
+        p.add_argument("seq_a", nargs="?", help="FASTA file for sequence s")
+        p.add_argument("seq_b", nargs="?", help="FASTA file for sequence t")
+        p.add_argument("--demo", action="store_true", help="use a synthetic pair")
+        p.add_argument("--demo-length", type=int, default=2000)
+        p.add_argument("--seed", type=int, default=42)
+
+    p_align = sub.add_parser("align", help="compare two sequences")
+    add_pair_args(p_align)
+    p_align.add_argument(
+        "--strategy",
+        default="heuristic_block",
+        choices=("heuristic", "heuristic_block", "pre_process"),
+    )
+    p_align.add_argument("--procs", type=int, default=8)
+    p_align.add_argument("--top", type=int, default=3, help="alignments to print")
+    p_align.set_defaults(func=cmd_align)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p_exp.add_argument("name", help="experiment id (e.g. table1, fig9) or 'all'")
+    p_exp.set_defaults(func=cmd_experiment)
+
+    p_tune = sub.add_parser("tune", help="auto-tune the blocking multiplier")
+    p_tune.add_argument("--rows", type=int, default=50_000)
+    p_tune.add_argument("--cols", type=int, default=50_000)
+    p_tune.add_argument("--procs", type=int, default=8)
+    p_tune.set_defaults(func=cmd_tune)
+
+    p_trace = sub.add_parser("trace", help="export a chrome-trace of one run")
+    add_pair_args(p_trace)
+    p_trace.add_argument("--procs", type=int, default=8)
+    p_trace.add_argument("--out", default="trace.json")
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_rep = sub.add_parser("report", help="export a table/figure as Markdown + CSV")
+    p_rep.add_argument("name", help="experiment id or 'all'")
+    p_rep.add_argument("--out", default="reports", help="output directory")
+    p_rep.set_defaults(func=cmd_report)
+
+    p_gen = sub.add_parser("generate", help="write a synthetic genome pair")
+    p_gen.add_argument("out_a")
+    p_gen.add_argument("out_b")
+    p_gen.add_argument("--length", type=int, default=50_000)
+    p_gen.add_argument("--regions", type=int, default=3)
+    p_gen.add_argument("--region-length", type=int, default=300)
+    p_gen.add_argument("--mutation-rate", type=float, default=0.05)
+    p_gen.add_argument("--seed", type=int, default=42)
+    p_gen.set_defaults(func=cmd_generate)
+
+    p_dot = sub.add_parser("dotplot", help="plot similar regions")
+    add_pair_args(p_dot)
+    p_dot.add_argument("--threshold", type=int, default=35)
+    p_dot.set_defaults(func=cmd_dotplot)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

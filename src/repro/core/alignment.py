@@ -1,0 +1,195 @@
+"""Alignment records and the paper's *alignment queue*.
+
+Phase 1 of every strategy produces begin/end coordinates of candidate local
+alignments; the paper stores them in a queue that is "sorted by subsequence
+size, and the repeated alignments are removed" (Section 4.1).  Phase 2 then
+globally aligns each coordinate pair and renders output like Fig. 16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Iterator
+
+from .scoring import DEFAULT_SCORING, Scoring
+
+
+@dataclass(frozen=True, order=True)
+class LocalAlignment:
+    """A candidate local alignment between ``s[s_start:s_end]`` and ``t[t_start:t_end]``.
+
+    Coordinates are 0-based half-open over the *unaligned* input sequences
+    (the paper reports 1-based inclusive coordinates; conversion helpers are
+    provided).  ``score`` is the similarity score of the alignment.
+    """
+
+    score: int
+    s_start: int
+    s_end: int
+    t_start: int
+    t_end: int
+
+    def __post_init__(self) -> None:
+        if self.s_start > self.s_end or self.t_start > self.t_end:
+            raise ValueError("alignment end precedes start")
+        if min(self.s_start, self.t_start) < 0:
+            raise ValueError("negative alignment coordinate")
+
+    @property
+    def s_length(self) -> int:
+        return self.s_end - self.s_start
+
+    @property
+    def t_length(self) -> int:
+        return self.t_end - self.t_start
+
+    @property
+    def size(self) -> int:
+        """Subsequence size used by the paper's queue ordering."""
+        return max(self.s_length, self.t_length)
+
+    @property
+    def region(self) -> tuple[int, int, int, int]:
+        return (self.s_start, self.s_end, self.t_start, self.t_end)
+
+    def paper_coordinates(self) -> tuple[tuple[int, int], tuple[int, int]]:
+        """``((begin_s, begin_t), (end_s, end_t))`` 1-based inclusive, as in Table 2."""
+        return (
+            (self.s_start + 1, self.t_start + 1),
+            (self.s_end, self.t_end),
+        )
+
+    def overlaps(self, other: "LocalAlignment", slack: int = 0) -> bool:
+        """True when both projections of the two alignments overlap (within slack)."""
+        return (
+            self.s_start - slack < other.s_end
+            and other.s_start - slack < self.s_end
+            and self.t_start - slack < other.t_end
+            and other.t_start - slack < self.t_end
+        )
+
+    def shifted(self, s_offset: int, t_offset: int) -> "LocalAlignment":
+        """Translate coordinates, e.g. from block-local to global frames."""
+        return replace(
+            self,
+            s_start=self.s_start + s_offset,
+            s_end=self.s_end + s_offset,
+            t_start=self.t_start + t_offset,
+            t_end=self.t_end + t_offset,
+        )
+
+
+@dataclass(frozen=True)
+class GlobalAlignment:
+    """A rendered global alignment of two (sub)sequences (phase 2 output)."""
+
+    aligned_s: str
+    aligned_t: str
+    score: int
+
+    def __post_init__(self) -> None:
+        if len(self.aligned_s) != len(self.aligned_t):
+            raise ValueError("aligned strings must have equal length")
+
+    @property
+    def length(self) -> int:
+        return len(self.aligned_s)
+
+    @property
+    def matches(self) -> int:
+        return sum(
+            1
+            for a, b in zip(self.aligned_s, self.aligned_t)
+            if a == b and a != "-"
+        )
+
+    @property
+    def identity(self) -> float:
+        return self.matches / self.length if self.length else 0.0
+
+    def verify(self, scoring: Scoring = DEFAULT_SCORING) -> bool:
+        """Check the stored score against a recomputation from the columns."""
+        return scoring.alignment_score(self.aligned_s, self.aligned_t) == self.score
+
+    def render(self, width: int = 60, match_char: str = "|") -> str:
+        """Pretty-print in blocks of ``width`` columns with a match ruler."""
+        lines = []
+        for i in range(0, self.length, width):
+            a = self.aligned_s[i : i + width]
+            b = self.aligned_t[i : i + width]
+            ruler = "".join(
+                match_char if x == y and x != "-" else " " for x, y in zip(a, b)
+            ).rstrip()
+            lines += [a, ruler, b, ""]
+        return "\n".join(lines).rstrip("\n")
+
+
+class AlignmentQueue:
+    """The paper's queue of candidate alignments.
+
+    Maintains insertion of candidates from any number of workers, then
+    ``finalize()`` sorts by subsequence size (descending, so the dominant
+    alignments such as Table 2's come first) and removes repeated or
+    mutually-overlapping duplicates, exactly the post-processing described at
+    the end of Section 4.1/4.3.
+    """
+
+    def __init__(self, items: Iterable[LocalAlignment] = ()) -> None:
+        self._items: list[LocalAlignment] = list(items)
+
+    def push(self, alignment: LocalAlignment) -> None:
+        self._items.append(alignment)
+
+    def extend(self, alignments: Iterable[LocalAlignment]) -> None:
+        self._items.extend(alignments)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[LocalAlignment]:
+        return iter(self._items)
+
+    def merge(self, other: "AlignmentQueue") -> None:
+        """Gather another worker's queue (paper: results are gathered at the end)."""
+        self._items.extend(other._items)
+
+    def finalize(
+        self,
+        min_score: int | None = None,
+        overlap_slack: int = 0,
+        merge: bool = False,
+    ) -> list[LocalAlignment]:
+        """Sort by size and drop (or merge) repeated/overlapping alignments.
+
+        Exact duplicates are always removed; with ``overlap_slack >= 0`` an
+        alignment whose rectangle overlaps an already-kept, larger alignment
+        is treated as the same region re-discovered (the wave-front strategies
+        can report one region once per band or per column slice) and dropped.
+        With ``merge=True`` it instead *extends* the kept alignment to the
+        union of both rectangles (score: the maximum) -- this reunifies a
+        region split across processor borders.
+        """
+        kept: list[LocalAlignment] = []
+        candidates = sorted(
+            self._items, key=lambda a: (a.size, a.score, a.region), reverse=True
+        )
+        for cand in candidates:
+            if min_score is not None and cand.score < min_score:
+                continue
+            matched = False
+            for k, existing in enumerate(kept):
+                if cand.overlaps(existing, slack=overlap_slack):
+                    if merge:
+                        kept[k] = LocalAlignment(
+                            score=max(existing.score, cand.score),
+                            s_start=min(existing.s_start, cand.s_start),
+                            s_end=max(existing.s_end, cand.s_end),
+                            t_start=min(existing.t_start, cand.t_start),
+                            t_end=max(existing.t_end, cand.t_end),
+                        )
+                    matched = True
+                    break
+            if not matched:
+                kept.append(cand)
+        kept.sort(key=lambda a: (a.size, a.score, a.region), reverse=True)
+        return kept

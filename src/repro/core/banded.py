@@ -1,0 +1,168 @@
+"""Banded alignment: DP restricted to a diagonal corridor.
+
+When two sequences are known to be globally similar (phase-2 pairs,
+BLAST's gapped refinement, the Section 6 reverse scan), cells far from the
+main diagonal can never be on the optimal path -- restricting the DP to a
+band of half-width ``w`` around it cuts the work from ``m*n`` to
+``~(2w+1)*min(m,n)`` while remaining *exact whenever the optimal alignment
+stays inside the band* (guaranteed if the band is wider than the maximum
+number of gaps, e.g. ``w >= |m - n| + max_indels``).
+
+The band is materialised as a dense ``(m+1) x (2w+1)`` array with the
+classic index shift ``band[i, j - i + w] = H[i, j]``, so rows stay
+vectorizable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..seq.alphabet import encode
+from .alignment import GlobalAlignment
+from .scoring import DEFAULT_SCORING, Scoring
+
+#: "minus infinity" that survives additions without wrapping int32.
+_NEG = np.int32(-(2**30))
+
+
+def band_width_for(m: int, n: int, extra: int = 8) -> int:
+    """A safe band half-width: the length difference plus ``extra`` slack."""
+    return abs(m - n) + extra
+
+
+def banded_global_score(
+    s: np.ndarray | str,
+    t: np.ndarray | str,
+    width: int | None = None,
+    scoring: Scoring = DEFAULT_SCORING,
+) -> int:
+    """Global (NW) score within a band of half-width ``width``.
+
+    Exact when the optimal alignment needs at most ``width`` net gaps;
+    a lower bound otherwise.  Raises if the band cannot even reach the
+    (m, n) corner (``width < |m - n|``).
+    """
+    s = encode(s)
+    t = encode(t)
+    m, n = len(s), len(t)
+    if width is None:
+        width = band_width_for(m, n)
+    if width < abs(m - n):
+        raise ValueError(f"band width {width} cannot reach the corner of {m}x{n}")
+    span = 2 * width + 1
+    gap = scoring.gap
+    # prev[k] = H[i-1, (i-1) + k - width]
+    prev = np.full(span, _NEG, dtype=np.int64)
+    prev[width] = 0  # H[0, 0]
+    for j in range(1, min(n, width) + 1):
+        prev[width + j] = j * gap
+    for i in range(1, m + 1):
+        cur = np.full(span, _NEG, dtype=np.int64)
+        # diagonal predecessor keeps the same k (both i and j advance)
+        sub_j = np.arange(i - width, i + width + 1)
+        valid = (sub_j >= 1) & (sub_j <= n)
+        sub = np.full(span, 0, dtype=np.int64)
+        idx = sub_j[valid] - 1
+        sub[valid] = scoring.substitution_row(int(s[i - 1]), t[idx.astype(np.int64)])
+        diag = prev + sub
+        # vertical predecessor: H[i-1, j] sits one slot to the right
+        up = np.full(span, _NEG, dtype=np.int64)
+        up[:-1] = prev[1:] + gap
+        cur = np.maximum(diag, up)
+        # the j = 0 boundary (k = width - i) is a pure gap run; set it
+        # before the horizontal chain so cells to its right can extend it
+        k0 = width - i
+        if 0 <= k0 < span:
+            cur[k0] = i * gap
+        cur[~valid & (sub_j != 0)] = _NEG
+        # horizontal chain within the row: H[i, j-1] is one slot left
+        g = -gap
+        offsets = np.arange(span, dtype=np.int64)
+        chain = np.maximum.accumulate(cur + g * offsets) - g * offsets
+        cur = np.maximum(cur, chain)
+        cur[~valid & (sub_j != 0)] = _NEG
+        prev = cur
+    k_end = width + (n - m)
+    result = int(prev[k_end])
+    if result <= int(_NEG) // 2:
+        raise ValueError("band never reached the terminal cell")
+    return result
+
+
+def banded_global(
+    s: np.ndarray | str,
+    t: np.ndarray | str,
+    width: int | None = None,
+    scoring: Scoring = DEFAULT_SCORING,
+) -> GlobalAlignment:
+    """Banded global alignment with traceback.
+
+    Materialises the band as a full (small) matrix of width ``2w+1`` and
+    re-derives moves from scores, mirroring :mod:`repro.core.matrix`.
+    """
+    s = encode(s)
+    t = encode(t)
+    m, n = len(s), len(t)
+    if width is None:
+        width = band_width_for(m, n)
+    if width < abs(m - n):
+        raise ValueError(f"band width {width} cannot reach the corner of {m}x{n}")
+    span = 2 * width + 1
+    gap = scoring.gap
+    H = np.full((m + 1, span), _NEG, dtype=np.int64)
+    H[0, width] = 0
+    for j in range(1, min(n, width) + 1):
+        H[0, width + j] = j * gap
+    for i in range(1, m + 1):
+        prev = H[i - 1]
+        sub_j = np.arange(i - width, i + width + 1)
+        valid = (sub_j >= 1) & (sub_j <= n)
+        sub = np.zeros(span, dtype=np.int64)
+        idx = sub_j[valid] - 1
+        sub[valid] = scoring.substitution_row(int(s[i - 1]), t[idx.astype(np.int64)])
+        diag = prev + sub
+        up = np.full(span, _NEG, dtype=np.int64)
+        up[:-1] = prev[1:] + gap
+        cur = np.maximum(diag, up)
+        k0 = width - i
+        if 0 <= k0 < span:
+            cur[k0] = i * gap
+        cur[~valid & (sub_j != 0)] = _NEG
+        g = -gap
+        offsets = np.arange(span, dtype=np.int64)
+        cur = np.maximum(cur, np.maximum.accumulate(cur + g * offsets) - g * offsets)
+        cur[~valid & (sub_j != 0)] = _NEG
+        H[i] = cur
+
+    # traceback in band coordinates
+    from ..seq.alphabet import decode
+
+    i, k = m, width + (n - m)
+    if H[i, k] <= int(_NEG) // 2:
+        raise ValueError("band never reached the terminal cell")
+    score = int(H[i, k])
+    a: list[str] = []
+    b: list[str] = []
+    while True:
+        j = i + k - width
+        if i == 0 and j == 0:
+            break
+        h = int(H[i, k])
+        if i > 0 and j > 0 and h == int(H[i - 1, k]) + scoring.pair_score(
+            int(s[i - 1]), int(t[j - 1])
+        ):
+            a.append(decode(s[i - 1 : i]))
+            b.append(decode(t[j - 1 : j]))
+            i -= 1  # k unchanged: diagonal move
+        elif i > 0 and k + 1 < span and h == int(H[i - 1, k + 1]) + gap:
+            a.append(decode(s[i - 1 : i]))
+            b.append("-")
+            i -= 1
+            k += 1
+        elif j > 0 and k - 1 >= 0 and h == int(H[i, k - 1]) + gap:
+            a.append("-")
+            b.append(decode(t[j - 1 : j]))
+            k -= 1
+        else:
+            raise AssertionError("inconsistent banded matrix during traceback")
+    return GlobalAlignment("".join(reversed(a)), "".join(reversed(b)), score)

@@ -1,0 +1,156 @@
+"""CIGAR strings and alignment statistics.
+
+Interchange utilities around :class:`repro.core.alignment.GlobalAlignment`:
+encode/decode SAM-style CIGAR strings (``=``/``X``/``I``/``D`` operations,
+with an option to collapse to ``M``) and compute the summary statistics
+(matches, mismatches, gap runs, identity over different denominators) that
+downstream consumers of an aligner expect.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .alignment import GlobalAlignment
+
+#: Extended CIGAR operations: sequence match, mismatch, insertion (gap in
+#: the *reference*, i.e. extra query characters), deletion.
+OPS = "=XID"
+
+_CIGAR_RE = re.compile(r"(\d+)([=XIDM])")
+
+
+def cigar_of(alignment: GlobalAlignment, extended: bool = True) -> str:
+    """CIGAR string of a rendered alignment.
+
+    ``aligned_s`` is treated as the query and ``aligned_t`` as the
+    reference: a gap in ``aligned_t`` is an insertion (I), a gap in
+    ``aligned_s`` a deletion (D).  ``extended=False`` collapses ``=``/``X``
+    into classic ``M`` runs.
+    """
+    ops = []
+    for a, b in zip(alignment.aligned_s, alignment.aligned_t):
+        if a == "-":
+            ops.append("D")
+        elif b == "-":
+            ops.append("I")
+        elif a == b:
+            ops.append("=" if extended else "M")
+        else:
+            ops.append("X" if extended else "M")
+    out = []
+    i = 0
+    while i < len(ops):
+        j = i
+        while j < len(ops) and ops[j] == ops[i]:
+            j += 1
+        out.append(f"{j - i}{ops[i]}")
+        i = j
+    return "".join(out)
+
+
+def expand_cigar(cigar: str) -> list[tuple[int, str]]:
+    """Parse a CIGAR string into (length, op) pairs, validating it."""
+    pairs = []
+    consumed = 0
+    for match in _CIGAR_RE.finditer(cigar):
+        length = int(match.group(1))
+        if length <= 0:
+            raise ValueError(f"zero-length CIGAR run in {cigar!r}")
+        pairs.append((length, match.group(2)))
+        consumed += len(match.group(0))
+    if consumed != len(cigar):
+        raise ValueError(f"malformed CIGAR string {cigar!r}")
+    return pairs
+
+
+def alignment_from_cigar(cigar: str, query: str, reference: str) -> GlobalAlignment:
+    """Reconstruct the rendered alignment from a CIGAR and raw sequences.
+
+    ``M`` runs are resolved against the actual characters.  The alignment's
+    score is not recoverable from a CIGAR alone and is set from the
+    default paper scoring.
+    """
+    from .scoring import DEFAULT_SCORING
+
+    a_parts: list[str] = []
+    b_parts: list[str] = []
+    qi = ri = 0
+    for length, op in expand_cigar(cigar):
+        if op in "=XM":
+            a_parts.append(query[qi : qi + length])
+            b_parts.append(reference[ri : ri + length])
+            qi += length
+            ri += length
+        elif op == "I":
+            a_parts.append(query[qi : qi + length])
+            b_parts.append("-" * length)
+            qi += length
+        elif op == "D":
+            a_parts.append("-" * length)
+            b_parts.append(reference[ri : ri + length])
+            ri += length
+    if qi != len(query) or ri != len(reference):
+        raise ValueError("CIGAR does not span the given sequences")
+    aligned_s = "".join(a_parts)
+    aligned_t = "".join(b_parts)
+    return GlobalAlignment(
+        aligned_s, aligned_t, DEFAULT_SCORING.alignment_score(aligned_s, aligned_t)
+    )
+
+
+@dataclass(frozen=True)
+class AlignmentStats:
+    """Summary statistics of one alignment."""
+
+    matches: int
+    mismatches: int
+    insertions: int  # gap characters in the reference
+    deletions: int  # gap characters in the query
+    gap_runs: int  # number of contiguous gap runs (either side)
+    length: int  # alignment columns
+
+    @property
+    def gap_characters(self) -> int:
+        return self.insertions + self.deletions
+
+    @property
+    def identity(self) -> float:
+        """Matches over alignment columns (the common definition)."""
+        return self.matches / self.length if self.length else 0.0
+
+    @property
+    def gapless_identity(self) -> float:
+        """Matches over aligned (non-gap) columns."""
+        aligned = self.matches + self.mismatches
+        return self.matches / aligned if aligned else 0.0
+
+
+def alignment_stats(alignment: GlobalAlignment) -> AlignmentStats:
+    """Compute :class:`AlignmentStats` from a rendered alignment."""
+    matches = mismatches = insertions = deletions = gap_runs = 0
+    in_gap = False
+    for a, b in zip(alignment.aligned_s, alignment.aligned_t):
+        if a == "-" or b == "-":
+            if a == "-":
+                deletions += 1
+            else:
+                insertions += 1
+            if not in_gap:
+                gap_runs += 1
+                in_gap = True
+        else:
+            in_gap = False
+            if a == b:
+                matches += 1
+            else:
+                mismatches += 1
+    return AlignmentStats(
+        matches=matches,
+        mismatches=mismatches,
+        insertions=insertions,
+        deletions=deletions,
+        gap_runs=gap_runs,
+        length=alignment.length,
+    )

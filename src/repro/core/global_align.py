@@ -1,0 +1,100 @@
+"""Global alignment of phase-1 subsequences and Fig. 16-style rendering.
+
+Section 4.4: "to retrieve the actual alignments, the queue alignment is
+accessed to obtain the beginnings and end coordinates of sequences s and t
+... For each subsequence of s and t obtained in this manner, the global
+alignment algorithm proposed by Needleman and Wunsh is executed."  Fig. 16
+shows the record each processor writes: the subsequence coordinates, the
+similarity score, and the two gapped strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..seq.alphabet import encode
+from .alignment import GlobalAlignment, LocalAlignment
+from .hirschberg import hirschberg
+from .matrix import MAX_FULL_MATRIX_CELLS, needleman_wunsch
+from .scoring import DEFAULT_SCORING, Scoring
+
+
+def global_alignment(
+    s: np.ndarray | str,
+    t: np.ndarray | str,
+    scoring: Scoring = DEFAULT_SCORING,
+) -> GlobalAlignment:
+    """Optimal global alignment, choosing full-matrix NW or Hirschberg by size.
+
+    Subsequence pairs from phase 1 average ~253 bytes (Section 4.4), so the
+    full matrix is the common path; Hirschberg covers outliers that would
+    blow the matrix cap.
+    """
+    s = encode(s)
+    t = encode(t)
+    if (len(s) + 1) * (len(t) + 1) > MAX_FULL_MATRIX_CELLS:
+        return hirschberg(s, t, scoring)
+    return needleman_wunsch(s, t, scoring)
+
+
+@dataclass(frozen=True)
+class SubsequenceAlignment:
+    """Phase-2 output record for one similar region (the Fig. 16 fields)."""
+
+    source: LocalAlignment
+    alignment: GlobalAlignment
+
+    @property
+    def initial_x(self) -> int:
+        return self.source.s_start + 1  # paper coordinates are 1-based
+
+    @property
+    def final_x(self) -> int:
+        return self.source.s_end
+
+    @property
+    def initial_y(self) -> int:
+        return self.source.t_start + 1
+
+    @property
+    def final_y(self) -> int:
+        return self.source.t_end
+
+    @property
+    def similarity(self) -> int:
+        return self.alignment.score
+
+    def render(self, width: int = 32) -> str:
+        """Render in the layout of Fig. 16."""
+        lines = [
+            f"initial_x: {self.initial_x} final_x: {self.final_x}",
+            f"initial_y: {self.initial_y} final_y: {self.final_y}",
+            f"similarity: {self.similarity}",
+            "",
+        ]
+        a, b = self.alignment.aligned_s, self.alignment.aligned_t
+        a_rows = [a[i : i + width] for i in range(0, len(a), width)] or [""]
+        b_rows = [b[i : i + width] for i in range(0, len(b), width)] or [""]
+        lines.append("align_s: " + a_rows[0])
+        lines.extend("         " + chunk for chunk in a_rows[1:])
+        lines.append("align_t: " + b_rows[0])
+        lines.extend("         " + chunk for chunk in b_rows[1:])
+        return "\n".join(lines)
+
+
+def align_region(
+    s: np.ndarray | str,
+    t: np.ndarray | str,
+    region: LocalAlignment,
+    scoring: Scoring = DEFAULT_SCORING,
+) -> SubsequenceAlignment:
+    """Globally align the subsequences named by one phase-1 queue entry."""
+    s = encode(s)
+    t = encode(t)
+    if region.s_end > len(s) or region.t_end > len(t):
+        raise ValueError("region exceeds sequence bounds")
+    sub_s = s[region.s_start : region.s_end]
+    sub_t = t[region.t_start : region.t_end]
+    return SubsequenceAlignment(region, global_alignment(sub_s, sub_t, scoring))

@@ -1,0 +1,201 @@
+"""Faithful implementation of the Section 4.1 heuristic SW variant.
+
+This is the Martins-et-al.-style algorithm the paper's first two parallel
+strategies run: a two-row Smith-Waterman in which every cell carries, besides
+its score, the candidate-alignment metadata listed in Section 4.1 --
+
+* initial and final alignment coordinates,
+* maximal and minimal score (and where the maximum occurred),
+* gap, match and mismatch counters,
+* a flag marking the cell's alignment as an open candidate.
+
+Opening and closing follow the paper exactly: a candidate opens when (flag
+== 0) and ``max_score >= min_score + open_param``; it closes -- and is pushed
+onto the alignment queue -- when (flag == 1) and ``score <= max_score -
+close_param``.  When a cell's score is obtainable from more than one
+predecessor, the origin with the greater ``2*matches + 2*mismatches + gaps``
+wins ("gaps are penalized while matches and mismatches are rewarded"); on a
+residual tie the preference is horizontal, then vertical, then diagonal,
+"a trial to keep the gaps along the candidate alignment together".  Counters
+are *not* reset when alignments close (the paper keeps them so a candidate
+can reopen after a bad patch).
+
+This reference engine is deliberately per-cell Python: it exists to pin the
+semantics for tests and small examples.  The cluster-scale strategies use the
+vectorized score kernel plus :mod:`repro.core.regions`, which tests verify
+recovers the same regions (see DESIGN.md, "Two engines").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..seq.alphabet import encode
+from .alignment import AlignmentQueue, LocalAlignment
+from .scoring import DEFAULT_SCORING, Scoring
+
+
+@dataclass(frozen=True)
+class HeuristicParams:
+    """User parameters of Section 4.1.
+
+    ``open_delta`` is "a minimum value for opening this alignment as a
+    candidate alignment"; ``close_delta`` is "a value for closing an
+    alignment"; ``min_score`` is the queue admission threshold.
+    """
+
+    open_delta: int = 12
+    close_delta: int = 12
+    min_score: int = 12
+
+    def __post_init__(self) -> None:
+        if self.open_delta <= 0 or self.close_delta <= 0:
+            raise ValueError("open/close deltas must be positive")
+        if self.min_score <= 0:
+            raise ValueError("min_score must be positive")
+
+
+# Cell metadata tuple layout (plain tuples keep the per-cell loop cheap):
+# (score, init_i, init_j, max_score, max_i, max_j, min_score,
+#  gaps, matches, mismatches, flag)
+_FRESH = (0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+
+
+def _fresh(i: int, j: int) -> tuple:
+    return (0, i, j, 0, i, j, 0, 0, 0, 0, 0)
+
+
+def _priority(cell: tuple) -> int:
+    """The paper's origin-selection expression: 2*matches + 2*mismatches + gaps."""
+    return 2 * cell[8] + 2 * cell[9] + cell[7]
+
+
+class HeuristicAligner:
+    """Row-at-a-time engine exposing the two-row state for reuse by strategies."""
+
+    def __init__(
+        self,
+        t: "str | bytes",
+        params: HeuristicParams | None = None,
+        scoring: Scoring = DEFAULT_SCORING,
+    ) -> None:
+        self.t = encode(t)
+        self.params = params or HeuristicParams()
+        self.scoring = scoring
+        self.queue = AlignmentQueue()
+        self.prev: list[tuple] = [_fresh(0, j) for j in range(len(self.t) + 1)]
+        self._row_index = 0
+
+    def _close(self, cell: tuple, score: int) -> tuple:
+        """Close an open candidate: emit it and clear the flag.
+
+        The recorded alignment spans the opening coordinates to the position
+        of the maximal score, scored at that maximum; max/min restart from
+        the current score so a later stretch can reopen.  Counters survive,
+        per Section 4.1.
+        """
+        (_, bi, bj, max_score, max_i, max_j, _min, gaps, matches, mismatches, _f) = cell
+        if max_score >= self.params.min_score and max_i >= bi and max_j >= bj:
+            self.queue.push(
+                LocalAlignment(
+                    score=max_score,
+                    s_start=max(0, bi - 1),
+                    s_end=max_i,
+                    t_start=max(0, bj - 1),
+                    t_end=max_j,
+                )
+            )
+        return (score, bi, bj, score, max_i, max_j, score, gaps, matches, mismatches, 0)
+
+    def step_row(self, s_char: int) -> list[tuple]:
+        """Advance one row; returns the new row of cell tuples."""
+        i = self._row_index = self._row_index + 1
+        scoring = self.scoring
+        params = self.params
+        t = self.t
+        prev = self.prev
+        row: list[tuple] = [_fresh(i, 0)]
+        gap = scoring.gap
+        for j in range(1, len(t) + 1):
+            is_match = t[j - 1] == s_char
+            sub = scoring.pair_score(s_char, int(t[j - 1]))
+            diag_cell = prev[j - 1]
+            up_cell = prev[j]
+            left_cell = row[j - 1]
+            diag = diag_cell[0] + sub
+            up = up_cell[0] + gap
+            left = left_cell[0] + gap
+            score = max(0, diag, up, left)
+            if score == 0:
+                row.append(_fresh(i, j))
+                continue
+            # Pick the origin among score-achieving predecessors, by the
+            # counter expression, then the horizontal > vertical > diagonal
+            # preference.
+            origin = None
+            best_priority = None
+            is_diag = False
+            for cand_score, cell, diag_move in (
+                (left, left_cell, False),
+                (up, up_cell, False),
+                (diag, diag_cell, True),
+            ):
+                if cand_score != score:
+                    continue
+                p = _priority(cell)
+                if best_priority is None or p > best_priority:
+                    origin, best_priority, is_diag = cell, p, diag_move
+            assert origin is not None
+            (_, bi, bj, max_score, max_i, max_j, min_score, gaps, matches, mismatches, flag) = origin
+            if is_diag:
+                if is_match:
+                    matches += 1
+                else:
+                    mismatches += 1
+            else:
+                gaps += 1
+            if score > max_score:
+                max_score, max_i, max_j = score, i, j
+            if score < min_score:
+                min_score = score
+            if flag == 0 and max_score >= min_score + params.open_delta:
+                flag = 1
+                bi, bj = i, j
+                # The run of scores that triggered the opening belongs to the
+                # alignment; anchor the start where the climb began (the cell
+                # of the current minimum would already be forgotten, so the
+                # paper anchors at the opening cell; we keep that behaviour).
+            cell = (score, bi, bj, max_score, max_i, max_j, min_score, gaps, matches, mismatches, flag)
+            if flag == 1 and score <= max_score - params.close_delta:
+                cell = self._close(cell, score)
+            row.append(cell)
+        self.prev = row
+        return row
+
+    def flush(self) -> AlignmentQueue:
+        """Close every still-open candidate on the final row and return the queue."""
+        for cell in self.prev:
+            if cell[10] == 1:
+                self._close(cell, cell[0])
+        # Open candidates may also be left stranded mid-matrix (their
+        # alignment stopped extending before the last row); emit those via
+        # the retired-state bookkeeping the row sweep cannot see.  With the
+        # two-row scan the final row is the only place a candidate can still
+        # live, so this is complete.
+        return self.queue
+
+
+def heuristic_local_alignments(
+    s: "str | bytes",
+    t: "str | bytes",
+    params: HeuristicParams | None = None,
+    scoring: Scoring = DEFAULT_SCORING,
+) -> list[LocalAlignment]:
+    """Run the Section 4.1 algorithm and return the finalized queue."""
+    s_arr = encode(s)
+    aligner = HeuristicAligner(t, params, scoring)
+    for ch in s_arr:
+        aligner.step_row(int(ch))
+    queue = aligner.flush()
+    params = aligner.params
+    return queue.finalize(min_score=params.min_score, overlap_slack=0)

@@ -1,0 +1,58 @@
+"""Hirschberg's linear-space global alignment.
+
+Section 6 of the paper: "one can apply Hirschberg's general method to compute
+it in linear space while only doubling the worst-case time bound" [9].  This
+is the divide-and-conquer that splits ``s`` in half, locates the optimal
+crossing column of the middle row by combining a forward last-row scan of the
+top half with a backward last-row scan of the bottom half, and recurses.
+Space is O(min(m, n)); time stays O(m*n).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..seq.alphabet import decode, encode
+from .alignment import GlobalAlignment
+from .linear import nw_last_row
+from .matrix import needleman_wunsch
+from .scoring import DEFAULT_SCORING, Scoring
+
+#: Below this many cells the recursion bottoms out into plain full-matrix NW.
+_BASE_CASE_CELLS = 4096
+
+
+def _hirschberg(
+    s: np.ndarray, t: np.ndarray, scoring: Scoring
+) -> tuple[str, str]:
+    if len(s) == 0:
+        return "-" * len(t), decode(t)
+    if len(t) == 0:
+        return decode(s), "-" * len(s)
+    if len(s) * len(t) <= _BASE_CASE_CELLS or len(s) == 1:
+        aligned = needleman_wunsch(s, t, scoring)
+        return aligned.aligned_s, aligned.aligned_t
+    mid = len(s) // 2
+    forward = nw_last_row(s[:mid], t, scoring).astype(np.int64)
+    backward = nw_last_row(s[mid:][::-1], t[::-1], scoring).astype(np.int64)[::-1]
+    split = int(np.argmax(forward + backward))
+    left = _hirschberg(s[:mid], t[:split], scoring)
+    right = _hirschberg(s[mid:], t[split:], scoring)
+    return left[0] + right[0], left[1] + right[1]
+
+
+def hirschberg(
+    s: np.ndarray | str,
+    t: np.ndarray | str,
+    scoring: Scoring = DEFAULT_SCORING,
+) -> GlobalAlignment:
+    """Optimal global alignment of ``s`` and ``t`` in linear space.
+
+    The returned score always equals the full-matrix Needleman-Wunsch score
+    (the alignment itself may differ among co-optimal alignments).
+    """
+    s = encode(s)
+    t = encode(t)
+    aligned_s, aligned_t = _hirschberg(s, t, scoring)
+    score = scoring.alignment_score(aligned_s, aligned_t)
+    return GlobalAlignment(aligned_s, aligned_t, score)

@@ -1,0 +1,181 @@
+"""Vectorized dynamic-programming row kernels.
+
+The Smith-Waterman / Needleman-Wunsch recurrence has three dependencies per
+cell; two of them (diagonal and vertical) only touch the *previous* row and
+vectorize trivially, but the horizontal one chains along the current row:
+
+    H[i, j] = max(C[j], H[i, j-1] + gap)            with
+    C[j]    = max(diag, up[, 0])
+
+For a *linear* gap penalty ``gap = -g`` this chain has the closed form
+
+    H[i, j] = max_{k <= j} (C[k] - g * (j - k))
+            = (running max of C[k] + g*k) - g*j
+
+so one ``np.maximum.accumulate`` resolves the whole row exactly.  This is the
+same algebra behind the "striped" SIMD Smith-Waterman kernels; here it is the
+difference between ~10^5 and ~10^8 cells/second in Python, which is what makes
+the paper's 50 kBP-400 kBP workloads reachable (see DESIGN.md).  A deliberately
+naive per-cell kernel is kept for differential testing and the ablation bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .scoring import DEFAULT_SCORING, Scoring
+
+#: dtype of all score rows.  int32 gives headroom for sequences up to ~10^8
+#: cells per row with the paper's unit scores.
+SCORE_DTYPE = np.int32
+
+
+def _resolve_horizontal(cand: np.ndarray, g: int) -> np.ndarray:
+    """Exactly apply horizontal gap moves to a row of candidate scores.
+
+    ``cand[j]`` must already hold the best score of cell ``j`` over all moves
+    that do not end in a horizontal gap; ``g > 0`` is the gap penalty.
+    """
+    idx = np.arange(cand.size, dtype=np.int64)
+    x = cand.astype(np.int64)
+    x += g * idx
+    np.maximum.accumulate(x, out=x)
+    x -= g * idx
+    return x.astype(SCORE_DTYPE)
+
+
+def sw_row(
+    prev: np.ndarray,
+    s_char: int,
+    t_codes: np.ndarray,
+    scoring: Scoring = DEFAULT_SCORING,
+) -> np.ndarray:
+    """Advance one Smith-Waterman (local) row.
+
+    ``prev`` is row ``i-1`` of the similarity array including the boundary
+    column (length ``len(t_codes) + 1``); returns row ``i``.  Entries follow
+    Eq. (1) of the paper: the max of the three gapped/matched predecessors
+    and zero.
+    """
+    sub = scoring.substitution_row(int(s_char), t_codes)
+    cand = np.empty(prev.size, dtype=SCORE_DTYPE)
+    cand[0] = 0
+    np.maximum(prev[:-1] + sub, prev[1:] + SCORE_DTYPE(scoring.gap), out=cand[1:])
+    np.maximum(cand, 0, out=cand)
+    return _resolve_horizontal(cand, -scoring.gap)
+
+
+def nw_row(
+    prev: np.ndarray,
+    s_char: int,
+    t_codes: np.ndarray,
+    boundary: int,
+    scoring: Scoring = DEFAULT_SCORING,
+) -> np.ndarray:
+    """Advance one Needleman-Wunsch (global) row.
+
+    Identical to :func:`sw_row` but without the zero floor and with
+    ``boundary`` as the first-column value (``i * gap`` for a plain global
+    alignment, per Section 2.3 / Fig. 4 of the paper).
+    """
+    sub = scoring.substitution_row(int(s_char), t_codes)
+    cand = np.empty(prev.size, dtype=SCORE_DTYPE)
+    cand[0] = boundary
+    np.maximum(prev[:-1] + sub, prev[1:] + SCORE_DTYPE(scoring.gap), out=cand[1:])
+    return _resolve_horizontal(cand, -scoring.gap)
+
+
+def sw_row_slice(
+    prev: np.ndarray,
+    s_char: int,
+    t_slice: np.ndarray,
+    left_current: int,
+    scoring: Scoring = DEFAULT_SCORING,
+) -> np.ndarray:
+    """Advance one SW row over a *column slice* of the matrix.
+
+    This is the distributed-kernel primitive of the parallel strategies:
+    processor ``p`` owns columns ``[c0, c1)`` and receives the border values
+    from its left neighbour.  ``prev`` has length ``c1 - c0 + 1`` with
+    ``prev[0] = H[i-1, c0-1]`` (the neighbour's border on the previous row)
+    and ``prev[k] = H[i-1, c0+k-1]``; ``left_current = H[i, c0-1]`` is the
+    neighbour's border on the current row.  Returns the same layout for row
+    ``i``.  Stitching slices computed this way reproduces the full-matrix
+    row exactly (tested property).
+    """
+    sub = scoring.substitution_row(int(s_char), t_slice)
+    cand = np.empty(prev.size, dtype=SCORE_DTYPE)
+    cand[0] = left_current
+    np.maximum(prev[:-1] + sub, prev[1:] + SCORE_DTYPE(scoring.gap), out=cand[1:])
+    np.maximum(cand[1:], 0, out=cand[1:])
+    return _resolve_horizontal(cand, -scoring.gap)
+
+
+def sw_row_naive(
+    prev: np.ndarray,
+    s_char: int,
+    t_codes: np.ndarray,
+    scoring: Scoring = DEFAULT_SCORING,
+) -> np.ndarray:
+    """Per-cell reference implementation of :func:`sw_row` (tests/ablation)."""
+    row = np.zeros_like(prev)
+    for j in range(1, prev.size):
+        sub = scoring.pair_score(int(s_char), int(t_codes[j - 1]))
+        row[j] = max(
+            0,
+            int(prev[j - 1]) + sub,
+            int(prev[j]) + scoring.gap,
+            int(row[j - 1]) + scoring.gap,
+        )
+    return row
+
+
+def nw_row_naive(
+    prev: np.ndarray,
+    s_char: int,
+    t_codes: np.ndarray,
+    boundary: int,
+    scoring: Scoring = DEFAULT_SCORING,
+) -> np.ndarray:
+    """Per-cell reference implementation of :func:`nw_row`."""
+    row = np.zeros_like(prev)
+    row[0] = boundary
+    for j in range(1, prev.size):
+        sub = scoring.pair_score(int(s_char), int(t_codes[j - 1]))
+        row[j] = max(
+            int(prev[j - 1]) + sub,
+            int(prev[j]) + scoring.gap,
+            int(row[j - 1]) + scoring.gap,
+        )
+    return row
+
+
+def initial_row(n_cols: int, local: bool, scoring: Scoring = DEFAULT_SCORING) -> np.ndarray:
+    """Row 0 of the DP array: zeros for local, gap multiples for global."""
+    if local:
+        return np.zeros(n_cols + 1, dtype=SCORE_DTYPE)
+    return (np.arange(n_cols + 1, dtype=SCORE_DTYPE) * SCORE_DTYPE(scoring.gap)).astype(
+        SCORE_DTYPE
+    )
+
+
+def count_hits(row: np.ndarray, threshold: int) -> int:
+    """Number of cells in a row at or above ``threshold``.
+
+    This is the scoreboard primitive of the *pre_process* strategy (Section
+    5): "when a new cell score is calculated, the score value is compared to
+    a threshold; if it is found to be greater than the threshold, a hit
+    counter is incremented".  The boundary column is excluded.
+    """
+    return int(np.count_nonzero(row[1:] >= threshold))
+
+
+def row_maximum(row: np.ndarray) -> tuple[int, int]:
+    """``(score, column)`` of the row maximum, excluding the boundary column.
+
+    Ties resolve to the leftmost column, matching a left-to-right scan.
+    """
+    if row.size <= 1:
+        raise ValueError("row has no data columns")
+    j = int(np.argmax(row[1:])) + 1
+    return int(row[j]), j

@@ -1,0 +1,155 @@
+"""Linear-space (two-row) Smith-Waterman score pass.
+
+Section 4.1 of the paper: "it is possible to simulate the filling of the
+original bi-dimensional array using only two rows of memory because in order
+to compute entry A[i,j], we require only the values of A[i-1,j], A[i-1,j-1]
+and A[i,j-1]".  This module provides that scan for score-only questions: best
+score and endpoint (the input to the Section 6 reverse-rebuild), per-row hit
+counts (the input to the pre_process result matrix), and the last row of a
+global alignment (the primitive Hirschberg's divide-and-conquer needs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..seq.alphabet import encode
+from .kernels import count_hits, initial_row, nw_row, sw_row
+from .scoring import DEFAULT_SCORING, Scoring
+
+
+@dataclass(frozen=True)
+class ScoreEndpoint:
+    """Best local score and the matrix cell (1-based DP coords) where it ends."""
+
+    score: int
+    i: int
+    j: int
+
+
+def iter_sw_rows(
+    s: np.ndarray | str,
+    t: np.ndarray | str,
+    scoring: Scoring = DEFAULT_SCORING,
+) -> Iterator[tuple[int, np.ndarray]]:
+    """Yield ``(i, row_i)`` for i = 1..m, using two rows of memory.
+
+    The yielded array is reused between iterations; callers that need to keep
+    a row must copy it.
+    """
+    s = encode(s)
+    t = encode(t)
+    row = initial_row(len(t), local=True, scoring=scoring)
+    for i in range(1, len(s) + 1):
+        row = sw_row(row, s[i - 1], t, scoring)
+        yield i, row
+
+
+def sw_best_endpoint(
+    s: np.ndarray | str,
+    t: np.ndarray | str,
+    scoring: Scoring = DEFAULT_SCORING,
+) -> ScoreEndpoint:
+    """Best local-alignment score and endpoint in O(min-row) memory.
+
+    Ties resolve to the smallest ``i`` then smallest ``j`` (first cell found
+    in a row-major scan), matching :func:`repro.core.matrix.best_cell`.
+    """
+    best = ScoreEndpoint(0, 0, 0)
+    for i, row in iter_sw_rows(s, t, scoring):
+        j = int(np.argmax(row))
+        score = int(row[j])
+        if score > best.score:
+            best = ScoreEndpoint(score, i, j)
+    return best
+
+
+def sw_endpoints_above(
+    s: np.ndarray | str,
+    t: np.ndarray | str,
+    min_score: int,
+    scoring: Scoring = DEFAULT_SCORING,
+) -> list[ScoreEndpoint]:
+    """Endpoints of all distinct above-threshold alignments (linear space).
+
+    A cell qualifies when it scores at least ``min_score`` and is a *summit*:
+    no neighbouring continuation of the same alignment scores higher.  We
+    detect summits streamingly by clustering above-threshold cells with
+    :class:`repro.core.regions.StreamingRegionFinder` and reporting each
+    cluster's peak, which is exactly the "detected alignment of desired score
+    k at positions i, j" input of the paper's Algorithm 1.
+    """
+    from .regions import RegionConfig, StreamingRegionFinder
+
+    if min_score <= 0:
+        raise ValueError("min_score must be positive")
+    finder = StreamingRegionFinder(RegionConfig(threshold=min_score))
+    for i, row in iter_sw_rows(s, t, scoring):
+        finder.feed(i, row)
+    return [
+        ScoreEndpoint(r.score, r.peak_i, r.peak_j)
+        for r in finder.finish()
+        if r.score >= min_score
+    ]
+
+
+def sw_row_hits(
+    s: np.ndarray | str,
+    t: np.ndarray | str,
+    threshold: int,
+    scoring: Scoring = DEFAULT_SCORING,
+) -> np.ndarray:
+    """Per-row counts of cells scoring at or above ``threshold``.
+
+    Sequential reference of the pre_process strategy's scoreboard
+    (Section 5); the parallel version distributes exactly this computation.
+    """
+    s_arr = encode(s)
+    hits = np.zeros(len(s_arr), dtype=np.int64)
+    for i, row in iter_sw_rows(s_arr, t, scoring):
+        hits[i - 1] = count_hits(row, threshold)
+    return hits
+
+
+def nw_last_row(
+    s: np.ndarray | str,
+    t: np.ndarray | str,
+    scoring: Scoring = DEFAULT_SCORING,
+) -> np.ndarray:
+    """Last row of the global (NW) similarity matrix in linear space.
+
+    ``result[j] == sim_global(s, t[:j])``; this is the score vector
+    Hirschberg's algorithm combines from both directions.
+    """
+    s = encode(s)
+    t = encode(t)
+    row = initial_row(len(t), local=False, scoring=scoring)
+    for i in range(1, len(s) + 1):
+        row = nw_row(row, s[i - 1], t, i * scoring.gap, scoring)
+    return row
+
+
+def sw_scan(
+    s: np.ndarray | str,
+    t: np.ndarray | str,
+    scoring: Scoring = DEFAULT_SCORING,
+    on_row: Callable[[int, np.ndarray], None] | None = None,
+) -> ScoreEndpoint:
+    """One linear-space pass that both tracks the best endpoint and streams rows.
+
+    ``on_row(i, row)`` (if given) observes every computed row; this is the
+    hook the simulated cluster kernels use to feed hit counters and region
+    finders without a second pass over the matrix.
+    """
+    best = ScoreEndpoint(0, 0, 0)
+    for i, row in iter_sw_rows(s, t, scoring):
+        if on_row is not None:
+            on_row(i, row)
+        j = int(np.argmax(row))
+        score = int(row[j])
+        if score > best.score:
+            best = ScoreEndpoint(score, i, j)
+    return best

@@ -1,0 +1,109 @@
+"""Scoring scheme for sequence alignment.
+
+Section 2 of the paper fixes the classic scheme used throughout its
+evaluation: +1 for identical characters, -1 for different characters and -2
+for a space (linear gap penalty).  The whole DP machinery in this package is
+parameterised over :class:`Scoring`, but the defaults reproduce the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Scoring:
+    """Match / mismatch / gap scores with the paper's defaults.
+
+    ``gap`` is the (negative) score of aligning a character against a space.
+    Only linear gap penalties are supported: that is what the paper uses, and
+    it is also what makes the exact vectorized row kernel possible
+    (:mod:`repro.core.kernels`).
+    """
+
+    match: int = 1
+    mismatch: int = -1
+    gap: int = -2
+
+    def __post_init__(self) -> None:
+        if self.gap >= 0:
+            raise ValueError("gap score must be negative")
+        if self.match <= self.mismatch:
+            raise ValueError("match score must exceed mismatch score")
+
+    def substitution_row(self, s_char: int, t_codes: np.ndarray) -> np.ndarray:
+        """Vector of substitution scores of ``s_char`` against every ``t`` code."""
+        return np.where(
+            t_codes == s_char, np.int32(self.match), np.int32(self.mismatch)
+        )
+
+    def pair_score(self, a: int, b: int) -> int:
+        """Score of aligning code ``a`` against code ``b``."""
+        return self.match if a == b else self.mismatch
+
+    def column_score(self, a: str, b: str) -> int:
+        """Score of one alignment column; ``'-'`` denotes a space."""
+        if a == "-" and b == "-":
+            raise ValueError("column with two spaces")
+        if a == "-" or b == "-":
+            return self.gap
+        from ..seq.alphabet import DNA
+
+        return self.pair_score(DNA.index(a.upper()), DNA.index(b.upper()))
+
+    def alignment_score(self, a: str, b: str) -> int:
+        """Score of a rendered alignment (two equal-length gapped strings)."""
+        if len(a) != len(b):
+            raise ValueError("aligned strings must have equal length")
+        return sum(self.column_score(x, y) for x, y in zip(a, b))
+
+
+@dataclass(frozen=True)
+class MatrixScoring(Scoring):
+    """Scoring with an arbitrary 4x4 nucleotide substitution matrix.
+
+    ``matrix[a][b]`` scores code ``a`` against code ``b`` (e.g. a
+    transition/transversion-aware scheme).  ``match``/``mismatch`` are kept
+    as the matrix's diagonal maximum and off-diagonal minimum so code that
+    only needs bounds (e.g. the Section 6 band limit) stays correct.
+    """
+
+    matrix: tuple = ()
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.matrix, dtype=np.int32)
+        if arr.shape != (4, 4):
+            raise ValueError("substitution matrix must be 4x4")
+        diag = int(arr.diagonal().max())
+        off = int((arr + np.eye(4, dtype=np.int32) * -(10**6)).max())
+        object.__setattr__(self, "match", diag)
+        object.__setattr__(self, "mismatch", off)
+        object.__setattr__(self, "matrix", tuple(tuple(int(x) for x in row) for row in arr))
+        super().__post_init__()
+
+    def _array(self) -> np.ndarray:
+        return np.asarray(self.matrix, dtype=np.int32)
+
+    def substitution_row(self, s_char: int, t_codes: np.ndarray) -> np.ndarray:
+        return self._array()[s_char][t_codes]
+
+    def pair_score(self, a: int, b: int) -> int:
+        return self.matrix[a][b]
+
+
+#: A transition/transversion-aware example matrix (A<->G, C<->T transitions
+#: penalised less than transversions), usable anywhere a Scoring is.
+TRANSITION_TRANSVERSION = MatrixScoring(
+    gap=-3,
+    matrix=(
+        (2, -3, -1, -3),
+        (-3, 2, -3, -1),
+        (-1, -3, 2, -3),
+        (-3, -1, -3, 2),
+    ),
+)
+
+#: The scheme used in every experiment of the paper.
+DEFAULT_SCORING = Scoring()

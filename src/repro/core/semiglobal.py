@@ -1,0 +1,95 @@
+"""Semiglobal ("glocal") alignment: all of ``s`` against a substring of ``t``.
+
+The remaining classic alignment mode next to local (Section 2.1) and global
+(Section 2.3): leading and trailing gaps in ``t`` are free, so the whole of
+``s`` is placed at its best position inside ``t``.  This is the mode for
+locating a known fragment (a phase-1 subsequence, a probe, a read) inside a
+chromosome, and it reuses the same row kernel as everything else: free
+leading ``t`` gaps = a zero first row; free trailing ``t`` gaps = take the
+maximum over the last row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..seq.alphabet import DNA_ALPHABET, Alphabet
+from .alignment import GlobalAlignment
+from .kernels import SCORE_DTYPE, nw_row
+from .matrix import MAX_FULL_MATRIX_CELLS, MatrixTooLarge, TracebackResult
+from .scoring import DEFAULT_SCORING, Scoring
+
+
+def semiglobal_matrix(
+    s: np.ndarray | str,
+    t: np.ndarray | str,
+    scoring: Scoring = DEFAULT_SCORING,
+    alphabet: Alphabet = DNA_ALPHABET,
+) -> np.ndarray:
+    """The semiglobal DP matrix: zero first row, gap-priced first column."""
+    s = alphabet.encode(s)
+    t = alphabet.encode(t)
+    m, n = len(s), len(t)
+    if (m + 1) * (n + 1) > MAX_FULL_MATRIX_CELLS:
+        raise MatrixTooLarge("semiglobal matrix exceeds the cell cap")
+    H = np.empty((m + 1, n + 1), dtype=SCORE_DTYPE)
+    H[0] = 0  # free leading gaps in t
+    for i in range(1, m + 1):
+        H[i] = nw_row(H[i - 1], s[i - 1], t, i * scoring.gap, scoring)
+    return H
+
+
+def semiglobal(
+    s: np.ndarray | str,
+    t: np.ndarray | str,
+    scoring: Scoring = DEFAULT_SCORING,
+    alphabet: Alphabet = DNA_ALPHABET,
+) -> TracebackResult:
+    """Best placement of the whole of ``s`` inside ``t``.
+
+    The result's ``t_start``/``t_end`` name the matched substring of ``t``;
+    ``s_start`` is always 0 and ``s_end`` always ``len(s)``.
+    """
+    s = alphabet.encode(s)
+    t = alphabet.encode(t)
+    H = semiglobal_matrix(s, t, scoring, alphabet)
+    m = len(s)
+    j = int(np.argmax(H[m]))  # free trailing gaps in t
+    end_j = j
+    score = int(H[m, j])
+    i = m
+    a: list[str] = []
+    b: list[str] = []
+    gap = scoring.gap
+    while i > 0:
+        h = int(H[i, j])
+        if j > 0 and h == int(H[i - 1, j - 1]) + scoring.pair_score(
+            int(s[i - 1]), int(t[j - 1])
+        ):
+            a.append(alphabet.decode(s[i - 1 : i]))
+            b.append(alphabet.decode(t[j - 1 : j]))
+            i -= 1
+            j -= 1
+        elif h == int(H[i - 1, j]) + gap:
+            a.append(alphabet.decode(s[i - 1 : i]))
+            b.append("-")
+            i -= 1
+        elif j > 0 and h == int(H[i, j - 1]) + gap:
+            a.append("-")
+            b.append(alphabet.decode(t[j - 1 : j]))
+            j -= 1
+        else:
+            raise AssertionError("inconsistent semiglobal matrix during traceback")
+    alignment = GlobalAlignment("".join(reversed(a)), "".join(reversed(b)), score)
+    return TracebackResult(alignment, 0, j, m, end_j)
+
+
+def locate(
+    fragment: np.ndarray | str,
+    reference: np.ndarray | str,
+    scoring: Scoring = DEFAULT_SCORING,
+    alphabet: Alphabet = DNA_ALPHABET,
+) -> tuple[int, int, int]:
+    """Convenience: ``(t_start, t_end, score)`` of the fragment's best home."""
+    result = semiglobal(fragment, reference, scoring, alphabet)
+    return result.t_start, result.t_end, result.alignment.score

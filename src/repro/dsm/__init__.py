@@ -1,0 +1,16 @@
+"""JIAJIA-like page-based software DSM on the simulated cluster."""
+
+from .jiajia import DEFAULT_CACHE_PAGES, JiaJia
+from .pages import PageDirectory, RemotePageCache, SharedRegion
+from .protocol import Message, MessageTrace, MsgType
+
+__all__ = [
+    "DEFAULT_CACHE_PAGES",
+    "JiaJia",
+    "Message",
+    "MessageTrace",
+    "MsgType",
+    "PageDirectory",
+    "RemotePageCache",
+    "SharedRegion",
+]

@@ -1,0 +1,288 @@
+"""JIAJIA-like software DSM runtime on the simulated cluster.
+
+Exposes the API of Section 3.1 -- ``jia_alloc``, ``jia_lock``,
+``jia_unlock``, ``jia_barrier``, ``jia_setcv``, ``jia_waitcv`` -- with the
+scope-consistency, home-based, write-invalidate multiple-writer protocol's
+*costs* charged to the virtual clock and each node's statistics:
+
+* **release** (unlock/barrier): diffs of every remotely-homed page written
+  since the last release go to the home nodes, acks come back, write
+  notices go to the manager (Fig. 6 of the paper);
+* **acquire** (lock/barrier): a manager round trip returns the accumulated
+  write notices, and the node invalidates its cached copies of those pages;
+* **access fault**: reading a page that is neither home-local nor validly
+  cached fetches a fresh copy from its home.
+
+Because the reproduction runs in one address space, data movement itself is
+free -- the runtime tracks *which* bytes would have moved and charges the
+calibrated times of :class:`repro.sim.costmodel.CostModel`.
+
+All ``jia_*`` methods are generators: call them as
+``yield from dsm.lock(node, lock_id)`` from a simulated process body.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim.costmodel import DEFAULT_COST_MODEL, CostModel
+from ..sim.engine import Delay, Simulator
+from ..sim.resources import SimBarrier, SimCondition, SimLock
+from ..sim.stats import ClusterStats, NodeStats
+from .pages import PageDirectory, RemotePageCache, SharedRegion
+
+#: Default remote-cache capacity: the paper's nodes have 160 MB of RAM; a
+#: quarter of it holding remote copies gives ~10k 4 KB pages.
+DEFAULT_CACHE_PAGES = 10_000
+
+
+class JiaJia:
+    """The DSM runtime: one instance per simulated cluster."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_nodes: int,
+        cost: CostModel = DEFAULT_COST_MODEL,
+        cache_pages: int = DEFAULT_CACHE_PAGES,
+    ) -> None:
+        if n_nodes <= 0:
+            raise ValueError("need at least one node")
+        self.sim = sim
+        self.n_nodes = n_nodes
+        self.cost = cost
+        self.directory = PageDirectory(n_nodes, cost.page_bytes)
+        self.stats = [NodeStats(node_id=i) for i in range(n_nodes)]
+        self.caches = [RemotePageCache(cache_pages) for _ in range(n_nodes)]
+        self._locks: dict[int, SimLock] = {}
+        self._cvs: dict[int, SimCondition] = {}
+        self._barrier = SimBarrier(sim, n_nodes)
+        # dirty state since last release, per node: bytes to remote homes
+        # and the set of remotely-homed pages written (for write notices)
+        self._dirty_bytes = [0] * n_nodes
+        self._dirty_pages: list[set[int]] = [set() for _ in range(n_nodes)]
+        # jia_config options (Section 3.1: "all features are set to OFF")
+        self._options: dict[str, bool | int] = {
+            "home_migration": False,
+            "migration_threshold": 3,
+        }
+        # per-page (writer, consecutive-diff count) for home migration
+        self._diff_streak: dict[int, tuple[int, int]] = {}
+
+    def config(self, option: str, value: bool | int) -> None:
+        """jia_config(option, value): toggle an optional DSM feature.
+
+        Supported options: ``home_migration`` (migrate a page's home to a
+        node that keeps diffing it; eliminates that node's future diff
+        traffic for the page) and ``migration_threshold`` (consecutive
+        diffs by the same writer before migrating).  As in JIAJIA, every
+        feature starts OFF.
+        """
+        if option not in self._options:
+            raise ValueError(
+                f"unknown jia_config option {option!r}; "
+                f"supported: {sorted(self._options)}"
+            )
+        self._options[option] = value
+
+    # -- allocation ------------------------------------------------------
+    def alloc(self, nbytes: int, name: str = "region", home: int | None = None) -> SharedRegion:
+        """jia_alloc: map a shared region (see PageDirectory.alloc)."""
+        return self.directory.alloc(nbytes, name, home)
+
+    # -- memory accesses -------------------------------------------------
+    def write(
+        self, node: int, region: SharedRegion, offset: int, nbytes: int, times: int = 1
+    ) -> None:
+        """Record a write; remotely-homed bytes become diff traffic later.
+
+        Writing is asynchronous in JIAJIA (twins are made locally); the cost
+        lands at the next release, so this method consumes no virtual time.
+        ``times`` repeats the same write (row aggregation: G rows re-dirty
+        the same two-row buffer, each release flushing the same byte count).
+        """
+        if nbytes == 0 or times == 0:
+            return
+        dirty = self._dirty_pages[node]
+        page_bytes = self.cost.page_bytes
+        for page in region.pages_of(offset, nbytes):
+            if self.directory.home(page) == node:
+                continue
+            if page not in dirty:
+                dirty.add(page)
+            lo = max(offset, (page - region.base_page) * page_bytes)
+            hi = min(offset + nbytes, (page - region.base_page + 1) * page_bytes)
+            self._dirty_bytes[node] += (hi - lo) * times
+
+    def fault(self, node: int, pages: int = 1, repeat: int = 1) -> Generator:
+        """Charge ``repeat`` access faults of ``pages`` pages each.
+
+        Used where the aggregated simulation knows faults occur (a border
+        page re-fetched every exchanged row) without enumerating them
+        through :meth:`read`.
+        """
+        stats = self.stats[node]
+        cost = self.cost.page_fault_time() * pages * repeat
+        stats.page_faults += pages * repeat
+        stats.record_message((self.cost.page_bytes + 64) * pages)
+        stats.breakdown.add("communication", cost)
+        yield Delay(cost, "communication")
+
+    def read(self, node: int, region: SharedRegion, offset: int, nbytes: int) -> Generator:
+        """Access shared data for reading, faulting in missing pages."""
+        if nbytes == 0:
+            return
+        stats = self.stats[node]
+        cache = self.caches[node]
+        fault_time = 0.0
+        for page in region.pages_of(offset, nbytes):
+            if self.directory.home(page) == node:
+                continue
+            version = self.directory.version(page)
+            if cache.lookup(page, version):
+                continue
+            cache.fill(page, version)
+            stats.page_faults += 1
+            stats.record_message(self.cost.page_bytes + 64)
+            fault_time += self.cost.page_fault_time()
+        if fault_time:
+            stats.breakdown.add("communication", fault_time)
+            yield Delay(fault_time, "communication")
+
+    # -- release/acquire helpers -----------------------------------------
+    def _release(self, node: int) -> tuple[float, float]:
+        """Flush diffs (Fig. 6 left half).
+
+        Returns ``(sync_cost, transfer_cost)``: the protocol/service part
+        (charged as lock+cv or barrier time by the caller) and the diff
+        *data* wire time (charged as communication, so the Fig. 10
+        breakdown attributes byte traffic where the paper does).
+        """
+        stats = self.stats[node]
+        dirty_bytes = self._dirty_bytes[node]
+        dirty_pages = self._dirty_pages[node]
+        sync_cost = self.cost.lock_release_time(0)
+        transfer_cost = 0.0
+        if dirty_pages:
+            transfer_cost = (
+                self.cost.message_time(dirty_bytes) + self.cost.message_time(64)
+            )
+            stats.diffs_sent += len(dirty_pages)
+            stats.record_message(dirty_bytes + 64 * len(dirty_pages))
+            for page in dirty_pages:
+                self.directory.bump(page)
+            if self._options["home_migration"]:
+                self._consider_migration(node, dirty_pages)
+        self._dirty_bytes[node] = 0
+        self._dirty_pages[node] = set()
+        return sync_cost, transfer_cost
+
+    def _consider_migration(self, node: int, dirty_pages: set[int]) -> None:
+        """Migrate pages a node keeps diffing (the home-migration option)."""
+        threshold = int(self._options["migration_threshold"])
+        for page in dirty_pages:
+            writer, streak = self._diff_streak.get(page, (node, 0))
+            streak = streak + 1 if writer == node else 1
+            if streak >= threshold:
+                self.directory.set_home(page, node)
+                self.stats[node].homes_migrated += 1
+                self._diff_streak.pop(page, None)
+            else:
+                self._diff_streak[page] = (node, streak)
+
+    # -- synchronization --------------------------------------------------
+    def lock(self, node: int, lock_id: int, repeat: int = 1) -> Generator:
+        """jia_lock: manager round trip, then blocking FIFO acquisition.
+
+        ``repeat`` charges the protocol cost of that many consecutive
+        acquisitions while performing a single simulated one -- the row-
+        aggregation device described in DESIGN.md (G rows per event).
+        """
+        stats = self.stats[node]
+        lock = self._locks.setdefault(lock_id, SimLock(self.sim, f"jialock-{lock_id}"))
+        protocol = self.cost.lock_acquire_time() * repeat
+        stats.breakdown.add("lock_cv", protocol)
+        for _ in range(repeat):
+            stats.record_message(64)
+        stats.lock_acquires += repeat
+        yield Delay(protocol, "lock_cv")
+        blocked_from = self.sim.now
+        yield from lock.acquire()
+        waited = self.sim.now - blocked_from
+        if waited:
+            stats.breakdown.add("lock_cv", waited)
+
+    def unlock(self, node: int, lock_id: int, extra_releases: int = 0) -> Generator:
+        """jia_unlock: propagate diffs, then hand the lock over.
+
+        ``extra_releases`` charges that many additional no-diff release
+        round trips (row aggregation: G critical sections whose dirty data
+        was accumulated into one).
+        """
+        lock = self._locks.get(lock_id)
+        if lock is None or not lock.locked:
+            raise RuntimeError(f"unlock of lock {lock_id} not held")
+        stats = self.stats[node]
+        sync_cost, transfer_cost = self._release(node)
+        sync_cost += extra_releases * self.cost.lock_release_time(0)
+        stats.breakdown.add("lock_cv", sync_cost)
+        yield Delay(sync_cost, "lock_cv")
+        if transfer_cost:
+            stats.breakdown.add("communication", transfer_cost)
+            yield Delay(transfer_cost, "communication")
+        lock.release()
+
+    def setcv(self, node: int, cv_id: int, repeat: int = 1) -> Generator:
+        """jia_setcv: signal a condition (with signal memory, Section 3.1)."""
+        stats = self.stats[node]
+        cv = self._cvs.setdefault(cv_id, SimCondition(self.sim, f"jiacv-{cv_id}"))
+        cost = self.cost.cv_signal_time() * repeat
+        stats.breakdown.add("lock_cv", cost)
+        stats.record_message(64)
+        stats.cv_signals += repeat
+        yield Delay(cost, "lock_cv")
+        cv.signal()
+
+    def waitcv(self, node: int, cv_id: int, repeat: int = 1) -> Generator:
+        """jia_waitcv: wait for a signal; waiting time is lock+cv time."""
+        stats = self.stats[node]
+        cv = self._cvs.setdefault(cv_id, SimCondition(self.sim, f"jiacv-{cv_id}"))
+        cost = self.cost.cv_wait_time() * repeat
+        stats.breakdown.add("lock_cv", cost)
+        stats.cv_waits += repeat
+        yield Delay(cost, "lock_cv")
+        blocked_from = self.sim.now
+        yield from cv.wait()
+        waited = self.sim.now - blocked_from
+        if waited:
+            stats.breakdown.add("lock_cv", waited)
+
+    def barrier(self, node: int) -> Generator:
+        """jia_barrier: flush diffs, meet everyone, invalidate (Fig. 6)."""
+        stats = self.stats[node]
+        sync_cost, transfer_cost = self._release(node)
+        barrier_cost = self.cost.barrier_time(0, self.n_nodes) + sync_cost
+        stats.breakdown.add("barrier", barrier_cost)
+        if transfer_cost:
+            stats.breakdown.add("communication", transfer_cost)
+        stats.barrier_waits += 1
+        stats.record_message(64)
+        yield Delay(barrier_cost, "barrier")
+        if transfer_cost:
+            yield Delay(transfer_cost, "communication")
+        blocked_from = self.sim.now
+        yield from self._barrier.arrive()
+        waited = self.sim.now - blocked_from
+        if waited:
+            stats.breakdown.add("barrier", waited)
+
+    # -- computation ------------------------------------------------------
+    def compute(self, node: int, seconds: float, cells: int = 0) -> Generator:
+        """Charge local computation time to this node."""
+        stats = self.stats[node]
+        stats.breakdown.add("computation", seconds)
+        stats.cells_computed += cells
+        yield Delay(seconds, "computation")
+
+    def cluster_stats(self) -> ClusterStats:
+        return ClusterStats(nodes=self.stats)

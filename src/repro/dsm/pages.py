@@ -1,0 +1,138 @@
+"""Shared pages, home assignment, and per-node page caches.
+
+JIAJIA organises shared memory "among the nodes on a NUMA-architecture
+basis.  Each shared page has a home node.  A page is always present in its
+home node, and it is also copied to remote nodes in an access fault.  There
+is a fixed number of remote pages that can be placed at the memory of a
+remote node.  When this part of the memory is full, a replacement algorithm
+is executed." (Section 3.1.)
+
+This module tracks exactly that: page-granular home assignment (round-robin
+across nodes by default, like JIAJIA's allocator), per-page version numbers
+that releases/barriers bump (standing in for write notices), and a bounded
+FIFO remote-page cache per node whose misses are the access faults the cost
+model charges for.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SharedRegion:
+    """One jia_alloc'd range of shared memory."""
+
+    name: str
+    base_page: int
+    nbytes: int
+    page_bytes: int
+
+    @property
+    def n_pages(self) -> int:
+        return -(-self.nbytes // self.page_bytes) if self.nbytes else 0
+
+    def pages_of(self, offset: int, nbytes: int) -> range:
+        """Global page ids covering ``[offset, offset + nbytes)``."""
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.nbytes:
+            raise ValueError(
+                f"access [{offset}, {offset + nbytes}) outside region "
+                f"{self.name!r} of {self.nbytes} bytes"
+            )
+        if nbytes == 0:
+            return range(0)
+        first = self.base_page + offset // self.page_bytes
+        last = self.base_page + (offset + nbytes - 1) // self.page_bytes
+        return range(first, last + 1)
+
+
+class PageDirectory:
+    """Home assignment and version tracking for every shared page."""
+
+    def __init__(self, n_nodes: int, page_bytes: int = 4096) -> None:
+        if n_nodes <= 0:
+            raise ValueError("need at least one node")
+        self.n_nodes = n_nodes
+        self.page_bytes = page_bytes
+        self._next_page = 0
+        self._homes: list[int] = []
+        self._versions: list[int] = []
+        self.regions: list[SharedRegion] = []
+
+    def alloc(self, nbytes: int, name: str = "region", home: int | None = None) -> SharedRegion:
+        """Allocate a shared region.
+
+        ``home=None`` distributes pages round-robin across the nodes (the
+        JIAJIA default); an integer pins every page of the region to that
+        node (what ``jia_alloc`` achieves in practice when one node
+        allocates and first-touches).
+        """
+        if nbytes < 0:
+            raise ValueError("negative allocation")
+        if home is not None and not 0 <= home < self.n_nodes:
+            raise ValueError(f"home node {home} out of range")
+        region = SharedRegion(name, self._next_page, nbytes, self.page_bytes)
+        for k in range(region.n_pages):
+            page_home = home if home is not None else (self._next_page + k) % self.n_nodes
+            self._homes.append(page_home)
+            self._versions.append(0)
+        self._next_page += region.n_pages
+        self.regions.append(region)
+        return region
+
+    def home(self, page: int) -> int:
+        return self._homes[page]
+
+    def set_home(self, page: int, node: int) -> None:
+        """Migrate a page's home (JIAJIA's optional home-migration feature)."""
+        if not 0 <= node < self.n_nodes:
+            raise ValueError(f"home node {node} out of range")
+        self._homes[page] = node
+
+    def version(self, page: int) -> int:
+        return self._versions[page]
+
+    def bump(self, page: int) -> None:
+        """Record that a modification of ``page`` became visible (write notice)."""
+        self._versions[page] += 1
+
+
+class RemotePageCache:
+    """Bounded FIFO cache of remote page copies held by one node."""
+
+    def __init__(self, capacity_pages: int) -> None:
+        if capacity_pages <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity_pages
+        self._entries: OrderedDict[int, int] = OrderedDict()  # page -> version
+        self.hits = 0
+        self.misses = 0
+        self.replacements = 0
+        self.invalidations = 0
+
+    def lookup(self, page: int, current_version: int) -> bool:
+        """True when a valid copy is cached; stale copies count as misses."""
+        version = self._entries.get(page)
+        if version == current_version:
+            self.hits += 1
+            return True
+        if version is not None:
+            del self._entries[page]  # stale: invalidated by a write notice
+        self.misses += 1
+        return False
+
+    def fill(self, page: int, version: int) -> None:
+        if page in self._entries:
+            del self._entries[page]
+        elif len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.replacements += 1
+        self._entries[page] = version
+
+    def invalidate(self, page: int) -> None:
+        if self._entries.pop(page, None) is not None:
+            self.invalidations += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,60 @@
+"""Protocol message types and optional tracing.
+
+Fig. 6 of the paper names the JIAJIA message types exchanged around a
+barrier (DIFF, DIFFGRANT, BARR, BARRGRANT) and Section 3.1 describes the
+lock path (ACQ, lock grant with write notices) and access faults (page
+fetch).  The runtime can record a :class:`MessageTrace` of these for tests
+and debugging; tracing is off by default because cluster-scale runs emit
+millions of messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class MsgType(Enum):
+    ACQ = "ACQ"
+    GRANT = "GRANT"
+    DIFF = "DIFF"
+    DIFFGRANT = "DIFFGRANT"
+    BARR = "BARR"
+    BARRGRANT = "BARRGRANT"
+    GETP = "GETP"
+    PAGE = "PAGE"
+    SETCV = "SETCV"
+    WAITCV = "WAITCV"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One protocol message, timestamped in virtual time."""
+
+    time: float
+    msg_type: MsgType
+    src: int
+    dst: int
+    nbytes: int = 64
+
+
+@dataclass
+class MessageTrace:
+    """An append-only log of protocol messages."""
+
+    messages: list[Message] = field(default_factory=list)
+
+    def record(self, time: float, msg_type: MsgType, src: int, dst: int, nbytes: int = 64) -> None:
+        self.messages.append(Message(time, msg_type, src, dst, nbytes))
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+    def count(self, msg_type: MsgType) -> int:
+        return sum(1 for m in self.messages if m.msg_type is msg_type)
+
+    def bytes_total(self) -> int:
+        return sum(m.nbytes for m in self.messages)
+
+    def between(self, t0: float, t1: float) -> list[Message]:
+        return [m for m in self.messages if t0 <= m.time < t1]

@@ -1,0 +1,17 @@
+"""Real shared-memory (multiprocessing) backend of the paper's strategies."""
+
+from .mp_blocked import MpBlockedConfig, mp_blocked_alignments
+from .mp_phase2 import mp_phase2
+from .mp_wavefront import MpWavefrontConfig, mp_wavefront_alignments
+from .shm import SharedArray, attach_shared_array, create_shared_array
+
+__all__ = [
+    "MpBlockedConfig",
+    "MpWavefrontConfig",
+    "SharedArray",
+    "attach_shared_array",
+    "create_shared_array",
+    "mp_blocked_alignments",
+    "mp_phase2",
+    "mp_wavefront_alignments",
+]

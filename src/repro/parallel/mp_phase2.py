@@ -1,0 +1,70 @@
+"""Real-parallel phase 2: a process pool of global alignments.
+
+The scattered mapping of Section 4.4 is embarrassingly parallel, so the
+real backend is simply a :class:`multiprocessing.Pool` mapping region pairs
+to Needleman-Wunsch jobs.  Pairs are dealt exactly like the paper's vector
+-- sorted by subsequence size, worker ``i`` taking slots ``i, i+P, ...`` --
+which balances load without any synchronisation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Sequence
+
+import numpy as np
+
+from ..core.alignment import LocalAlignment
+from ..core.global_align import SubsequenceAlignment, align_region
+from ..core.scoring import DEFAULT_SCORING, Scoring
+from ..seq.alphabet import encode
+
+_worker_state: dict = {}
+
+
+def _init_worker(s_bytes: bytes, t_bytes: bytes, scoring: Scoring) -> None:
+    _worker_state["s"] = np.frombuffer(s_bytes, dtype=np.uint8)
+    _worker_state["t"] = np.frombuffer(t_bytes, dtype=np.uint8)
+    _worker_state["scoring"] = scoring
+
+
+def _align_one(args: tuple[int, tuple[int, int, int, int, int]]):
+    idx, (score, s0, s1, t0, t1) = args
+    region = LocalAlignment(score, s0, s1, t0, t1)
+    record = align_region(
+        _worker_state["s"], _worker_state["t"], region, _worker_state["scoring"]
+    )
+    return idx, record
+
+
+def mp_phase2(
+    s: np.ndarray,
+    t: np.ndarray,
+    regions: Sequence[LocalAlignment],
+    n_workers: int = 2,
+    scoring: Scoring = DEFAULT_SCORING,
+) -> list[SubsequenceAlignment]:
+    """Globally align every region with a worker pool; queue order preserved."""
+    if n_workers <= 0:
+        raise ValueError("n_workers must be positive")
+    s = encode(s)
+    t = encode(t)
+    ordered = sorted(regions, key=lambda r: (-r.size, r.region))
+    jobs = [
+        (i, (r.score, r.s_start, r.s_end, r.t_start, r.t_end))
+        for i, r in enumerate(ordered)
+    ]
+    if not jobs:
+        return []
+    if n_workers == 1:
+        _init_worker(s.tobytes(), t.tobytes(), scoring)
+        results = [_align_one(job) for job in jobs]
+    else:
+        with mp.get_context().Pool(
+            n_workers, initializer=_init_worker, initargs=(s.tobytes(), t.tobytes(), scoring)
+        ) as pool:
+            results = pool.map(_align_one, jobs)
+    out: list[SubsequenceAlignment | None] = [None] * len(ordered)
+    for idx, record in results:
+        out[idx] = record
+    return out  # type: ignore[return-value]

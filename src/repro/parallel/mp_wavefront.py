@@ -1,0 +1,158 @@
+"""Real shared-memory implementation of the non-blocked wave-front.
+
+Strategy 1 (Section 4.2) on actual OS processes: each worker owns N/P
+columns, the two DP rows' border values travel through a shared-memory
+array, and the per-row handshake is a pair of semaphores per edge -- one
+counting "values produced", one counting "values consumed" (the paper's
+read-acknowledge, which lets the producer stay exactly one row ahead,
+matching the one-slot border buffer of the DSM version).
+
+Row-by-row semaphore round trips make this backend deliberately
+communication-heavy -- it *is* the strategy whose overheads Table 1
+documents -- so a ``rows_per_exchange`` knob (the blocking factor in
+embryo) is exposed; tests show batching exchanges speeds it up, which is
+Section 4.3's whole point re-enacted on real hardware.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.alignment import AlignmentQueue, LocalAlignment
+from ..core.kernels import SCORE_DTYPE, sw_row_slice
+from ..core.regions import RegionConfig, StreamingRegionFinder
+from ..core.scoring import DEFAULT_SCORING, Scoring
+from ..strategies.partition import column_partition
+from .shm import attach_shared_array, create_shared_array
+
+
+@dataclass(frozen=True)
+class MpWavefrontConfig:
+    """Parameters of the real-parallel wave-front run."""
+
+    n_workers: int = 2
+    rows_per_exchange: int = 1  # 1 = the paper's strategy 1; >1 = blocking
+    threshold: int = 35
+    min_score: int | None = None
+    timeout: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.n_workers <= 0 or self.rows_per_exchange <= 0:
+            raise ValueError("workers and rows_per_exchange must be positive")
+
+
+def _worker(
+    worker_id: int,
+    s_bytes: bytes,
+    t_bytes: bytes,
+    config: MpWavefrontConfig,
+    scoring: Scoring,
+    shm_name: str,
+    shape: tuple[int, int],
+    produced: list,
+    consumed: list,
+    results: "mp.Queue",
+) -> None:
+    s = np.frombuffer(s_bytes, dtype=np.uint8)
+    t = np.frombuffer(t_bytes, dtype=np.uint8)
+    slices = column_partition(len(t), config.n_workers)
+    c0, c1 = slices[worker_id]
+    width = c1 - c0
+    borders = attach_shared_array(shm_name, shape, SCORE_DTYPE)
+    batch = config.rows_per_exchange
+    finder = StreamingRegionFinder(RegionConfig(threshold=config.threshold))
+    try:
+        prev = np.zeros(width + 1, dtype=SCORE_DTYPE)
+        for lo in range(0, len(s), batch):
+            hi = min(lo + batch, len(s))
+            if worker_id > 0:
+                if not produced[worker_id - 1].acquire(timeout=config.timeout):
+                    raise TimeoutError(f"worker {worker_id} starved at row {lo}")
+            for i in range(lo, hi):
+                left = int(borders.array[worker_id - 1, i]) if worker_id > 0 else 0
+                prev = sw_row_slice(prev, int(s[i]), t[c0:c1], left, scoring)
+                finder.feed(i + 1, prev)
+                if worker_id < config.n_workers - 1:
+                    borders.array[worker_id, i] = prev[-1]
+            if worker_id > 0:
+                consumed[worker_id - 1].release()  # read-acknowledge
+            if worker_id < config.n_workers - 1:
+                if lo > 0 and not consumed[worker_id].acquire(
+                    timeout=config.timeout
+                ):
+                    raise TimeoutError(
+                        f"worker {worker_id} never got its ack at row {lo}"
+                    )
+                produced[worker_id].release()
+        found = [
+            (r.score, a.s_start, a.s_end, a.t_start + c0, a.t_end + c0)
+            for r in finder.finish()
+            for a in [r.as_alignment()]
+        ]
+        results.put((worker_id, found))
+    finally:
+        borders.close()
+
+
+def mp_wavefront_alignments(
+    s: np.ndarray,
+    t: np.ndarray,
+    config: MpWavefrontConfig | None = None,
+    scoring: Scoring = DEFAULT_SCORING,
+) -> list[LocalAlignment]:
+    """Run strategy 1 with real worker processes; returns the merged queue."""
+    config = config or MpWavefrontConfig()
+    from ..seq.alphabet import encode
+
+    s = encode(s)
+    t = encode(t)
+    if len(t) < config.n_workers:
+        raise ValueError("sequence narrower than the worker count")
+    ctx = mp.get_context()
+    # borders[w, i] = last cell of worker w's slice on row i
+    borders = create_shared_array((max(1, config.n_workers - 1), len(s)), SCORE_DTYPE)
+    produced = [ctx.Semaphore(0) for _ in range(max(0, config.n_workers - 1))]
+    consumed = [ctx.Semaphore(0) for _ in range(max(0, config.n_workers - 1))]
+    results: mp.Queue = ctx.Queue()
+    workers = [
+        ctx.Process(
+            target=_worker,
+            args=(
+                w,
+                s.tobytes(),
+                t.tobytes(),
+                config,
+                scoring,
+                borders.name,
+                borders.array.shape,
+                produced,
+                consumed,
+                results,
+            ),
+        )
+        for w in range(config.n_workers)
+    ]
+    try:
+        for w in workers:
+            w.start()
+        collected: dict[int, list] = {}
+        for _ in workers:
+            worker_id, found = results.get(timeout=config.timeout)
+            collected[worker_id] = found
+        for w in workers:
+            w.join(timeout=config.timeout)
+    finally:
+        for w in workers:
+            if w.is_alive():
+                w.terminate()
+        borders.close()
+
+    queue = AlignmentQueue()
+    for found in collected.values():
+        for score, s0, s1, t0, t1 in found:
+            queue.push(LocalAlignment(score, s0, s1, t0, t1))
+    min_score = config.min_score if config.min_score is not None else config.threshold
+    return queue.finalize(min_score=min_score, overlap_slack=8, merge=True)

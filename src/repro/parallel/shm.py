@@ -1,0 +1,51 @@
+"""Shared-memory numpy arrays for the real-parallel backend.
+
+The simulated cluster in :mod:`repro.sim` reproduces the paper's *numbers*;
+this package reproduces its *mechanics* on an actual multicore host using
+:mod:`multiprocessing.shared_memory` as the stand-in for JIAJIA's shared
+pages.  These helpers wrap allocation/attach/cleanup of typed arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+
+@dataclass
+class SharedArray:
+    """A numpy array living in named shared memory."""
+
+    shm: shared_memory.SharedMemory
+    array: np.ndarray
+    owner: bool
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    def close(self) -> None:
+        # Views into the buffer must be dropped before closing, or CPython
+        # warns about leaked memoryviews.
+        self.array = None  # type: ignore[assignment]
+        self.shm.close()
+        if self.owner:
+            self.shm.unlink()
+
+
+def create_shared_array(shape: tuple[int, ...], dtype=np.int32) -> SharedArray:
+    """Allocate a zero-initialised shared array."""
+    nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+    shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+    array = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+    array[:] = 0
+    return SharedArray(shm=shm, array=array, owner=True)
+
+
+def attach_shared_array(name: str, shape: tuple[int, ...], dtype=np.int32) -> SharedArray:
+    """Attach to an existing shared array by name (worker side)."""
+    shm = shared_memory.SharedMemory(name=name)
+    array = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+    return SharedArray(shm=shm, array=array, owner=False)

@@ -1,0 +1,36 @@
+"""Protein alignment extension: 20-letter alphabet + BLOSUM62.
+
+The paper is DNA-only; this package demonstrates that the alignment core
+is alphabet-generic -- an :class:`repro.seq.alphabet.Alphabet` plus a
+scoring object is all a new residue type needs.
+"""
+
+from .align import (
+    protein_affine_smith_waterman,
+    protein_best_score,
+    protein_needleman_wunsch,
+    protein_smith_waterman,
+)
+from .blosum import (
+    AMINO_ACIDS,
+    BLOSUM62,
+    BLOSUM62_AFFINE,
+    BLOSUM62_SCORING,
+    PROTEIN_ALPHABET,
+    ProteinAffineScoring,
+    ProteinScoring,
+)
+
+__all__ = [
+    "AMINO_ACIDS",
+    "BLOSUM62",
+    "BLOSUM62_AFFINE",
+    "BLOSUM62_SCORING",
+    "PROTEIN_ALPHABET",
+    "ProteinAffineScoring",
+    "ProteinScoring",
+    "protein_affine_smith_waterman",
+    "protein_best_score",
+    "protein_needleman_wunsch",
+    "protein_smith_waterman",
+]

@@ -1,0 +1,112 @@
+"""Minimal FASTA reading and writing.
+
+The paper's inputs are chromosome-scale FASTA files from NCBI; this module
+provides the same ingestion path for user-supplied files (and for the
+synthetic genomes written by :mod:`repro.seq.random_dna`).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from .alphabet import decode, encode
+
+
+@dataclass(frozen=True)
+class FastaRecord:
+    """One FASTA record: a header (without ``>``) and the encoded sequence."""
+
+    name: str
+    codes: np.ndarray
+
+    @property
+    def text(self) -> str:
+        return decode(self.codes)
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+
+class FastaError(ValueError):
+    """Raised for malformed FASTA input."""
+
+
+def parse_fasta(stream: Iterable[str]) -> Iterator[FastaRecord]:
+    """Parse FASTA records from an iterable of lines.
+
+    Characters outside ``ACGTacgt`` (ambiguity codes such as ``N``) are
+    dropped with the same effect as the paper's preprocessing, which aligns
+    plain nucleotide text.
+    """
+    name: str | None = None
+    chunks: list[str] = []
+
+    def flush() -> FastaRecord:
+        body = "".join(chunks)
+        filtered = "".join(c for c in body if c in "ACGTacgt")
+        return FastaRecord(name or "", encode(filtered))
+
+    for line in stream:
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            if name is not None:
+                yield flush()
+            name = line[1:].strip()
+            chunks = []
+        else:
+            if name is None:
+                raise FastaError("sequence data before first '>' header")
+            chunks.append(line)
+    if name is not None:
+        yield flush()
+
+
+def _open_text(path: str | os.PathLike[str], mode: str):
+    """Open plain or gzip-compressed text transparently (by magic bytes
+    when reading, by ``.gz`` suffix when writing)."""
+    import gzip
+
+    if "r" in mode:
+        with open(path, "rb") as probe:
+            magic = probe.read(2)
+        if magic == b"\x1f\x8b":
+            return gzip.open(path, "rt", encoding="ascii")
+        return open(path, "r", encoding="ascii")
+    if str(path).endswith(".gz"):
+        return gzip.open(path, "wt", encoding="ascii")
+    return open(path, "w", encoding="ascii")
+
+
+def read_fasta(path: str | os.PathLike[str]) -> list[FastaRecord]:
+    """Read all records from a FASTA file (gzip detected automatically)."""
+    with _open_text(path, "r") as fh:
+        return list(parse_fasta(fh))
+
+
+def write_fasta(
+    path: str | os.PathLike[str] | io.TextIOBase,
+    records: Iterable[FastaRecord | tuple[str, np.ndarray]],
+    width: int = 70,
+) -> None:
+    """Write records to ``path`` (or an open text stream), wrapping at
+    ``width``; a ``.gz`` suffix selects gzip compression."""
+    own = not hasattr(path, "write")
+    fh = _open_text(path, "w") if own else path  # type: ignore[arg-type]
+    try:
+        for rec in records:
+            if isinstance(rec, tuple):
+                rec = FastaRecord(rec[0], encode(rec[1]))
+            fh.write(f">{rec.name}\n")
+            text = rec.text
+            for i in range(0, len(text), width):
+                fh.write(text[i : i + width] + "\n")
+    finally:
+        if own:
+            fh.close()

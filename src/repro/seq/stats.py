@@ -1,0 +1,113 @@
+"""Sequence composition statistics.
+
+Used to sanity-check synthetic genomes against the real-DNA assumptions the
+alignment statistics rely on (near-uniform composition, no long repeats),
+and generally useful to library users inspecting their inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .alphabet import ALPHABET_SIZE, DNA, encode
+
+
+@dataclass(frozen=True)
+class CompositionStats:
+    """Base composition summary of one sequence."""
+
+    length: int
+    counts: tuple[int, int, int, int]
+
+    @property
+    def frequencies(self) -> tuple[float, ...]:
+        if self.length == 0:
+            return (0.0,) * ALPHABET_SIZE
+        return tuple(c / self.length for c in self.counts)
+
+    @property
+    def gc_content(self) -> float:
+        """Fraction of G and C bases."""
+        if self.length == 0:
+            return 0.0
+        return (self.counts[1] + self.counts[2]) / self.length
+
+    @property
+    def entropy(self) -> float:
+        """Shannon entropy in bits per base (2.0 for uniform DNA)."""
+        total = 0.0
+        for f in self.frequencies:
+            if f > 0:
+                total -= f * math.log2(f)
+        return total
+
+    def __str__(self) -> str:
+        freqs = ", ".join(
+            f"{base}={f:.1%}" for base, f in zip(DNA, self.frequencies)
+        )
+        return (
+            f"{self.length} BP ({freqs}); GC {self.gc_content:.1%}, "
+            f"entropy {self.entropy:.3f} bits/base"
+        )
+
+
+def composition(seq) -> CompositionStats:
+    """Base counts / GC / entropy of a sequence."""
+    codes = encode(seq)
+    counts = np.bincount(codes, minlength=ALPHABET_SIZE)
+    return CompositionStats(length=len(codes), counts=tuple(int(c) for c in counts))
+
+
+def kmer_spectrum(seq, k: int) -> dict[str, int]:
+    """Counts of every occurring k-mer (text keys, for inspection)."""
+    from ..blast.index import kmer_ids
+
+    codes = encode(seq)
+    ids = kmer_ids(codes, k)
+    spectrum: dict[str, int] = {}
+    if ids.size == 0:
+        return spectrum
+    unique, counts = np.unique(ids, return_counts=True)
+    weights = ALPHABET_SIZE ** np.arange(k - 1, -1, -1, dtype=np.int64)
+    for word_id, count in zip(unique, counts):
+        chars = []
+        rest = int(word_id)
+        for w in weights:
+            chars.append(DNA[rest // int(w)])
+            rest %= int(w)
+        spectrum["".join(chars)] = int(count)
+    return spectrum
+
+
+def longest_shared_kmer(a, b, k_max: int = 31) -> int:
+    """Length of the longest exact substring shared by two sequences.
+
+    Binary search over k using the word index; the workhorse behind
+    checking that "unrelated" random backgrounds contain no accidental
+    long repeats that would confound region-recovery tests.
+    """
+    from ..blast.index import WordIndex
+
+    a = encode(a)
+    b = encode(b)
+    lo, hi = 0, min(len(a), len(b), k_max, 31)  # 31: int64 packing limit
+
+    def shared(k: int) -> bool:
+        if k == 0:
+            return True
+        if k > min(len(a), len(b)):
+            return False
+        index = WordIndex(b, word_size=k)
+        q_pos, _ = index.seed_hits(a)
+        return q_pos.size > 0
+
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if shared(mid):
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo

@@ -1,0 +1,50 @@
+"""Discrete-event cluster-of-workstations simulator.
+
+The virtual testbed standing in for the paper's 8-node Pentium II cluster:
+an event engine (:mod:`engine`), synchronization primitives
+(:mod:`resources`), a switched-Ethernet model (:mod:`network`), an NFS disk
+model (:mod:`disk`), per-node statistics (:mod:`stats`) and the calibrated
+cost constants (:mod:`costmodel`).
+"""
+
+from .costmodel import DEFAULT_COST_MODEL, CostModel
+from .disk import DiskParams, NfsDisk
+from .engine import (
+    Delay,
+    Event,
+    Process,
+    SimulationError,
+    Simulator,
+    communicate,
+    compute,
+)
+from .network import Network, NetworkParams
+from .resources import SimBarrier, SimCondition, SimLock
+from .trace import Timeline, TraceSlice
+from .stats import CATEGORIES, ClusterStats, NodeStats, PhaseTimes, TimeBreakdown
+
+__all__ = [
+    "CATEGORIES",
+    "DEFAULT_COST_MODEL",
+    "ClusterStats",
+    "CostModel",
+    "Delay",
+    "DiskParams",
+    "Event",
+    "Network",
+    "NetworkParams",
+    "NfsDisk",
+    "NodeStats",
+    "PhaseTimes",
+    "Process",
+    "SimBarrier",
+    "SimCondition",
+    "SimLock",
+    "SimulationError",
+    "Simulator",
+    "TimeBreakdown",
+    "Timeline",
+    "TraceSlice",
+    "communicate",
+    "compute",
+]

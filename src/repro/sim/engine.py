@@ -1,0 +1,189 @@
+"""Generator-coroutine discrete-event simulation engine.
+
+The paper's evaluation platform is a dedicated cluster of eight Pentium II
+350 MHz workstations on switched 100 Mbps Ethernet.  Offline we replay the
+parallel strategies against a virtual clock: each cluster node is a Python
+generator that *actually executes* the alignment kernels on real data while
+yielding :class:`Delay` and :class:`Event` commands that advance simulated
+time.  Virtual time stands in for the paper's wall-clock measurements (see
+DESIGN.md, "Substitutions").
+
+The engine is deliberately minimal -- a binary heap of (time, sequence,
+process) entries and one-shot events -- because determinism matters more
+than features: two runs with the same inputs must produce byte-identical
+timings for the benchmark harness to be reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable
+
+#: Type of the generators that implement simulated processes.
+ProcessBody = Generator[Any, Any, Any]
+
+
+class SimulationError(RuntimeError):
+    """Raised for protocol misuse (bad yields, deadlock, double trigger)."""
+
+
+class Delay:
+    """Command: advance this process's clock by ``duration`` seconds.
+
+    ``category`` labels the time for the Fig. 10-style breakdown; the process
+    owner's :class:`repro.sim.stats.TimeBreakdown` is charged on resume.
+    """
+
+    __slots__ = ("duration", "category")
+
+    def __init__(self, duration: float, category: str | None = None) -> None:
+        if duration < 0:
+            raise ValueError("negative delay")
+        self.duration = duration
+        self.category = category
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Delay({self.duration:.6g}, {self.category!r})"
+
+
+class Event:
+    """One-shot event processes can wait on; carries an optional value."""
+
+    __slots__ = ("sim", "triggered", "value", "_waiters")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: list[Process] = []
+
+    def trigger(self, value: Any = None) -> None:
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        self.triggered = True
+        self.value = value
+        for proc in self._waiters:
+            self.sim._resume(proc, value)
+        self._waiters.clear()
+
+    def _subscribe(self, proc: "Process") -> None:
+        if self.triggered:
+            self.sim._resume(proc, self.value)
+        else:
+            self._waiters.append(proc)
+
+
+class Process:
+    """A running simulated process wrapping a generator body."""
+
+    def __init__(self, sim: "Simulator", body: ProcessBody, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self._body = body
+        self.done = Event(sim)
+        self.result: Any = None
+        self.failed: BaseException | None = None
+
+    def _step(self, value: Any) -> None:
+        sim = self.sim
+        sim.active = self
+        try:
+            command = self._body.send(value)
+        except StopIteration as stop:
+            self.result = stop.value
+            self.done.trigger(stop.value)
+            return
+        except BaseException as exc:
+            self.failed = exc
+            raise
+        finally:
+            sim.active = None
+        if isinstance(command, Delay):
+            if command.category is not None and self in sim._breakdowns:
+                sim._breakdowns[self].add(command.category, command.duration)
+            if sim.timeline is not None:
+                sim.timeline.record(
+                    self.name, command.category or "delay", sim.now, command.duration
+                )
+            sim._schedule(command.duration, self, None)
+        elif isinstance(command, Event):
+            command._subscribe(self)
+        elif isinstance(command, (int, float)):
+            sim._schedule(float(command), self, None)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded {command!r}; expected a Delay, "
+                "an Event, or a number of seconds"
+            )
+
+
+class Simulator:
+    """The event loop: spawn processes, run, read the virtual clock."""
+
+    def __init__(self, timeline=None) -> None:
+        self.now: float = 0.0
+        self.active: Process | None = None
+        self.timeline = timeline  # optional repro.sim.trace.Timeline
+        self._heap: list[tuple[float, int, Process, Any]] = []
+        self._seq = 0
+        self._breakdowns: dict[Process, Any] = {}
+
+    def spawn(self, body: ProcessBody, name: str = "proc", breakdown=None) -> Process:
+        """Create a process from a generator and schedule it immediately.
+
+        ``breakdown`` (a :class:`repro.sim.stats.TimeBreakdown`) receives the
+        categorised time of every labelled :class:`Delay` the process yields.
+        """
+        proc = Process(self, body, name)
+        if breakdown is not None:
+            self._breakdowns[proc] = breakdown
+        self._schedule(0.0, proc, None)
+        return proc
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def _schedule(self, delay: float, proc: Process, value: Any) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, proc, value))
+
+    def _resume(self, proc: Process, value: Any) -> None:
+        self._schedule(0.0, proc, value)
+
+    def run(self, until: float | None = None) -> float:
+        """Drive the event loop until quiescence (or the ``until`` horizon).
+
+        Returns the final virtual time.
+        """
+        while self._heap:
+            time, _, proc, value = self._heap[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = time
+            proc._step(value)
+        return self.now
+
+    def run_all(self, processes: Iterable[Process]) -> float:
+        """Run until every listed process has finished.
+
+        Raises :class:`SimulationError` if the event queue drains while some
+        process is still alive -- a deadlock in the simulated protocol.
+        """
+        processes = list(processes)
+        self.run()
+        stuck = [p.name for p in processes if not p.done.triggered]
+        if stuck:
+            raise SimulationError(f"deadlock: processes never finished: {stuck}")
+        return self.now
+
+
+def compute(seconds: float) -> Delay:
+    """A :class:`Delay` labelled as computation (Fig. 10 category)."""
+    return Delay(seconds, "computation")
+
+
+def communicate(seconds: float) -> Delay:
+    """A :class:`Delay` labelled as communication."""
+    return Delay(seconds, "communication")

@@ -1,0 +1,99 @@
+"""Synchronization primitives for simulated processes.
+
+These are the *mechanics* (who blocks, who wakes, in what order); the DSM
+layer (:mod:`repro.dsm`) wraps them with the JIAJIA message costs.  All
+primitives are FIFO and deterministic.
+
+Usage from a process body::
+
+    yield from lock.acquire()
+    ...critical section...
+    lock.release()
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generator
+
+from .engine import Event, SimulationError, Simulator
+
+
+class SimLock:
+    """FIFO mutual-exclusion lock with direct handoff."""
+
+    def __init__(self, sim: Simulator, name: str = "lock") -> None:
+        self.sim = sim
+        self.name = name
+        self.locked = False
+        self._queue: deque[Event] = deque()
+
+    def acquire(self) -> Generator:
+        if not self.locked:
+            self.locked = True
+            return
+        event = self.sim.event()
+        self._queue.append(event)
+        yield event  # resumed already holding the lock (direct handoff)
+
+    def release(self) -> None:
+        if not self.locked:
+            raise SimulationError(f"release of unlocked {self.name!r}")
+        if self._queue:
+            self._queue.popleft().trigger()
+        else:
+            self.locked = False
+
+
+class SimCondition:
+    """Condition variable with signal memory (a counting permit).
+
+    JIAJIA's ``jia_setcv`` / ``jia_waitcv`` pair is used by the wave-front
+    strategy as a producer/consumer handshake; a plain POSIX condition
+    variable would lose a signal that arrives before the consumer waits and
+    deadlock the pipeline, so signals accumulate as permits.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "cv") -> None:
+        self.sim = sim
+        self.name = name
+        self.permits = 0
+        self._waiters: deque[Event] = deque()
+
+    def signal(self) -> None:
+        """jia_setcv: wake one waiter, or bank a permit."""
+        if self._waiters:
+            self._waiters.popleft().trigger()
+        else:
+            self.permits += 1
+
+    def wait(self) -> Generator:
+        """jia_waitcv: consume a permit or block until one arrives."""
+        if self.permits > 0:
+            self.permits -= 1
+            return
+        event = self.sim.event()
+        self._waiters.append(event)
+        yield event
+
+
+class SimBarrier:
+    """Reusable n-party barrier."""
+
+    def __init__(self, sim: Simulator, parties: int, name: str = "barrier") -> None:
+        if parties <= 0:
+            raise ValueError("parties must be positive")
+        self.sim = sim
+        self.parties = parties
+        self.name = name
+        self._arrived = 0
+        self._event = sim.event()
+
+    def arrive(self) -> Generator:
+        self._arrived += 1
+        if self._arrived == self.parties:
+            event, self._event = self._event, self.sim.event()
+            self._arrived = 0
+            event.trigger()
+            return
+        yield self._event

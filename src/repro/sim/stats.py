@@ -1,0 +1,117 @@
+"""Per-node time accounting for the Fig. 10-style execution breakdown.
+
+The paper reports, per experiment, the relative time each node spends in
+computation, communication, lock + condition variable, and barrier
+(Fig. 10), plus the init/core/term phase times of Section 5.1.  Every
+simulated primitive in this repository charges its virtual time to exactly
+one of these categories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: The four categories of Fig. 10.
+CATEGORIES = ("computation", "communication", "lock_cv", "barrier")
+
+
+@dataclass
+class TimeBreakdown:
+    """Seconds of virtual time per category."""
+
+    computation: float = 0.0
+    communication: float = 0.0
+    lock_cv: float = 0.0
+    barrier: float = 0.0
+    idle: float = 0.0  # time blocked waiting on a peer's data (pipeline stalls)
+
+    def add(self, category: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("negative time")
+        if category == "lock+cv":
+            category = "lock_cv"
+        if not hasattr(self, category):
+            raise KeyError(f"unknown category {category!r}")
+        setattr(self, category, getattr(self, category) + seconds)
+
+    @property
+    def total(self) -> float:
+        return self.computation + self.communication + self.lock_cv + self.barrier + self.idle
+
+    def fractions(self) -> dict[str, float]:
+        """Relative shares as plotted in Fig. 10 (idle folded into lock_cv,
+        which is where a waiting JIAJIA process spends it)."""
+        merged = {
+            "computation": self.computation,
+            "communication": self.communication,
+            "lock_cv": self.lock_cv + self.idle,
+            "barrier": self.barrier,
+        }
+        total = sum(merged.values())
+        if total == 0:
+            return {k: 0.0 for k in merged}
+        return {k: v / total for k, v in merged.items()}
+
+    def merge(self, other: "TimeBreakdown") -> None:
+        self.computation += other.computation
+        self.communication += other.communication
+        self.lock_cv += other.lock_cv
+        self.barrier += other.barrier
+        self.idle += other.idle
+
+
+@dataclass
+class NodeStats:
+    """Everything one simulated workstation records during a run."""
+
+    node_id: int
+    breakdown: TimeBreakdown = field(default_factory=TimeBreakdown)
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    page_faults: int = 0
+    diffs_sent: int = 0
+    lock_acquires: int = 0
+    barrier_waits: int = 0
+    cv_signals: int = 0
+    cv_waits: int = 0
+    disk_bytes_written: int = 0
+    cells_computed: int = 0
+    homes_migrated: int = 0
+
+    def record_message(self, nbytes: int) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+
+
+@dataclass
+class PhaseTimes:
+    """The Section 5.1 phase decomposition: init / core / term."""
+
+    init: float = 0.0
+    core: float = 0.0
+    term: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.init + self.core + self.term
+
+
+@dataclass
+class ClusterStats:
+    """Aggregate of a whole simulated run."""
+
+    nodes: list[NodeStats]
+    phases: PhaseTimes = field(default_factory=PhaseTimes)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    def aggregate_breakdown(self) -> TimeBreakdown:
+        out = TimeBreakdown()
+        for node in self.nodes:
+            out.merge(node.breakdown)
+        return out
+
+    def total_cells(self) -> int:
+        return sum(node.cells_computed for node in self.nodes)

@@ -1,0 +1,88 @@
+"""Execution timelines for simulated runs.
+
+Attach a :class:`Timeline` to a :class:`repro.sim.engine.Simulator` and
+every ``Delay`` a process executes becomes a timeline slice.  The result
+can be inspected programmatically (utilisation, per-category occupancy) or
+exported as a Chrome-trace JSON (`chrome://tracing` / Perfetto) -- the
+practical way to *see* the wave-front pipeline fill and drain.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TraceSlice:
+    """One timed interval of one process."""
+
+    process: str
+    category: str
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass
+class Timeline:
+    """An append-only list of slices with analysis helpers."""
+
+    slices: list[TraceSlice] = field(default_factory=list)
+
+    def record(self, process: str, category: str, start: float, duration: float) -> None:
+        if duration < 0:
+            raise ValueError("negative duration")
+        if duration > 0:
+            self.slices.append(TraceSlice(process, category, start, duration))
+
+    def __len__(self) -> int:
+        return len(self.slices)
+
+    @property
+    def span(self) -> float:
+        """Total simulated time covered (max end over all slices)."""
+        return max((s.end for s in self.slices), default=0.0)
+
+    def processes(self) -> list[str]:
+        return sorted({s.process for s in self.slices})
+
+    def busy_time(self, process: str, category: str | None = None) -> float:
+        """Total sliced time of one process (optionally one category)."""
+        return sum(
+            s.duration
+            for s in self.slices
+            if s.process == process and (category is None or s.category == category)
+        )
+
+    def utilization(self, process: str, category: str = "computation") -> float:
+        """Fraction of the run this process spent in ``category``."""
+        span = self.span
+        return self.busy_time(process, category) / span if span else 0.0
+
+    def to_chrome_trace(self) -> list[dict]:
+        """Chrome-trace "complete" events (microsecond timestamps)."""
+        events = []
+        pids = {name: i + 1 for i, name in enumerate(self.processes())}
+        for s in self.slices:
+            events.append(
+                {
+                    "name": s.category,
+                    "cat": s.category,
+                    "ph": "X",
+                    "ts": s.start * 1e6,
+                    "dur": s.duration * 1e6,
+                    "pid": pids[s.process],
+                    "tid": 1,
+                    "args": {"process": s.process},
+                }
+            )
+        return events
+
+    def write_chrome_trace(self, path: str | os.PathLike[str]) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump({"traceEvents": self.to_chrome_trace()}, fh)

@@ -1,0 +1,78 @@
+"""The paper's parallel strategies on the simulated DSM cluster."""
+
+from .base import RegionSettings, ScaledWorkload, StrategyResult
+from .blocked import BlockedConfig, compute_tile, run_blocked, serial_blocked_time
+from .partition import (
+    Tiling,
+    balanced_band_size,
+    band_heights,
+    bounds_from_heights,
+    chunk_widths,
+    column_partition,
+    explicit_tiling,
+    split_even,
+    tiling_from_multiplier,
+)
+from .column_store import ColumnStore, restart_band_from_store, save_preprocess_columns
+from .hetero import HeteroConfig, SubCluster, hetero_serial_time, run_hetero
+from .phase2 import Phase2Config, run_phase2, serial_phase2_time
+from .preprocess import (
+    BAND_SCHEMES,
+    IO_MODES,
+    PreprocessConfig,
+    run_preprocess,
+    serial_preprocess_time,
+)
+from .retrieval import InterestingRegion, interesting_regions, retrieve_alignments
+from .tuning import TuningResult, tune_blocking
+from .runner import STRATEGIES, PipelineResult, run_phase1, run_pipeline
+from .wavefront import WavefrontConfig, run_wavefront, serial_wavefront_time
+from .wavefront_exact import ExactWavefrontConfig, exact_wavefront_alignments
+
+__all__ = [
+    "BAND_SCHEMES",
+    "BlockedConfig",
+    "ColumnStore",
+    "ExactWavefrontConfig",
+    "HeteroConfig",
+    "IO_MODES",
+    "InterestingRegion",
+    "Phase2Config",
+    "PipelineResult",
+    "PreprocessConfig",
+    "RegionSettings",
+    "STRATEGIES",
+    "ScaledWorkload",
+    "StrategyResult",
+    "SubCluster",
+    "Tiling",
+    "TuningResult",
+    "WavefrontConfig",
+    "balanced_band_size",
+    "band_heights",
+    "bounds_from_heights",
+    "chunk_widths",
+    "column_partition",
+    "compute_tile",
+    "exact_wavefront_alignments",
+    "explicit_tiling",
+    "hetero_serial_time",
+    "interesting_regions",
+    "run_blocked",
+    "run_hetero",
+    "run_phase1",
+    "run_phase2",
+    "run_pipeline",
+    "run_preprocess",
+    "retrieve_alignments",
+    "restart_band_from_store",
+    "run_wavefront",
+    "save_preprocess_columns",
+    "serial_blocked_time",
+    "serial_phase2_time",
+    "serial_preprocess_time",
+    "serial_wavefront_time",
+    "split_even",
+    "tiling_from_multiplier",
+    "tune_blocking",
+]

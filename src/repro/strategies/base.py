@@ -1,0 +1,126 @@
+"""Shared infrastructure of the three parallel strategies.
+
+Workload scaling
+----------------
+The paper's largest experiment fills a 400k x 400k similarity matrix --
+1.6*10^11 cells, days of compute even for vectorized kernels.  The simulated
+strategies therefore accept a :class:`ScaledWorkload`: the kernels run on
+*actual* sequences of ``n`` bases while the virtual clock is charged as if
+each actual row were ``scale`` nominal rows (and each cell ``scale**2``
+nominal cells).  ``scale=1`` (tests, examples) is exact simulation; the
+benchmarks use the scale factors recorded per experiment in EXPERIMENTS.md.
+The aggregation is faithful for pipeline timing because steady-state
+throughput depends only on per-stage totals, and fill/drain distortion is
+O(scale * P / n_nominal) (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.alignment import LocalAlignment
+from ..core.regions import RegionConfig
+from ..core.scoring import DEFAULT_SCORING, Scoring
+from ..seq.alphabet import encode
+from ..sim.stats import ClusterStats, PhaseTimes
+
+
+@dataclass
+class ScaledWorkload:
+    """A sequence pair plus the nominal-size scaling factor."""
+
+    s: np.ndarray
+    t: np.ndarray
+    scale: int = 1
+    scoring: Scoring = DEFAULT_SCORING
+
+    def __post_init__(self) -> None:
+        self.s = encode(self.s)
+        self.t = encode(self.t)
+        if self.scale < 1:
+            raise ValueError("scale must be >= 1")
+        if len(self.s) == 0 or len(self.t) == 0:
+            raise ValueError("sequences must be non-empty")
+
+    @property
+    def rows(self) -> int:
+        return len(self.s)
+
+    @property
+    def cols(self) -> int:
+        return len(self.t)
+
+    @property
+    def nominal_rows(self) -> int:
+        return self.rows * self.scale
+
+    @property
+    def nominal_cols(self) -> int:
+        return self.cols * self.scale
+
+    @property
+    def nominal_cells(self) -> int:
+        return self.nominal_rows * self.nominal_cols
+
+    def scale_alignment(self, alignment: LocalAlignment) -> LocalAlignment:
+        """Project an actual-coordinate alignment into nominal coordinates."""
+        if self.scale == 1:
+            return alignment
+        return LocalAlignment(
+            score=alignment.score,
+            s_start=alignment.s_start * self.scale,
+            s_end=alignment.s_end * self.scale,
+            t_start=alignment.t_start * self.scale,
+            t_end=alignment.t_end * self.scale,
+        )
+
+
+@dataclass
+class StrategyResult:
+    """What one simulated run produces: times, breakdowns, and alignments."""
+
+    name: str
+    n_procs: int
+    nominal_size: tuple[int, int]
+    total_time: float
+    phases: PhaseTimes
+    stats: ClusterStats
+    alignments: list[LocalAlignment] = field(default_factory=list)
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def core_time(self) -> float:
+        return self.phases.core
+
+    def speedup_against(self, serial: "StrategyResult | float") -> float:
+        """Absolute speed-up "calculated considering the total execution
+        times and thus include time for initialization and collecting
+        results" (Section 4.2.1)."""
+        serial_time = serial if isinstance(serial, (int, float)) else serial.total_time
+        if self.total_time <= 0:
+            raise ValueError("non-positive total time")
+        return serial_time / self.total_time
+
+
+@dataclass(frozen=True)
+class RegionSettings:
+    """How phase 1 turns DP rows into queue entries at cluster scale."""
+
+    threshold: int = 35
+    col_tolerance: int = 16
+    row_tolerance: int = 16
+    min_score: int | None = None  # queue admission; defaults to threshold
+    overlap_slack: int = 8
+
+    def region_config(self) -> RegionConfig:
+        return RegionConfig(
+            threshold=self.threshold,
+            col_tolerance=self.col_tolerance,
+            row_tolerance=self.row_tolerance,
+        )
+
+    @property
+    def admission_score(self) -> int:
+        return self.threshold if self.min_score is None else self.min_score

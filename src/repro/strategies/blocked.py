@@ -1,0 +1,225 @@
+"""Strategy 2 (Section 4.3): wave-front with blocking factors.
+
+The similarity matrix is tiled into *bands* (row groups) x *blocks* (column
+groups); band b belongs to processor b mod P, and the bottom row of every
+block is sent to the next processor in one communication ("it is worth
+investigating whether the communication time can be reduced by grouping
+many values from the border column into one single communication").
+
+Unlike strategy 1 there is no read-acknowledge handshake: the passage
+structure buffers a whole band boundary, so a producer can run ahead of its
+consumer and the per-block costs overlap with computation.  What limits
+speed-up instead is pipeline fill/drain -- with a 1x1 blocking multiplier
+each block is n/P columns wide and n/P rows tall, and processors idle for
+most of the run (Table 3's 732 s vs 363 s at 5x5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.alignment import AlignmentQueue
+from ..core.kernels import SCORE_DTYPE, sw_row_slice
+from ..core.regions import Region, StreamingRegionFinder
+from ..core.scoring import Scoring
+from ..dsm.jiajia import JiaJia
+from ..sim.costmodel import DEFAULT_COST_MODEL, CostModel
+from ..sim.engine import Delay, Simulator
+from ..sim.stats import PhaseTimes
+from .base import RegionSettings, ScaledWorkload, StrategyResult
+from .partition import Tiling, explicit_tiling, tiling_from_multiplier
+
+
+@dataclass(frozen=True)
+class BlockedConfig:
+    """Run parameters of the blocked strategy."""
+
+    n_procs: int = 8
+    multiplier: tuple[int, int] = (5, 5)
+    n_bands: int | None = None  # explicit override (Table 4's 40 x 25)
+    n_blocks: int | None = None
+    regions: RegionSettings = RegionSettings()
+
+    def __post_init__(self) -> None:
+        if self.n_procs <= 0:
+            raise ValueError("n_procs must be positive")
+        if (self.n_bands is None) != (self.n_blocks is None):
+            raise ValueError("set both n_bands and n_blocks, or neither")
+
+    def tiling(self, rows: int, cols: int) -> Tiling:
+        if self.n_bands is not None:
+            return explicit_tiling(rows, cols, self.n_bands, self.n_blocks)
+        return tiling_from_multiplier(rows, cols, self.n_procs, self.multiplier)
+
+
+def compute_tile(
+    top: np.ndarray,
+    left_col: np.ndarray,
+    s_band: np.ndarray,
+    t_block: np.ndarray,
+    scoring: Scoring,
+) -> np.ndarray:
+    """DP over one (band x block) tile given its top row and left column.
+
+    ``top`` has length ``w + 1``: ``top[0]`` is the diagonal corner
+    ``H[r0-1, c0-1]`` and ``top[1:]`` the previous band's bottom row over
+    this block's columns.  ``left_col[r] = H[r0+r, c0-1]`` comes from the
+    block to the left (zeros at the matrix edge).  Returns the full tile
+    including the left border column (shape ``h x (w+1)``).
+    """
+    h, w = len(s_band), len(t_block)
+    tile = np.empty((h, w + 1), dtype=SCORE_DTYPE)
+    prev = top
+    for r in range(h):
+        prev = sw_row_slice(prev, int(s_band[r]), t_block, int(left_col[r]), scoring)
+        tile[r] = prev
+    return tile
+
+
+def _cv_block(band: int, block: int, n_blocks: int) -> int:
+    return 1000 + band * n_blocks + block
+
+
+def _band_lock(band: int) -> int:
+    return 500 + band
+
+
+def run_blocked(
+    workload: ScaledWorkload,
+    config: BlockedConfig | None = None,
+    cost: CostModel = DEFAULT_COST_MODEL,
+    timeline=None,
+) -> StrategyResult:
+    """Simulate one blocked run; returns timings and found alignments."""
+    config = config or BlockedConfig()
+    n_procs = config.n_procs
+    tiling = config.tiling(workload.rows, workload.cols)
+    n_bands, n_blocks = tiling.n_bands, tiling.n_blocks
+    scale = workload.scale
+    scoring = workload.scoring
+
+    sim = Simulator(timeline)
+    dsm = JiaJia(sim, n_procs, cost)
+
+    # One passage region per band boundary, homed at the consumer so that
+    # the producer's writes are what the release diffs (Section 5's "only a
+    # limited amount of the similar array should be shared" applies to
+    # strategy 2 as well: only boundary rows live in DSM).
+    border_bytes = cost.border_bytes_per_cell
+    passage = [
+        dsm.alloc(
+            (workload.nominal_cols + 1) * border_bytes,
+            f"passage-{b}",
+            home=tiling.band_owner(b + 1, n_procs) if b + 1 < n_bands else 0,
+        )
+        for b in range(n_bands)
+    ]
+
+    # Actual boundary rows (full width, DP indexing) between bands.
+    boundaries = [np.zeros(workload.cols + 1, dtype=SCORE_DTYPE) for _ in range(n_bands + 1)]
+    queues = [AlignmentQueue() for _ in range(n_procs)]
+    marks: dict[str, float] = {}
+
+    def node(p: int):
+        yield Delay(cost.node_startup_time)
+        yield from dsm.barrier(p)
+        if p == 0:
+            marks["core_start"] = sim.now
+
+        for band in range(n_bands):
+            if tiling.band_owner(band, n_procs) != p:
+                continue
+            r0, r1 = tiling.row_bounds[band]
+            h = r1 - r0
+            s_band = workload.s[r0:r1]
+            band_rows = np.zeros((h, workload.cols + 1), dtype=SCORE_DTYPE)
+            left_col = np.zeros(h, dtype=SCORE_DTYPE)
+            for block in range(n_blocks):
+                c0, c1 = tiling.col_bounds[block]
+                w = c1 - c0
+                if band > 0:
+                    yield from dsm.waitcv(p, _cv_block(band - 1, block, n_blocks))
+                    # passage pages are home-local to this consumer: the
+                    # producer's diffs already delivered the data.
+                if w == 0 or h == 0:
+                    continue
+                top = boundaries[band][c0 : c1 + 1].copy()
+                tile = compute_tile(top, left_col, s_band, workload.t[c0:c1], scoring)
+                band_rows[:, c0 + 1 : c1 + 1] = tile[:, 1:]
+                left_col = tile[:, -1].copy()
+                cells = h * w
+                yield from dsm.compute(
+                    p,
+                    cells * scale * scale * cost.blocked_cell_time,
+                    cells=cells * scale * scale,
+                )
+                # publish the block's bottom row through the passage band
+                boundaries[band + 1][c0 + 1 : c1 + 1] = tile[-1, 1:]
+                if band + 1 < n_bands:
+                    dsm.write(
+                        p,
+                        passage[band],
+                        c0 * scale * border_bytes,
+                        w * scale * border_bytes,
+                    )
+                    yield from dsm.lock(p, _band_lock(band))
+                    yield from dsm.unlock(p, _band_lock(band))
+                    yield from dsm.setcv(p, _cv_block(band, block, n_blocks))
+            # phase-1 candidate detection over the finished band
+            if h:
+                finder = StreamingRegionFinder(config.regions.region_config())
+                for r in range(h):
+                    finder.feed(r0 + r + 1, band_rows[r])
+                for region in finder.finish():
+                    queues[p].push(workload.scale_alignment(region.as_alignment()))
+
+        yield from dsm.barrier(p)
+        if p == 0:
+            marks["core_end"] = sim.now
+        if p != 0:
+            n_found = len(queues[p])
+            gather = cost.message_time(64 + 32 * n_found)
+            dsm.stats[p].record_message(64 + 32 * n_found)
+            dsm.stats[p].breakdown.add("communication", gather)
+            yield Delay(gather)
+        yield Delay(cost.node_teardown_time)
+        yield from dsm.barrier(p)
+
+    procs = [sim.spawn(node(p), name=f"node{p}") for p in range(n_procs)]
+    sim.run_all(procs)
+
+    merged = AlignmentQueue()
+    for q in queues:
+        merged.merge(q)
+    alignments = merged.finalize(
+        min_score=config.regions.admission_score,
+        overlap_slack=config.regions.overlap_slack * scale,
+        merge=True,
+    )
+
+    core_start = marks.get("core_start", 0.0)
+    core_end = marks.get("core_end", sim.now)
+    phases = PhaseTimes(
+        init=core_start, core=core_end - core_start, term=sim.now - core_end
+    )
+    return StrategyResult(
+        name="heuristic_block",
+        n_procs=n_procs,
+        nominal_size=(workload.nominal_rows, workload.nominal_cols),
+        total_time=sim.now,
+        phases=phases,
+        stats=dsm.cluster_stats(),
+        alignments=alignments,
+        extras={"n_bands": n_bands, "n_blocks": n_blocks},
+    )
+
+
+def serial_blocked_time(workload: ScaledWorkload, cost: CostModel = DEFAULT_COST_MODEL) -> float:
+    """Virtual time of the sequential blocked-kernel run (Table 4 'Serial')."""
+    return (
+        cost.node_startup_time
+        + workload.nominal_cells * cost.blocked_cell_time
+        + cost.node_teardown_time
+    )

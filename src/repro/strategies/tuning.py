@@ -1,0 +1,111 @@
+"""Auto-tuning the blocked strategy's decomposition.
+
+Table 3 shows the blocked strategy is "very sensitive to a variation on
+the block and band sizes", and the paper picks 5x5 by manual sweep.  This
+module automates the sweep: candidate multipliers are evaluated on the
+calibrated simulator against a *miniature* of the real workload (the
+simulator is scale-invariant, so a small actual sequence at the target
+nominal size prices each candidate in milliseconds) and the best one is
+returned.  This is the "auto-tune before the long run" workflow a
+production user of the library would actually follow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sim.costmodel import DEFAULT_COST_MODEL, CostModel
+from .base import ScaledWorkload
+from .blocked import BlockedConfig, run_blocked
+
+#: The paper's Table 3 sweep, plus asymmetric candidates.
+DEFAULT_CANDIDATES = (
+    (1, 1), (2, 2), (3, 3), (4, 4), (5, 5), (6, 6),
+    (3, 5), (5, 3), (2, 8), (8, 2),
+)
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of one auto-tuning sweep."""
+
+    best: tuple[int, int]
+    times: dict
+    n_procs: int
+    nominal_size: tuple[int, int]
+
+    @property
+    def best_time(self) -> float:
+        return self.times[self.best]
+
+    def ranking(self) -> list[tuple[tuple[int, int], float]]:
+        return sorted(self.times.items(), key=lambda kv: kv[1])
+
+    def gain_over(self, multiplier: tuple[int, int]) -> float:
+        """Speed-up of the winner over another candidate (Table 3's
+        'performance gain' column, as a ratio)."""
+        return self.times[multiplier] / self.best_time
+
+
+def miniature_workload(
+    nominal_rows: int,
+    nominal_cols: int,
+    actual: int = 1024,
+    rng: int | np.random.Generator | None = 0,
+) -> ScaledWorkload:
+    """A small random workload whose virtual clock runs at nominal size.
+
+    Requires the nominal sizes to be divisible by the chosen actual size's
+    scale; ``actual`` is shrunk until both scales are integral.
+    """
+    from ..seq.random_dna import random_dna
+
+    if nominal_rows <= 0 or nominal_cols <= 0:
+        raise ValueError("nominal sizes must be positive")
+    actual = min(actual, nominal_rows, nominal_cols)
+    while actual > 1 and (nominal_rows % actual or nominal_cols % actual):
+        actual -= 1
+    scale = nominal_rows // actual
+    if nominal_cols // actual != scale:
+        raise ValueError(
+            "tuning miniatures need square-ish problems "
+            f"(got {nominal_rows} x {nominal_cols})"
+        )
+    gen = np.random.default_rng(rng)
+    return ScaledWorkload(random_dna(actual, gen), random_dna(actual, gen), scale=scale)
+
+
+def tune_blocking(
+    nominal_rows: int,
+    nominal_cols: int,
+    n_procs: int = 8,
+    candidates=DEFAULT_CANDIDATES,
+    cost: CostModel = DEFAULT_COST_MODEL,
+    actual: int = 1024,
+) -> TuningResult:
+    """Price every candidate multiplier on the simulator; return the best.
+
+    Ties break toward the coarser decomposition (fewer messages on the
+    real system for the same predicted time).
+    """
+    if not candidates:
+        raise ValueError("no candidates")
+    workload = miniature_workload(nominal_rows, nominal_cols, actual)
+    times: dict = {}
+    for multiplier in candidates:
+        result = run_blocked(
+            workload, BlockedConfig(n_procs=n_procs, multiplier=multiplier), cost
+        )
+        times[multiplier] = result.total_time
+    best = min(
+        times,
+        key=lambda m: (times[m], m[0] * m[1]),
+    )
+    return TuningResult(
+        best=best,
+        times=times,
+        n_procs=n_procs,
+        nominal_size=(nominal_rows, nominal_cols),
+    )

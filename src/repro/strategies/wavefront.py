@@ -1,0 +1,239 @@
+"""Strategy 1 (Section 4.2): wave-front without blocking factors.
+
+Work is assigned on a column basis -- every processor owns N/P columns of
+the similarity matrix and keeps only two rows of it (writing and reading
+row) in JIAJIA shared memory.  "Each value of the border column is passed
+individually between processors Pi and Pi+1.  Thus, no blocking factors are
+used to group any values": every row triggers, per edge, a lock-protected
+border write, a jia_setcv to the right neighbour, and a read-acknowledge
+jia_setcv back (the paper's "processor 0 waits on a condition variable in
+order to guarantee that the preceding value has already been read").
+
+The simulation executes the real DP kernel on the actual sequences while
+charging the virtual clock per *nominal* row (see
+:class:`repro.strategies.base.ScaledWorkload`).  Rows are aggregated into
+groups of G for event-count economy; all protocol costs are still charged
+once per nominal row via the DSM layer's ``repeat`` arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.alignment import AlignmentQueue
+from ..core.kernels import SCORE_DTYPE, sw_row_slice
+from ..core.regions import Region, StreamingRegionFinder
+from ..dsm.jiajia import JiaJia
+from ..sim.costmodel import DEFAULT_COST_MODEL, CostModel
+from ..sim.engine import Delay, Simulator
+from ..sim.stats import PhaseTimes
+from .base import RegionSettings, ScaledWorkload, StrategyResult
+from .partition import column_partition
+
+
+@dataclass(frozen=True)
+class WavefrontConfig:
+    """Run parameters of the non-blocked strategy."""
+
+    n_procs: int = 8
+    target_groups: int = 1200  # row-aggregation granularity (DES events)
+    regions: RegionSettings = RegionSettings()
+    #: Enable JIAJIA's optional home-migration feature (jia_config).  The
+    #: two shared DP rows are written by the same node forever, so their
+    #: pages migrate to their writers and the per-row diff traffic -- the
+    #: chunk-proportional overhead term -- disappears after a few rows.
+    home_migration: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_procs <= 0:
+            raise ValueError("n_procs must be positive")
+        if self.target_groups <= 0:
+            raise ValueError("target_groups must be positive")
+
+
+def _row_groups(rows: int, target: int) -> list[tuple[int, int]]:
+    group = max(1, rows // target)
+    return [(lo, min(lo + group, rows)) for lo in range(0, rows, group)]
+
+
+# Lock / condition-variable id spaces (one per neighbour edge).
+def _edge_lock(p: int) -> int:
+    return 100 + p
+
+
+def _cv_data(p: int) -> int:
+    return 200 + p  # data-ready, signalled by p to p+1
+
+
+def _cv_ack(p: int) -> int:
+    return 300 + p  # read-acknowledge, signalled by p+1 back to p
+
+
+def run_wavefront(
+    workload: ScaledWorkload,
+    config: WavefrontConfig | None = None,
+    cost: CostModel = DEFAULT_COST_MODEL,
+    timeline=None,
+) -> StrategyResult:
+    """Simulate one non-blocked run; returns timings and found alignments."""
+    config = config or WavefrontConfig()
+    n_procs = config.n_procs
+    if workload.cols < n_procs:
+        raise ValueError(
+            f"{workload.cols} columns cannot be split over {n_procs} processors"
+        )
+    sim = Simulator(timeline)
+    dsm = JiaJia(sim, n_procs, cost)
+    if config.home_migration:
+        dsm.config("home_migration", True)
+
+    cols = workload.cols
+    scale = workload.scale
+    slices = column_partition(cols, n_procs)
+    groups = _row_groups(workload.rows, config.target_groups)
+
+    # The two shared DP rows, allocated at nominal size with JIAJIA's
+    # round-robin homes: a processor's row-chunk writes are remote for
+    # (P-1)/P of their pages, which is what the release diffs.
+    bytes_per_cell = cost.shared_bytes_per_cell
+    rows_region = dsm.alloc(
+        2 * (workload.nominal_cols + 1) * bytes_per_cell, "dp-rows"
+    )
+
+    # Actual border values flowing across each edge (left neighbour -> me).
+    borders: list[list[int]] = [[] for _ in range(n_procs)]
+    finders = [
+        StreamingRegionFinder(config.regions.region_config()) for _ in range(n_procs)
+    ]
+    marks: dict[str, float] = {}
+
+    def node(p: int):
+        c0, c1 = slices[p]
+        width = c1 - c0
+        t_slice = workload.t[c0:c1]
+        yield Delay(cost.node_startup_time)
+        yield from dsm.barrier(p)
+        if p == 0:
+            marks["core_start"] = sim.now
+
+        prev = np.zeros(width + 1, dtype=SCORE_DTYPE)
+        consumed = 0  # border values taken from the left edge so far
+        for g, (lo, hi) in enumerate(groups):
+            g_rows = hi - lo
+            g_nominal = g_rows * scale
+            if p > 0 and width:
+                yield from dsm.waitcv(p, _cv_data(p - 1), repeat=g_nominal)
+                yield from dsm.fault(p, pages=1, repeat=g_nominal)
+                yield from dsm.setcv(p, _cv_ack(p - 1), repeat=g_nominal)
+            if width:
+                # real kernel over my slice of rows [lo, hi)
+                incoming = borders[p][consumed : consumed + g_rows] if p > 0 else None
+                for r in range(g_rows):
+                    i = lo + r + 1
+                    left = int(incoming[r]) if incoming is not None else 0
+                    prev = sw_row_slice(
+                        prev, workload.s[lo + r], t_slice, left, workload.scoring
+                    )
+                    finders[p].feed(i, prev)
+                    if p < n_procs - 1:
+                        borders[p + 1].append(int(prev[-1]))
+                consumed += g_rows
+                cells = g_rows * width
+                seconds = cells * scale * scale * cost.heuristic_cell_time
+                yield from dsm.compute(p, seconds, cells=cells * scale * scale)
+                # The writing row chunk is re-dirtied every nominal row.  A
+                # producer flushes it at each per-row release (times = G);
+                # the last processor never releases, so its dirty pages
+                # coalesce until the final barrier flushes only the
+                # last-written content once.
+                if p < n_procs - 1:
+                    dsm.write(
+                        p,
+                        rows_region,
+                        (c0 * scale) * bytes_per_cell,
+                        (c1 - c0) * scale * bytes_per_cell,
+                        times=g_nominal,
+                    )
+                elif g == 0:
+                    dsm.write(
+                        p,
+                        rows_region,
+                        (c0 * scale) * bytes_per_cell,
+                        (c1 - c0) * scale * bytes_per_cell,
+                    )
+            if p < n_procs - 1 and width:
+                yield from dsm.lock(p, _edge_lock(p), repeat=g_nominal)
+                yield from dsm.unlock(p, _edge_lock(p), extra_releases=g_nominal - 1)
+                yield from dsm.setcv(p, _cv_data(p), repeat=g_nominal)
+                # The consumer acks immediately after *reading* (before its
+                # compute), so this wait does not serialise the pipeline;
+                # it is the paper's "guarantee that the preceding value has
+                # already been read".
+                yield from dsm.waitcv(p, _cv_ack(p), repeat=g_nominal)
+        yield from dsm.barrier(p)
+        if p == 0:
+            marks["core_end"] = sim.now
+        # gather: every node ships its queue to node 0
+        if p != 0:
+            n_found = len(finders[p]._finished) + len(finders[p]._active)
+            yield from dsm.compute(p, 0.0)
+            dsm.stats[p].record_message(64 + 32 * n_found)
+            gather = cost.message_time(64 + 32 * n_found)
+            dsm.stats[p].breakdown.add("communication", gather)
+            yield Delay(gather)
+        yield Delay(cost.node_teardown_time)
+        yield from dsm.barrier(p)
+
+    procs = [sim.spawn(node(p), name=f"node{p}") for p in range(n_procs)]
+    sim.run_all(procs)
+
+    queue = AlignmentQueue()
+    for p, finder in enumerate(finders):
+        c0 = slices[p][0]
+        for region in finder.finish():
+            shifted = Region(
+                s_start=region.s_start,
+                s_end=region.s_end,
+                t_start=region.t_start + c0,
+                t_end=region.t_end + c0,
+                score=region.score,
+                peak_i=region.peak_i,
+                peak_j=region.peak_j + c0,
+                n_hits=region.n_hits,
+            )
+            queue.push(workload.scale_alignment(shifted.as_alignment()))
+    alignments = queue.finalize(
+        min_score=config.regions.admission_score,
+        overlap_slack=config.regions.overlap_slack * scale,
+        merge=True,
+    )
+
+    core_start = marks.get("core_start", 0.0)
+    core_end = marks.get("core_end", sim.now)
+    phases = PhaseTimes(
+        init=core_start, core=core_end - core_start, term=sim.now - core_end
+    )
+    return StrategyResult(
+        name="heuristic",
+        n_procs=n_procs,
+        nominal_size=(workload.nominal_rows, workload.nominal_cols),
+        total_time=sim.now,
+        phases=phases,
+        stats=dsm.cluster_stats(),
+        alignments=alignments,
+    )
+
+
+def serial_wavefront_time(workload: ScaledWorkload, cost: CostModel = DEFAULT_COST_MODEL) -> float:
+    """Virtual time of the sequential heuristic run (Table 1's 'Serial').
+
+    The sequential program pays no DSM costs: just the kernel over every
+    cell plus process start/teardown.
+    """
+    return (
+        cost.node_startup_time
+        + workload.nominal_cells * cost.heuristic_cell_time
+        + cost.node_teardown_time
+    )

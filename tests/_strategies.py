@@ -1,0 +1,27 @@
+"""Shared hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core import Scoring
+from repro.seq import encode
+
+
+def dna_text(min_size: int = 0, max_size: int = 64) -> st.SearchStrategy[str]:
+    """Hypothesis strategy for DNA strings."""
+    return st.text(alphabet="ACGT", min_size=min_size, max_size=max_size)
+
+
+def dna_codes(min_size: int = 0, max_size: int = 64):
+    """Hypothesis strategy for encoded DNA arrays."""
+    return dna_text(min_size, max_size).map(encode)
+
+
+#: Strategy over valid scoring schemes (match > mismatch, negative gap).
+scorings = st.builds(
+    Scoring,
+    match=st.integers(1, 5),
+    mismatch=st.integers(-5, 0),
+    gap=st.integers(-6, -1),
+)

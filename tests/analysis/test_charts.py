@@ -1,0 +1,61 @@
+import pytest
+
+from repro.analysis.charts import bar_group, line_chart, speedup_chart
+
+
+class TestLineChart:
+    def test_markers_and_legend(self):
+        out = line_chart({"alpha": [(1, 1), (2, 2)], "beta": [(1, 2), (2, 1)]})
+        assert "a" in out and "b" in out
+        assert "legend: a=alpha  b=beta" in out
+
+    def test_overlap_becomes_star(self):
+        out = line_chart({"x": [(1, 1)], "y": [(1, 1)]})
+        assert "*" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+
+    def test_nonpositive_range_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({"x": [(0, 0)]})
+
+    def test_dimensions(self):
+        out = line_chart({"x": [(4, 4)]}, width=20, height=5)
+        lines = out.split("\n")
+        # header + 5 rows + axis + legend
+        assert len(lines) == 8
+        assert all(len(l) >= 20 for l in lines[1:6])
+
+
+class TestBarGroup:
+    def test_scaling(self):
+        out = bar_group({"a": 10.0, "bb": 5.0}, width=10)
+        lines = out.split("\n")
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_labels_aligned(self):
+        out = bar_group({"a": 1.0, "long": 1.0})
+        for line in out.split("\n"):
+            assert line.index("|") == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_group({})
+
+
+class TestSpeedupChart:
+    def test_includes_ideal_line(self):
+        out = speedup_chart({"50K": [(2, 1.4), (4, 1.9), (8, 2.8)]})
+        assert "i=ideal" in out
+        assert "5=50K" in out
+
+    def test_measured_below_ideal(self):
+        """Visual sanity: the measured marker row sits below ideal at x=8."""
+        out = speedup_chart({"m": [(8, 2.0)]})
+        lines = out.split("\n")[1:-2]
+        ideal_row = next(i for i, l in enumerate(lines) if l.rstrip().endswith("i"))
+        m_row = next(i for i, l in enumerate(lines) if "m" in l)
+        assert m_row > ideal_row  # lower on screen = smaller speed-up

@@ -1,0 +1,80 @@
+"""Experiment-harness plumbing tests (the cheap experiments run for real;
+the heavy ones are covered by the benchmark suite)."""
+
+import pytest
+
+from repro.analysis import ALL_EXPERIMENTS, DEFAULT_PROFILE, FAST_PROFILE, ExperimentReport
+from repro.analysis.experiments import (
+    PAPER_TABLE1,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    _phase2_workload,
+    exp_fig16,
+    exp_sec6,
+)
+
+
+class TestRegistry:
+    def test_all_fourteen_experiments_present(self):
+        expected = {
+            "table1", "fig9", "fig10", "table2", "table3", "table4_fig12",
+            "fig13", "fig14", "fig15", "fig16", "fig18", "fig19", "fig20", "sec6",
+        }
+        assert set(ALL_EXPERIMENTS) == expected
+
+    def test_paper_constants_sane(self):
+        assert PAPER_TABLE1[400][0] == 175295.0
+        assert PAPER_TABLE3[5] == 363.13
+        assert PAPER_TABLE4[50][2] == 2620.64
+
+
+class TestProfiles:
+    def test_profiles_cover_all_sizes(self):
+        for profile in (DEFAULT_PROFILE, FAST_PROFILE):
+            assert set(profile.table1) == {15, 50, 80, 150, 400}
+            assert set(profile.blocked) == {8, 15, 50}
+            assert set(profile.preprocess) == {16, 40, 80}
+
+    def test_nominal_sizes_match_paper(self):
+        for profile in (DEFAULT_PROFILE, FAST_PROFILE):
+            for kbp, (actual, scale) in profile.table1.items():
+                assert actual * scale == kbp * 1000
+
+    def test_workload_builds(self):
+        wl = FAST_PROFILE.workload("blocked", 8)
+        assert wl.nominal_rows == 8000
+
+
+class TestReports:
+    def test_render_contains_rows(self):
+        report = ExperimentReport(
+            ident="x", title="t", headers=["a", "b"], rows=[[1, 2]], notes=["n"]
+        )
+        out = report.render()
+        assert "== x: t ==" in out and "note: n" in out
+
+    def test_sec6_report(self):
+        report = exp_sec6()
+        assert report.ident == "sec6"
+        assert len(report.rows) == 4
+        for row in report.rows:
+            assert 0.25 < row[3] < 0.45
+
+    def test_fig16_report(self):
+        report = exp_fig16()
+        assert report.rows
+        assert all(isinstance(v, str) for v in report.series.values())
+
+
+class TestPhase2Workload:
+    def test_pair_count(self):
+        s, t, regions = _phase2_workload(100)
+        assert len(regions) == 100
+        assert all(r.s_end <= len(s) and r.t_end <= len(t) for r in regions)
+
+    def test_mean_size_shrinks_with_count(self):
+        _, _, few = _phase2_workload(100)
+        _, _, many = _phase2_workload(5000)
+        mean_few = sum(r.size for r in few) / len(few)
+        mean_many = sum(r.size for r in many) / len(many)
+        assert mean_many < mean_few

@@ -1,0 +1,59 @@
+import pytest
+
+from repro.analysis import ExperimentReport, run_and_export, to_csv, to_markdown, write_report
+
+
+@pytest.fixture
+def report():
+    return ExperimentReport(
+        ident="demo",
+        title="A demo table",
+        headers=["name", "value", "paper"],
+        rows=[["a", 1.234, 2.0], ["b", 5678.9, None]],
+        notes=["shape holds"],
+        series={"plot": "+--+\n|##|\n+--+"},
+    )
+
+
+class TestMarkdown:
+    def test_structure(self, report):
+        md = to_markdown(report)
+        assert "### demo: A demo table" in md
+        assert "| name | value | paper |" in md
+        assert "| --- | --- | --- |" in md
+        assert "| a | 1.23 | 2.00 |" in md
+        assert "> shape holds" in md
+
+    def test_series_rendered_as_code_block(self, report):
+        md = to_markdown(report)
+        assert "```  # plot" in md and "|##|" in md
+
+    def test_none_formatted_as_dash(self, report):
+        assert "| 5,679 | - |" in to_markdown(report)
+
+
+class TestCsv:
+    def test_rows(self, report):
+        lines = to_csv(report).strip().split("\r\n")
+        assert lines[0] == "name,value,paper"
+        assert lines[1] == "a,1.23,2.00"
+        assert len(lines) == 3
+
+
+class TestWrite:
+    def test_files_created(self, report, tmp_path):
+        paths = write_report(report, tmp_path)
+        assert [p.name for p in paths] == ["demo.md", "demo.csv"]
+        assert (tmp_path / "demo.md").read_text().startswith("### demo")
+
+    def test_run_and_export_sec6(self, tmp_path):
+        reports = run_and_export(["sec6"], tmp_path)
+        assert len(reports) == 1
+        assert (tmp_path / "sec6.md").exists()
+        assert (tmp_path / "sec6.csv").exists()
+        summary = (tmp_path / "SUMMARY.md").read_text()
+        assert "[sec6](sec6.md)" in summary
+
+    def test_unknown_name_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_and_export(["nope"], tmp_path)

@@ -1,0 +1,88 @@
+import pytest
+
+from repro.analysis import SpeedupCurve, amdahl_bound, ascii_table, format_value, render_bar
+
+
+class TestFormatValue:
+    def test_large_float(self):
+        assert format_value(12345.6) == "12,346"
+
+    def test_medium_float(self):
+        assert format_value(42.123) == "42.1"
+
+    def test_small_float(self):
+        assert format_value(3.14159) == "3.14"
+
+    def test_nan(self):
+        assert format_value(float("nan")) == "-"
+
+    def test_none(self):
+        assert format_value(None) == "-"
+
+    def test_string_passthrough(self):
+        assert format_value("abc") == "abc"
+
+    def test_int(self):
+        assert format_value(7) == "7"
+
+
+class TestAsciiTable:
+    def test_alignment_and_rule(self):
+        out = ascii_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = out.split("\n")
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", "+"}
+        assert len(lines) == 4
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            ascii_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows(self):
+        out = ascii_table(["x"], [])
+        assert "x" in out
+
+
+class TestRenderBar:
+    def test_full_and_empty(self):
+        assert render_bar(1.0, width=5) == "#####"
+        assert render_bar(0.0, width=5) == "....."
+
+    def test_half(self):
+        assert render_bar(0.5, width=4) == "##.."
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            render_bar(1.5)
+
+
+class TestSpeedupCurve:
+    def test_speedup_and_efficiency(self):
+        curve = SpeedupCurve("x", serial_time=100.0)
+        curve.add(2, 60.0)
+        curve.add(4, 30.0)
+        assert curve.speedup(2) == pytest.approx(100 / 60)
+        assert curve.efficiency(4) == pytest.approx(100 / 30 / 4)
+
+    def test_series_sorted(self):
+        curve = SpeedupCurve("x", serial_time=10.0)
+        curve.add(8, 2.0)
+        curve.add(2, 6.0)
+        assert [p for p, _ in curve.series()] == [2, 8]
+
+    def test_nonpositive_time_rejected(self):
+        curve = SpeedupCurve("x", serial_time=10.0)
+        with pytest.raises(ValueError):
+            curve.add(2, 0.0)
+
+
+class TestAmdahl:
+    def test_no_serial_fraction_is_linear(self):
+        assert amdahl_bound(0.0, 8) == pytest.approx(8.0)
+
+    def test_all_serial_is_one(self):
+        assert amdahl_bound(1.0, 8) == pytest.approx(1.0)
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            amdahl_bound(-0.1, 4)

@@ -1,0 +1,55 @@
+"""Property tests of the BLAST pipeline against the exact aligner."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blast import BlastnParams, blastn
+from repro.core import smith_waterman
+from repro.seq import decode, genome_pair, mutate, random_dna
+
+
+class TestBlastSoundness:
+    @given(st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_hit_scores_never_exceed_optimal(self, seed):
+        """A heuristic can miss alignments but never invent score."""
+        s = random_dna(300, rng=seed)
+        t = mutate(s, 0.10, rng=seed + 1000)
+        result = blastn(s, t, BlastnParams(word_size=8, min_hsp_score=8))
+        if not result.hits:
+            return
+        optimal = smith_waterman(s, t).alignment.score
+        assert result.best().score <= optimal
+
+    @given(st.integers(0, 30))
+    @settings(max_examples=15, deadline=None)
+    def test_high_identity_pairs_found_near_optimal(self, seed):
+        """At low divergence the seed stage cannot miss: word hits abound."""
+        s = random_dna(400, rng=seed)
+        t = mutate(s, 0.03, rng=seed + 2000)
+        result = blastn(s, t)
+        optimal = smith_waterman(s, t).alignment.score
+        assert result.hits
+        assert result.best().score >= 0.9 * optimal
+
+    def test_hit_coordinates_name_real_subsequences(self):
+        gp = genome_pair(2000, 2000, n_regions=2, region_length=100, mutation_rate=0.03, rng=60)
+        for hit in blastn(gp.s, gp.t).hits:
+            a = hit.alignment
+            assert 0 <= a.s_start < a.s_end <= len(gp.s)
+            assert 0 <= a.t_start < a.t_end <= len(gp.t)
+            # the named subsequences really do align to at least that score
+            local = smith_waterman(
+                gp.s[a.s_start : a.s_end], gp.t[a.t_start : a.t_end]
+            ).alignment.score
+            assert local >= a.score
+
+    def test_word_size_trades_sensitivity(self):
+        """Longer words seed less: hit count is non-increasing in word size."""
+        gp = genome_pair(1500, 1500, n_regions=1, region_length=100, mutation_rate=0.08, rng=61)
+        seeds = []
+        for w in (8, 11, 14):
+            result = blastn(gp.s, gp.t, BlastnParams(word_size=w, min_hsp_score=w))
+            seeds.append(result.n_seeds)
+        assert seeds[0] >= seeds[1] >= seeds[2]

@@ -1,0 +1,119 @@
+import numpy as np
+import pytest
+
+from repro.blast import BlastnParams, blastn, gapped_extend, ungapped_extend
+from repro.blast.extend import _extend_one_way
+from repro.core import DEFAULT_SCORING, smith_waterman
+from repro.seq import decode, encode, genome_pair, random_dna
+
+
+class TestExtendOneWay:
+    def test_perfect_run(self):
+        a = encode("ACGTACGT")
+        length, score = _extend_one_way(a, a.copy(), DEFAULT_SCORING, x_drop=10)
+        assert (length, score) == (8, 8)
+
+    def test_stops_on_xdrop(self):
+        a = encode("AAAA" + "CCCCCCCCCCCCCCCCCCCCCCCCCCCCCC" + "AAAA")
+        b = encode("AAAA" + "GGGGGGGGGGGGGGGGGGGGGGGGGGGGGG" + "AAAA")
+        length, score = _extend_one_way(a, b, DEFAULT_SCORING, x_drop=5)
+        assert length == 4 and score == 4
+
+    def test_empty(self):
+        assert _extend_one_way(encode(""), encode("ACG"), DEFAULT_SCORING, 5) == (0, 0)
+
+    def test_negative_prefix_not_taken(self):
+        a, b = encode("CA"), encode("GA")
+        assert _extend_one_way(a, b, DEFAULT_SCORING, 50) == (0, 0)
+
+
+class TestUngappedExtend:
+    def test_extends_both_directions(self):
+        core = "ACGTACGTACG"
+        q = "TTTT" + core + "CCCC"
+        t = "GGGG" + core + "AAAA"
+        hsp = ungapped_extend(encode(q), encode(t), 6, 6, 5)
+        assert hsp.q_start == 4 and hsp.t_start == 4
+        assert hsp.q_end == 4 + len(core)
+        assert hsp.score == len(core)
+
+    def test_diagonal_property(self):
+        q = t = encode("ACGTACGTAC")
+        hsp = ungapped_extend(q, t, 2, 2, 4)
+        assert hsp.diagonal == 0
+        assert hsp.length == 10
+
+
+class TestGappedExtend:
+    def test_recovers_indel(self):
+        core_a = "ACGTACGTACGTACGTACGT"
+        core_b = core_a[:10] + "G" + core_a[10:]  # one insertion
+        q = "TTTTT" + core_a + "TTTTT"
+        t = "CCCCC" + core_b + "CCCCC"
+        hsp = ungapped_extend(encode(q), encode(t), 5, 5, 6)
+        refined = gapped_extend(encode(q), encode(t), hsp, pad=10)
+        assert refined.score >= len(core_a) - 3  # one gap penalty absorbed
+        assert refined.s_start == 5 and refined.t_start == 5
+
+
+class TestBlastn:
+    def test_params_validated(self):
+        with pytest.raises(ValueError):
+            BlastnParams(word_size=2)
+        with pytest.raises(ValueError):
+            BlastnParams(x_drop=0)
+        with pytest.raises(ValueError):
+            BlastnParams(word_size=11, min_hsp_score=5)
+
+    def test_finds_planted_regions(self):
+        gp = genome_pair(4000, 4000, n_regions=3, region_length=120, mutation_rate=0.03, rng=71)
+        result = blastn(gp.s, gp.t)
+        assert len(result) >= 3
+        top3 = result.hits[:3]
+        for planted in gp.regions:
+            assert any(
+                abs(h.alignment.s_start - planted.s_start) <= 15
+                and abs(h.alignment.t_start - planted.t_start) <= 15
+                for h in top3
+            )
+
+    def test_no_hits_in_noise(self):
+        gp = genome_pair(2000, 2000, n_regions=0, rng=72)
+        result = blastn(gp.s, gp.t)
+        assert all(h.score < 30 for h in result)
+
+    def test_hits_sorted_desc(self):
+        gp = genome_pair(3000, 3000, n_regions=2, region_length=100, mutation_rate=0.02, rng=73)
+        result = blastn(gp.s, gp.t)
+        scores = [h.score for h in result]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_gapped_score_close_to_sw(self):
+        gp = genome_pair(1500, 1500, n_regions=1, region_length=150, mutation_rate=0.05, rng=74)
+        result = blastn(gp.s, gp.t)
+        assert result.hits
+        sw_score = smith_waterman(gp.s, gp.t).alignment.score
+        assert result.best().score >= 0.85 * sw_score
+
+    def test_ungapped_mode(self):
+        gp = genome_pair(1500, 1500, n_regions=1, region_length=100, mutation_rate=0.0, rng=75)
+        result = blastn(gp.s, gp.t, BlastnParams(gapped=False))
+        assert result.hits
+        best = result.best()
+        assert best.alignment.s_length == best.alignment.t_length  # no gaps
+
+    def test_best_raises_when_empty(self):
+        from repro.blast.blastn import BlastnResult
+
+        with pytest.raises(ValueError):
+            BlastnResult().best()
+
+    def test_statistics_populated(self):
+        gp = genome_pair(1000, 1000, n_regions=1, region_length=80, mutation_rate=0.0, rng=76)
+        result = blastn(gp.s, gp.t)
+        assert result.n_seeds >= 70  # ~80-11+1 seeds from the planted region
+        assert result.n_hsps >= 1
+
+    def test_accepts_strings(self):
+        result = blastn("ACGTACGTACGTACGTACGT", "ACGTACGTACGTACGTACGT", BlastnParams(word_size=8, min_hsp_score=8))
+        assert result.best().score == 20

@@ -1,0 +1,89 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blast import WordIndex, kmer_ids
+from repro.seq import decode, encode, random_dna
+
+from _strategies import dna_codes
+
+
+class TestKmerIds:
+    def test_single_kmer(self):
+        # "ACGT" in base 4 = 0*64 + 1*16 + 2*4 + 3 = 27
+        assert kmer_ids(encode("ACGT"), 4).tolist() == [27]
+
+    def test_sliding(self):
+        ids = kmer_ids(encode("AAAC"), 3)
+        assert ids.tolist() == [0, 1]  # AAA=0, AAC=1
+
+    def test_short_sequence_empty(self):
+        assert kmer_ids(encode("AC"), 3).size == 0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            kmer_ids(encode("ACGT"), 0)
+        with pytest.raises(ValueError):
+            kmer_ids(encode("ACGT"), 40)
+
+    @given(dna_codes(8, 40), st.integers(2, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_equal_ids_iff_equal_kmers(self, codes, k):
+        if len(codes) < k:
+            return
+        ids = kmer_ids(codes, k)
+        text = decode(codes)
+        for a in range(len(ids)):
+            for b in range(a + 1, len(ids)):
+                same = text[a : a + k] == text[b : b + k]
+                assert (ids[a] == ids[b]) == same
+
+
+class TestWordIndex:
+    def test_lookup_positions(self):
+        idx = WordIndex("ACGTACGT", word_size=4)
+        ids = kmer_ids(encode("ACGT"), 4)
+        assert idx.lookup(int(ids[0])).tolist() == [0, 4]
+
+    def test_lookup_missing(self):
+        idx = WordIndex("AAAAAAA", word_size=4)
+        assert idx.lookup(123456).size == 0
+
+    def test_len(self):
+        assert len(WordIndex("ACGTACGT", word_size=4)) == 5
+
+    def test_seed_hits_exact(self):
+        subject = "TTTTACGTACGTTTTT"
+        query = "GGACGTACGG"
+        idx = WordIndex(subject, word_size=6)
+        q_pos, t_pos = idx.seed_hits(query)
+        # ACGTAC at query 2 hits subject 4; CGTACG at query 3 hits subject 5
+        assert list(zip(q_pos, t_pos)) == [(2, 4), (3, 5)]
+        assert (q_pos - t_pos == -2).all()  # same diagonal
+
+    def test_seed_hits_every_pair_is_exact_match(self):
+        rng = np.random.default_rng(5)
+        subject = random_dna(500, rng)
+        query = random_dna(500, rng)
+        idx = WordIndex(subject, word_size=5)
+        q_pos, t_pos = idx.seed_hits(query)
+        for q, t in zip(q_pos[:200], t_pos[:200]):
+            assert np.array_equal(subject[t : t + 5], query[q : q + 5])
+
+    def test_seed_hits_sorted_by_diagonal(self):
+        subject = random_dna(300, rng=6)
+        idx = WordIndex(subject, word_size=4)
+        q_pos, t_pos = idx.seed_hits(random_dna(300, rng=7))
+        diag = q_pos - t_pos
+        assert np.all(np.diff(diag) >= 0)
+
+    def test_no_hits_for_disjoint_alphabet_usage(self):
+        idx = WordIndex("AAAAAAAAAA", word_size=5)
+        q_pos, t_pos = idx.seed_hits("CCCCCCCCCC")
+        assert q_pos.size == 0
+
+    def test_empty_query(self):
+        idx = WordIndex("ACGTACGTA", word_size=5)
+        q_pos, t_pos = idx.seed_hits("")
+        assert q_pos.size == 0

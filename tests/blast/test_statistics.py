@@ -1,0 +1,119 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.blast.statistics import (
+    EvalueModel,
+    annotate_evalues,
+    estimate_k,
+    expected_pair_score,
+    fit_evalue_model,
+    karlin_lambda,
+)
+from repro.core import Scoring
+from repro.core.linear import sw_best_endpoint
+from repro.seq import genome_pair, random_dna
+
+
+class TestExpectedScore:
+    def test_paper_scheme_negative(self):
+        # uniform DNA, +1/-1: E[s] = 1/4 - 3/4 = -0.5
+        assert expected_pair_score() == pytest.approx(-0.5)
+
+    def test_bad_freqs_rejected(self):
+        with pytest.raises(ValueError):
+            expected_pair_score(freqs=(0.5, 0.5, 0.5, 0.5))
+
+
+class TestKarlinLambda:
+    def test_closed_form_for_paper_scheme(self):
+        # (1/4)e^l + (3/4)e^-l = 1  =>  e^l = 3  =>  lambda = ln 3
+        assert karlin_lambda() == pytest.approx(math.log(3.0), abs=1e-9)
+
+    def test_stronger_mismatch_raises_lambda(self):
+        strict = Scoring(match=1, mismatch=-3, gap=-5)
+        assert karlin_lambda(strict) > karlin_lambda()
+
+    def test_positive_expected_score_rejected(self):
+        generous = Scoring(match=3, mismatch=-1, gap=-2)  # E[s] = 0 -> >= 0
+        with pytest.raises(ValueError):
+            karlin_lambda(generous)
+
+    def test_skewed_frequencies(self):
+        lam = karlin_lambda(freqs=(0.4, 0.1, 0.1, 0.4))
+        assert 0 < lam < 2
+
+
+class TestEvalueModel:
+    def setup_method(self):
+        self.model = EvalueModel(lam=math.log(3.0), k=0.2)
+
+    def test_evalue_decreases_with_score(self):
+        e_lo = self.model.evalue(10, 1000, 1000)
+        e_hi = self.model.evalue(20, 1000, 1000)
+        assert e_hi < e_lo
+
+    def test_evalue_scales_with_search_space(self):
+        assert self.model.evalue(15, 2000, 1000) == pytest.approx(
+            2 * self.model.evalue(15, 1000, 1000)
+        )
+
+    def test_pvalue_bounds(self):
+        p = self.model.pvalue(12, 500, 500)
+        assert 0 <= p <= 1
+
+    def test_pvalue_approximates_small_evalue(self):
+        e = self.model.evalue(40, 500, 500)
+        assert self.model.pvalue(40, 500, 500) == pytest.approx(e, rel=1e-3)
+
+    def test_bit_score_monotone(self):
+        assert self.model.bit_score(20) > self.model.bit_score(10)
+
+    def test_score_for_evalue_inverts(self):
+        s = self.model.score_for_evalue(0.01, 1000, 1000)
+        assert self.model.evalue(s, 1000, 1000) == pytest.approx(0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EvalueModel(lam=0, k=0.1)
+        with pytest.raises(ValueError):
+            self.model.score_for_evalue(0, 10, 10)
+
+
+class TestCalibration:
+    def test_k_in_plausible_range(self):
+        k = estimate_k(length=300, trials=20, rng=1)
+        assert 0.01 < k < 2.0
+
+    def test_model_predicts_random_maxima(self):
+        """The fitted Gumbel must locate the random-score distribution:
+        the median of fresh random maxima should fall near the model's
+        E=ln2 score (the Gumbel median)."""
+        model = fit_evalue_model(length=300, trials=30, rng=2)
+        gen = np.random.default_rng(99)
+        scores = [
+            sw_best_endpoint(random_dna(300, gen), random_dna(300, gen)).score
+            for _ in range(30)
+        ]
+        predicted_median = model.score_for_evalue(math.log(2.0), 300, 300)
+        assert abs(float(np.median(scores)) - predicted_median) <= 2.0
+
+    def test_planted_region_has_tiny_evalue(self):
+        model = fit_evalue_model(length=300, trials=20, rng=3)
+        gp = genome_pair(800, 800, n_regions=1, region_length=80, mutation_rate=0.0, rng=4)
+        score = sw_best_endpoint(gp.s, gp.t).score
+        assert model.evalue(score, 800, 800) < 1e-6
+
+
+class TestAnnotate:
+    def test_hits_sorted_by_evalue(self):
+        from repro.blast import blastn
+
+        gp = genome_pair(1500, 1500, n_regions=2, region_length=80, mutation_rate=0.0, rng=5)
+        result = blastn(gp.s, gp.t)
+        model = fit_evalue_model(length=200, trials=10, rng=6)
+        annotated = annotate_evalues(result.hits, model, 1500, 1500)
+        evalues = [e for _, e in annotated]
+        assert evalues == sorted(evalues)
+        assert evalues[0] < 1e-6  # the planted regions are overwhelming

@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+# Make tests/_strategies.py importable from every test directory.
+sys.path.insert(0, os.path.dirname(__file__))
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_pair(rng):
+    """A deterministic ~600 BP genome pair with one planted 80 BP region."""
+    from repro.seq import genome_pair
+
+    return genome_pair(600, 600, n_regions=1, region_length=80, mutation_rate=0.03, rng=rng)

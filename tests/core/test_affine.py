@@ -1,0 +1,141 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AffineScoring,
+    Scoring,
+    affine_best_score,
+    affine_matrices,
+    affine_needleman_wunsch,
+    affine_smith_waterman,
+    needleman_wunsch,
+    smith_waterman,
+)
+from repro.core.affine import gotoh_naive
+from repro.seq import encode
+
+from _strategies import dna_text
+
+affine_scorings = st.builds(
+    AffineScoring,
+    match=st.integers(1, 4),
+    mismatch=st.integers(-4, 0),
+    gap_open=st.integers(-8, -2),
+    gap_extend=st.integers(-2, -1),
+).filter(lambda sc: sc.gap_open <= sc.gap_extend)
+
+
+class TestAffineScoring:
+    def test_defaults_valid(self):
+        sc = AffineScoring()
+        assert sc.gap_open <= sc.gap_extend < 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AffineScoring(gap_open=-1, gap_extend=-2)  # open cheaper than extend
+        with pytest.raises(ValueError):
+            AffineScoring(gap_extend=0)
+        with pytest.raises(ValueError):
+            AffineScoring(match=0, mismatch=0)
+
+    def test_gap_run_score(self):
+        sc = AffineScoring(gap_open=-4, gap_extend=-1)
+        assert sc.gap_run_score(0) == 0
+        assert sc.gap_run_score(1) == -4
+        assert sc.gap_run_score(3) == -6
+
+    def test_alignment_score_counts_openings(self):
+        sc = AffineScoring(match=2, mismatch=-1, gap_open=-4, gap_extend=-1)
+        # one 2-gap run: -4 -1; four matches: +8
+        assert sc.alignment_score("AC--GT", "ACAAGT") == 8 - 5
+        # two 1-gap runs: -4 each
+        assert sc.alignment_score("A-C-GT", "AACAGT") == 8 - 8
+
+    def test_double_space_rejected(self):
+        with pytest.raises(ValueError):
+            AffineScoring().alignment_score("-", "-")
+
+
+class TestAffineLocal:
+    def test_simple_match(self):
+        r = affine_smith_waterman("ACGTACGT", "ACGTACGT")
+        assert r.alignment.score == 16
+        assert r.alignment.aligned_s == "ACGTACGT"
+
+    def test_prefers_one_long_gap_over_two_short(self):
+        # affine costs make a single 2-gap run cheaper than two 1-gap runs
+        sc = AffineScoring(match=2, mismatch=-3, gap_open=-4, gap_extend=-1)
+        s = "ACGTACGTACGT"
+        t = "ACGTAC" + "GG" + "GTACGT"  # 2 inserted bases mid-sequence
+        r = affine_smith_waterman(s, t, sc)
+        rendered = r.alignment.aligned_s
+        assert "--" in rendered  # contiguous gap, not split
+        assert r.alignment.score == sc.alignment_score(
+            r.alignment.aligned_s, r.alignment.aligned_t
+        )
+
+    @given(dna_text(1, 28), dna_text(1, 28), affine_scorings)
+    @settings(max_examples=80, deadline=None)
+    def test_matches_naive_gotoh(self, s, t, sc):
+        H, _, _ = affine_matrices(s, t, sc, local=True)
+        assert int(H.max()) == gotoh_naive(s, t, sc, local=True)
+
+    @given(dna_text(1, 24), dna_text(1, 24), affine_scorings)
+    @settings(max_examples=60, deadline=None)
+    def test_traceback_score_consistent(self, s, t, sc):
+        r = affine_smith_waterman(s, t, sc)
+        assert sc.alignment_score(r.alignment.aligned_s, r.alignment.aligned_t) == (
+            r.alignment.score
+        )
+        assert s[r.s_start : r.s_end] == r.alignment.aligned_s.replace("-", "")
+        assert t[r.t_start : r.t_end] == r.alignment.aligned_t.replace("-", "")
+
+    @given(dna_text(1, 24), dna_text(1, 24))
+    @settings(max_examples=60, deadline=None)
+    def test_reduces_to_linear_when_open_equals_extend(self, s, t):
+        affine = AffineScoring(match=1, mismatch=-1, gap_open=-2, gap_extend=-2)
+        linear = Scoring(match=1, mismatch=-1, gap=-2)
+        assert affine_best_score(s, t, affine) == smith_waterman(s, t, linear).alignment.score
+
+    @given(dna_text(1, 28), dna_text(1, 28), affine_scorings)
+    @settings(max_examples=60, deadline=None)
+    def test_linear_space_score_matches_full(self, s, t, sc):
+        H, _, _ = affine_matrices(s, t, sc, local=True)
+        assert affine_best_score(s, t, sc) == int(H.max())
+
+
+class TestAffineGlobal:
+    def test_identical(self):
+        g = affine_needleman_wunsch("ACGT", "ACGT")
+        assert g.score == 8
+
+    def test_empty_vs_sequence(self):
+        sc = AffineScoring(gap_open=-4, gap_extend=-1)
+        g = affine_needleman_wunsch("", "ACG", sc)
+        assert g.score == sc.gap_run_score(3) == -6
+
+    @given(dna_text(0, 22), dna_text(0, 22), affine_scorings)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_naive_gotoh(self, s, t, sc):
+        g = affine_needleman_wunsch(s, t, sc)
+        assert g.score == gotoh_naive(s, t, sc, local=False)
+
+    @given(dna_text(0, 20), dna_text(0, 20), affine_scorings)
+    @settings(max_examples=60, deadline=None)
+    def test_alignment_verifies(self, s, t, sc):
+        g = affine_needleman_wunsch(s, t, sc)
+        assert sc.alignment_score(g.aligned_s, g.aligned_t) == g.score
+        assert g.aligned_s.replace("-", "") == s
+        assert g.aligned_t.replace("-", "") == t
+
+    @given(dna_text(0, 20), dna_text(0, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_reduces_to_linear_global(self, s, t):
+        affine = AffineScoring(match=1, mismatch=-1, gap_open=-2, gap_extend=-2)
+        linear = Scoring(match=1, mismatch=-1, gap=-2)
+        assert (
+            affine_needleman_wunsch(s, t, affine).score
+            == needleman_wunsch(s, t, linear).score
+        )

@@ -1,0 +1,128 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AlignmentQueue, GlobalAlignment, LocalAlignment
+
+
+def mk(score=10, s=(0, 10), t=(0, 10)):
+    return LocalAlignment(score=score, s_start=s[0], s_end=s[1], t_start=t[0], t_end=t[1])
+
+
+class TestLocalAlignment:
+    def test_lengths(self):
+        a = mk(s=(2, 10), t=(3, 7))
+        assert a.s_length == 8 and a.t_length == 4 and a.size == 8
+
+    def test_invalid_coordinates(self):
+        with pytest.raises(ValueError):
+            mk(s=(5, 2))
+        with pytest.raises(ValueError):
+            LocalAlignment(1, -1, 2, 0, 2)
+
+    def test_paper_coordinates_one_based(self):
+        a = mk(s=(38, 100), t=(55, 120))
+        begin, end = a.paper_coordinates()
+        assert begin == (39, 56)
+        assert end == (100, 120)
+
+    def test_overlaps_true(self):
+        assert mk(s=(0, 10), t=(0, 10)).overlaps(mk(s=(5, 15), t=(5, 15)))
+
+    def test_overlaps_false_disjoint_rows(self):
+        assert not mk(s=(0, 10), t=(0, 10)).overlaps(mk(s=(20, 30), t=(0, 10)))
+
+    def test_overlaps_with_slack(self):
+        a, b = mk(s=(0, 10), t=(0, 10)), mk(s=(12, 20), t=(12, 20))
+        assert not a.overlaps(b)
+        assert a.overlaps(b, slack=3)
+
+    def test_shifted(self):
+        a = mk(s=(1, 5), t=(2, 6)).shifted(100, 200)
+        assert a.region == (101, 105, 202, 206)
+
+    def test_ordering_by_score(self):
+        assert mk(score=5) < mk(score=9)
+
+
+class TestGlobalAlignment:
+    def test_matches_and_identity(self):
+        g = GlobalAlignment("AC-GT", "ACTGA", -1)
+        assert g.matches == 3
+        assert g.identity == pytest.approx(3 / 5)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            GlobalAlignment("AC", "A", 0)
+
+    def test_verify_true_and_false(self):
+        ok = GlobalAlignment("ACGT", "ACGT", 4)
+        assert ok.verify()
+        bad = GlobalAlignment("ACGT", "ACGT", 3)
+        assert not bad.verify()
+
+    def test_render_blocks(self):
+        g = GlobalAlignment("ACGTACGT", "ACGAACGT", 6)
+        out = g.render(width=4)
+        lines = out.split("\n")
+        assert lines[0] == "ACGT"
+        assert lines[1] == "|||"  # ruler trailing spaces are trimmed
+        assert lines[2] == "ACGA"
+
+    def test_empty_alignment_identity_zero(self):
+        assert GlobalAlignment("", "", 0).identity == 0.0
+
+
+class TestAlignmentQueue:
+    def test_push_and_len(self):
+        q = AlignmentQueue()
+        q.push(mk())
+        assert len(q) == 1
+
+    def test_merge_gathers(self):
+        q1, q2 = AlignmentQueue([mk()]), AlignmentQueue([mk(s=(20, 30), t=(20, 30))])
+        q1.merge(q2)
+        assert len(q1) == 2
+
+    def test_finalize_removes_exact_duplicates(self):
+        q = AlignmentQueue([mk(), mk()])
+        assert len(q.finalize()) == 1
+
+    def test_finalize_sorted_by_size_desc(self):
+        q = AlignmentQueue(
+            [mk(score=5, s=(0, 5), t=(0, 5)), mk(score=3, s=(100, 150), t=(100, 150))]
+        )
+        out = q.finalize()
+        assert [a.size for a in out] == [50, 5]
+
+    def test_finalize_min_score_filter(self):
+        q = AlignmentQueue([mk(score=5), mk(score=20, s=(50, 60), t=(50, 60))])
+        out = q.finalize(min_score=10)
+        assert [a.score for a in out] == [20]
+
+    def test_finalize_drops_overlapping_smaller(self):
+        big = mk(score=50, s=(0, 100), t=(0, 100))
+        small = mk(score=10, s=(40, 50), t=(40, 50))
+        out = AlignmentQueue([big, small]).finalize()
+        assert out == [big]
+
+    def test_finalize_keeps_disjoint(self):
+        a = mk(score=10, s=(0, 10), t=(0, 10))
+        b = mk(score=10, s=(50, 60), t=(50, 60))
+        assert len(AlignmentQueue([a, b]).finalize()) == 2
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 50), st.integers(0, 100), st.integers(1, 30)),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_finalize_idempotent(self, specs):
+        items = [
+            mk(score=sc, s=(start, start + ln), t=(start, start + ln))
+            for sc, start, ln in specs
+        ]
+        once = AlignmentQueue(items).finalize()
+        twice = AlignmentQueue(once).finalize()
+        assert once == twice

@@ -1,0 +1,75 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import needleman_wunsch
+from repro.core.banded import band_width_for, banded_global, banded_global_score
+from repro.seq import decode, mutate, random_dna
+
+from _strategies import dna_text, scorings
+
+
+class TestBandWidth:
+    def test_includes_length_difference(self):
+        assert band_width_for(100, 120) == 28
+        assert band_width_for(50, 50, extra=4) == 4
+
+
+class TestBandedScore:
+    @given(dna_text(1, 30), dna_text(1, 30))
+    @settings(max_examples=80, deadline=None)
+    def test_wide_band_is_exact(self, s, t):
+        """A band covering the whole matrix must reproduce plain NW."""
+        width = max(len(s), len(t))
+        assert banded_global_score(s, t, width) == needleman_wunsch(s, t).score
+
+    @given(dna_text(1, 24), dna_text(1, 24), scorings)
+    @settings(max_examples=40, deadline=None)
+    def test_wide_band_exact_any_scoring(self, s, t, scoring):
+        width = max(len(s), len(t))
+        assert banded_global_score(s, t, width, scoring) == needleman_wunsch(
+            s, t, scoring
+        ).score
+
+    def test_narrow_band_lower_bounds(self):
+        s = random_dna(80, rng=1)
+        t = mutate(s, 0.05, rng=2)
+        exact = needleman_wunsch(s, t).score
+        banded = banded_global_score(s, t, width=band_width_for(len(s), len(t)))
+        assert banded <= exact
+        # similar sequences: the optimum stays in the band
+        assert banded == exact
+
+    def test_too_narrow_band_rejected(self):
+        with pytest.raises(ValueError):
+            banded_global_score("A" * 10, "A" * 30, width=5)
+
+    def test_default_width_exact_for_similar_pairs(self):
+        s = random_dna(200, rng=3)
+        t = mutate(s, 0.03, rng=4)
+        assert banded_global_score(s, t) == needleman_wunsch(s, t).score
+
+
+class TestBandedTraceback:
+    @given(dna_text(1, 24), dna_text(1, 24))
+    @settings(max_examples=60, deadline=None)
+    def test_alignment_valid_and_optimal_with_wide_band(self, s, t):
+        width = max(len(s), len(t))
+        g = banded_global(s, t, width)
+        assert g.verify()
+        assert g.score == needleman_wunsch(s, t).score
+        assert g.aligned_s.replace("-", "") == s
+        assert g.aligned_t.replace("-", "") == t
+
+    def test_similar_pair_default_band(self):
+        s = random_dna(150, rng=5)
+        t = mutate(s, 0.06, rng=6)
+        g = banded_global(s, t)
+        assert g.verify()
+        assert g.score == needleman_wunsch(s, t).score
+
+    def test_empty_sequences(self):
+        g = banded_global("", "ACG", width=3)
+        assert g.aligned_s == "---" and g.score == -6
+        g2 = banded_global("ACG", "", width=3)
+        assert g2.aligned_t == "---"

@@ -1,0 +1,110 @@
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    GlobalAlignment,
+    alignment_from_cigar,
+    alignment_stats,
+    cigar_of,
+    expand_cigar,
+    needleman_wunsch,
+    smith_waterman,
+)
+
+from _strategies import dna_text
+
+
+def ga(a, b):
+    from repro.core import DEFAULT_SCORING
+
+    return GlobalAlignment(a, b, DEFAULT_SCORING.alignment_score(a, b))
+
+
+class TestCigarOf:
+    def test_all_match(self):
+        assert cigar_of(ga("ACGT", "ACGT")) == "4="
+
+    def test_mismatch_runs(self):
+        assert cigar_of(ga("AATT", "AACC")) == "2=2X"
+
+    def test_classic_m_mode(self):
+        assert cigar_of(ga("AATT", "AACC"), extended=False) == "4M"
+
+    def test_insertion_and_deletion(self):
+        assert cigar_of(ga("AC-GT", "A-CGT")) == "1=1I1D2="
+
+    def test_empty(self):
+        assert cigar_of(ga("", "")) == ""
+
+
+class TestExpandCigar:
+    def test_parse(self):
+        assert expand_cigar("3=1X2D") == [(3, "="), (1, "X"), (2, "D")]
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            expand_cigar("3=banana")
+        with pytest.raises(ValueError):
+            expand_cigar("=3")
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            expand_cigar("0=")
+
+    def test_empty(self):
+        assert expand_cigar("") == []
+
+
+class TestRoundtrip:
+    @given(dna_text(0, 30), dna_text(0, 30))
+    @settings(max_examples=60, deadline=None)
+    def test_nw_alignment_roundtrips(self, s, t):
+        g = needleman_wunsch(s, t)
+        cigar = cigar_of(g)
+        rebuilt = alignment_from_cigar(cigar, s, t)
+        assert rebuilt.aligned_s == g.aligned_s
+        assert rebuilt.aligned_t == g.aligned_t
+        assert rebuilt.score == g.score
+
+    def test_m_mode_roundtrips_with_sequences(self):
+        g = needleman_wunsch("GACGGATTAG", "GATCGGAATAG")
+        rebuilt = alignment_from_cigar(cigar_of(g, extended=False), "GACGGATTAG", "GATCGGAATAG")
+        assert rebuilt.aligned_s == g.aligned_s
+
+    def test_span_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            alignment_from_cigar("2=", "ACG", "AC")
+
+
+class TestAlignmentStats:
+    def test_counts(self):
+        stats = alignment_stats(ga("AC-GTT", "AACGT-"))
+        assert stats.matches == 3  # A, G, T
+        assert stats.mismatches == 1  # C vs A
+        assert stats.deletions == 1  # '-' in query
+        assert stats.insertions == 1  # '-' in reference
+        assert stats.gap_runs == 2
+        assert stats.length == 6
+
+    def test_identities(self):
+        stats = alignment_stats(ga("AC-T", "ACGT"))
+        assert stats.identity == pytest.approx(3 / 4)
+        assert stats.gapless_identity == pytest.approx(1.0)
+
+    def test_contiguous_gap_one_run(self):
+        stats = alignment_stats(ga("A---T", "AACGT"))
+        assert stats.gap_runs == 1
+        assert stats.deletions == 3
+
+    def test_empty(self):
+        stats = alignment_stats(ga("", ""))
+        assert stats.identity == 0.0 and stats.length == 0
+
+    @given(dna_text(1, 24), dna_text(1, 24))
+    @settings(max_examples=40, deadline=None)
+    def test_consistent_with_global_alignment(self, s, t):
+        g = smith_waterman(s, t).alignment
+        stats = alignment_stats(g)
+        assert stats.matches == g.matches
+        assert stats.length == g.length
+        assert stats.matches + stats.mismatches + stats.gap_characters == g.length

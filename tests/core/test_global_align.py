@@ -1,0 +1,57 @@
+import pytest
+
+from repro.core import (
+    LocalAlignment,
+    align_region,
+    global_alignment,
+    needleman_wunsch,
+)
+from repro.seq import decode, genome_pair
+
+
+class TestGlobalAlignment:
+    def test_small_uses_full_matrix_score(self):
+        g = global_alignment("GACGGATTAG", "GATCGGAATAG")
+        assert g.score == needleman_wunsch("GACGGATTAG", "GATCGGAATAG").score == 6
+
+    def test_empty(self):
+        assert global_alignment("", "").score == 0
+
+
+class TestAlignRegion:
+    def test_region_bounds_checked(self):
+        bad = LocalAlignment(5, 0, 100, 0, 2)
+        with pytest.raises(ValueError):
+            align_region("ACGT", "ACGT", bad)
+
+    def test_fig16_fields(self):
+        gp = genome_pair(400, 400, n_regions=1, region_length=60, mutation_rate=0.02, rng=61)
+        p = gp.regions[0]
+        region = LocalAlignment(50, p.s_start, p.s_end, p.t_start, p.t_end)
+        rec = align_region(gp.s, gp.t, region)
+        assert rec.initial_x == p.s_start + 1
+        assert rec.final_x == p.s_end
+        assert rec.initial_y == p.t_start + 1
+        assert rec.final_y == p.t_end
+        assert rec.similarity == rec.alignment.score
+        assert rec.alignment.identity > 0.9
+
+    def test_render_contains_paper_fields(self):
+        gp = genome_pair(300, 300, n_regions=1, region_length=40, mutation_rate=0.0, rng=62)
+        p = gp.regions[0]
+        region = LocalAlignment(40, p.s_start, p.s_end, p.t_start, p.t_end)
+        text = align_region(gp.s, gp.t, region).render()
+        for field in ("initial_x:", "final_x:", "initial_y:", "final_y:", "similarity:", "align_s:", "align_t:"):
+            assert field in text
+
+    def test_alignment_covers_subsequences(self):
+        gp = genome_pair(300, 300, n_regions=1, region_length=50, mutation_rate=0.05, rng=63)
+        p = gp.regions[0]
+        region = LocalAlignment(30, p.s_start, p.s_end, p.t_start, p.t_end)
+        rec = align_region(gp.s, gp.t, region)
+        assert rec.alignment.aligned_s.replace("-", "") == decode(
+            gp.s[p.s_start : p.s_end]
+        )
+        assert rec.alignment.aligned_t.replace("-", "") == decode(
+            gp.t[p.t_start : p.t_end]
+        )

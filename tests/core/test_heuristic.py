@@ -1,0 +1,93 @@
+import pytest
+
+from repro.core import (
+    HeuristicAligner,
+    HeuristicParams,
+    heuristic_local_alignments,
+    smith_waterman,
+)
+from repro.seq import decode, encode, genome_pair
+
+
+class TestParams:
+    def test_defaults_valid(self):
+        p = HeuristicParams()
+        assert p.open_delta > 0 and p.close_delta > 0 and p.min_score > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeuristicParams(open_delta=0)
+        with pytest.raises(ValueError):
+            HeuristicParams(close_delta=-1)
+        with pytest.raises(ValueError):
+            HeuristicParams(min_score=0)
+
+
+class TestHeuristicAligner:
+    def test_finds_exact_repeat(self):
+        core = "ACGTACGTACGTACGTACGT"  # 20 BP shared block
+        s = "TTTTTTTTTTTT" + core + "GGGGGGGGGGGG"
+        t = "CCCCCCCCCCCC" + core + "AAAAAAAAAAAA"
+        als = heuristic_local_alignments(s, t, HeuristicParams(10, 10, 10))
+        assert len(als) >= 1
+        best = als[0]
+        assert best.score >= 15
+        # the repeat sits at offset 12 in both sequences
+        assert abs(best.s_start - 12) <= 12
+        assert abs(best.t_start - 12) <= 12
+
+    def test_no_alignment_in_noise(self):
+        s = "ACAC" * 10
+        t = "GTGT" * 10
+        assert heuristic_local_alignments(s, t, HeuristicParams(8, 8, 8)) == []
+
+    def test_score_close_to_exact_sw(self):
+        gp = genome_pair(400, 400, n_regions=1, region_length=60, mutation_rate=0.0, rng=41)
+        exact = smith_waterman(gp.s, gp.t).alignment.score
+        als = heuristic_local_alignments(decode(gp.s), decode(gp.t))
+        assert als, "heuristic missed the planted region"
+        # the heuristic closes at the maximum, so its best score matches SW
+        assert als[0].score >= 0.9 * exact
+
+    def test_planted_region_recovered(self):
+        gp = genome_pair(500, 500, n_regions=1, region_length=70, mutation_rate=0.02, rng=42)
+        als = heuristic_local_alignments(decode(gp.s), decode(gp.t))
+        planted = gp.regions[0]
+        assert any(
+            abs(a.s_end - planted.s_end) < 20 and abs(a.t_end - planted.t_end) < 20
+            for a in als
+        )
+
+    def test_multiple_regions(self):
+        gp = genome_pair(1500, 1500, n_regions=2, region_length=60, mutation_rate=0.0, rng=43)
+        als = heuristic_local_alignments(decode(gp.s), decode(gp.t))
+        strong = [a for a in als if a.score >= 40]
+        assert len(strong) == 2
+
+    def test_row_engine_is_incremental(self):
+        """step_row processes one row; running all rows equals the wrapper."""
+        gp = genome_pair(300, 300, n_regions=1, region_length=50, mutation_rate=0.0, rng=44)
+        aligner = HeuristicAligner(gp.t)
+        for ch in gp.s:
+            aligner.step_row(int(ch))
+        queue = aligner.flush()
+        direct = heuristic_local_alignments(gp.s, gp.t)
+        params = HeuristicParams()
+        assert queue.finalize(min_score=params.min_score) == direct
+
+    def test_open_then_close_emits_once_deduped(self):
+        core = "ACGTACGTACGTACGTACGTACGT"
+        s = "TT" + core + "TTTTTTTTTTTTTTTTTTTTTTTTTTTTTT"
+        t = "GG" + core + "GGGGGGGGGGGGGGGGGGGGGGGGGGGGGG"
+        als = heuristic_local_alignments(s, t, HeuristicParams(8, 8, 8))
+        # one dominant candidate only after dedup
+        assert len([a for a in als if a.score >= 20]) == 1
+
+    def test_counter_expression_prefers_substitutions_over_gaps(self):
+        """The 2m+2mm+g rule: origins with more matches/mismatches win ties."""
+        # Construct a tie scenario indirectly: just assert the aligner runs
+        # and its best alignment is gap-light for a substitution-only pair.
+        s = "ACGTACGTACGTACGTACGT"
+        t = "ACGTACGAACGTACGTACGT"  # one substitution, no indels
+        als = heuristic_local_alignments(s, t, HeuristicParams(8, 8, 8))
+        assert als and als[0].s_length == als[0].t_length

@@ -1,0 +1,88 @@
+"""White-box tests of the Section 4.1 cell machinery."""
+
+import pytest
+
+from repro.core.heuristic import (
+    HeuristicAligner,
+    HeuristicParams,
+    _fresh,
+    _priority,
+)
+from repro.seq import encode
+
+
+class TestCellPrimitives:
+    def test_fresh_cell_layout(self):
+        cell = _fresh(3, 7)
+        score, bi, bj, max_s, max_i, max_j, min_s, gaps, matches, mismatches, flag = cell
+        assert score == 0 and flag == 0
+        assert (bi, bj) == (3, 7)
+        assert (max_i, max_j) == (3, 7)
+        assert gaps == matches == mismatches == 0
+
+    def test_priority_expression(self):
+        # 2*matches + 2*mismatches + gaps (Section 4.1)
+        cell = (5, 0, 0, 5, 1, 1, 0, 3, 4, 2, 1)
+        assert _priority(cell) == 2 * 4 + 2 * 2 + 3
+
+
+class TestOpenCloseMachinery:
+    def test_candidate_opens_after_climb(self):
+        # 15 matching characters climb the score past open_delta = 10
+        aligner = HeuristicAligner("ACGTACGTACGTACG", HeuristicParams(10, 10, 10))
+        s = encode("ACGTACGTACGTACG")
+        row = None
+        for ch in s:
+            row = aligner.step_row(int(ch))
+        # the diagonal cell carries an open candidate (flag == 1)
+        flags = [cell[10] for cell in row]
+        assert 1 in flags
+
+    def test_candidate_closes_on_drop(self):
+        """After the match run ends, mismatch decay closes the candidate."""
+        core = "ACGTACGTACGTACGT"
+        s = core + "AAAAAAAAAAAAAAAAAAAA"
+        t = core + "CCCCCCCCCCCCCCCCCCCC"
+        aligner = HeuristicAligner(t, HeuristicParams(8, 8, 8))
+        for ch in encode(s):
+            aligner.step_row(int(ch))
+        queue = aligner.flush()
+        finalized = queue.finalize(min_score=8)
+        assert finalized
+        best = finalized[0]
+        # closed at the score maximum: the end of the matching core
+        assert best.s_end == len(core)
+        assert best.t_end == len(core)
+        assert best.score == len(core)
+
+    def test_min_score_gates_queue(self):
+        core = "ACGTACGTAC"  # climbs to 10
+        s = core + "AAAAAAAAAAAAAAAA"
+        t = core + "CCCCCCCCCCCCCCCC"
+        strict = HeuristicAligner(t, HeuristicParams(5, 5, 50))
+        for ch in encode(s):
+            strict.step_row(int(ch))
+        assert strict.flush().finalize(min_score=50) == []
+
+    def test_row_width_constant(self):
+        aligner = HeuristicAligner("ACGT")
+        row = aligner.step_row(0)
+        assert len(row) == 5  # boundary + 4 columns
+
+    def test_counters_survive_close(self):
+        """Section 4.1: 'These counters are not reset when the alignments
+        are closed' -- so after a bad patch that closes the candidate but
+        does not drive the score to zero, the counters keep accumulating.
+        """
+        core = "ACGTACGTACGT"
+        bad = "AAAA"  # 4 mismatches: 12 -> 8, closes (delta 4) but stays > 0
+        s = core + bad + core
+        t = core + "CCCC" + core
+        aligner = HeuristicAligner(t, HeuristicParams(4, 4, 4))
+        row = None
+        for ch in encode(s):
+            row = aligner.step_row(int(ch))
+        diag = row[len(t)]
+        matches, mismatches = diag[8], diag[9]
+        assert matches >= 2 * len(core) - 4
+        assert mismatches >= len(bad) - 1

@@ -1,0 +1,50 @@
+from hypothesis import given, settings
+
+from repro.core import hirschberg, needleman_wunsch
+from repro.seq import genome_pair, mutate, random_dna, decode
+
+from _strategies import dna_text, scorings
+
+
+class TestHirschberg:
+    def test_identical(self):
+        g = hirschberg("ACGTACGT", "ACGTACGT")
+        assert g.score == 8 and g.identity == 1.0
+
+    def test_empty_cases(self):
+        assert hirschberg("", "").score == 0
+        assert hirschberg("ACG", "").aligned_t == "---"
+        assert hirschberg("", "ACG").aligned_s == "---"
+
+    @given(dna_text(0, 48), dna_text(0, 48))
+    @settings(max_examples=80, deadline=None)
+    def test_score_equals_needleman_wunsch(self, s, t):
+        assert hirschberg(s, t).score == needleman_wunsch(s, t).score
+
+    @given(dna_text(0, 32), dna_text(0, 32), scorings)
+    @settings(max_examples=40, deadline=None)
+    def test_score_equals_nw_any_scoring(self, s, t, scoring):
+        assert hirschberg(s, t, scoring).score == needleman_wunsch(s, t, scoring).score
+
+    @given(dna_text(0, 40), dna_text(0, 40))
+    @settings(max_examples=60, deadline=None)
+    def test_alignment_is_valid(self, s, t):
+        g = hirschberg(s, t)
+        assert g.verify()
+        assert g.aligned_s.replace("-", "") == s
+        assert g.aligned_t.replace("-", "") == t
+
+    def test_large_divided_input(self):
+        """Force several recursion levels (beyond the base-case cell cap)."""
+        s = random_dna(400, rng=31)
+        t = mutate(s, 0.1, rng=32)
+        g = hirschberg(s, t)
+        reference = needleman_wunsch(s, t)
+        assert g.score == reference.score
+        assert g.verify()
+
+    def test_related_sequences_high_identity(self):
+        s = random_dna(300, rng=33)
+        t = mutate(s, 0.02, rng=34)
+        g = hirschberg(decode(s), decode(t))
+        assert g.identity > 0.9

@@ -1,0 +1,111 @@
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core import (
+    iter_sw_rows,
+    nw_last_row,
+    similarity_matrix,
+    sw_best_endpoint,
+    sw_endpoints_above,
+    sw_row_hits,
+    sw_scan,
+)
+from repro.core.matrix import best_cell
+from repro.seq import genome_pair
+
+from _strategies import dna_codes, dna_text, scorings
+
+
+class TestIterSwRows:
+    @given(dna_codes(1, 24), dna_codes(1, 24))
+    @settings(max_examples=60, deadline=None)
+    def test_rows_match_full_matrix(self, s, t):
+        H = similarity_matrix(s, t, local=True)
+        for i, row in iter_sw_rows(s, t):
+            assert np.array_equal(row, H[i])
+
+    def test_yields_m_rows(self):
+        rows = list(iter_sw_rows("ACGT", "AC"))
+        assert [i for i, _ in rows] == [1, 2, 3, 4]
+
+
+class TestBestEndpoint:
+    @given(dna_text(1, 30), dna_text(1, 30))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_full_matrix(self, s, t):
+        H = similarity_matrix(s, t, local=True)
+        ep = sw_best_endpoint(s, t)
+        assert ep.score == int(H.max())
+        if ep.score > 0:
+            assert H[ep.i, ep.j] == ep.score
+            assert (ep.i, ep.j) == best_cell(H)
+
+    def test_zero_for_dissimilar(self):
+        ep = sw_best_endpoint("AAAA", "TTTT")
+        assert ep.score == 0 and (ep.i, ep.j) == (0, 0)
+
+    @given(dna_text(1, 24), dna_text(1, 24), scorings)
+    @settings(max_examples=40, deadline=None)
+    def test_custom_scoring(self, s, t, scoring):
+        H = similarity_matrix(s, t, local=True, scoring=scoring)
+        assert sw_best_endpoint(s, t, scoring).score == int(H.max())
+
+
+class TestEndpointsAbove:
+    def test_planted_regions_all_found(self):
+        gp = genome_pair(1500, 1500, n_regions=2, region_length=80, mutation_rate=0.0, rng=21)
+        eps = sw_endpoints_above(gp.s, gp.t, min_score=50)
+        # Decay-tail summits may add extra endpoints (resolved at rebuild
+        # time, see exact_alignments_above); both planted endpoints must be
+        # among them.
+        assert len(eps) >= 2
+        planted = sorted((p.s_end, p.t_end) for p in gp.regions)
+        for pi, pj in planted:
+            assert any(abs(e.i - pi) <= 10 and abs(e.j - pj) <= 10 for e in eps)
+
+    def test_scores_at_least_threshold(self):
+        gp = genome_pair(1000, 1000, n_regions=1, region_length=60, mutation_rate=0.0, rng=22)
+        for ep in sw_endpoints_above(gp.s, gp.t, min_score=40):
+            assert ep.score >= 40
+
+    def test_rejects_nonpositive_threshold(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            sw_endpoints_above("ACGT", "ACGT", min_score=0)
+
+
+class TestRowHits:
+    @given(dna_codes(1, 20), dna_codes(1, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_full_matrix_counts(self, s, t):
+        H = similarity_matrix(s, t, local=True)
+        hits = sw_row_hits(s, t, threshold=2)
+        expected = (H[1:, 1:] >= 2).sum(axis=1)
+        assert np.array_equal(hits, expected)
+
+    def test_zero_threshold_region(self):
+        hits = sw_row_hits("AAAA", "CCCC", threshold=1)
+        assert hits.sum() == 0
+
+
+class TestNwLastRow:
+    @given(dna_text(0, 20), dna_text(0, 20), scorings)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_full_matrix(self, s, t, scoring):
+        H = similarity_matrix(s, t, local=False, scoring=scoring)
+        assert np.array_equal(nw_last_row(s, t, scoring), H[-1])
+
+    def test_empty_s_gives_gap_row(self):
+        assert nw_last_row("", "ACG").tolist() == [0, -2, -4, -6]
+
+
+class TestSwScan:
+    def test_on_row_sees_every_row(self):
+        seen = []
+        sw_scan("ACGTAC", "ACGT", on_row=lambda i, row: seen.append(i))
+        assert seen == [1, 2, 3, 4, 5, 6]
+
+    def test_scan_and_best_agree(self):
+        gp = genome_pair(500, 500, n_regions=1, region_length=50, mutation_rate=0.0, rng=23)
+        assert sw_scan(gp.s, gp.t) == sw_best_endpoint(gp.s, gp.t)

@@ -1,0 +1,51 @@
+"""Cross-mode properties: local / global / semiglobal / banded relate as the
+textbook says they must.  Brute-force oracles over tiny inputs."""
+
+from hypothesis import given, settings
+
+from repro.core import needleman_wunsch, smith_waterman
+from repro.core.banded import banded_global_score
+from repro.core.semiglobal import semiglobal
+
+from _strategies import dna_text
+
+
+class TestSemiglobalOracle:
+    @given(dna_text(1, 6), dna_text(1, 9))
+    @settings(max_examples=80, deadline=None)
+    def test_semiglobal_is_best_substring_global(self, s, t):
+        """semiglobal(s, t) == max over substrings u of t of NW(s, u)."""
+        best = max(
+            needleman_wunsch(s, t[i:j]).score
+            for i in range(len(t) + 1)
+            for j in range(i, len(t) + 1)
+        )
+        assert semiglobal(s, t).alignment.score == best
+
+
+class TestModeOrdering:
+    @given(dna_text(1, 12), dna_text(1, 12))
+    @settings(max_examples=80, deadline=None)
+    def test_local_dominates_semiglobal_dominates_global(self, s, t):
+        """SW aligns any pieces, semiglobal must consume s, NW must consume
+        both: each restriction can only lower the score."""
+        local = smith_waterman(s, t).alignment.score
+        semi = semiglobal(s, t).alignment.score
+        glob = needleman_wunsch(s, t).score
+        assert local >= semi >= glob
+
+    @given(dna_text(0, 12), dna_text(0, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_banded_never_exceeds_global(self, s, t):
+        width = max(abs(len(s) - len(t)), 1)
+        banded = banded_global_score(s, t, width)
+        assert banded <= needleman_wunsch(s, t).score
+
+    @given(dna_text(1, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_all_modes_agree_on_self_alignment(self, s):
+        n = len(s)
+        assert smith_waterman(s, s).alignment.score == n
+        assert semiglobal(s, s).alignment.score == n
+        assert needleman_wunsch(s, s).score == n
+        assert banded_global_score(s, s, 2) == n

@@ -1,0 +1,130 @@
+import numpy as np
+import pytest
+
+from repro.core import RegionConfig, StreamingRegionFinder, find_regions
+from repro.core.kernels import SCORE_DTYPE
+from repro.seq import genome_pair
+
+
+def row(values):
+    return np.array([0] + list(values), dtype=SCORE_DTYPE)
+
+
+class TestRegionConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegionConfig(threshold=0)
+        with pytest.raises(ValueError):
+            RegionConfig(threshold=5, col_tolerance=-1)
+        with pytest.raises(ValueError):
+            RegionConfig(threshold=5, min_hits=0)
+
+
+class TestStreamingFinder:
+    def test_single_hit_region(self):
+        f = StreamingRegionFinder(RegionConfig(threshold=5))
+        f.feed(1, row([0, 7, 0]))
+        regions = f.finish()
+        assert len(regions) == 1
+        r = regions[0]
+        assert r.score == 7
+        assert (r.peak_i, r.peak_j) == (1, 2)
+        assert r.region == (0, 1, 1, 2)
+
+    def test_rows_must_increase(self):
+        f = StreamingRegionFinder(RegionConfig(threshold=5))
+        f.feed(1, row([9]))
+        with pytest.raises(ValueError):
+            f.feed(1, row([9]))
+
+    def test_diagonal_streak_single_region(self):
+        f = StreamingRegionFinder(RegionConfig(threshold=5))
+        for i in range(1, 11):
+            values = [0] * 20
+            values[i] = 6 + i
+            f.feed(i, row(values))
+        regions = f.finish()
+        assert len(regions) == 1
+        assert regions[0].score == 16
+        assert regions[0].n_hits == 10
+
+    def test_distant_hits_two_regions(self):
+        f = StreamingRegionFinder(RegionConfig(threshold=5, col_tolerance=3, row_tolerance=3))
+        values = [0] * 100
+        values[5] = 9
+        values[80] = 9
+        f.feed(1, row(values))
+        assert len(f.finish()) == 2
+
+    def test_row_gap_beyond_tolerance_splits(self):
+        cfg = RegionConfig(threshold=5, row_tolerance=2)
+        f = StreamingRegionFinder(cfg)
+        one = [0] * 10
+        one[4] = 8
+        f.feed(1, row(one))
+        f.feed(10, row(one))
+        assert len(f.finish()) == 2
+
+    def test_regions_merge_when_bridged(self):
+        cfg = RegionConfig(threshold=5, col_tolerance=4, row_tolerance=4)
+        f = StreamingRegionFinder(cfg)
+        a = [0] * 20
+        a[3] = 8
+        b = [0] * 20
+        b[9] = 8
+        bridge = [0] * 20
+        bridge[3] = 8
+        bridge[6] = 8
+        bridge[9] = 8
+        f.feed(1, row(a))
+        f.feed(2, row(bridge))
+        f.feed(3, row(b))
+        assert len(f.finish()) == 1
+
+    def test_min_hits_filters(self):
+        cfg = RegionConfig(threshold=5, min_hits=3)
+        f = StreamingRegionFinder(cfg)
+        values = [0] * 10
+        values[4] = 9
+        f.feed(1, row(values))
+        assert f.finish() == []
+
+    def test_finish_sorted_by_score(self):
+        f = StreamingRegionFinder(RegionConfig(threshold=5, col_tolerance=1))
+        values = [0] * 50
+        values[5] = 7
+        values[40] = 30
+        f.feed(1, row(values))
+        regions = f.finish()
+        assert [r.score for r in regions] == [30, 7]
+
+
+class TestFindRegions:
+    def test_recovers_planted_regions(self):
+        gp = genome_pair(3000, 3000, n_regions=3, region_length=100, mutation_rate=0.03, rng=7)
+        regions = find_regions(gp.s, gp.t, RegionConfig(threshold=35))
+        top = regions[:3]
+        assert len(top) == 3
+        for planted in gp.regions:
+            assert any(
+                abs(r.peak_i - planted.s_end) < 25 and abs(r.peak_j - planted.t_end) < 25
+                for r in top
+            ), (planted, [r.region for r in top])
+
+    def test_no_regions_in_unrelated_noise(self):
+        gp = genome_pair(1000, 1000, n_regions=0, rng=8)
+        regions = find_regions(gp.s, gp.t, RegionConfig(threshold=40))
+        assert regions == []
+
+    def test_as_alignment_ends_at_peak(self):
+        gp = genome_pair(1200, 1200, n_regions=1, region_length=90, mutation_rate=0.0, rng=9)
+        r = find_regions(gp.s, gp.t, RegionConfig(threshold=30))[0]
+        a = r.as_alignment()
+        assert a.s_end == r.peak_i and a.t_end == r.peak_j
+        assert a.score == r.score
+
+    def test_separate_regions_not_merged(self):
+        gp = genome_pair(4000, 4000, n_regions=3, region_length=100, mutation_rate=0.05, rng=10)
+        regions = find_regions(gp.s, gp.t, RegionConfig(threshold=30))
+        top_regions = [r for r in regions if r.score > 60]
+        assert len(top_regions) == 3

@@ -1,0 +1,50 @@
+import numpy as np
+import pytest
+
+from repro.core import DEFAULT_SCORING, Scoring
+from repro.seq import encode
+
+
+class TestScoring:
+    def test_paper_defaults(self):
+        assert DEFAULT_SCORING == Scoring(match=1, mismatch=-1, gap=-2)
+
+    def test_nonnegative_gap_rejected(self):
+        with pytest.raises(ValueError):
+            Scoring(gap=0)
+
+    def test_match_below_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Scoring(match=-1, mismatch=0, gap=-2)
+
+    def test_substitution_row(self):
+        t = encode("ACGA")
+        row = DEFAULT_SCORING.substitution_row(0, t)  # 'A'
+        assert row.tolist() == [1, -1, -1, 1]
+        assert row.dtype == np.int32
+
+    def test_column_score(self):
+        s = DEFAULT_SCORING
+        assert s.column_score("A", "A") == 1
+        assert s.column_score("A", "C") == -1
+        assert s.column_score("A", "-") == -2
+        assert s.column_score("-", "T") == -2
+
+    def test_double_space_column_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_SCORING.column_score("-", "-")
+
+    def test_alignment_score_fig1(self):
+        # Paper Fig. 1: GACGGATTAG vs GATCGGAATAG scores 6 (9 matches,
+        # 1 mismatch, 1 space)
+        a = "GA-CGGATTAG"
+        b = "GATCGGAATAG"
+        assert DEFAULT_SCORING.alignment_score(a, b) == 6
+
+    def test_alignment_score_length_mismatch(self):
+        with pytest.raises(ValueError):
+            DEFAULT_SCORING.alignment_score("AC", "A")
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_SCORING.match = 5  # type: ignore[misc]

@@ -1,0 +1,62 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import needleman_wunsch, smith_waterman
+from repro.core.semiglobal import locate, semiglobal, semiglobal_matrix
+from repro.seq import decode, genome_pair, mutate, random_dna
+
+from _strategies import dna_text
+
+
+class TestSemiglobal:
+    def test_exact_substring_found_for_free(self):
+        reference = random_dna(300, rng=130)
+        fragment = reference[100:140]
+        result = semiglobal(fragment, reference)
+        assert result.alignment.score == 40  # every base matches, gaps free
+        assert (result.t_start, result.t_end) == (100, 140)
+
+    def test_consumes_all_of_s(self):
+        s, t = "ACGTACGT", "TTTTACGTACGTTTTT"
+        result = semiglobal(s, t)
+        assert result.s_start == 0 and result.s_end == len(s)
+        assert result.alignment.aligned_s.replace("-", "") == s
+
+    def test_mutated_fragment_located(self):
+        reference = random_dna(500, rng=131)
+        fragment = mutate(reference[200:280], 0.05, rng=132)
+        t_start, t_end, score = locate(fragment, reference)
+        assert abs(t_start - 200) <= 5
+        assert abs(t_end - 280) <= 5
+        assert score > 0.8 * len(fragment)
+
+    @given(dna_text(1, 20), dna_text(1, 30))
+    @settings(max_examples=60, deadline=None)
+    def test_between_local_and_global(self, s, t):
+        """Semiglobal is at most the local and at least the global score."""
+        semi = semiglobal(s, t).alignment.score
+        assert semi <= smith_waterman(s, t).alignment.score + len(s) * 2
+        assert semi >= needleman_wunsch(s, t).score
+
+    @given(dna_text(1, 20), dna_text(1, 30))
+    @settings(max_examples=60, deadline=None)
+    def test_alignment_consistent(self, s, t):
+        result = semiglobal(s, t)
+        g = result.alignment
+        assert g.aligned_s.replace("-", "") == s
+        assert t[result.t_start : result.t_end] == g.aligned_t.replace("-", "")
+        assert g.verify()
+
+    def test_matrix_first_row_zero(self):
+        H = semiglobal_matrix("ACG", "TTTT")
+        assert (H[0] == 0).all()
+        assert H[1, 0] == -2 and H[3, 0] == -6
+
+    def test_fragment_of_planted_region(self):
+        gp = genome_pair(800, 800, n_regions=1, region_length=100, mutation_rate=0.03, rng=133)
+        planted = gp.regions[0]
+        fragment = gp.s[planted.s_start : planted.s_end]
+        t_start, t_end, score = locate(fragment, gp.t)
+        assert abs(t_start - planted.t_start) <= 10
+        assert abs(t_end - planted.t_end) <= 10

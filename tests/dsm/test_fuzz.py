@@ -1,0 +1,67 @@
+"""Randomised DSM programs: well-formed programs always terminate cleanly."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsm import JiaJia
+from repro.sim import Simulator
+
+# An op is one of: ("compute", seconds), ("cs", lock_id, seconds),
+# ("barrier",), ("rw", offset_page, nbytes)
+ops = st.one_of(
+    st.tuples(st.just("compute"), st.floats(0.0, 0.5)),
+    st.tuples(st.just("cs"), st.integers(0, 2), st.floats(0.0, 0.2)),
+    st.tuples(st.just("rw"), st.integers(0, 7), st.integers(1, 4096)),
+)
+
+
+@st.composite
+def programs(draw):
+    n_nodes = draw(st.integers(1, 4))
+    n_barriers = draw(st.integers(0, 3))
+    # every node gets its own op list, plus the same number of barriers
+    bodies = [
+        draw(st.lists(ops, max_size=6)) for _ in range(n_nodes)
+    ]
+    return n_nodes, n_barriers, bodies
+
+
+class TestDsmFuzz:
+    @given(programs())
+    @settings(max_examples=60, deadline=None)
+    def test_well_formed_programs_terminate(self, program):
+        """Any mix of computes, critical sections, reads/writes and matched
+        barriers runs to completion with a consistent virtual clock and
+        non-negative accounting."""
+        n_nodes, n_barriers, bodies = program
+        sim = Simulator()
+        dsm = JiaJia(sim, n_nodes)
+        region = dsm.alloc(8 * 4096, "shared")
+
+        def node(p, body):
+            for op in body:
+                if op[0] == "compute":
+                    yield from dsm.compute(p, op[1])
+                elif op[0] == "cs":
+                    _, lock_id, hold = op
+                    yield from dsm.lock(p, lock_id)
+                    dsm.write(p, region, 0, 64)
+                    yield from dsm.compute(p, hold)
+                    yield from dsm.unlock(p, lock_id)
+                else:
+                    _, page, nbytes = op
+                    offset = min(page * 4096, region.nbytes - nbytes)
+                    yield from dsm.read(p, region, offset, nbytes)
+                    dsm.write(p, region, offset, nbytes)
+            for _ in range(n_barriers):
+                yield from dsm.barrier(p)
+
+        procs = [sim.spawn(node(p, bodies[p]), name=f"n{p}") for p in range(n_nodes)]
+        sim.run_all(procs)  # raises on deadlock
+        assert sim.now >= 0.0
+        for stats in dsm.stats:
+            assert stats.breakdown.total >= 0.0
+            assert stats.barrier_waits == n_barriers
+        # no lock left held
+        for lock in dsm._locks.values():
+            assert not lock.locked

@@ -1,0 +1,121 @@
+"""JIAJIA's optional home-migration feature (jia_config, Section 3.1)."""
+
+import pytest
+
+from repro.dsm import JiaJia
+from repro.sim import Simulator
+
+
+def release(dsm, node):
+    """Run one lock/unlock pair on the simulator (a release point)."""
+    sim = dsm.sim
+
+    def body():
+        yield from dsm.lock(node, 1)
+        yield from dsm.unlock(node, 1)
+
+    proc = sim.spawn(body())
+    sim.run_all([proc])
+
+
+class TestJiaConfig:
+    def test_all_features_start_off(self):
+        dsm = JiaJia(Simulator(), 2)
+        assert dsm._options["home_migration"] is False
+
+    def test_unknown_option_rejected(self):
+        dsm = JiaJia(Simulator(), 2)
+        with pytest.raises(ValueError, match="unknown jia_config option"):
+            dsm.config("telepathy", True)
+
+    def test_set_option(self):
+        dsm = JiaJia(Simulator(), 2)
+        dsm.config("home_migration", True)
+        dsm.config("migration_threshold", 5)
+        assert dsm._options["home_migration"] is True
+        assert dsm._options["migration_threshold"] == 5
+
+
+class TestHomeMigration:
+    def test_repeated_writer_steals_home(self):
+        sim = Simulator()
+        dsm = JiaJia(sim, 2)
+        dsm.config("home_migration", True)
+        region = dsm.alloc(4096, home=1)
+        page = region.base_page
+        for _ in range(3):
+            dsm.write(0, region, 0, 100)
+            release(dsm, 0)
+        assert dsm.directory.home(page) == 0
+        assert dsm.stats[0].homes_migrated == 1
+        # subsequent writes are home-local: no more diff traffic
+        dsm.write(0, region, 0, 100)
+        assert dsm._dirty_bytes[0] == 0
+
+    def test_below_threshold_no_migration(self):
+        sim = Simulator()
+        dsm = JiaJia(sim, 2)
+        dsm.config("home_migration", True)
+        region = dsm.alloc(4096, home=1)
+        for _ in range(2):
+            dsm.write(0, region, 0, 100)
+            release(dsm, 0)
+        assert dsm.directory.home(region.base_page) == 1
+
+    def test_alternating_writers_reset_streak(self):
+        sim = Simulator()
+        dsm = JiaJia(sim, 3)
+        dsm.config("home_migration", True)
+        region = dsm.alloc(4096, home=2)
+        for _ in range(2):
+            dsm.write(0, region, 0, 100)
+            release(dsm, 0)
+            dsm.write(1, region, 0, 100)
+            release(dsm, 1)
+        assert dsm.directory.home(region.base_page) == 2
+        assert dsm.stats[0].homes_migrated == dsm.stats[1].homes_migrated == 0
+
+    def test_off_by_default(self):
+        sim = Simulator()
+        dsm = JiaJia(sim, 2)
+        region = dsm.alloc(4096, home=1)
+        for _ in range(5):
+            dsm.write(0, region, 0, 100)
+            release(dsm, 0)
+        assert dsm.directory.home(region.base_page) == 1
+
+    def test_custom_threshold(self):
+        sim = Simulator()
+        dsm = JiaJia(sim, 2)
+        dsm.config("home_migration", True)
+        dsm.config("migration_threshold", 1)
+        region = dsm.alloc(4096, home=1)
+        dsm.write(0, region, 0, 100)
+        release(dsm, 0)
+        assert dsm.directory.home(region.base_page) == 0
+
+
+class TestMigrationInWavefront:
+    def test_migration_reduces_time_and_traffic(self):
+        from repro.seq import genome_pair
+        from repro.strategies import ScaledWorkload, WavefrontConfig, run_wavefront
+
+        gp = genome_pair(1000, 1000, n_regions=0, rng=96)
+        wl = ScaledWorkload(gp.s, gp.t, scale=20)
+        off = run_wavefront(wl, WavefrontConfig(n_procs=8))
+        on = run_wavefront(wl, WavefrontConfig(n_procs=8, home_migration=True))
+        assert on.total_time < off.total_time
+        assert sum(n.homes_migrated for n in on.stats.nodes) > 0
+        bytes_off = sum(n.bytes_sent for n in off.stats.nodes)
+        bytes_on = sum(n.bytes_sent for n in on.stats.nodes)
+        assert bytes_on < 0.5 * bytes_off
+
+    def test_migration_does_not_change_results(self):
+        from repro.seq import genome_pair
+        from repro.strategies import ScaledWorkload, WavefrontConfig, run_wavefront
+
+        gp = genome_pair(800, 800, n_regions=1, region_length=80, rng=97)
+        wl = ScaledWorkload(gp.s, gp.t)
+        off = run_wavefront(wl, WavefrontConfig(n_procs=4))
+        on = run_wavefront(wl, WavefrontConfig(n_procs=4, home_migration=True))
+        assert off.alignments == on.alignments

@@ -1,0 +1,201 @@
+import pytest
+
+from repro.dsm import JiaJia
+from repro.sim import Simulator
+
+
+def run_cluster(n_nodes, make_body, **kw):
+    sim = Simulator()
+    dsm = JiaJia(sim, n_nodes, **kw)
+    procs = [sim.spawn(make_body(dsm, i), name=f"node{i}") for i in range(n_nodes)]
+    sim.run_all(procs)
+    return sim, dsm
+
+
+class TestLifecycle:
+    def test_invalid_nodes(self):
+        with pytest.raises(ValueError):
+            JiaJia(Simulator(), 0)
+
+    def test_compute_charges_time_and_cells(self):
+        def body(dsm, i):
+            yield from dsm.compute(i, 2.0, cells=100)
+
+        sim, dsm = run_cluster(2, body)
+        assert sim.now == 2.0
+        assert dsm.stats[0].breakdown.computation == 2.0
+        assert dsm.stats[0].cells_computed == 100
+
+
+class TestLocks:
+    def test_mutual_exclusion_with_protocol_cost(self):
+        order = []
+
+        def body(dsm, i):
+            yield from dsm.lock(i, 1)
+            order.append(("in", i))
+            yield from dsm.compute(i, 1.0)
+            order.append(("out", i))
+            yield from dsm.unlock(i, 1)
+
+        sim, dsm = run_cluster(2, body)
+        ins = [e for e in order if e[0] == "in"]
+        outs = [e for e in order if e[0] == "out"]
+        # strict alternation: second enters only after first leaves
+        assert order.index(outs[0]) < order.index(ins[1])
+        assert dsm.stats[0].lock_acquires == 1
+
+    def test_unlock_not_held_raises(self):
+        def body(dsm, i):
+            yield from dsm.unlock(i, 9)
+
+        with pytest.raises(RuntimeError):
+            run_cluster(1, body)
+
+    def test_waiting_time_charged_to_lock_cv(self):
+        def body(dsm, i):
+            yield from dsm.lock(i, 1)
+            yield from dsm.compute(i, 5.0)
+            yield from dsm.unlock(i, 1)
+
+        sim, dsm = run_cluster(2, body)
+        # one of the nodes waited ~5s for the other's critical section
+        waited = max(dsm.stats[i].breakdown.lock_cv for i in range(2))
+        assert waited > 4.0
+
+
+class TestCv:
+    def test_producer_consumer_handshake(self):
+        seen = []
+
+        def body(dsm, i):
+            if i == 0:
+                yield from dsm.compute(0, 1.0)
+                yield from dsm.setcv(0, 5)
+            else:
+                yield from dsm.waitcv(1, 5)
+                seen.append(dsm.sim.now)
+
+        sim, dsm = run_cluster(2, body)
+        assert seen and seen[0] >= 1.0
+        assert dsm.stats[0].cv_signals == 1
+        assert dsm.stats[1].cv_waits == 1
+
+    def test_signal_memory_prevents_lost_wakeup(self):
+        def body(dsm, i):
+            if i == 0:
+                yield from dsm.setcv(0, 5)  # signal before anyone waits
+            else:
+                yield from dsm.compute(1, 10.0)
+                yield from dsm.waitcv(1, 5)
+
+        sim, dsm = run_cluster(2, body)  # must not deadlock
+        assert sim.now >= 10.0
+
+
+class TestBarrier:
+    def test_barrier_synchronizes_all(self):
+        after = []
+
+        def body(dsm, i):
+            yield from dsm.compute(i, float(i))
+            yield from dsm.barrier(i)
+            after.append(dsm.sim.now)
+
+        sim, dsm = run_cluster(4, body)
+        assert len(set(after)) == 1
+        assert after[0] >= 3.0
+        assert all(dsm.stats[i].barrier_waits == 1 for i in range(4))
+
+    def test_barrier_time_charged(self):
+        def body(dsm, i):
+            yield from dsm.barrier(i)
+
+        sim, dsm = run_cluster(2, body)
+        assert dsm.stats[0].breakdown.barrier > 0
+
+
+class TestMemory:
+    def test_write_to_home_pages_is_free(self):
+        sim = Simulator()
+        dsm = JiaJia(sim, 2)
+        region = dsm.alloc(4096, home=0)
+        dsm.write(0, region, 0, 4096)
+        assert dsm._dirty_bytes[0] == 0  # home-local: no diff traffic
+
+    def test_write_to_remote_pages_accumulates_diffs(self):
+        sim = Simulator()
+        dsm = JiaJia(sim, 2)
+        region = dsm.alloc(4096, home=1)
+        dsm.write(0, region, 100, 200)
+        assert dsm._dirty_bytes[0] == 200
+        assert len(dsm._dirty_pages[0]) == 1
+
+    def test_round_robin_split_write(self):
+        sim = Simulator()
+        dsm = JiaJia(sim, 2)
+        region = dsm.alloc(8192)  # pages 0 (home 0) and 1 (home 1)
+        dsm.write(0, region, 0, 8192)
+        assert dsm._dirty_bytes[0] == 4096  # only the remote page
+
+    def test_release_resets_dirty_state(self):
+        def body(dsm, i):
+            region = body.region
+            if i == 0:
+                dsm.write(0, region, 0, 4096)
+                yield from dsm.lock(0, 1)
+                yield from dsm.unlock(0, 1)
+            else:
+                yield from dsm.compute(i, 0.0)
+
+        sim = Simulator()
+        dsm = JiaJia(sim, 2)
+        body.region = dsm.alloc(4096, home=1)
+        procs = [sim.spawn(body(dsm, i)) for i in range(2)]
+        sim.run_all(procs)
+        assert dsm._dirty_bytes[0] == 0
+        assert dsm.stats[0].diffs_sent == 1
+
+    def test_read_faults_then_caches(self):
+        def body(dsm, i):
+            region = body.region
+            yield from dsm.read(1, region, 0, 4096)
+            yield from dsm.read(1, region, 0, 4096)  # cached now
+
+        sim = Simulator()
+        dsm = JiaJia(sim, 2)
+        body.region = dsm.alloc(4096, home=0)
+        proc = sim.spawn(body(dsm, 1))
+        sim.run_all([proc])
+        assert dsm.stats[1].page_faults == 1
+        assert dsm.caches[1].hits == 1
+
+    def test_read_after_release_refetches(self):
+        """A page re-released by its writer is stale in remote caches."""
+        sim = Simulator()
+        dsm = JiaJia(sim, 3)
+        region = dsm.alloc(4096, home=0)  # remote for both node 1 and node 2
+
+        def body():
+            yield from dsm.read(1, region, 0, 100)  # fault 1
+            dsm.write(2, region, 0, 100)  # node 2 writes (remote to it)
+            yield from dsm.lock(2, 1)
+            yield from dsm.unlock(2, 1)  # release bumps the page version
+            yield from dsm.read(1, region, 0, 100)  # stale copy: fault 2
+
+        proc = sim.spawn(body())
+        sim.run_all([proc])
+        assert dsm.stats[1].page_faults == 2
+
+    def test_home_reads_are_free(self):
+        sim = Simulator()
+        dsm = JiaJia(sim, 2)
+        region = dsm.alloc(4096, home=1)
+
+        def body():
+            yield from dsm.read(1, region, 0, 4096)
+
+        proc = sim.spawn(body())
+        sim.run_all([proc])
+        assert sim.now == 0.0
+        assert dsm.stats[1].page_faults == 0

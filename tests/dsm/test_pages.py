@@ -1,0 +1,89 @@
+import pytest
+
+from repro.dsm import PageDirectory, RemotePageCache
+
+
+class TestPageDirectory:
+    def test_round_robin_homes(self):
+        d = PageDirectory(n_nodes=4, page_bytes=100)
+        region = d.alloc(800, "r")
+        homes = [d.home(p) for p in range(region.base_page, region.base_page + 8)]
+        assert homes == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_pinned_home(self):
+        d = PageDirectory(n_nodes=4, page_bytes=100)
+        region = d.alloc(300, "r", home=2)
+        assert all(d.home(p) == 2 for p in region.pages_of(0, 300))
+
+    def test_invalid_home(self):
+        d = PageDirectory(n_nodes=2)
+        with pytest.raises(ValueError):
+            d.alloc(100, home=5)
+
+    def test_pages_of_ranges(self):
+        d = PageDirectory(n_nodes=1, page_bytes=100)
+        region = d.alloc(1000)
+        assert list(region.pages_of(0, 100)) == [0]
+        assert list(region.pages_of(50, 100)) == [0, 1]
+        assert list(region.pages_of(0, 0)) == []
+        assert list(region.pages_of(999, 1)) == [9]
+
+    def test_pages_of_out_of_bounds(self):
+        d = PageDirectory(n_nodes=1, page_bytes=100)
+        region = d.alloc(100)
+        with pytest.raises(ValueError):
+            region.pages_of(50, 100)
+
+    def test_second_region_starts_after_first(self):
+        d = PageDirectory(n_nodes=2, page_bytes=100)
+        a = d.alloc(250)
+        b = d.alloc(100)
+        assert b.base_page == a.base_page + 3
+
+    def test_versions_bump(self):
+        d = PageDirectory(n_nodes=2)
+        d.alloc(100)
+        assert d.version(0) == 0
+        d.bump(0)
+        assert d.version(0) == 1
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            PageDirectory(0)
+
+
+class TestRemotePageCache:
+    def test_miss_then_hit(self):
+        c = RemotePageCache(4)
+        assert not c.lookup(7, 0)
+        c.fill(7, 0)
+        assert c.lookup(7, 0)
+        assert (c.hits, c.misses) == (1, 1)
+
+    def test_stale_version_is_miss(self):
+        c = RemotePageCache(4)
+        c.fill(7, 0)
+        assert not c.lookup(7, 1)  # page was re-released since
+        assert 7 not in c._entries
+
+    def test_capacity_replacement_fifo(self):
+        c = RemotePageCache(2)
+        c.fill(1, 0)
+        c.fill(2, 0)
+        c.fill(3, 0)  # evicts page 1
+        assert c.replacements == 1
+        assert not c.lookup(1, 0)
+        assert c.lookup(3, 0)
+
+    def test_invalidate(self):
+        c = RemotePageCache(2)
+        c.fill(1, 0)
+        c.invalidate(1)
+        assert c.invalidations == 1
+        assert not c.lookup(1, 0)
+        c.invalidate(99)  # no-op
+        assert c.invalidations == 1
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            RemotePageCache(0)

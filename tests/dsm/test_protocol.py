@@ -1,0 +1,37 @@
+from repro.dsm import Message, MessageTrace, MsgType
+
+
+class TestMessageTrace:
+    def test_record_and_count(self):
+        trace = MessageTrace()
+        trace.record(0.0, MsgType.ACQ, 1, 0)
+        trace.record(0.1, MsgType.GRANT, 0, 1)
+        trace.record(0.2, MsgType.ACQ, 2, 0)
+        assert len(trace) == 3
+        assert trace.count(MsgType.ACQ) == 2
+        assert trace.count(MsgType.BARR) == 0
+
+    def test_bytes_total(self):
+        trace = MessageTrace()
+        trace.record(0.0, MsgType.DIFF, 0, 1, nbytes=4096)
+        trace.record(0.0, MsgType.DIFFGRANT, 1, 0, nbytes=64)
+        assert trace.bytes_total() == 4160
+
+    def test_between(self):
+        trace = MessageTrace()
+        for k in range(5):
+            trace.record(float(k), MsgType.GETP, 0, 1)
+        window = trace.between(1.0, 3.0)
+        assert [m.time for m in window] == [1.0, 2.0]
+
+    def test_message_is_frozen(self):
+        m = Message(0.0, MsgType.PAGE, 0, 1)
+        import pytest
+
+        with pytest.raises(Exception):
+            m.time = 5.0  # type: ignore[misc]
+
+    def test_all_fig6_message_types_exist(self):
+        # Fig. 6 of the paper names these protocol messages
+        for name in ("DIFF", "DIFFGRANT", "BARR", "BARRGRANT", "ACQ", "GRANT"):
+            assert hasattr(MsgType, name)

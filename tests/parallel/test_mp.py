@@ -1,0 +1,119 @@
+import numpy as np
+import pytest
+
+from repro.core import LocalAlignment, needleman_wunsch
+from repro.parallel import (
+    MpBlockedConfig,
+    attach_shared_array,
+    create_shared_array,
+    mp_blocked_alignments,
+    mp_phase2,
+)
+from repro.seq import genome_pair
+
+
+class TestSharedArray:
+    def test_create_and_attach(self):
+        owner = create_shared_array((4, 5))
+        try:
+            owner.array[2, 3] = 42
+            view = attach_shared_array(owner.name, (4, 5))
+            try:
+                assert view.array[2, 3] == 42
+                view.array[0, 0] = 7
+                assert owner.array[0, 0] == 7
+            finally:
+                view.close()
+        finally:
+            owner.close()
+
+    def test_zero_initialised(self):
+        arr = create_shared_array((10,))
+        try:
+            assert (arr.array == 0).all()
+        finally:
+            arr.close()
+
+
+class TestMpBlocked:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MpBlockedConfig(n_workers=0)
+
+    def test_single_worker_finds_regions(self):
+        gp = genome_pair(500, 500, n_regions=1, region_length=70, mutation_rate=0.0, rng=50)
+        found = mp_blocked_alignments(
+            gp.s, gp.t, MpBlockedConfig(n_workers=1, n_bands=4, n_blocks=4)
+        )
+        assert found
+        planted = gp.regions[0]
+        assert abs(found[0].s_end - planted.s_end) <= 20
+
+    def test_two_workers_match_one_worker(self):
+        gp = genome_pair(600, 600, n_regions=2, region_length=60, mutation_rate=0.02, rng=51)
+        one = mp_blocked_alignments(
+            gp.s, gp.t, MpBlockedConfig(n_workers=1, n_bands=6, n_blocks=4)
+        )
+        two = mp_blocked_alignments(
+            gp.s, gp.t, MpBlockedConfig(n_workers=2, n_bands=6, n_blocks=4)
+        )
+        assert [a.score for a in one] == [a.score for a in two]
+        assert [a.region for a in one] == [a.region for a in two]
+
+    def test_matches_simulated_backend(self):
+        """The real and simulated backends agree on the alignment queue."""
+        from repro.strategies import BlockedConfig, ScaledWorkload, run_blocked
+
+        gp = genome_pair(500, 500, n_regions=1, region_length=80, mutation_rate=0.0, rng=52)
+        real = mp_blocked_alignments(
+            gp.s, gp.t, MpBlockedConfig(n_workers=2, n_bands=8, n_blocks=4)
+        )
+        simulated = run_blocked(
+            ScaledWorkload(gp.s, gp.t),
+            BlockedConfig(n_procs=2, n_bands=8, n_blocks=4),
+        ).alignments
+        assert [a.score for a in real] == [a.score for a in simulated]
+
+    def test_no_regions_in_noise(self):
+        gp = genome_pair(400, 400, n_regions=0, rng=53)
+        found = mp_blocked_alignments(
+            gp.s, gp.t, MpBlockedConfig(n_workers=2, n_bands=4, n_blocks=2, threshold=40)
+        )
+        assert found == []
+
+
+class TestMpPhase2:
+    def test_records_match_serial_nw(self):
+        gp = genome_pair(800, 800, n_regions=2, region_length=60, mutation_rate=0.05, rng=54)
+        regions = [
+            LocalAlignment(10, p.s_start, p.s_end, p.t_start, p.t_end)
+            for p in gp.regions
+        ]
+        records = mp_phase2(gp.s, gp.t, regions, n_workers=2)
+        assert len(records) == 2
+        for rec in records:
+            reference = needleman_wunsch(
+                gp.s[rec.source.s_start : rec.source.s_end],
+                gp.t[rec.source.t_start : rec.source.t_end],
+            )
+            assert rec.similarity == reference.score
+
+    def test_empty(self):
+        gp = genome_pair(100, 100, n_regions=0, rng=55)
+        assert mp_phase2(gp.s, gp.t, [], n_workers=2) == []
+
+    def test_invalid_workers(self):
+        gp = genome_pair(100, 100, n_regions=0, rng=56)
+        with pytest.raises(ValueError):
+            mp_phase2(gp.s, gp.t, [], n_workers=0)
+
+    def test_sorted_by_size(self):
+        gp = genome_pair(1000, 1000, n_regions=0, rng=57)
+        regions = [
+            LocalAlignment(5, 0, 50, 0, 50),
+            LocalAlignment(5, 100, 400, 100, 400),
+            LocalAlignment(5, 500, 600, 500, 600),
+        ]
+        records = mp_phase2(gp.s, gp.t, regions, n_workers=1)
+        sizes = [r.source.size for r in records]
+        assert sizes == sorted(sizes, reverse=True)

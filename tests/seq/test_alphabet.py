@@ -1,0 +1,85 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.seq import (
+    ALPHABET_SIZE,
+    DNA,
+    AlphabetError,
+    complement,
+    decode,
+    encode,
+    reverse_complement,
+)
+
+
+class TestEncode:
+    def test_basic_order(self):
+        assert list(encode("ACGT")) == [0, 1, 2, 3]
+
+    def test_lowercase_accepted(self):
+        assert list(encode("acgt")) == [0, 1, 2, 3]
+
+    def test_empty(self):
+        assert encode("").size == 0
+
+    def test_bytes_input(self):
+        assert list(encode(b"GATT")) == [2, 0, 3, 3]
+
+    def test_ndarray_passthrough_no_copy(self):
+        arr = np.array([0, 1, 2, 3], dtype=np.uint8)
+        assert encode(arr) is arr
+
+    def test_invalid_character_raises(self):
+        with pytest.raises(AlphabetError, match="N"):
+            encode("ACGTN")
+
+    def test_invalid_dtype_raises(self):
+        with pytest.raises(AlphabetError):
+            encode(np.array([0, 1], dtype=np.int64))
+
+    def test_out_of_range_codes_raise(self):
+        with pytest.raises(AlphabetError):
+            encode(np.array([0, 7], dtype=np.uint8))
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            encode(123)
+
+    def test_dtype_is_uint8(self):
+        assert encode("ACGT").dtype == np.uint8
+
+
+class TestDecode:
+    def test_roundtrip_simple(self):
+        assert decode(encode("GATTACA")) == "GATTACA"
+
+    def test_empty(self):
+        assert decode(np.array([], dtype=np.uint8)) == ""
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(AlphabetError):
+            decode(np.array([4], dtype=np.uint8))
+
+    @given(st.text(alphabet="ACGT", max_size=200))
+    def test_roundtrip_property(self, text):
+        assert decode(encode(text)) == text
+
+
+class TestComplement:
+    def test_complement_pairs(self):
+        assert decode(complement(encode("ACGT"))) == "TGCA"
+
+    def test_reverse_complement(self):
+        assert decode(reverse_complement(encode("AACGT"))) == "ACGTT"
+
+    @given(st.text(alphabet="ACGT", max_size=100))
+    def test_reverse_complement_involution(self, text):
+        codes = encode(text)
+        assert decode(reverse_complement(reverse_complement(codes))) == text
+
+
+def test_alphabet_constants():
+    assert DNA == "ACGT"
+    assert ALPHABET_SIZE == 4

@@ -1,0 +1,69 @@
+"""The general Alphabet abstraction (beyond the DNA fast path)."""
+
+import numpy as np
+import pytest
+
+from repro.seq import DNA_ALPHABET, Alphabet
+from repro.seq.alphabet import AlphabetError
+
+
+class TestAlphabetConstruction:
+    def test_duplicate_letters_rejected(self):
+        with pytest.raises(ValueError):
+            Alphabet("AAB")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Alphabet("")
+
+    def test_size(self):
+        assert Alphabet("XYZ").size == 3
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        rna = Alphabet("ACGU", "RNA")
+        assert rna.decode(rna.encode("GUAC")) == "GUAC"
+
+    def test_case_insensitive_encode(self):
+        assert Alphabet("XY").encode("xyXY").tolist() == [0, 1, 0, 1]
+
+    def test_invalid_char(self):
+        with pytest.raises(AlphabetError, match="RNA"):
+            Alphabet("ACGU", "RNA").encode("ACGT")
+
+    def test_array_passthrough_validated(self):
+        ab = Alphabet("AB")
+        good = np.array([0, 1, 0], dtype=np.uint8)
+        assert ab.encode(good) is good
+        with pytest.raises(AlphabetError):
+            ab.encode(np.array([2], dtype=np.uint8))
+        with pytest.raises(AlphabetError):
+            ab.encode(np.array([0], dtype=np.int64))
+
+    def test_decode_range_checked(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("AB").decode(np.array([5], dtype=np.uint8))
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            Alphabet("AB").encode(3.14)
+
+
+class TestDnaAlphabetInstance:
+    def test_matches_module_functions(self):
+        from repro.seq import decode, encode
+
+        text = "GATTACA"
+        assert np.array_equal(DNA_ALPHABET.encode(text), encode(text))
+        assert DNA_ALPHABET.decode(encode(text)) == decode(encode(text))
+
+    def test_custom_alphabet_through_full_matrix(self):
+        """A binary alphabet with its own scoring runs the core unchanged."""
+        from repro.core import MatrixScoring, Scoring, smith_waterman
+
+        binary = Alphabet("01", "binary")
+        scoring = Scoring(match=2, mismatch=-3, gap=-4)
+        r = smith_waterman("0110", "0110", scoring, alphabet=binary)
+        assert r.alignment.score == 8
+        assert r.alignment.aligned_s == "0110"

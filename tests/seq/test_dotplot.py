@@ -1,0 +1,82 @@
+import pytest
+
+from repro.seq import dotplot
+
+
+class TestDotplot:
+    def test_counts_regions(self):
+        regions = [(0, 10, 0, 10), (50, 60, 50, 60)]
+        plot = dotplot(regions, 100, 100, rows=10, cols=10)
+        assert plot.n_regions == 2
+
+    def test_midpoint_bucketing(self):
+        plot = dotplot([(0, 10, 90, 100)], 100, 100, rows=10, cols=10)
+        # s midpoint 5 -> row 0; t midpoint 95 -> col 9
+        assert plot.grid[0, 9] == 1
+        assert plot.grid.sum() == 1
+
+    def test_out_of_range_clamped(self):
+        plot = dotplot([(95, 120, 95, 130)], 100, 100, rows=10, cols=10)
+        assert plot.grid[9, 9] == 1
+
+    def test_empty(self):
+        plot = dotplot([], 100, 100)
+        assert plot.n_regions == 0
+
+    def test_invalid_grid_raises(self):
+        with pytest.raises(ValueError):
+            dotplot([], 100, 100, rows=0)
+
+    def test_invalid_lengths_raise(self):
+        with pytest.raises(ValueError):
+            dotplot([], 0, 100)
+
+    def test_render_dimensions(self):
+        plot = dotplot([(0, 10, 0, 10)], 100, 100, rows=5, cols=8)
+        lines = plot.render().split("\n")
+        assert len(lines) == 7  # 5 rows + 2 borders
+        assert all(len(line) == 10 for line in lines)
+
+    def test_render_shows_density(self):
+        regions = [(0, 10, 0, 10)] * 5
+        plot = dotplot(regions, 100, 100, rows=4, cols=4)
+        art = plot.render()
+        assert "#" in art
+
+    def test_diagonal_pattern(self):
+        regions = [(i, i + 10, i, i + 10) for i in range(0, 90, 10)]
+        plot = dotplot(regions, 100, 100, rows=10, cols=10)
+        # all regions on the main diagonal
+        assert all(plot.grid[k, k] >= 1 for k in range(1, 9))
+
+
+class TestZoom:
+    def _regions(self):
+        return [(0, 10, 0, 10), (45, 55, 45, 55), (90, 100, 90, 100)]
+
+    def test_zoom_keeps_only_window_regions(self):
+        from repro.seq import zoom
+
+        plot = zoom(self._regions(), (40, 60), (40, 60), rows=10, cols=10)
+        assert plot.n_regions == 1
+
+    def test_zoom_clips_straddling_regions(self):
+        from repro.seq import zoom
+
+        plot = zoom([(35, 45, 35, 45)], (40, 60), (40, 60), rows=10, cols=10)
+        # clipped to (40,45)x(40,45): midpoint in the first bucket
+        assert plot.grid[1, 1] == 1
+
+    def test_zoom_coordinates_are_window_relative(self):
+        from repro.seq import zoom
+
+        plot = zoom([(45, 55, 45, 55)], (40, 60), (40, 60), rows=10, cols=10)
+        assert plot.grid[5, 5] == 1
+
+    def test_empty_window_rejected(self):
+        import pytest
+
+        from repro.seq import zoom
+
+        with pytest.raises(ValueError):
+            zoom([], (10, 10), (0, 5))

@@ -1,0 +1,185 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.seq import encode, genome_pair, mutate, random_dna
+
+
+class TestRandomDna:
+    def test_length(self):
+        assert len(random_dna(100, rng=0)) == 100
+
+    def test_zero_length(self):
+        assert len(random_dna(0, rng=0)) == 0
+
+    def test_negative_length_raises(self):
+        with pytest.raises(ValueError):
+            random_dna(-1, rng=0)
+
+    def test_codes_in_range(self):
+        seq = random_dna(1000, rng=1)
+        assert seq.min() >= 0 and seq.max() <= 3
+
+    def test_deterministic_with_seed(self):
+        assert np.array_equal(random_dna(50, rng=7), random_dna(50, rng=7))
+
+    def test_roughly_uniform(self):
+        seq = random_dna(40_000, rng=2)
+        counts = np.bincount(seq, minlength=4)
+        assert counts.min() > 0.2 * len(seq)
+
+
+class TestMutate:
+    def test_zero_rate_is_identity(self):
+        seq = random_dna(200, rng=3)
+        assert np.array_equal(mutate(seq, 0.0, rng=3), seq)
+
+    def test_rate_one_changes_everything(self):
+        seq = random_dna(300, rng=4)
+        out = mutate(seq, 1.0, rng=4, indel_fraction=0.0)
+        # pure substitutions to a *different* base: no position can match
+        assert len(out) == len(seq)
+        assert not np.any(out == seq)
+
+    def test_rate_bounds_checked(self):
+        seq = random_dna(10, rng=0)
+        with pytest.raises(ValueError):
+            mutate(seq, 1.5, rng=0)
+        with pytest.raises(ValueError):
+            mutate(seq, 0.1, rng=0, indel_fraction=-0.2)
+
+    def test_expected_divergence(self):
+        seq = random_dna(20_000, rng=5)
+        out = mutate(seq, 0.1, rng=5, indel_fraction=0.0)
+        frac_changed = np.mean(out != seq)
+        assert 0.07 < frac_changed < 0.13
+
+    def test_indels_change_length_sometimes(self):
+        seq = random_dna(2000, rng=6)
+        lengths = {len(mutate(seq, 0.2, rng=k, indel_fraction=1.0)) for k in range(5)}
+        assert any(length != len(seq) for length in lengths)
+
+    @given(st.integers(0, 2**31), st.floats(0, 1))
+    @settings(max_examples=25, deadline=None)
+    def test_output_codes_valid(self, seed, rate):
+        seq = random_dna(64, rng=seed)
+        out = mutate(seq, rate, rng=seed)
+        assert out.dtype == np.uint8
+        if out.size:
+            assert out.max() <= 3
+
+
+class TestGenomePair:
+    def test_lengths(self):
+        gp = genome_pair(3000, 2500, n_regions=2, region_length=100, rng=0)
+        assert len(gp.s) == 3000 and len(gp.t) == 2500
+
+    def test_no_regions(self):
+        gp = genome_pair(500, n_regions=0, rng=0)
+        assert gp.regions == []
+
+    def test_regions_recorded(self):
+        gp = genome_pair(5000, n_regions=3, region_length=120, rng=1)
+        assert len(gp.regions) == 3
+
+    def test_planted_fragment_identity(self):
+        gp = genome_pair(4000, n_regions=2, region_length=150, mutation_rate=0.0, rng=2)
+        for r in gp.regions:
+            frag_s = gp.s[r.s_start : r.s_end]
+            frag_t = gp.t[r.t_start : r.t_end]
+            assert np.array_equal(frag_s, frag_t)
+            assert r.identity == 1.0
+
+    def test_mutated_fragment_similarity(self):
+        gp = genome_pair(6000, n_regions=2, region_length=200, mutation_rate=0.05, rng=3)
+        for r in gp.regions:
+            assert r.identity > 0.85
+
+    def test_regions_sorted_and_separated(self):
+        gp = genome_pair(10_000, n_regions=4, region_length=100, rng=4)
+        for a, b in zip(gp.regions, gp.regions[1:]):
+            assert b.s_start - a.s_end >= 3 * 100  # default min_separation
+            assert b.t_start - a.t_end >= 0
+
+    def test_custom_separation(self):
+        gp = genome_pair(10_000, n_regions=3, region_length=100, rng=5, min_separation=1000)
+        for a, b in zip(gp.regions, gp.regions[1:]):
+            assert b.s_start - a.s_end >= 1000
+
+    def test_too_many_regions_raises(self):
+        with pytest.raises(ValueError, match="do not fit"):
+            genome_pair(500, n_regions=5, region_length=200, rng=0)
+
+    def test_bad_region_length_raises(self):
+        with pytest.raises(ValueError):
+            genome_pair(500, n_regions=1, region_length=0, rng=0)
+
+    def test_text_properties_roundtrip(self):
+        gp = genome_pair(300, n_regions=0, rng=6)
+        assert np.array_equal(encode(gp.s_text), gp.s)
+        assert np.array_equal(encode(gp.t_text), gp.t)
+
+    def test_deterministic(self):
+        a = genome_pair(2000, n_regions=2, region_length=80, rng=9)
+        b = genome_pair(2000, n_regions=2, region_length=80, rng=9)
+        assert np.array_equal(a.s, b.s) and np.array_equal(a.t, b.t)
+        assert a.regions == b.regions
+
+
+class TestBiasedDna:
+    def test_gc_target_hit(self):
+        from repro.seq import biased_dna, composition
+
+        seq = biased_dna(40_000, gc_content=0.35, rng=50)
+        assert abs(composition(seq).gc_content - 0.35) < 0.02
+
+    def test_extremes(self):
+        from repro.seq import biased_dna, composition
+
+        assert composition(biased_dna(1000, 0.0, rng=51)).gc_content == 0.0
+        assert composition(biased_dna(1000, 1.0, rng=52)).gc_content == 1.0
+
+    def test_validation(self):
+        from repro.seq import biased_dna
+
+        with pytest.raises(ValueError):
+            biased_dna(100, gc_content=1.5)
+        with pytest.raises(ValueError):
+            biased_dna(-1)
+
+
+class TestMitoLike:
+    def test_length_and_composition(self):
+        from repro.seq import composition, mito_like
+
+        seq = mito_like(20_000, rng=53)
+        assert len(seq) == 20_000
+        assert abs(composition(seq).gc_content - 0.35) < 0.03
+
+    def test_self_comparison_has_offdiagonal_regions(self):
+        """Dispersed repeats make self-comparison non-trivial."""
+        from repro.core import RegionConfig, find_regions
+        from repro.seq import mito_like
+
+        seq = mito_like(3000, repeat_families=2, repeat_unit=60,
+                        copies_per_family=3, rng=54)
+        regions = find_regions(seq, seq, RegionConfig(threshold=30))
+        off_diagonal = [
+            r for r in regions if abs(r.peak_i - r.peak_j) > 100
+        ]
+        assert off_diagonal, "repeat copies must show up off the main diagonal"
+
+    def test_uniform_genome_has_none(self):
+        from repro.core import RegionConfig, find_regions
+        from repro.seq import random_dna
+
+        a = random_dna(3000, rng=55)
+        regions = find_regions(a, a, RegionConfig(threshold=30))
+        assert all(abs(r.peak_i - r.peak_j) <= 100 for r in regions)
+
+    def test_repeats_must_fit(self):
+        from repro.seq import mito_like
+
+        with pytest.raises(ValueError):
+            mito_like(100, repeat_families=10, repeat_unit=40, copies_per_family=10)

@@ -1,0 +1,90 @@
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.seq import genome_pair, random_dna
+from repro.seq.stats import composition, kmer_spectrum, longest_shared_kmer
+
+from _strategies import dna_text
+
+
+class TestComposition:
+    def test_counts(self):
+        stats = composition("AACGT")
+        assert stats.counts == (2, 1, 1, 1)
+        assert stats.length == 5
+
+    def test_gc_content(self):
+        assert composition("GGCC").gc_content == 1.0
+        assert composition("AATT").gc_content == 0.0
+        assert composition("ACGT").gc_content == 0.5
+
+    def test_entropy_uniform(self):
+        assert composition("ACGT").entropy == pytest.approx(2.0)
+
+    def test_entropy_degenerate(self):
+        assert composition("AAAA").entropy == 0.0
+
+    def test_empty(self):
+        stats = composition("")
+        assert stats.gc_content == 0.0 and stats.entropy == 0.0
+
+    def test_str_summary(self):
+        text = str(composition("ACGTACGT"))
+        assert "8 BP" in text and "GC 50.0%" in text
+
+    def test_random_dna_near_uniform(self):
+        stats = composition(random_dna(50_000, rng=1))
+        assert stats.entropy > 1.99
+        assert abs(stats.gc_content - 0.5) < 0.02
+
+    @given(dna_text(1, 64))
+    @settings(max_examples=50, deadline=None)
+    def test_counts_sum_to_length(self, text):
+        stats = composition(text)
+        assert sum(stats.counts) == stats.length == len(text)
+        assert 0 <= stats.entropy <= 2.0 + 1e-12
+
+
+class TestKmerSpectrum:
+    def test_simple(self):
+        assert kmer_spectrum("AAAA", 2) == {"AA": 3}
+
+    def test_distinct_kmers(self):
+        spectrum = kmer_spectrum("ACGT", 2)
+        assert spectrum == {"AC": 1, "CG": 1, "GT": 1}
+
+    def test_short_sequence(self):
+        assert kmer_spectrum("AC", 3) == {}
+
+    @given(dna_text(3, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_spectrum_counts_total(self, text):
+        spectrum = kmer_spectrum(text, 3)
+        assert sum(spectrum.values()) == max(0, len(text) - 2)
+        for word, count in spectrum.items():
+            assert len(word) == 3 and count > 0
+
+
+class TestLongestSharedKmer:
+    def test_identical_sequences(self):
+        assert longest_shared_kmer("ACGTACGT", "ACGTACGT") == 8
+
+    def test_disjoint(self):
+        assert longest_shared_kmer("AAAA", "CCCC") == 0
+
+    def test_known_overlap(self):
+        a = "TTTTT" + "ACGTACGTAC" + "TTTTT"
+        b = "GGGGG" + "ACGTACGTAC" + "GGGGG"
+        assert longest_shared_kmer(a, b) >= 10
+
+    def test_random_backgrounds_share_only_short_words(self):
+        a = random_dna(2000, rng=2)
+        b = random_dna(2000, rng=3)
+        # ~log4(n*m) expected; anything above 20 would be suspicious
+        assert longest_shared_kmer(a, b) < 20
+
+    def test_planted_region_detected(self):
+        gp = genome_pair(1000, 1000, n_regions=1, region_length=60, mutation_rate=0.0, rng=4)
+        assert longest_shared_kmer(gp.s, gp.t) == 31  # capped at the packing limit

@@ -1,0 +1,64 @@
+import pytest
+
+from repro.sim import DEFAULT_COST_MODEL, CostModel
+
+
+class TestCalibration:
+    """The constants must stay anchored to the paper's measurements."""
+
+    def test_heuristic_cell_time_matches_table1_serial(self):
+        # Table 1: 50k serial = 3461 s => 1.38 us/cell; we calibrate 1.30
+        implied = 3461.0 / (50_000 * 50_000)
+        assert DEFAULT_COST_MODEL.heuristic_cell_time == pytest.approx(implied, rel=0.15)
+
+    def test_blocked_cell_time_matches_table4_serial(self):
+        implied = 2620.64 / (50_000 * 50_000)
+        assert DEFAULT_COST_MODEL.blocked_cell_time == pytest.approx(implied, rel=0.10)
+
+    def test_preprocess_cell_is_much_leaner(self):
+        # Section 5's kernel only counts hits; ~8x cheaper than the
+        # candidate-tracking kernel
+        ratio = DEFAULT_COST_MODEL.heuristic_cell_time / DEFAULT_COST_MODEL.preprocess_cell_time
+        assert 5 < ratio < 12
+
+    def test_network_is_100mbps(self):
+        assert DEFAULT_COST_MODEL.network.bandwidth == 12.5e6
+
+    def test_wavefront_fixed_exchange_cost_near_10ms(self):
+        """The per-row overhead implied by Table 1 at 8 processors."""
+        cm = DEFAULT_COST_MODEL
+        consumer = cm.cv_wait_time() + cm.page_fault_time() + cm.cv_signal_time()
+        producer = (
+            cm.lock_acquire_time()
+            + cm.lock_release_time(0)
+            + cm.cv_signal_time()
+            + cm.cv_wait_time()
+        )
+        assert 0.006 < consumer + producer < 0.014
+
+
+class TestDerivedCosts:
+    def test_message_time_monotone_in_size(self):
+        cm = DEFAULT_COST_MODEL
+        assert cm.message_time(10_000) > cm.message_time(100) > 0
+
+    def test_lock_release_with_no_dirty_data_is_cheap(self):
+        cm = DEFAULT_COST_MODEL
+        assert cm.lock_release_time(0) < cm.lock_release_time(100_000)
+
+    def test_page_fault_includes_page_transfer(self):
+        cm = DEFAULT_COST_MODEL
+        assert cm.page_fault_time() > cm.page_bytes / cm.network.bandwidth
+
+    def test_barrier_time_scales_with_nodes_and_diffs(self):
+        cm = DEFAULT_COST_MODEL
+        assert cm.barrier_time(0, 8) > cm.barrier_time(0, 2) - 1e-9
+        assert cm.barrier_time(1_000_000, 8) > cm.barrier_time(0, 8)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_COST_MODEL.page_bytes = 1  # type: ignore[misc]
+
+    def test_custom_model(self):
+        cm = CostModel(heuristic_cell_time=1e-9)
+        assert cm.heuristic_cell_time == 1e-9

@@ -1,0 +1,188 @@
+import pytest
+
+from repro.sim import Delay, SimulationError, Simulator, TimeBreakdown, compute
+
+
+class TestDelay:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Delay(-1)
+
+    def test_compute_helper_category(self):
+        d = compute(2.0)
+        assert d.duration == 2.0 and d.category == "computation"
+
+
+class TestSimulator:
+    def test_single_process_advances_clock(self):
+        sim = Simulator()
+
+        def body():
+            yield Delay(5.0)
+            yield Delay(2.5)
+
+        p = sim.spawn(body())
+        sim.run()
+        assert sim.now == 7.5
+        assert p.done.triggered
+
+    def test_plain_number_yield(self):
+        sim = Simulator()
+
+        def body():
+            yield 3.0
+
+        sim.spawn(body())
+        assert sim.run() == 3.0
+
+    def test_bad_yield_raises(self):
+        sim = Simulator()
+
+        def body():
+            yield "nope"
+
+        sim.spawn(body())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_process_result(self):
+        sim = Simulator()
+
+        def body():
+            yield Delay(1.0)
+            return 42
+
+        p = sim.spawn(body())
+        sim.run()
+        assert p.result == 42
+
+    def test_two_processes_interleave(self):
+        sim = Simulator()
+        log = []
+
+        def worker(name, step):
+            for _ in range(3):
+                yield Delay(step)
+                log.append((sim.now, name))
+
+        sim.spawn(worker("a", 1.0))
+        sim.spawn(worker("b", 1.5))
+        sim.run()
+        # At the 3.0 tie, "b" scheduled its wakeup (at t=1.5) before "a"
+        # scheduled its own (at t=2.0), so "b" resumes first: FIFO within a
+        # timestamp follows scheduling order.
+        assert log == [
+            (1.0, "a"),
+            (1.5, "b"),
+            (2.0, "a"),
+            (3.0, "b"),
+            (3.0, "a"),
+            (4.5, "b"),
+        ]
+
+    def test_deterministic_tie_order_is_spawn_order(self):
+        sim = Simulator()
+        log = []
+
+        def w(name):
+            yield Delay(1.0)
+            log.append(name)
+
+        for name in "abc":
+            sim.spawn(w(name))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_run_until_horizon(self):
+        sim = Simulator()
+
+        def body():
+            yield Delay(10.0)
+
+        sim.spawn(body())
+        assert sim.run(until=4.0) == 4.0
+        assert sim.now == 4.0
+
+    def test_run_all_detects_deadlock(self):
+        sim = Simulator()
+
+        def body():
+            yield sim.event()  # never triggered
+
+        p = sim.spawn(body())
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run_all([p])
+
+    def test_breakdown_charged_for_labelled_delays(self):
+        sim = Simulator()
+        bd = TimeBreakdown()
+
+        def body():
+            yield compute(2.0)
+            yield Delay(1.0)  # unlabelled: not charged
+
+        sim.spawn(body(), breakdown=bd)
+        sim.run()
+        assert bd.computation == 2.0
+        assert bd.total == 2.0
+
+
+class TestEvent:
+    def test_wait_and_trigger(self):
+        sim = Simulator()
+        ev = sim.event()
+        got = []
+
+        def waiter():
+            value = yield ev
+            got.append((sim.now, value))
+
+        def signaler():
+            yield Delay(4.0)
+            ev.trigger("hello")
+
+        sim.spawn(waiter())
+        sim.spawn(signaler())
+        sim.run()
+        assert got == [(4.0, "hello")]
+
+    def test_wait_on_already_triggered(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.trigger(7)
+        got = []
+
+        def waiter():
+            value = yield ev
+            got.append(value)
+
+        sim.spawn(waiter())
+        sim.run()
+        assert got == [7]
+
+    def test_double_trigger_raises(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.trigger()
+        with pytest.raises(SimulationError):
+            ev.trigger()
+
+    def test_multiple_waiters_all_wake(self):
+        sim = Simulator()
+        ev = sim.event()
+        woke = []
+
+        def waiter(k):
+            yield ev
+            woke.append(k)
+
+        for k in range(3):
+            sim.spawn(waiter(k))
+
+        def signaler():
+            yield Delay(1.0)
+            ev.trigger()
+
+        sim.spawn(signaler())
+        sim.run()
+        assert sorted(woke) == [0, 1, 2]

@@ -1,0 +1,121 @@
+import pytest
+
+from repro.sim import (
+    DiskParams,
+    Network,
+    NetworkParams,
+    NfsDisk,
+    NodeStats,
+    TimeBreakdown,
+)
+
+
+class TestNetwork:
+    def test_message_time_components(self):
+        net = Network(NetworkParams(latency=1e-3, bandwidth=1e6))
+        assert net.message_time(0) == pytest.approx(1e-3)
+        assert net.message_time(1_000_000) == pytest.approx(1e-3 + 1.0)
+
+    def test_round_trip(self):
+        net = Network(NetworkParams(latency=1e-3, bandwidth=1e6))
+        assert net.round_trip_time(1000, 1000) == pytest.approx(2e-3 + 2e-3)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Network().message_time(-1)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            NetworkParams(latency=-1)
+        with pytest.raises(ValueError):
+            NetworkParams(bandwidth=0)
+
+    def test_default_is_100mbps(self):
+        assert NetworkParams().bandwidth == 12.5e6
+
+
+class TestNfsDisk:
+    def test_cached_write_is_fast(self):
+        disk = NfsDisk(DiskParams(cache_bytes=10_000_000, cache_write_bandwidth=1e8, nfs_bandwidth=1e6))
+        t = disk.write_time(0.0, 1_000_000)
+        assert t == pytest.approx(0.01)  # memcpy only
+
+    def test_overflowing_write_blocks_on_nfs(self):
+        disk = NfsDisk(DiskParams(cache_bytes=1_000_000, cache_write_bandwidth=1e9, nfs_bandwidth=1e6))
+        t = disk.write_time(0.0, 2_000_000)
+        # 1 MB overflow drains at 1 MB/s
+        assert t == pytest.approx(1.0 + 0.002, rel=0.02)
+
+    def test_cache_drains_over_time(self):
+        disk = NfsDisk(DiskParams(cache_bytes=1_000_000, cache_write_bandwidth=1e9, nfs_bandwidth=1e6))
+        disk.write_time(0.0, 1_000_000)
+        assert disk.buffered_bytes > 0
+        # after 2 virtual seconds the cache has fully drained
+        t = disk.write_time(2.0, 500_000)
+        assert t < 0.01
+
+    def test_flush_time(self):
+        disk = NfsDisk(DiskParams(cache_bytes=10_000_000, cache_write_bandwidth=1e9, nfs_bandwidth=1e6))
+        disk.write_time(0.0, 3_000_000)
+        assert disk.flush_time(0.01) == pytest.approx(3.0, rel=0.01)
+        assert disk.buffered_bytes == 0
+
+    def test_total_written_tracked(self):
+        disk = NfsDisk()
+        disk.write_time(0.0, 100)
+        disk.write_time(1.0, 200)
+        assert disk.total_written == 300
+
+    def test_time_backwards_rejected(self):
+        disk = NfsDisk()
+        disk.write_time(5.0, 10)
+        with pytest.raises(ValueError):
+            disk.write_time(1.0, 10)
+
+    def test_negative_write_rejected(self):
+        with pytest.raises(ValueError):
+            NfsDisk().write_time(0.0, -1)
+
+
+class TestTimeBreakdown:
+    def test_add_and_total(self):
+        bd = TimeBreakdown()
+        bd.add("computation", 3.0)
+        bd.add("lock_cv", 1.0)
+        bd.add("lock+cv", 1.0)  # paper spelling accepted
+        assert bd.lock_cv == 2.0
+        assert bd.total == 5.0
+
+    def test_unknown_category(self):
+        with pytest.raises(KeyError):
+            TimeBreakdown().add("naptime", 1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TimeBreakdown().add("barrier", -1.0)
+
+    def test_fractions_sum_to_one(self):
+        bd = TimeBreakdown(computation=6.0, communication=2.0, lock_cv=1.0, barrier=1.0)
+        fr = bd.fractions()
+        assert sum(fr.values()) == pytest.approx(1.0)
+        assert fr["computation"] == pytest.approx(0.6)
+
+    def test_fractions_fold_idle_into_lock_cv(self):
+        bd = TimeBreakdown(computation=1.0, idle=1.0)
+        assert bd.fractions()["lock_cv"] == pytest.approx(0.5)
+
+    def test_empty_fractions(self):
+        assert set(TimeBreakdown().fractions().values()) == {0.0}
+
+    def test_merge(self):
+        a = TimeBreakdown(computation=1.0)
+        a.merge(TimeBreakdown(computation=2.0, barrier=1.0))
+        assert a.computation == 3.0 and a.barrier == 1.0
+
+
+class TestNodeStats:
+    def test_record_message(self):
+        st = NodeStats(node_id=0)
+        st.record_message(100)
+        st.record_message(50)
+        assert st.messages_sent == 2 and st.bytes_sent == 150

@@ -1,0 +1,130 @@
+"""Property-based tests of the simulation substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Delay, SimBarrier, SimCondition, SimLock, Simulator
+
+
+class TestEngineProperties:
+    @given(st.lists(st.floats(0.0, 10.0), min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_clock_is_sum_of_delays_single_process(self, delays):
+        sim = Simulator()
+
+        def body():
+            for d in delays:
+                yield Delay(d)
+
+        sim.spawn(body())
+        assert sim.run() == sum(delays)
+
+    @given(
+        st.lists(
+            st.lists(st.floats(0.0, 5.0), min_size=1, max_size=10),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_clock_is_max_over_processes(self, schedules):
+        sim = Simulator()
+
+        def body(delays):
+            for d in delays:
+                yield Delay(d)
+
+        for delays in schedules:
+            sim.spawn(body(delays))
+        assert sim.run() == max(sum(d) for d in schedules)
+
+    @given(st.lists(st.floats(0.0, 5.0), min_size=1, max_size=10), st.integers(0, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_runs_are_deterministic(self, delays, extra_procs):
+        def run_once():
+            sim = Simulator()
+            log = []
+
+            def body(k):
+                for d in delays:
+                    yield Delay(d + k * 0.1)
+                log.append((k, sim.now))
+
+            for k in range(extra_procs + 1):
+                sim.spawn(body(k))
+            sim.run()
+            return log
+
+        assert run_once() == run_once()
+
+
+class TestLockProperties:
+    @given(
+        st.lists(st.tuples(st.floats(0.0, 2.0), st.floats(0.01, 2.0)), min_size=1, max_size=8)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_mutual_exclusion_under_random_schedules(self, jobs):
+        """Critical sections never overlap, whatever the arrival times."""
+        sim = Simulator()
+        lock = SimLock(sim)
+        intervals = []
+
+        def body(arrive, hold):
+            yield Delay(arrive)
+            yield from lock.acquire()
+            start = sim.now
+            yield Delay(hold)
+            intervals.append((start, sim.now))
+            lock.release()
+
+        procs = [sim.spawn(body(a, h)) for a, h in jobs]
+        sim.run_all(procs)
+        intervals.sort()
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert e1 <= s2 + 1e-12
+
+    @given(st.integers(1, 8), st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_condition_permits_conserved(self, signals, waiters):
+        """Exactly min(signals, waiters) waiters wake; permits bank the rest."""
+        sim = Simulator()
+        cv = SimCondition(sim)
+        woke = []
+
+        def waiter(k):
+            yield from cv.wait()
+            woke.append(k)
+
+        def signaler():
+            for _ in range(signals):
+                yield Delay(1.0)
+                cv.signal()
+
+        for k in range(waiters):
+            sim.spawn(waiter(k))
+        sim.spawn(signaler())
+        sim.run()
+        assert len(woke) == min(signals, waiters)
+        assert cv.permits == max(0, signals - waiters)
+
+
+class TestBarrierProperties:
+    @given(st.integers(1, 8), st.lists(st.floats(0.0, 5.0), min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_nobody_passes_before_the_last(self, rounds, arrivals):
+        sim = Simulator()
+        barrier = SimBarrier(sim, len(arrivals))
+        passed = []
+
+        def body(delay):
+            for r in range(rounds):
+                yield Delay(delay)
+                yield from barrier.arrive()
+                passed.append((r, sim.now))
+
+        procs = [sim.spawn(body(d)) for d in arrivals]
+        sim.run_all(procs)
+        # within each round, all passage times are equal
+        for r in range(rounds):
+            times = {t for rr, t in passed if rr == r}
+            assert len(times) == 1

@@ -1,0 +1,160 @@
+import pytest
+
+from repro.sim import Delay, SimBarrier, SimCondition, SimLock, SimulationError, Simulator
+
+
+class TestSimLock:
+    def test_uncontended_acquire_is_instant(self):
+        sim = Simulator()
+        lock = SimLock(sim)
+        times = []
+
+        def body():
+            yield from lock.acquire()
+            times.append(sim.now)
+            lock.release()
+
+        sim.spawn(body())
+        sim.run()
+        assert times == [0.0]
+
+    def test_mutual_exclusion_and_fifo(self):
+        sim = Simulator()
+        lock = SimLock(sim)
+        order = []
+
+        def body(name, hold):
+            yield from lock.acquire()
+            order.append(("in", name, sim.now))
+            yield Delay(hold)
+            order.append(("out", name, sim.now))
+            lock.release()
+
+        sim.spawn(body("a", 2.0))
+        sim.spawn(body("b", 1.0))
+        sim.spawn(body("c", 1.0))
+        sim.run()
+        assert order == [
+            ("in", "a", 0.0),
+            ("out", "a", 2.0),
+            ("in", "b", 2.0),
+            ("out", "b", 3.0),
+            ("in", "c", 3.0),
+            ("out", "c", 4.0),
+        ]
+
+    def test_release_unlocked_raises(self):
+        sim = Simulator()
+        lock = SimLock(sim)
+        with pytest.raises(SimulationError):
+            lock.release()
+
+
+class TestSimCondition:
+    def test_signal_before_wait_is_remembered(self):
+        sim = Simulator()
+        cv = SimCondition(sim)
+        cv.signal()
+        done = []
+
+        def body():
+            yield from cv.wait()
+            done.append(sim.now)
+
+        sim.spawn(body())
+        sim.run()
+        assert done == [0.0]
+
+    def test_wait_blocks_until_signal(self):
+        sim = Simulator()
+        cv = SimCondition(sim)
+        done = []
+
+        def waiter():
+            yield from cv.wait()
+            done.append(sim.now)
+
+        def signaler():
+            yield Delay(3.0)
+            cv.signal()
+
+        sim.spawn(waiter())
+        sim.spawn(signaler())
+        sim.run()
+        assert done == [3.0]
+
+    def test_each_signal_wakes_one(self):
+        sim = Simulator()
+        cv = SimCondition(sim)
+        done = []
+
+        def waiter(k):
+            yield from cv.wait()
+            done.append(k)
+
+        for k in range(3):
+            sim.spawn(waiter(k))
+
+        def signaler():
+            yield Delay(1.0)
+            cv.signal()
+            yield Delay(1.0)
+            cv.signal()
+
+        sim.spawn(signaler())
+        sim.run()
+        assert sorted(done) == [0, 1]  # third waiter still blocked
+
+    def test_permits_accumulate(self):
+        sim = Simulator()
+        cv = SimCondition(sim)
+        cv.signal()
+        cv.signal()
+        assert cv.permits == 2
+        done = []
+
+        def body():
+            yield from cv.wait()
+            yield from cv.wait()
+            done.append(sim.now)
+
+        sim.spawn(body())
+        sim.run()
+        assert done == [0.0]
+
+
+class TestSimBarrier:
+    def test_all_wait_for_last(self):
+        sim = Simulator()
+        barrier = SimBarrier(sim, 3)
+        times = []
+
+        def body(delay):
+            yield Delay(delay)
+            yield from barrier.arrive()
+            times.append(sim.now)
+
+        for d in (1.0, 5.0, 3.0):
+            sim.spawn(body(d))
+        sim.run()
+        assert times == [5.0, 5.0, 5.0]
+
+    def test_reusable(self):
+        sim = Simulator()
+        barrier = SimBarrier(sim, 2)
+        times = []
+
+        def body(delay):
+            yield from barrier.arrive()
+            yield Delay(delay)
+            yield from barrier.arrive()
+            times.append(sim.now)
+
+        sim.spawn(body(1.0))
+        sim.spawn(body(4.0))
+        sim.run()
+        assert times == [4.0, 4.0]
+
+    def test_invalid_parties(self):
+        with pytest.raises(ValueError):
+            SimBarrier(Simulator(), 0)

@@ -1,0 +1,92 @@
+import json
+
+import pytest
+
+from repro.sim import Delay, Simulator, compute
+from repro.sim.trace import Timeline
+
+
+class TestTimeline:
+    def test_record_and_span(self):
+        tl = Timeline()
+        tl.record("p0", "computation", 0.0, 2.0)
+        tl.record("p1", "lock_cv", 1.0, 3.0)
+        assert len(tl) == 2
+        assert tl.span == 4.0
+
+    def test_zero_duration_skipped(self):
+        tl = Timeline()
+        tl.record("p0", "x", 0.0, 0.0)
+        assert len(tl) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline().record("p", "x", 0.0, -1.0)
+
+    def test_busy_time_and_utilization(self):
+        tl = Timeline()
+        tl.record("p0", "computation", 0.0, 3.0)
+        tl.record("p0", "lock_cv", 3.0, 1.0)
+        assert tl.busy_time("p0") == 4.0
+        assert tl.busy_time("p0", "computation") == 3.0
+        assert tl.utilization("p0") == pytest.approx(0.75)
+
+    def test_empty_utilization(self):
+        assert Timeline().utilization("p0") == 0.0
+
+
+class TestEngineIntegration:
+    def test_delays_recorded(self):
+        tl = Timeline()
+        sim = Simulator(timeline=tl)
+
+        def body():
+            yield compute(2.0)
+            yield Delay(1.0)  # unlabelled: recorded as "delay"
+
+        sim.spawn(body(), name="worker")
+        sim.run()
+        assert [s.category for s in tl.slices] == ["computation", "delay"]
+        assert tl.slices[0].process == "worker"
+        assert tl.slices[1].start == 2.0
+
+    def test_chrome_trace_export(self, tmp_path):
+        tl = Timeline()
+        sim = Simulator(timeline=tl)
+
+        def body():
+            yield compute(0.5)
+
+        sim.spawn(body(), name="n0")
+        sim.spawn(body(), name="n1")
+        sim.run()
+        path = tmp_path / "trace.json"
+        tl.write_chrome_trace(path)
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        assert len(events) == 2
+        assert {e["ph"] for e in events} == {"X"}
+        assert {e["pid"] for e in events} == {1, 2}
+        assert events[0]["dur"] == pytest.approx(0.5e6)
+
+    def test_pipeline_fill_visible(self):
+        """The wave-front fill shows up as staggered first computations."""
+        from repro.dsm import JiaJia
+
+        tl = Timeline()
+        sim = Simulator(timeline=tl)
+        dsm = JiaJia(sim, 3)
+
+        def node(p):
+            if p > 0:
+                yield from dsm.waitcv(p, p - 1)
+            yield from dsm.compute(p, 1.0)
+            if p < 2:
+                yield from dsm.setcv(p, p)
+
+        procs = [sim.spawn(node(p), name=f"n{p}") for p in range(3)]
+        sim.run_all(procs)
+        starts = {
+            s.process: s.start for s in tl.slices if s.category == "computation"
+        }
+        assert starts["n0"] < starts["n1"] < starts["n2"]

@@ -1,0 +1,107 @@
+"""The on-disk column store: Section 5's saved partial results, for real."""
+
+import numpy as np
+import pytest
+
+from repro.core import similarity_matrix
+from repro.core.kernels import SCORE_DTYPE
+from repro.seq import genome_pair
+from repro.strategies.column_store import (
+    ColumnStore,
+    restart_band_from_store,
+    save_preprocess_columns,
+)
+
+
+class TestColumnStore:
+    def test_save_and_load(self, tmp_path):
+        store = ColumnStore(tmp_path / "run")
+        values = np.arange(10, dtype=SCORE_DTYPE)
+        store.save_column(0, 100, 0, values)
+        assert np.array_equal(store.load(0, 100), values)
+
+    def test_duplicate_rejected(self, tmp_path):
+        store = ColumnStore(tmp_path)
+        store.save_column(0, 5, 0, np.zeros(3, dtype=SCORE_DTYPE))
+        with pytest.raises(ValueError):
+            store.save_column(0, 5, 0, np.zeros(3, dtype=SCORE_DTYPE))
+
+    def test_missing_column_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            ColumnStore(tmp_path).load(0, 1)
+
+    def test_manifest_roundtrip(self, tmp_path):
+        store = ColumnStore(tmp_path)
+        store.save_column(1, 200, 50, np.ones(4, dtype=SCORE_DTYPE))
+        store.finalize(rows=100, cols=400)
+        reopened = ColumnStore(tmp_path)
+        assert len(reopened) == 1
+        assert reopened.meta["rows"] == 100
+        assert np.array_equal(reopened.load(1, 200), np.ones(4, dtype=SCORE_DTYPE))
+
+    def test_columns_in_band(self, tmp_path):
+        store = ColumnStore(tmp_path)
+        store.save_column(0, 10, 0, np.zeros(2, dtype=SCORE_DTYPE))
+        store.save_column(1, 10, 2, np.zeros(2, dtype=SCORE_DTYPE))
+        store.save_column(0, 20, 0, np.zeros(2, dtype=SCORE_DTYPE))
+        assert [c.column for c in store.columns_in_band(0)] == [10, 20]
+
+    def test_total_bytes_positive(self, tmp_path):
+        store = ColumnStore(tmp_path)
+        store.save_column(0, 10, 0, np.zeros(100, dtype=SCORE_DTYPE))
+        assert store.total_bytes() >= 400
+
+    def test_1d_enforced(self, tmp_path):
+        with pytest.raises(ValueError):
+            ColumnStore(tmp_path).save_column(0, 1, 0, np.zeros((2, 2)))
+
+
+class TestSavePreprocessColumns:
+    def test_saved_columns_match_full_matrix(self, tmp_path):
+        gp = genome_pair(120, 150, n_regions=1, region_length=40, rng=110, min_separation=0)
+        store = ColumnStore(tmp_path)
+        n = save_preprocess_columns(gp.s, gp.t, store, band_heights=[60, 60], save_interleave=50)
+        assert n == len(store) == 6  # columns 50, 100, 150 in each of 2 bands
+        H = similarity_matrix(gp.s, gp.t)
+        for rec in store.columns():
+            expected = H[rec.row_start + 1 : rec.row_start + 61, rec.column]
+            assert np.array_equal(store.load(rec.band, rec.column), expected)
+
+    def test_band_heights_validated(self, tmp_path):
+        gp = genome_pair(100, 100, n_regions=0, rng=111)
+        with pytest.raises(ValueError):
+            save_preprocess_columns(gp.s, gp.t, ColumnStore(tmp_path), [30], 10)
+
+    def test_manifest_records_parameters(self, tmp_path):
+        gp = genome_pair(80, 80, n_regions=0, rng=112)
+        store = ColumnStore(tmp_path)
+        save_preprocess_columns(gp.s, gp.t, store, [40, 40], 20)
+        assert store.meta["save_interleave"] == 20
+        assert store.meta["band_heights"] == [40, 40]
+
+
+class TestRestartFromStore:
+    def test_restarted_window_matches_full_matrix(self, tmp_path):
+        """The paper's 'later processing': recompute a window from a stored
+        boundary column instead of the whole matrix."""
+        gp = genome_pair(100, 400, n_regions=0, rng=113)
+        store = ColumnStore(tmp_path)
+        save_preprocess_columns(gp.s, gp.t, store, band_heights=[100], save_interleave=100)
+        H = similarity_matrix(gp.s, gp.t)
+        tile = restart_band_from_store(gp.s, gp.t, store, band=0, col_start=200, col_end=350)
+        assert np.array_equal(tile[:, 1:], H[1:101, 201:351])
+
+    def test_window_before_first_anchor_uses_edge(self, tmp_path):
+        gp = genome_pair(60, 200, n_regions=0, rng=114)
+        store = ColumnStore(tmp_path)
+        save_preprocess_columns(gp.s, gp.t, store, band_heights=[60], save_interleave=150)
+        H = similarity_matrix(gp.s, gp.t)
+        tile = restart_band_from_store(gp.s, gp.t, store, band=0, col_start=50, col_end=120)
+        assert np.array_equal(tile[:, 1:], H[1:61, 51:121])
+
+    def test_inner_band_not_supported(self, tmp_path):
+        gp = genome_pair(80, 80, n_regions=0, rng=115)
+        store = ColumnStore(tmp_path)
+        save_preprocess_columns(gp.s, gp.t, store, [40, 40], 20)
+        with pytest.raises(NotImplementedError):
+            restart_band_from_store(gp.s, gp.t, store, band=1, col_start=20, col_end=40)

@@ -1,0 +1,111 @@
+"""The Section 7 future-work extension: hierarchical heterogeneous clusters."""
+
+import pytest
+
+from repro.core import smith_waterman
+from repro.seq import genome_pair
+from repro.strategies import (
+    HeteroConfig,
+    ScaledWorkload,
+    SubCluster,
+    hetero_serial_time,
+    run_hetero,
+)
+
+
+class TestSubCluster:
+    def test_power(self):
+        assert SubCluster(8, 1.0).power == 8.0
+        assert SubCluster(4, 2.0).power == 8.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SubCluster(0, 1.0)
+        with pytest.raises(ValueError):
+            SubCluster(2, 0.0)
+
+
+class TestHeteroConfig:
+    def test_split_proportional_to_power(self):
+        cfg = HeteroConfig(clusters=(SubCluster(8, 1.0), SubCluster(4, 2.0)))
+        split = cfg.column_split(1000)
+        assert split == [(0, 500), (500, 1000)]
+
+    def test_split_covers_everything(self):
+        cfg = HeteroConfig(clusters=(SubCluster(3, 1.0), SubCluster(5, 1.0), SubCluster(2, 1.0)))
+        split = cfg.column_split(997)
+        assert split[0][0] == 0 and split[-1][1] == 997
+        for (a0, a1), (b0, b1) in zip(split, split[1:]):
+            assert a1 == b0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeteroConfig(clusters=())
+        with pytest.raises(ValueError):
+            HeteroConfig(bands_per_proc=0)
+
+
+class TestRunHetero:
+    def test_finds_planted_regions(self):
+        gp = genome_pair(1200, 1200, n_regions=2, region_length=80, mutation_rate=0.0, rng=60)
+        wl = ScaledWorkload(gp.s, gp.t)
+        cfg = HeteroConfig(clusters=(SubCluster(2, 1.0), SubCluster(2, 1.0)))
+        res = run_hetero(wl, cfg)
+        assert res.name == "hetero"
+        strong = [a for a in res.alignments if a.score >= 50]
+        assert len(strong) >= 2
+
+    def test_score_matches_full_sw(self):
+        gp = genome_pair(800, 800, n_regions=1, region_length=80, mutation_rate=0.02, rng=61)
+        wl = ScaledWorkload(gp.s, gp.t)
+        res = run_hetero(wl, HeteroConfig(clusters=(SubCluster(2), SubCluster(2))))
+        exact = smith_waterman(gp.s, gp.t).alignment.score
+        assert max(a.score for a in res.alignments) == exact
+
+    def test_region_crossing_cluster_border(self):
+        gp = genome_pair(600, 600, n_regions=0, rng=62)
+        s, t = gp.s.copy(), gp.t.copy()
+        frag = genome_pair(100, 100, n_regions=0, rng=63).s
+        s[250:350] = frag
+        t[250:350] = frag  # straddles the 300-column split of two equal clusters
+        res = run_hetero(
+            ScaledWorkload(s, t), HeteroConfig(clusters=(SubCluster(2), SubCluster(2)))
+        )
+        assert res.alignments
+        assert res.alignments[0].score >= 60
+
+    def test_faster_cluster_gets_more_columns(self):
+        gp = genome_pair(1000, 1000, n_regions=0, rng=64)
+        cfg = HeteroConfig(clusters=(SubCluster(4, 1.0), SubCluster(4, 3.0)))
+        res = run_hetero(ScaledWorkload(gp.s, gp.t), cfg)
+        (a0, a1), (b0, b1) = res.extras["column_split"]
+        assert (b1 - b0) > 2 * (a1 - a0)
+
+    def test_two_clusters_beat_one_at_scale(self):
+        gp = genome_pair(2000, 2000, n_regions=0, rng=65)
+        wl = ScaledWorkload(gp.s, gp.t, scale=200)  # 400 kBP nominal (>1 MBP-class)
+        one = run_hetero(wl, HeteroConfig(clusters=(SubCluster(8, 1.0),)))
+        two = run_hetero(wl, HeteroConfig(clusters=(SubCluster(8, 1.0), SubCluster(8, 1.0))))
+        assert two.total_time < one.total_time
+
+    def test_serial_baseline_uses_fastest_node(self):
+        gp = genome_pair(200, 200, n_regions=0, rng=66)
+        wl = ScaledWorkload(gp.s, gp.t, scale=10)
+        cfg = HeteroConfig(clusters=(SubCluster(2, 1.0), SubCluster(2, 4.0)))
+        fast = hetero_serial_time(wl, cfg)
+        slow = hetero_serial_time(wl, HeteroConfig(clusters=(SubCluster(2, 1.0),)))
+        assert fast < slow
+
+    def test_too_narrow_workload_rejected(self):
+        gp = genome_pair(20, 20, n_regions=0, rng=67)
+        cfg = HeteroConfig(clusters=(SubCluster(2, 1.0), SubCluster(2, 100.0)))
+        with pytest.raises(ValueError):
+            run_hetero(ScaledWorkload(gp.s, gp.t), cfg)
+
+    def test_inter_cluster_messages_recorded(self):
+        gp = genome_pair(600, 600, n_regions=0, rng=68)
+        res = run_hetero(
+            ScaledWorkload(gp.s, gp.t), HeteroConfig(clusters=(SubCluster(2), SubCluster(2)))
+        )
+        comm = sum(n.breakdown.communication for n in res.stats.nodes)
+        assert comm > 0

@@ -1,0 +1,166 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.strategies import (
+    balanced_band_size,
+    band_heights,
+    bounds_from_heights,
+    chunk_widths,
+    column_partition,
+    explicit_tiling,
+    split_even,
+    tiling_from_multiplier,
+)
+
+
+class TestSplitEven:
+    def test_exact_division(self):
+        assert split_even(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_remainder_goes_first(self):
+        assert split_even(7, 3) == [(0, 3), (3, 5), (5, 7)]
+
+    def test_more_parts_than_items(self):
+        parts = split_even(2, 4)
+        assert parts == [(0, 1), (1, 2), (2, 2), (2, 2)]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            split_even(5, 0)
+        with pytest.raises(ValueError):
+            split_even(-1, 2)
+
+    @given(st.integers(0, 10_000), st.integers(1, 64))
+    @settings(max_examples=100, deadline=None)
+    def test_cover_exactly_and_balanced(self, total, parts):
+        slices = split_even(total, parts)
+        assert len(slices) == parts
+        assert slices[0][0] == 0 and slices[-1][1] == total
+        for (a0, a1), (b0, b1) in zip(slices, slices[1:]):
+            assert a1 == b0
+        sizes = [hi - lo for lo, hi in slices]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestColumnPartition:
+    def test_paper_example(self):
+        # Fig. 8: N columns over P processors, N/P each
+        parts = column_partition(1000, 4)
+        assert all(hi - lo == 250 for lo, hi in parts)
+
+
+class TestTiling:
+    def test_multiplier_counts(self):
+        # "a 3 x 5 blocking multiplier for 8 processors divides the matrix
+        # into 40 bands (5 x 8), each one containing 24 blocks (3 x 8)"
+        t = tiling_from_multiplier(50_000, 50_000, 8, (3, 5))
+        assert t.n_bands == 40
+        assert t.n_blocks == 24
+
+    def test_5x5_table3(self):
+        t = tiling_from_multiplier(50_000, 50_000, 8, (5, 5))
+        assert t.n_bands == 40 and t.n_blocks == 40
+
+    def test_band_owner_round_robin(self):
+        t = tiling_from_multiplier(100, 100, 4, (1, 2))
+        assert [t.band_owner(b, 4) for b in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_small_matrix_clamps(self):
+        t = tiling_from_multiplier(3, 3, 8, (5, 5))
+        assert t.n_bands == 3 and t.n_blocks == 3
+
+    def test_explicit(self):
+        t = explicit_tiling(100, 200, 10, 20)
+        assert t.n_bands == 10 and t.n_blocks == 20
+        assert t.band_height(0) == 10 and t.block_width(0) == 10
+
+    def test_explicit_invalid(self):
+        with pytest.raises(ValueError):
+            explicit_tiling(10, 10, 0, 5)
+
+    def test_multiplier_invalid(self):
+        with pytest.raises(ValueError):
+            tiling_from_multiplier(10, 10, 2, (0, 1))
+
+
+class TestBalancedBandSize:
+    def test_paper_equations(self):
+        # ssize=16384, bsize=1000, 8 nodes: bands=17, bandsproc=3,
+        # down=ceil(16384/24)=683, up=ceil(16384/16)=1024; 1024 nearer 1000
+        assert balanced_band_size(16_384, 1000, 8) == 1024
+
+    def test_single_band_per_proc(self):
+        assert balanced_band_size(800, 1000, 8) == 100
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            balanced_band_size(0, 10, 2)
+
+    @given(st.integers(1, 100_000), st.integers(1, 10_000), st.integers(1, 16))
+    @settings(max_examples=100, deadline=None)
+    def test_all_nodes_equal_band_count(self, ssize, bsize, nodes):
+        size = balanced_band_size(ssize, bsize, nodes)
+        n_bands = -(-ssize // size)
+        # every node processes the same number of bands (possibly the last
+        # band is partial)
+        assert n_bands <= -(-(-(-ssize // bsize)) // nodes) * nodes
+
+
+class TestBandHeights:
+    def test_fixed(self):
+        assert band_heights("fixed", 2500, 1000, 4) == [1000, 1000, 500]
+
+    def test_equal(self):
+        assert band_heights("equal", 1000, 123, 4) == [250, 250, 250, 250]
+
+    def test_equal_one_node_is_whole_sequence(self):
+        assert band_heights("equal", 80_000, 1000, 1) == [80_000]
+
+    def test_balanced_covers(self):
+        heights = band_heights("balanced", 16_384, 1000, 8)
+        assert sum(heights) == 16_384
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            band_heights("mystery", 100, 10, 2)
+
+    @given(
+        st.sampled_from(["fixed", "equal", "balanced"]),
+        st.integers(1, 50_000),
+        st.integers(1, 5_000),
+        st.integers(1, 16),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_heights_cover_sequence(self, scheme, ssize, bsize, nodes):
+        heights = band_heights(scheme, ssize, bsize, nodes)
+        assert sum(heights) == ssize
+        assert all(h > 0 for h in heights)
+
+
+class TestBoundsFromHeights:
+    def test_roundtrip(self):
+        bounds = bounds_from_heights([3, 4, 5])
+        assert bounds == ((0, 3), (3, 7), (7, 12))
+
+
+class TestChunkWidths:
+    def test_fixed(self):
+        assert chunk_widths(10, 4) == [4, 4, 2]
+
+    def test_arithmetic(self):
+        assert chunk_widths(30, 4, "arithmetic") == [4, 8, 12, 6]
+
+    def test_geometric(self):
+        assert chunk_widths(30, 2, "geometric", factor=2.0) == [2, 4, 8, 16]
+
+    def test_unknown_growth(self):
+        with pytest.raises(ValueError):
+            chunk_widths(10, 2, "fibonacci")
+
+    @given(st.integers(1, 10_000), st.integers(1, 500), st.sampled_from(["fixed", "arithmetic", "geometric"]))
+    @settings(max_examples=100, deadline=None)
+    def test_cover_columns(self, n, base, growth):
+        widths = chunk_widths(n, base, growth)
+        assert sum(widths) == n
+        assert all(w > 0 for w in widths)

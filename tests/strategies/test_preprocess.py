@@ -1,0 +1,154 @@
+import numpy as np
+import pytest
+
+from repro.core import sw_row_hits
+from repro.seq import genome_pair
+from repro.strategies import (
+    PreprocessConfig,
+    ScaledWorkload,
+    run_preprocess,
+    serial_preprocess_time,
+)
+
+
+class TestConfig:
+    def test_invalid_io_mode(self):
+        with pytest.raises(ValueError):
+            PreprocessConfig(io_mode="sometimes")
+
+    def test_invalid_scheme(self):
+        with pytest.raises(ValueError):
+            PreprocessConfig(band_scheme="weird")
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            PreprocessConfig(band_size=0)
+
+    def test_cache_penalty_applies(self):
+        from repro.sim import DEFAULT_COST_MODEL as cm
+
+        cfg = PreprocessConfig()
+        assert cfg.cell_time(1000, cm) == cm.preprocess_cell_time
+        assert cfg.cell_time(100_000, cm) > cm.preprocess_cell_time
+
+
+class TestResultMatrix:
+    def test_hits_match_reference_scan(self):
+        """The distributed scoreboard equals the sequential hit counts."""
+        gp = genome_pair(300, 300, n_regions=1, region_length=60, mutation_rate=0.0, rng=31)
+        wl = ScaledWorkload(gp.s, gp.t)
+        cfg = PreprocessConfig(
+            n_procs=3, band_size=64, chunk_size=50, result_interleave=300, threshold=15
+        )
+        res = run_preprocess(wl, cfg)
+        matrix = res.extras["result_matrix"]
+        # one bucket per band; total hits must equal the reference count
+        reference = int(sw_row_hits(gp.s, gp.t, threshold=15).sum())
+        assert int(matrix.sum()) == reference
+
+    def test_hits_bucketed_by_column(self):
+        gp = genome_pair(200, 200, n_regions=1, region_length=60, mutation_rate=0.0, rng=32, min_separation=0)
+        wl = ScaledWorkload(gp.s, gp.t)
+        cfg = PreprocessConfig(
+            n_procs=2, band_size=50, chunk_size=50, result_interleave=50, threshold=15
+        )
+        res = run_preprocess(wl, cfg)
+        matrix = res.extras["result_matrix"]
+        assert matrix.shape == (4, 4)
+        # hits appear where the planted region ends (and possibly in its
+        # decay tail after it), never before the region starts
+        planted = gp.regions[0]
+        band = min(3, (planted.s_end - 1) // 50)
+        bucket = min(3, (planted.t_end - 1) // 50)
+        assert matrix[band, bucket] > 0
+        first_band = planted.s_start // 50
+        assert matrix[:first_band].sum() == 0
+
+    def test_interesting_region_detectable(self):
+        """Section 5: high hit counts flag regions 'very likely to contain
+        good alignments'."""
+        gp = genome_pair(400, 400, n_regions=1, region_length=80, mutation_rate=0.0, rng=33)
+        wl = ScaledWorkload(gp.s, gp.t)
+        cfg = PreprocessConfig(n_procs=2, band_size=100, chunk_size=100, result_interleave=100, threshold=20)
+        res = run_preprocess(wl, cfg)
+        matrix = res.extras["result_matrix"]
+        planted = gp.regions[0]
+        # the region's own bucket is hot, and everything before the region
+        # (where only random background exists) is silent
+        band = min(matrix.shape[0] - 1, (planted.s_end - 1) // 100)
+        bucket = min(matrix.shape[1] - 1, (planted.t_end - 1) // 100)
+        assert matrix[band, bucket] > 50
+        assert matrix[: planted.s_start // 100].sum() == 0
+
+
+class TestIoModes:
+    def _run(self, mode, **kw):
+        gp = genome_pair(400, 400, n_regions=0, rng=34)
+        wl = ScaledWorkload(gp.s, gp.t, scale=10)
+        cfg = PreprocessConfig(
+            n_procs=4, band_size=500, chunk_size=500, save_interleave=500, io_mode=mode, **kw
+        )
+        return run_preprocess(wl, cfg)
+
+    def test_none_mode_writes_nothing(self):
+        res = self._run("none")
+        assert sum(res.extras["disk_bytes"]) == 0
+
+    def test_immediate_mode_writes(self):
+        res = self._run("immediate")
+        assert sum(res.extras["disk_bytes"]) > 0
+
+    def test_deferred_io_lands_in_term(self):
+        none = self._run("none")
+        deferred = self._run("deferred")
+        assert deferred.phases.core == pytest.approx(none.phases.core, rel=0.02)
+        assert deferred.phases.term > none.phases.term
+
+    def test_immediate_io_barely_affects_core(self):
+        """Fig. 20: 'saving columns at these frequencies has little effect'."""
+        none = self._run("none")
+        immediate = self._run("immediate")
+        assert immediate.phases.core <= none.phases.core * 1.10
+
+
+class TestSpeedups:
+    def test_fig18_shape(self):
+        gp = genome_pair(800, 800, n_regions=0, rng=35)
+        wl = ScaledWorkload(gp.s, gp.t, scale=20)  # 16 kBP nominal
+        cfg1 = PreprocessConfig(n_procs=1, band_size=1000, chunk_size=1000)
+        serial = serial_preprocess_time(wl, cfg1)
+        speedups = {}
+        for P in (2, 4, 8):
+            cfg = PreprocessConfig(n_procs=P, band_size=1000, chunk_size=1000)
+            speedups[P] = serial / run_preprocess(wl, cfg).total_time
+        assert speedups[2] > 1.5
+        assert speedups[4] > speedups[2]
+        assert speedups[8] > speedups[4]
+        assert speedups[8] > 0.6 * 8  # "roughly 75% of the linear case"
+
+    def test_large_blocking_starves_processors(self):
+        """Fig. 18's 16K/4K-blocking case: only 4 bands -> 8 procs idle."""
+        gp = genome_pair(800, 800, n_regions=0, rng=36)
+        wl = ScaledWorkload(gp.s, gp.t, scale=20)  # 16 kBP
+        fine = PreprocessConfig(n_procs=8, band_size=1000, chunk_size=1000)
+        coarse = PreprocessConfig(n_procs=8, band_size=4000, chunk_size=4000)
+        t_fine = run_preprocess(wl, fine).total_time
+        t_coarse = run_preprocess(wl, coarse).total_time
+        assert t_coarse > 1.5 * t_fine
+
+    def test_equal_scheme_sequential_penalty(self):
+        """Fig. 19: 'equal' bands ~20% slower sequentially at 40/80 kBP."""
+        gp = genome_pair(800, 800, n_regions=0, rng=37)
+        wl = ScaledWorkload(gp.s, gp.t, scale=100)  # 80 kBP nominal
+        even = serial_preprocess_time(wl, PreprocessConfig(n_procs=1, band_scheme="equal"))
+        fixed = serial_preprocess_time(wl, PreprocessConfig(n_procs=1, band_scheme="fixed", band_size=1000))
+        assert even == pytest.approx(fixed * 1.2, rel=0.02)
+
+    def test_deterministic(self):
+        gp = genome_pair(300, 300, n_regions=0, rng=38)
+        wl = ScaledWorkload(gp.s, gp.t)
+        cfg = PreprocessConfig(n_procs=4, band_size=80, chunk_size=80)
+        a = run_preprocess(wl, cfg)
+        b = run_preprocess(wl, cfg)
+        assert a.total_time == b.total_time
+        assert np.array_equal(a.extras["result_matrix"], b.extras["result_matrix"])

@@ -1,0 +1,121 @@
+"""Section 5's final selection: recovering alignments from the scoreboard."""
+
+import numpy as np
+import pytest
+
+from repro.core import smith_waterman
+from repro.seq import genome_pair
+from repro.strategies import (
+    PreprocessConfig,
+    ScaledWorkload,
+    interesting_regions,
+    retrieve_alignments,
+    run_preprocess,
+)
+from repro.strategies.retrieval import InterestingRegion, _merge_windows
+
+
+def preprocess_result(gp, **cfg_kw):
+    wl = ScaledWorkload(gp.s, gp.t)
+    defaults = dict(
+        n_procs=4, band_size=250, chunk_size=250, result_interleave=250, threshold=30
+    )
+    defaults.update(cfg_kw)
+    return run_preprocess(wl, PreprocessConfig(**defaults))
+
+
+class TestInterestingRegions:
+    def test_sorted_by_hits(self):
+        matrix = np.array([[5, 0], [20, 1]])
+        regions = interesting_regions(matrix, [10, 10], 50, 100)
+        assert [r.hits for r in regions] == [20, 5, 1]
+
+    def test_min_hits_filters(self):
+        matrix = np.array([[5, 0], [20, 1]])
+        regions = interesting_regions(matrix, [10, 10], 50, 100, min_hits=5)
+        assert [r.hits for r in regions] == [20, 5]
+
+    def test_coordinates(self):
+        matrix = np.array([[0, 7]])
+        (r,) = interesting_regions(matrix, [10], 50, 80)
+        assert (r.row_start, r.row_end) == (0, 10)
+        assert (r.col_start, r.col_end) == (50, 80)  # clamped to n_cols
+
+    def test_max_regions(self):
+        matrix = np.ones((4, 4), dtype=int)
+        assert len(interesting_regions(matrix, [5] * 4, 10, 40, max_regions=3)) == 3
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            interesting_regions(np.ones(3), [1], 10, 10)
+        with pytest.raises(ValueError):
+            interesting_regions(np.ones((2, 2)), [1], 10, 10)
+
+    def test_density(self):
+        r = InterestingRegion(0, 0, 50, 0, 10, 0, 10)
+        assert r.hit_density == pytest.approx(0.5)
+
+
+class TestMergeWindows:
+    def test_disjoint_kept(self):
+        regions = [
+            InterestingRegion(0, 0, 1, 0, 10, 0, 10),
+            InterestingRegion(1, 1, 1, 50, 60, 50, 60),
+        ]
+        assert len(_merge_windows(regions, 2, 100, 100)) == 2
+
+    def test_overlapping_merged(self):
+        regions = [
+            InterestingRegion(0, 0, 1, 0, 10, 0, 10),
+            InterestingRegion(0, 1, 1, 5, 15, 5, 15),
+        ]
+        merged = _merge_windows(regions, 0, 100, 100)
+        assert merged == [(0, 15, 0, 15)]
+
+    def test_pad_clamped(self):
+        regions = [InterestingRegion(0, 0, 1, 0, 10, 0, 10)]
+        (win,) = _merge_windows(regions, 1000, 50, 60)
+        assert win == (0, 50, 0, 60)
+
+
+class TestRetrieveAlignments:
+    def test_recovers_all_planted_regions(self):
+        gp = genome_pair(2000, 2000, n_regions=3, region_length=100, mutation_rate=0.03, rng=91)
+        res = preprocess_result(gp)
+        found = retrieve_alignments(gp.s, gp.t, res, min_score=50, min_hits=5)
+        assert len(found) >= 3
+        # SW may legitimately extend a planted region by a few chance
+        # matches on either side, so compare with a modest tolerance
+        for planted in gp.regions:
+            assert any(
+                abs(a.s_start - planted.s_start) <= 40
+                and abs(a.t_start - planted.t_start) <= 40
+                for a in found
+            ), planted
+
+    def test_scores_match_direct_sw(self):
+        gp = genome_pair(1000, 1000, n_regions=1, region_length=90, mutation_rate=0.0, rng=92)
+        res = preprocess_result(gp)
+        found = retrieve_alignments(gp.s, gp.t, res, min_score=40)
+        direct = smith_waterman(gp.s, gp.t).alignment.score
+        assert found[0].score == direct
+
+    def test_rejects_wrong_result_type(self):
+        from repro.strategies import BlockedConfig, run_blocked
+
+        gp = genome_pair(300, 300, n_regions=0, rng=93)
+        res = run_blocked(ScaledWorkload(gp.s, gp.t), BlockedConfig(n_procs=2))
+        with pytest.raises(ValueError, match="pre_process"):
+            retrieve_alignments(gp.s, gp.t, res, min_score=10)
+
+    def test_rejects_scaled_result(self):
+        gp = genome_pair(500, 500, n_regions=0, rng=94)
+        wl = ScaledWorkload(gp.s, gp.t, scale=4)
+        res = run_preprocess(wl, PreprocessConfig(n_procs=2, band_size=500, chunk_size=500))
+        with pytest.raises(ValueError, match="scale"):
+            retrieve_alignments(gp.s, gp.t, res, min_score=10)
+
+    def test_no_hot_cells_no_alignments(self):
+        gp = genome_pair(600, 600, n_regions=0, rng=95)
+        res = preprocess_result(gp, threshold=40)  # noise never reaches 40
+        assert retrieve_alignments(gp.s, gp.t, res, min_score=40) == []

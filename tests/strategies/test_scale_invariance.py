@@ -1,0 +1,64 @@
+"""Scale invariance: the virtual clock depends on nominal size only.
+
+The whole benchmark methodology rests on this: a 50 kBP-nominal run must
+report (nearly) the same virtual times whether the kernels chew 5 000 or
+2 500 actual base pairs.  Residual differences come only from pipeline
+fill/drain quantisation, bounded in DESIGN.md by O(scale * P / n_nominal).
+"""
+
+import pytest
+
+from repro.seq import genome_pair
+from repro.strategies import (
+    BlockedConfig,
+    PreprocessConfig,
+    ScaledWorkload,
+    WavefrontConfig,
+    run_blocked,
+    run_preprocess,
+    run_wavefront,
+)
+
+
+def workloads(nominal: int, pairs: tuple[tuple[int, int], ...]):
+    out = []
+    for actual, scale in pairs:
+        assert actual * scale == nominal
+        gp = genome_pair(actual, actual, n_regions=0, rng=777)
+        out.append(ScaledWorkload(gp.s, gp.t, scale=scale))
+    return out
+
+
+class TestScaleInvariance:
+    def test_wavefront_times_scale_invariant(self):
+        a, b = workloads(16_000, ((2000, 8), (1000, 16)))
+        t_a = run_wavefront(a, WavefrontConfig(n_procs=4)).total_time
+        t_b = run_wavefront(b, WavefrontConfig(n_procs=4)).total_time
+        assert t_a == pytest.approx(t_b, rel=0.02)
+
+    def test_blocked_times_scale_invariant(self):
+        a, b = workloads(16_000, ((2000, 8), (1000, 16)))
+        t_a = run_blocked(a, BlockedConfig(n_procs=4, multiplier=(3, 3))).total_time
+        t_b = run_blocked(b, BlockedConfig(n_procs=4, multiplier=(3, 3))).total_time
+        assert t_a == pytest.approx(t_b, rel=0.02)
+
+    def test_preprocess_times_scale_invariant(self):
+        a, b = workloads(16_000, ((2000, 8), (1000, 16)))
+        cfg = dict(n_procs=4, band_size=1000, chunk_size=1000)
+        t_a = run_preprocess(a, PreprocessConfig(**cfg)).total_time
+        t_b = run_preprocess(b, PreprocessConfig(**cfg)).total_time
+        assert t_a == pytest.approx(t_b, rel=0.02)
+
+    def test_unscaled_run_approximates_scaled(self):
+        """scale=1 ground truth vs a 4x-scaled stand-in of the same nominal."""
+        gp_full = genome_pair(2000, 2000, n_regions=0, rng=778)
+        gp_small = genome_pair(500, 500, n_regions=0, rng=779)
+        t_full = run_blocked(
+            ScaledWorkload(gp_full.s, gp_full.t),
+            BlockedConfig(n_procs=4, multiplier=(2, 2)),
+        ).total_time
+        t_scaled = run_blocked(
+            ScaledWorkload(gp_small.s, gp_small.t, scale=4),
+            BlockedConfig(n_procs=4, multiplier=(2, 2)),
+        ).total_time
+        assert t_scaled == pytest.approx(t_full, rel=0.03)

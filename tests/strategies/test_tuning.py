@@ -1,0 +1,55 @@
+import pytest
+
+from repro.strategies.tuning import (
+    DEFAULT_CANDIDATES,
+    TuningResult,
+    miniature_workload,
+    tune_blocking,
+)
+
+
+class TestMiniature:
+    def test_scale_preserves_nominal(self):
+        wl = miniature_workload(50_000, 50_000, actual=1000)
+        assert wl.nominal_rows == 50_000
+        assert wl.nominal_cols == 50_000
+        assert wl.rows == 1000
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            miniature_workload(50_000, 30_000)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            miniature_workload(0, 100)
+
+
+class TestTuneBlocking:
+    def test_beats_1x1_at_paper_size(self):
+        result = tune_blocking(50_000, 50_000, n_procs=8, actual=500)
+        assert result.best != (1, 1)
+        assert result.gain_over((1, 1)) > 1.5  # Table 3's headline effect
+
+    def test_fine_blocking_wins_at_50k(self):
+        """The paper found 5x5 best among the squares; the tuner must land
+        on a comparably fine decomposition."""
+        squares = ((1, 1), (2, 2), (3, 3), (4, 4), (5, 5))
+        result = tune_blocking(50_000, 50_000, n_procs=8, candidates=squares, actual=500)
+        assert result.best in ((4, 4), (5, 5))
+
+    def test_ranking_sorted(self):
+        result = tune_blocking(20_000, 20_000, n_procs=4, actual=500,
+                               candidates=((1, 1), (3, 3), (5, 5)))
+        times = [t for _, t in result.ranking()]
+        assert times == sorted(times)
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            tune_blocking(10_000, 10_000, candidates=())
+
+    def test_deterministic(self):
+        a = tune_blocking(20_000, 20_000, n_procs=4, actual=400,
+                          candidates=((1, 1), (5, 5)))
+        b = tune_blocking(20_000, 20_000, n_procs=4, actual=400,
+                          candidates=((1, 1), (5, 5)))
+        assert a.best == b.best and a.times == b.times

@@ -1,0 +1,56 @@
+"""The faithful distributed Section 4.1 engine: bit-identical to sequential."""
+
+import pytest
+
+from repro.core import HeuristicParams, heuristic_local_alignments
+from repro.seq import decode, genome_pair
+from repro.strategies.wavefront_exact import (
+    ExactWavefrontConfig,
+    exact_wavefront_alignments,
+)
+
+
+class TestExactWavefront:
+    @pytest.mark.parametrize("n_procs", [1, 2, 3, 4, 7])
+    def test_identical_to_sequential(self, n_procs):
+        """Any processor count produces the sequential algorithm's queue."""
+        gp = genome_pair(320, 320, n_regions=2, region_length=50, mutation_rate=0.02,
+                         rng=101, min_separation=60)
+        sequential = heuristic_local_alignments(decode(gp.s), decode(gp.t))
+        distributed = exact_wavefront_alignments(
+            gp.s, gp.t, ExactWavefrontConfig(n_procs=n_procs)
+        )
+        assert distributed == sequential
+
+    def test_identical_with_custom_params(self):
+        gp = genome_pair(250, 250, n_regions=1, region_length=60, mutation_rate=0.0,
+                         rng=102, min_separation=0)
+        params = HeuristicParams(open_delta=8, close_delta=8, min_score=15)
+        sequential = heuristic_local_alignments(decode(gp.s), decode(gp.t), params)
+        distributed = exact_wavefront_alignments(
+            gp.s, gp.t, ExactWavefrontConfig(n_procs=3, params=params)
+        )
+        assert distributed == sequential
+
+    def test_region_straddling_border_exact(self):
+        """Metadata crossing the border keeps candidate state intact."""
+        gp = genome_pair(200, 200, n_regions=0, rng=103)
+        s, t = gp.s.copy(), gp.t.copy()
+        frag = genome_pair(60, 60, n_regions=0, rng=104).s
+        s[70:130] = frag
+        t[70:130] = frag  # straddles the 100-column border of 2 procs
+        sequential = heuristic_local_alignments(decode(s), decode(t))
+        distributed = exact_wavefront_alignments(s, t, ExactWavefrontConfig(n_procs=2))
+        assert distributed == sequential
+        assert distributed, "the planted region must be found"
+
+    def test_narrow_input_rejected(self):
+        gp = genome_pair(10, 10, n_regions=0, rng=105)
+        with pytest.raises(ValueError):
+            exact_wavefront_alignments(gp.s, gp.t, ExactWavefrontConfig(n_procs=16))
+
+    def test_empty_queue_on_noise(self):
+        gp = genome_pair(150, 150, n_regions=0, rng=106)
+        assert exact_wavefront_alignments(gp.s, gp.t, ExactWavefrontConfig(n_procs=2)) == (
+            heuristic_local_alignments(decode(gp.s), decode(gp.t))
+        )

@@ -1,0 +1,114 @@
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_align_defaults(self):
+        args = build_parser().parse_args(["align", "--demo"])
+        assert args.strategy == "heuristic_block"
+        assert args.procs == 8
+
+    def test_bad_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["align", "--demo", "--strategy", "nope"])
+
+
+class TestAlign:
+    def test_demo_align(self, capsys):
+        rc = main(["align", "--demo", "--demo-length", "1000", "--procs", "2", "--top", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "phase 1" in out and "similar regions" in out
+        assert "similarity:" in out
+
+    def test_align_fasta_files(self, tmp_path, capsys):
+        main(
+            [
+                "generate",
+                str(tmp_path / "a.fa"),
+                str(tmp_path / "b.fa"),
+                "--length", "1200", "--regions", "1", "--region-length", "80",
+            ]
+        )
+        rc = main(
+            [
+                "align",
+                str(tmp_path / "a.fa"),
+                str(tmp_path / "b.fa"),
+                "--procs", "2", "--top", "1",
+            ]
+        )
+        assert rc == 0
+        assert "align_s:" in capsys.readouterr().out
+
+
+class TestGenerate:
+    def test_writes_fasta(self, tmp_path, capsys):
+        rc = main(
+            [
+                "generate",
+                str(tmp_path / "a.fa"),
+                str(tmp_path / "b.fa"),
+                "--length", "500", "--regions", "1", "--region-length", "60",
+            ]
+        )
+        assert rc == 0
+        assert (tmp_path / "a.fa").exists()
+        assert "planted region" in capsys.readouterr().out
+
+
+class TestDotplot:
+    def test_demo_dotplot(self, capsys):
+        rc = main(["dotplot", "--demo", "--demo-length", "1500", "--threshold", "30"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "similar regions" in out
+        assert "+---" in out
+
+
+class TestReport:
+    def test_exports_markdown_and_csv(self, tmp_path, capsys):
+        rc = main(["report", "sec6", "--out", str(tmp_path)])
+        assert rc == 0
+        assert (tmp_path / "sec6.md").exists()
+        assert (tmp_path / "sec6.csv").exists()
+        assert (tmp_path / "SUMMARY.md").exists()
+
+    def test_unknown_name(self, tmp_path):
+        with pytest.raises(ValueError):
+            main(["report", "bogus", "--out", str(tmp_path)])
+
+
+class TestTuneAndTrace:
+    def test_tune_prints_ranking(self, capsys):
+        rc = main(["tune", "--rows", "10000", "--cols", "10000", "--procs", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "best blocking multiplier" in out
+        assert "<-- best" in out
+
+    def test_trace_writes_chrome_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "t.json"
+        rc = main(["trace", "--demo", "--demo-length", "500", "--procs", "2",
+                   "--out", str(out)])
+        assert rc == 0
+        events = json.loads(out.read_text())["traceEvents"]
+        assert events and all(e["ph"] == "X" for e in events)
+
+
+class TestExperiment:
+    def test_unknown_name(self):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            main(["experiment", "table99"])
+
+    def test_sec6(self, capsys):
+        rc = main(["experiment", "sec6"])
+        assert rc == 0
+        assert "~30%" in capsys.readouterr().out

@@ -1,0 +1,105 @@
+"""Cross-cutting edge-case tests that don't belong to a single module file."""
+
+import numpy as np
+import pytest
+
+from repro.core import GlobalAlignment, LocalAlignment
+from repro.dsm import JiaJia
+from repro.seq import genome_pair
+from repro.sim import Delay, Simulator
+
+
+class TestEngineFailures:
+    def test_process_exception_propagates(self):
+        sim = Simulator()
+
+        def body():
+            yield Delay(1.0)
+            raise RuntimeError("boom")
+
+        sim.spawn(body())
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run()
+
+    def test_failed_process_is_marked(self):
+        sim = Simulator()
+
+        def body():
+            yield Delay(1.0)
+            raise ValueError("bad")
+
+        proc = sim.spawn(body())
+        with pytest.raises(ValueError):
+            sim.run()
+        assert isinstance(proc.failed, ValueError)
+
+
+class TestSmallDsmCache:
+    def test_replacements_counted_under_pressure(self):
+        sim = Simulator()
+        dsm = JiaJia(sim, 2, cache_pages=2)
+        region = dsm.alloc(10 * 4096, home=0)  # 10 pages, all remote to node 1
+
+        def body():
+            for k in range(10):
+                yield from dsm.read(1, region, k * 4096, 100)
+            # revisit the first page: long evicted, faults again
+            yield from dsm.read(1, region, 0, 100)
+
+        proc = sim.spawn(body())
+        sim.run_all([proc])
+        assert dsm.caches[1].replacements >= 8
+        assert dsm.stats[1].page_faults == 11
+
+
+class TestPipelineScaledRun:
+    def test_scaled_pipeline_skips_phase2(self):
+        from repro.strategies import run_pipeline
+
+        gp = genome_pair(500, 500, n_regions=1, region_length=60, rng=140)
+        result = run_pipeline(gp.s, gp.t, strategy="heuristic_block", n_procs=2, scale=4)
+        assert result.phase1.nominal_size == (2000, 2000)
+        assert result.records == []
+
+    def test_phase1_alignments_in_nominal_coordinates(self):
+        from repro.strategies import run_pipeline
+
+        gp = genome_pair(500, 500, n_regions=1, region_length=80, mutation_rate=0.0, rng=141)
+        unscaled = run_pipeline(gp.s, gp.t, strategy="heuristic_block", n_procs=2, scale=1)
+        scaled = run_pipeline(gp.s, gp.t, strategy="heuristic_block", n_procs=2, scale=4)
+        a1 = max(unscaled.phase1.alignments, key=lambda a: a.score)
+        a4 = max(scaled.phase1.alignments, key=lambda a: a.score)
+        assert a4.s_start == a1.s_start * 4
+        assert a4.t_end == a1.t_end * 4
+        assert a4.score == a1.score  # scores are data properties, not scaled
+
+
+class TestRenderWidths:
+    def test_render_block_count(self):
+        g = GlobalAlignment("A" * 130, "A" * 130, 130)
+        blocks = g.render(width=60).split("\n\n")
+        assert len(blocks) == 3  # 60 + 60 + 10 columns
+
+    def test_alignment_queue_merge_returns_sorted(self):
+        from repro.core import AlignmentQueue
+
+        q = AlignmentQueue(
+            [
+                LocalAlignment(5, 0, 10, 0, 10),
+                LocalAlignment(9, 5, 12, 5, 12),
+                LocalAlignment(3, 100, 140, 100, 140),
+            ]
+        )
+        out = q.finalize(merge=True)
+        sizes = [a.size for a in out]
+        assert sizes == sorted(sizes, reverse=True)
+        # the two overlapping entries merged into one spanning rectangle
+        assert any(a.s_start == 0 and a.s_end == 12 for a in out)
+
+
+class TestWorkloadValidation:
+    def test_region_settings_admission_default(self):
+        from repro.strategies import RegionSettings
+
+        assert RegionSettings(threshold=42).admission_score == 42
+        assert RegionSettings(threshold=42, min_score=30).admission_score == 30

@@ -1,0 +1,58 @@
+"""Integration smoke tests: the shipped examples must run clean.
+
+Each example is executed in-process (``runpy``) with stdout captured; the
+slowest walkthroughs are exercised by the benchmark suite instead.
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "score = 6 (paper Fig. 1 reports 6)" in out
+        assert "Section 6" in out
+
+    def test_exact_memory(self, capsys):
+        out = run_example("exact_memory.py", capsys)
+        assert "score 6" in out or "alignment of score 6" in out
+        assert "30" in out  # the ~30% table
+
+    def test_advanced_alignment(self, capsys):
+        out = run_example("advanced_alignment.py", capsys)
+        assert "lambda for the paper's scheme: 1.0986" in out
+        assert "affine CIGAR:" in out
+        assert "E = " in out
+
+    @pytest.mark.slow
+    def test_cluster_simulation(self, capsys):
+        out = run_example("cluster_simulation.py", capsys)
+        assert "strategy 1" in out and "strategy 3" in out
+        assert "speed-up" in out
+
+    @pytest.mark.slow
+    def test_blast_comparison(self, capsys):
+        out = run_example("blast_comparison.py", capsys)
+        assert "GenomeDSM found" in out
+        assert "Alignment 1" in out
+
+    @pytest.mark.slow
+    def test_real_multiprocessing(self, capsys):
+        out = run_example("real_multiprocessing.py", capsys)
+        assert "simulated backend found the same queue: True" in out
+
+    @pytest.mark.slow
+    def test_genome_comparison(self, capsys):
+        out = run_example("genome_comparison.py", capsys)
+        assert "dot plot" in out
+        assert "similarity:" in out
