@@ -16,12 +16,21 @@ Environment knobs:
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
 
 _REPORTS: list = []
 _REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+#: Raw performance numbers registered via the ``perf_record`` fixture,
+#: written to BENCH_kernels.json at session end (merged with any prior run,
+#: so kernel and pool benches can be run separately).
+_PERF: dict = {}
+_PERF_PATH = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "BENCH_kernels.json")
+)
 
 
 @pytest.fixture(scope="session")
@@ -39,6 +48,33 @@ def record_report():
                     fh.write(f"\n-- {key} --\n{value}\n")
 
     return _record
+
+
+@pytest.fixture(scope="session")
+def perf_record():
+    """Register raw perf numbers (cells/sec, wall times) for BENCH_kernels.json."""
+
+    def _record(key: str, **values) -> None:
+        _PERF.setdefault(key, {}).update(values)
+
+    return _record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _PERF:
+        return
+    merged: dict = {}
+    if os.path.exists(_PERF_PATH):
+        try:
+            with open(_PERF_PATH, encoding="utf-8") as fh:
+                merged = json.load(fh)
+        except (OSError, ValueError):
+            merged = {}
+    for key, values in _PERF.items():
+        merged.setdefault(key, {}).update(values)
+    with open(_PERF_PATH, "w", encoding="utf-8") as fh:
+        json.dump(merged, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 @pytest.fixture(scope="session")

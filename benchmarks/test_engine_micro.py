@@ -1,0 +1,170 @@
+"""Microbenchmarks for the zero-copy engine and the persistent worker pool.
+
+Two acceptance numbers live here:
+
+* the :class:`repro.core.KernelWorkspace` batched row path must be at least
+  2x the cells/second of the pre-workspace ``sw_row`` kernel (a faithful
+  copy of which is inlined below as the baseline) on a 4 kBP x 4 kBP scan;
+* ten repeated ``mp_wavefront`` alignments through one
+  :class:`repro.parallel.AlignmentWorkerPool` must beat ten spawn-per-call
+  runs of :func:`repro.parallel.mp_wavefront_alignments`.
+
+Both raw timings land in ``BENCH_kernels.json`` via the ``perf_record``
+fixture in conftest.py.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import KernelWorkspace, initial_row
+from repro.core.kernels import SCORE_DTYPE, sw_row_naive
+from repro.core.scoring import DEFAULT_SCORING
+from repro.seq import genome_pair, random_dna
+
+N_4K = 4096
+
+
+def _seed_sw_row(prev, s_char, t_codes, scoring=DEFAULT_SCORING):
+    """The pre-workspace ``sw_row``, kept verbatim as the speedup baseline:
+    per-call ``np.where`` substitution lookup, fresh candidate/ramp/int64
+    buffers on every row."""
+    sub = np.where(t_codes == s_char, np.int32(scoring.match), np.int32(scoring.mismatch))
+    cand = np.empty(prev.size, dtype=SCORE_DTYPE)
+    cand[0] = 0
+    np.maximum(prev[:-1] + sub, prev[1:] + SCORE_DTYPE(scoring.gap), out=cand[1:])
+    np.maximum(cand, 0, out=cand)
+    g = -scoring.gap
+    idx = np.arange(cand.size, dtype=np.int64)
+    x = cand.astype(np.int64)
+    x += g * idx
+    np.maximum.accumulate(x, out=x)
+    x -= g * idx
+    return x.astype(SCORE_DTYPE)
+
+
+@pytest.fixture(scope="module")
+def scan_4k():
+    s = random_dna(N_4K, rng=11)
+    t = random_dna(N_4K, rng=12)
+    return s, t
+
+
+def _best_of(fn, rounds=3):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_workspace_beats_seed_kernel_2x_on_4k(benchmark, scan_4k, perf_record):
+    """Tentpole acceptance: >= 2x cells/sec over the old sw_row path."""
+    s, t = scan_4k
+    cells = len(s) * len(t)
+
+    def seed_scan():
+        prev = initial_row(len(t), local=True)
+        for ch in s:
+            prev = _seed_sw_row(prev, int(ch), t)
+        return prev
+
+    def workspace_scan():
+        ws = KernelWorkspace(t)
+        prev = initial_row(len(t), local=True)
+        for ch in s:
+            prev = ws.sw_row(prev, int(ch), out=prev)
+        return prev
+
+    assert np.array_equal(seed_scan(), workspace_scan())
+
+    seed_s = _best_of(seed_scan)
+    workspace_s = benchmark.pedantic(
+        lambda: _best_of(workspace_scan), rounds=1, iterations=1
+    )
+
+    # One naive row, extrapolated: the per-cell loop is ~1000x off, a full
+    # 4k x 4k naive scan would take minutes.
+    prev = initial_row(len(t), local=True)
+    start = time.perf_counter()
+    sw_row_naive(prev, int(s[0]), t)
+    naive_row_s = time.perf_counter() - start
+
+    ratio = seed_s / workspace_s
+    perf_record(
+        "sw_scan_4096x4096",
+        naive_cells_per_s=len(t) / naive_row_s,
+        vectorized_cells_per_s=cells / seed_s,
+        workspace_cells_per_s=cells / workspace_s,
+        vectorized_seconds=seed_s,
+        workspace_seconds=workspace_s,
+        workspace_speedup_vs_vectorized=ratio,
+    )
+    assert ratio >= 2.0, f"workspace only {ratio:.2f}x the old sw_row path"
+
+
+def test_workspace_batched_rows_on_matrix(benchmark, scan_4k, perf_record):
+    """The sw_rows batch API filling a whole (m+1, n+1) matrix block."""
+    s, t = scan_4k
+    m, n = 512, len(t)
+    H = np.zeros((m + 1, n + 1), dtype=SCORE_DTYPE)
+
+    def fill():
+        ws = KernelWorkspace(t)
+        ws.sw_rows(H[0], s[:m], out=H[1:])
+        return H
+
+    benchmark.pedantic(fill, rounds=3, iterations=1)
+    start = time.perf_counter()
+    fill()
+    elapsed = time.perf_counter() - start
+    perf_record("sw_rows_batched_512x4096", cells_per_s=m * n / elapsed)
+
+
+def test_pool_amortizes_spawn_over_10_alignments(benchmark, perf_record):
+    """Tentpole acceptance: the persistent pool beats per-call spawning on
+    >= 10 repeated mp_wavefront alignments of one loaded pair."""
+    from repro.parallel import (
+        AlignmentWorkerPool,
+        MpWavefrontConfig,
+        mp_wavefront_alignments,
+    )
+
+    gp = genome_pair(600, 600, n_regions=2, region_length=60, mutation_rate=0.02, rng=51)
+    config = MpWavefrontConfig(n_workers=2, rows_per_exchange=16)
+    reps = 10
+
+    def spawned():
+        out = None
+        for _ in range(reps):
+            out = mp_wavefront_alignments(gp.s, gp.t, config)
+        return out
+
+    def pooled():
+        # Pool construction included: even paying the one-time spawn, the
+        # amortized path must win over ten requests.
+        with AlignmentWorkerPool(n_workers=2) as pool:
+            pool.load_pair(gp.s, gp.t)
+            out = None
+            for _ in range(reps):
+                out = pool.wavefront(config=config)
+            return out
+
+    assert [a.region for a in spawned()] == [a.region for a in pooled()]
+
+    spawn_s = _best_of(spawned, rounds=2)
+    pool_s = benchmark.pedantic(lambda: _best_of(pooled, rounds=2), rounds=1, iterations=1)
+
+    perf_record(
+        "mp_wavefront_10_repeats_600x600",
+        spawn_seconds=spawn_s,
+        pool_seconds=pool_s,
+        pool_speedup=spawn_s / pool_s,
+        n_workers=2,
+        repeats=reps,
+    )
+    assert pool_s < spawn_s, (
+        f"pool ({pool_s:.3f}s) did not beat spawning ({spawn_s:.3f}s) over {reps} calls"
+    )

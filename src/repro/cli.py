@@ -43,9 +43,34 @@ def _load_pair(args) -> tuple:
 
 
 def cmd_align(args) -> int:
+    s, t = _load_pair(args)
+    if args.backend == "mp":
+        from .strategies import run_mp_pipeline
+
+        backend = {"heuristic": "wavefront", "heuristic_block": "blocked"}.get(
+            args.strategy
+        )
+        if backend is None:
+            raise SystemExit(
+                f"strategy {args.strategy!r} has no real-parallel backend; "
+                "use --strategy heuristic or heuristic_block with --backend mp"
+            )
+        result = run_mp_pipeline(s, t, backend=backend, n_workers=args.mp_workers)
+        print(
+            f"phase 1 ({result.backend}, {result.n_workers} worker processes): "
+            f"{result.phase1_seconds:.2f} s wall, {len(result.regions)} similar regions"
+        )
+        print(
+            f"phase 2: {result.phase2_seconds:.2f} s wall, "
+            f"{len(result.records)} global alignments"
+        )
+        for rec in result.best_records(args.top):
+            print()
+            print(rec.render())
+        return 0
+
     from .strategies import run_pipeline
 
-    s, t = _load_pair(args)
     result = run_pipeline(s, t, strategy=args.strategy, n_procs=args.procs)
     p1 = result.phase1
     print(
@@ -187,6 +212,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("heuristic", "heuristic_block", "pre_process"),
     )
     p_align.add_argument("--procs", type=int, default=8)
+    p_align.add_argument(
+        "--backend",
+        default="sim",
+        choices=("sim", "mp"),
+        help="sim = virtual cluster (paper's cost model); "
+        "mp = real worker processes via the persistent shared-memory pool",
+    )
+    p_align.add_argument(
+        "--mp-workers", type=int, default=2, help="process count for --backend mp"
+    )
     p_align.add_argument("--top", type=int, default=3, help="alignments to print")
     p_align.set_defaults(func=cmd_align)
 

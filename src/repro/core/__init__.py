@@ -36,6 +36,7 @@ from .exact_linear import (
     rebuild_alignment,
     reverse_scan,
 )
+from .engine import KernelWorkspace
 from .global_align import SubsequenceAlignment, align_region, global_alignment
 from .heuristic import HeuristicAligner, HeuristicParams, heuristic_local_alignments
 from .hirschberg import hirschberg
@@ -72,6 +73,7 @@ __all__ = [
     "GlobalAlignment",
     "HeuristicAligner",
     "HeuristicParams",
+    "KernelWorkspace",
     "LocalAlignment",
     "MatrixScoring",
     "MatrixTooLarge",

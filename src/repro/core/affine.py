@@ -66,7 +66,7 @@ class AffineScoring:
     def substitution_row(self, s_char: int, t_codes: np.ndarray) -> np.ndarray:
         return np.where(
             t_codes == s_char, np.int32(self.match), np.int32(self.mismatch)
-        )
+        ).astype(SCORE_DTYPE, copy=False)
 
     def pair_score(self, a: int, b: int) -> int:
         return self.match if a == b else self.mismatch

@@ -1,0 +1,213 @@
+"""Zero-copy kernel workspace: query profiles, scratch reuse, batched rows.
+
+:mod:`repro.core.kernels` computes each DP row correctly but wastefully: every
+call re-derives the substitution vector with ``np.where`` (or a matrix
+gather), allocates a candidate buffer, an ``arange`` ramp and two int64
+temporaries, and throws them all away.  At the paper's sequence sizes the row
+kernel is called tens of thousands of times per alignment, so the allocator
+and the redundant passes dominate.
+
+:class:`KernelWorkspace` is the fix, borrowing two standard tricks from the
+SIMD Smith-Waterman literature (Rucci et al.'s KNL kernels, Farrar's striped
+layout -- see PAPERS.md):
+
+* **Query profile**: the substitution vector depends only on (scoring, target,
+  query character), so the workspace computes it once per character code and
+  reuses it for every row that character appears in.  For DNA that is four
+  vectors for the whole alignment instead of one ``np.where`` per row.
+* **Scratch reuse**: the candidate row, the int64 accumulate buffer and the
+  ``gap * arange`` ramp used to resolve the horizontal-gap chain are allocated
+  once and reused, so a row advance performs zero heap allocations when the
+  caller supplies an output buffer (``out=`` may alias ``prev`` for a true
+  in-place two-row scan).
+* **Row batching**: ``sw_rows``/``nw_rows``/``sw_rows_slice`` advance many
+  rows per Python call, which hoists attribute lookups and bounds checks out
+  of the per-row path.
+
+A workspace is bound to one ``(scoring, target)`` pair -- exactly the shape of
+every loop in this repository: the target (or target slice) is fixed while the
+query characters stream past.  The legacy :func:`repro.core.kernels.sw_row`
+family remains as thin one-shot shims over this module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .scoring import DEFAULT_SCORING, SCORE_DTYPE, Scoring
+
+
+class KernelWorkspace:
+    """Reusable state for advancing DP rows against one fixed target.
+
+    ``t_codes`` is the encoded target (or target slice) every row is computed
+    against.  ``eager_codes`` lists the query codes whose profile rows are
+    precomputed up front (default: the DNA alphabet); any other code is
+    profiled lazily on first use, so protein workspaces work unchanged.
+    """
+
+    __slots__ = (
+        "t",
+        "scoring",
+        "width",
+        "_gap",
+        "_ramp",
+        "_cand",
+        "_tmp",
+        "_acc",
+        "_wide",
+        "_profile",
+    )
+
+    def __init__(
+        self,
+        t_codes: np.ndarray,
+        scoring: Scoring = DEFAULT_SCORING,
+        eager_codes=range(4),
+    ) -> None:
+        self.t = np.ascontiguousarray(t_codes)
+        self.scoring = scoring
+        n = int(self.t.size)
+        self.width = n
+        self._gap = int(scoring.gap)
+        # Horizontal resolution ramp g*j (g = |gap|).  Candidate scores are
+        # bounded by match*n above, so cand + g*j stays within int32 unless
+        # (match + g) * (n + 1) approaches 2^31; only then is the int64
+        # widening path needed.  The narrow path runs the whole resolution
+        # in-place in the int32 output row: three passes, zero copies.
+        self._wide = (int(scoring.match) - self._gap) * (n + 1) >= 2**30
+        ramp_dtype = np.int64 if self._wide else SCORE_DTYPE
+        self._ramp = (-self._gap) * np.arange(n + 1, dtype=ramp_dtype)
+        self._cand = np.empty(n + 1, dtype=SCORE_DTYPE)
+        self._tmp = np.empty(n, dtype=SCORE_DTYPE)
+        self._acc = np.empty(n + 1, dtype=np.int64) if self._wide else None
+        self._profile: dict[int, np.ndarray] = {}
+        for code in eager_codes:
+            self.profile_row(int(code))
+
+    # -- profile ----------------------------------------------------------
+
+    def profile_row(self, s_char: int) -> np.ndarray:
+        """Substitution scores of ``s_char`` against the whole target."""
+        row = self._profile.get(s_char)
+        if row is None:
+            row = np.ascontiguousarray(
+                self.scoring.substitution_row(s_char, self.t), dtype=SCORE_DTYPE
+            )
+            self._profile[s_char] = row
+        return row
+
+    # -- single-row kernels ------------------------------------------------
+
+    def _candidates(self, prev: np.ndarray, s_char: int) -> np.ndarray:
+        """Best score per cell over the diagonal and vertical moves."""
+        if prev.size != self.width + 1:
+            raise ValueError(
+                f"prev row has {prev.size} cells; workspace target needs "
+                f"{self.width + 1}"
+            )
+        cand = self._cand
+        np.add(prev[:-1], self.profile_row(s_char), out=cand[1:])
+        np.add(prev[1:], SCORE_DTYPE(self._gap), out=self._tmp)
+        np.maximum(cand[1:], self._tmp, out=cand[1:])
+        return cand
+
+    def _resolve(self, out: np.ndarray | None, n_cells: int) -> np.ndarray:
+        """Apply the horizontal-gap closed form to ``_cand`` and emit the row."""
+        if out is None:
+            out = np.empty(n_cells, dtype=SCORE_DTYPE)
+        if self._wide:
+            acc = self._acc
+            np.add(self._cand, self._ramp, out=acc)
+            np.maximum.accumulate(acc, out=acc)
+            np.subtract(acc, self._ramp, out=acc)
+            out[:] = acc  # exact downcast: true row values fit SCORE_DTYPE
+        else:
+            np.add(self._cand, self._ramp, out=out)
+            np.maximum.accumulate(out, out=out)
+            np.subtract(out, self._ramp, out=out)
+        return out
+
+    def sw_row(
+        self, prev: np.ndarray, s_char: int, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """One Smith-Waterman row; ``out`` may alias ``prev`` (in-place scan)."""
+        cand = self._candidates(prev, int(s_char))
+        cand[0] = 0
+        np.maximum(cand, 0, out=cand)
+        return self._resolve(out, prev.size)
+
+    def nw_row(
+        self,
+        prev: np.ndarray,
+        s_char: int,
+        boundary: int,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """One Needleman-Wunsch row with ``boundary`` as the first column."""
+        cand = self._candidates(prev, int(s_char))
+        cand[0] = boundary
+        return self._resolve(out, prev.size)
+
+    def sw_row_slice(
+        self,
+        prev: np.ndarray,
+        s_char: int,
+        left_current: int,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """One SW row over a column slice given the left neighbour's border.
+
+        Same layout contract as :func:`repro.core.kernels.sw_row_slice`; the
+        workspace must have been built over the *slice* of the target.
+        """
+        cand = self._candidates(prev, int(s_char))
+        cand[0] = left_current
+        np.maximum(cand[1:], 0, out=cand[1:])
+        return self._resolve(out, prev.size)
+
+    # -- batched kernels ---------------------------------------------------
+
+    def sw_rows(
+        self, prev: np.ndarray, s_codes, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Advance ``len(s_codes)`` SW rows; returns the ``(k, n+1)`` block."""
+        k = len(s_codes)
+        if out is None:
+            out = np.empty((k, prev.size), dtype=SCORE_DTYPE)
+        row = prev
+        for r in range(k):
+            row = self.sw_row(row, int(s_codes[r]), out=out[r])
+        return out
+
+    def nw_rows(
+        self,
+        prev: np.ndarray,
+        s_codes,
+        boundaries,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Advance ``len(s_codes)`` NW rows; ``boundaries[r]`` seeds column 0."""
+        k = len(s_codes)
+        if out is None:
+            out = np.empty((k, prev.size), dtype=SCORE_DTYPE)
+        row = prev
+        for r in range(k):
+            row = self.nw_row(row, int(s_codes[r]), int(boundaries[r]), out=out[r])
+        return out
+
+    def sw_rows_slice(
+        self,
+        prev: np.ndarray,
+        s_codes,
+        lefts,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Advance a batch of slice rows; ``lefts[r]`` is the left border of row r."""
+        k = len(s_codes)
+        if out is None:
+            out = np.empty((k, prev.size), dtype=SCORE_DTYPE)
+        row = prev
+        for r in range(k):
+            row = self.sw_row_slice(row, int(s_codes[r]), int(lefts[r]), out=out[r])
+        return out

@@ -30,7 +30,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..seq.alphabet import encode
-from .kernels import initial_row, sw_row
+from .engine import KernelWorkspace
+from .kernels import initial_row
 from .linear import ScoreEndpoint, sw_best_endpoint, sw_endpoints_above
 from .matrix import TracebackResult, smith_waterman
 from .scoring import DEFAULT_SCORING, Scoring
@@ -104,10 +105,11 @@ def reverse_scan(
     s_rev = s_prefix[::-1]
     t_rev = t_prefix[::-1]
     n_cols = len(t_rev)
+    ws = KernelWorkspace(t_rev, scoring)
     row = initial_row(n_cols, local=True, scoring=scoring)
     cells = 0
     for i in range(1, len(s_rev) + 1):
-        row = sw_row(row, s_rev[i - 1], t_rev, scoring)
+        row = ws.sw_row(row, s_rev[i - 1], out=row)
         # Band: columns j with i <= border(j) and j <= border(i).
         hi = min(n_cols, band_limit(i, scoring))
         ratio = scoring.match / (-scoring.gap)

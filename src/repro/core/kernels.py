@@ -17,31 +17,37 @@ same algebra behind the "striped" SIMD Smith-Waterman kernels; here it is the
 difference between ~10^5 and ~10^8 cells/second in Python, which is what makes
 the paper's 50 kBP-400 kBP workloads reachable (see DESIGN.md).  A deliberately
 naive per-cell kernel is kept for differential testing and the ablation bench.
+
+The row machinery itself lives in :class:`repro.core.engine.KernelWorkspace`,
+which additionally precomputes the query profile and reuses all scratch
+buffers across rows.  The functions here are one-shot compatibility shims: a
+throwaway lazy workspace per call, correct but without the amortization.  Hot
+loops should hold a workspace instead.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .scoring import DEFAULT_SCORING, Scoring
+from .engine import KernelWorkspace
+from .scoring import DEFAULT_SCORING, SCORE_DTYPE, Scoring
 
-#: dtype of all score rows.  int32 gives headroom for sequences up to ~10^8
-#: cells per row with the paper's unit scores.
-SCORE_DTYPE = np.int32
+__all__ = [
+    "SCORE_DTYPE",
+    "count_hits",
+    "initial_row",
+    "nw_row",
+    "nw_row_naive",
+    "row_maximum",
+    "sw_row",
+    "sw_row_naive",
+    "sw_row_slice",
+]
 
 
-def _resolve_horizontal(cand: np.ndarray, g: int) -> np.ndarray:
-    """Exactly apply horizontal gap moves to a row of candidate scores.
-
-    ``cand[j]`` must already hold the best score of cell ``j`` over all moves
-    that do not end in a horizontal gap; ``g > 0`` is the gap penalty.
-    """
-    idx = np.arange(cand.size, dtype=np.int64)
-    x = cand.astype(np.int64)
-    x += g * idx
-    np.maximum.accumulate(x, out=x)
-    x -= g * idx
-    return x.astype(SCORE_DTYPE)
+def _one_shot(t_codes: np.ndarray, scoring: Scoring) -> KernelWorkspace:
+    """A lazy workspace for a single row advance (no eager profile)."""
+    return KernelWorkspace(t_codes, scoring, eager_codes=())
 
 
 def sw_row(
@@ -57,12 +63,7 @@ def sw_row(
     Eq. (1) of the paper: the max of the three gapped/matched predecessors
     and zero.
     """
-    sub = scoring.substitution_row(int(s_char), t_codes)
-    cand = np.empty(prev.size, dtype=SCORE_DTYPE)
-    cand[0] = 0
-    np.maximum(prev[:-1] + sub, prev[1:] + SCORE_DTYPE(scoring.gap), out=cand[1:])
-    np.maximum(cand, 0, out=cand)
-    return _resolve_horizontal(cand, -scoring.gap)
+    return _one_shot(t_codes, scoring).sw_row(prev, int(s_char))
 
 
 def nw_row(
@@ -78,11 +79,7 @@ def nw_row(
     ``boundary`` as the first-column value (``i * gap`` for a plain global
     alignment, per Section 2.3 / Fig. 4 of the paper).
     """
-    sub = scoring.substitution_row(int(s_char), t_codes)
-    cand = np.empty(prev.size, dtype=SCORE_DTYPE)
-    cand[0] = boundary
-    np.maximum(prev[:-1] + sub, prev[1:] + SCORE_DTYPE(scoring.gap), out=cand[1:])
-    return _resolve_horizontal(cand, -scoring.gap)
+    return _one_shot(t_codes, scoring).nw_row(prev, int(s_char), boundary)
 
 
 def sw_row_slice(
@@ -103,12 +100,7 @@ def sw_row_slice(
     ``i``.  Stitching slices computed this way reproduces the full-matrix
     row exactly (tested property).
     """
-    sub = scoring.substitution_row(int(s_char), t_slice)
-    cand = np.empty(prev.size, dtype=SCORE_DTYPE)
-    cand[0] = left_current
-    np.maximum(prev[:-1] + sub, prev[1:] + SCORE_DTYPE(scoring.gap), out=cand[1:])
-    np.maximum(cand[1:], 0, out=cand[1:])
-    return _resolve_horizontal(cand, -scoring.gap)
+    return _one_shot(t_slice, scoring).sw_row_slice(prev, int(s_char), left_current)
 
 
 def sw_row_naive(
@@ -154,9 +146,7 @@ def initial_row(n_cols: int, local: bool, scoring: Scoring = DEFAULT_SCORING) ->
     """Row 0 of the DP array: zeros for local, gap multiples for global."""
     if local:
         return np.zeros(n_cols + 1, dtype=SCORE_DTYPE)
-    return (np.arange(n_cols + 1, dtype=SCORE_DTYPE) * SCORE_DTYPE(scoring.gap)).astype(
-        SCORE_DTYPE
-    )
+    return np.arange(n_cols + 1, dtype=SCORE_DTYPE) * SCORE_DTYPE(scoring.gap)
 
 
 def count_hits(row: np.ndarray, threshold: int) -> int:

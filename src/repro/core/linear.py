@@ -17,7 +17,8 @@ from typing import Callable, Iterator
 import numpy as np
 
 from ..seq.alphabet import encode
-from .kernels import count_hits, initial_row, nw_row, sw_row
+from .engine import KernelWorkspace
+from .kernels import count_hits, initial_row
 from .scoring import DEFAULT_SCORING, Scoring
 
 
@@ -42,9 +43,10 @@ def iter_sw_rows(
     """
     s = encode(s)
     t = encode(t)
+    ws = KernelWorkspace(t, scoring)
     row = initial_row(len(t), local=True, scoring=scoring)
     for i in range(1, len(s) + 1):
-        row = sw_row(row, s[i - 1], t, scoring)
+        row = ws.sw_row(row, s[i - 1], out=row)
         yield i, row
 
 
@@ -126,9 +128,10 @@ def nw_last_row(
     """
     s = encode(s)
     t = encode(t)
+    ws = KernelWorkspace(t, scoring)
     row = initial_row(len(t), local=False, scoring=scoring)
     for i in range(1, len(s) + 1):
-        row = nw_row(row, s[i - 1], t, i * scoring.gap, scoring)
+        row = ws.nw_row(row, s[i - 1], i * scoring.gap, out=row)
     return row
 
 

@@ -20,7 +20,8 @@ import numpy as np
 
 from ..seq.alphabet import DNA_ALPHABET, Alphabet, decode, encode
 from .alignment import GlobalAlignment, LocalAlignment
-from .kernels import SCORE_DTYPE, initial_row, nw_row, sw_row
+from .engine import KernelWorkspace
+from .kernels import SCORE_DTYPE, initial_row
 from .scoring import DEFAULT_SCORING, Scoring
 
 #: Guard against accidentally materialising a paper-sized matrix: 64M cells
@@ -51,11 +52,12 @@ def similarity_matrix(
         )
     H = np.empty((m + 1, n + 1), dtype=SCORE_DTYPE)
     H[0] = initial_row(n, local, scoring)
-    for i in range(1, m + 1):
-        if local:
-            H[i] = sw_row(H[i - 1], s[i - 1], t, scoring)
-        else:
-            H[i] = nw_row(H[i - 1], s[i - 1], t, i * scoring.gap, scoring)
+    ws = KernelWorkspace(t, scoring)
+    if local:
+        ws.sw_rows(H[0], s, out=H[1:])
+    else:
+        boundaries = np.arange(1, m + 1, dtype=np.int64) * scoring.gap
+        ws.nw_rows(H[0], s, boundaries, out=H[1:])
     return H
 
 

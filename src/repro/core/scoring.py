@@ -12,6 +12,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+#: dtype of all score rows.  int32 gives headroom for sequences up to ~10^8
+#: cells per row with the paper's unit scores.  Defined here (not in
+#: :mod:`repro.core.kernels`) so the scoring classes can pin their outputs to
+#: it without a circular import; kernels re-exports it.
+SCORE_DTYPE = np.int32
+
 
 @dataclass(frozen=True)
 class Scoring:
@@ -34,10 +40,14 @@ class Scoring:
             raise ValueError("match score must exceed mismatch score")
 
     def substitution_row(self, s_char: int, t_codes: np.ndarray) -> np.ndarray:
-        """Vector of substitution scores of ``s_char`` against every ``t`` code."""
+        """Vector of substitution scores of ``s_char`` against every ``t`` code.
+
+        Always :data:`SCORE_DTYPE`: ``np.where`` promotes to int64 on some
+        platforms, which would silently double the DP rows' memory traffic.
+        """
         return np.where(
             t_codes == s_char, np.int32(self.match), np.int32(self.mismatch)
-        )
+        ).astype(SCORE_DTYPE, copy=False)
 
     def pair_score(self, a: int, b: int) -> int:
         """Score of aligning code ``a`` against code ``b``."""
@@ -87,7 +97,7 @@ class MatrixScoring(Scoring):
         return np.asarray(self.matrix, dtype=np.int32)
 
     def substitution_row(self, s_char: int, t_codes: np.ndarray) -> np.ndarray:
-        return self._array()[s_char][t_codes]
+        return self._array()[s_char][t_codes].astype(SCORE_DTYPE, copy=False)
 
     def pair_score(self, a: int, b: int) -> int:
         return self.matrix[a][b]

@@ -15,7 +15,8 @@ import numpy as np
 
 from ..seq.alphabet import DNA_ALPHABET, Alphabet
 from .alignment import GlobalAlignment
-from .kernels import SCORE_DTYPE, nw_row
+from .engine import KernelWorkspace
+from .kernels import SCORE_DTYPE
 from .matrix import MAX_FULL_MATRIX_CELLS, MatrixTooLarge, TracebackResult
 from .scoring import DEFAULT_SCORING, Scoring
 
@@ -34,8 +35,8 @@ def semiglobal_matrix(
         raise MatrixTooLarge("semiglobal matrix exceeds the cell cap")
     H = np.empty((m + 1, n + 1), dtype=SCORE_DTYPE)
     H[0] = 0  # free leading gaps in t
-    for i in range(1, m + 1):
-        H[i] = nw_row(H[i - 1], s[i - 1], t, i * scoring.gap, scoring)
+    boundaries = np.arange(1, m + 1, dtype=np.int64) * scoring.gap
+    KernelWorkspace(t, scoring).nw_rows(H[0], s, boundaries, out=H[1:])
     return H
 
 

@@ -1,16 +1,30 @@
 """Real shared-memory (multiprocessing) backend of the paper's strategies."""
 
+from .guard import WorkerCrashed, drain_results
 from .mp_blocked import MpBlockedConfig, mp_blocked_alignments
 from .mp_phase2 import mp_phase2
 from .mp_wavefront import MpWavefrontConfig, mp_wavefront_alignments
-from .shm import SharedArray, attach_shared_array, create_shared_array
+from .pool import AlignmentWorkerPool, PoolJobError
+from .shm import (
+    ArenaHandle,
+    SequenceArena,
+    SharedArray,
+    attach_shared_array,
+    create_shared_array,
+)
 
 __all__ = [
+    "AlignmentWorkerPool",
+    "ArenaHandle",
     "MpBlockedConfig",
     "MpWavefrontConfig",
+    "PoolJobError",
+    "SequenceArena",
     "SharedArray",
+    "WorkerCrashed",
     "attach_shared_array",
     "create_shared_array",
+    "drain_results",
     "mp_blocked_alignments",
     "mp_phase2",
     "mp_wavefront_alignments",

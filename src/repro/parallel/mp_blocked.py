@@ -21,11 +21,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.alignment import AlignmentQueue, LocalAlignment
+from ..core.engine import KernelWorkspace
 from ..core.kernels import SCORE_DTYPE
 from ..core.regions import RegionConfig, StreamingRegionFinder
 from ..core.scoring import DEFAULT_SCORING, Scoring
 from ..strategies.blocked import compute_tile
 from ..strategies.partition import explicit_tiling
+from .guard import drain_results
 from .shm import attach_shared_array, create_shared_array
 
 
@@ -60,9 +62,11 @@ def _worker(
     s = np.frombuffer(s_bytes, dtype=np.uint8)
     t = np.frombuffer(t_bytes, dtype=np.uint8)
     tiling = explicit_tiling(len(s), len(t), config.n_bands, config.n_blocks)
-    boundaries = attach_shared_array(shm_name, shape, SCORE_DTYPE)
     found: list[tuple[int, int, int, int, int]] = []
-    try:
+    with attach_shared_array(shm_name, shape, SCORE_DTYPE) as boundaries:
+        # Column blocks repeat across this worker's bands, so their query
+        # profiles and scratch buffers are built once per block, not per tile.
+        workspaces: dict[int, KernelWorkspace] = {}
         for band in range(tiling.n_bands):
             if band % config.n_workers != worker_id:
                 continue
@@ -82,8 +86,11 @@ def _worker(
                             f"block ({band - 1}, {block})"
                         )
                 if c1 > c0 and h:
+                    ws = workspaces.get(block)
+                    if ws is None:
+                        ws = workspaces[block] = KernelWorkspace(t[c0:c1], scoring)
                     top = boundaries.array[band, c0 : c1 + 1].copy()
-                    tile = compute_tile(top, left_col, s_band, t[c0:c1], scoring)
+                    tile = compute_tile(top, left_col, s_band, t[c0:c1], scoring, ws)
                     band_rows[:, c0 + 1 : c1 + 1] = tile[:, 1:]
                     left_col = tile[:, -1].copy()
                     boundaries.array[band + 1, c0 + 1 : c1 + 1] = tile[-1, 1:]
@@ -96,8 +103,6 @@ def _worker(
                     a = region.as_alignment()
                     found.append((a.score, a.s_start, a.s_end, a.t_start, a.t_end))
         results.put((worker_id, found))
-    finally:
-        boundaries.close()
 
 
 def mp_blocked_alignments(
@@ -118,40 +123,39 @@ def mp_blocked_alignments(
     t = encode(t)
     tiling = explicit_tiling(len(s), len(t), config.n_bands, config.n_blocks)
     ctx = mp.get_context()
-    boundaries = create_shared_array((tiling.n_bands + 1, len(t) + 1), SCORE_DTYPE)
     ready = [ctx.Event() for _ in range(tiling.n_bands * tiling.n_blocks)]
     results: mp.Queue = ctx.Queue()
-    workers = [
-        ctx.Process(
-            target=_worker,
-            args=(
-                w,
-                s.tobytes(),
-                t.tobytes(),
-                config,
-                scoring,
-                boundaries.name,
-                boundaries.array.shape,
-                ready,
-                results,
-            ),
-        )
-        for w in range(config.n_workers)
-    ]
-    try:
-        for w in workers:
-            w.start()
-        collected: dict[int, list] = {}
-        for _ in workers:
-            worker_id, found = results.get(timeout=config.timeout)
-            collected[worker_id] = found
-        for w in workers:
-            w.join(timeout=config.timeout)
-    finally:
-        for w in workers:
-            if w.is_alive():
-                w.terminate()
-        boundaries.close()
+    with create_shared_array((tiling.n_bands + 1, len(t) + 1), SCORE_DTYPE) as boundaries:
+        workers = [
+            ctx.Process(
+                target=_worker,
+                args=(
+                    w,
+                    s.tobytes(),
+                    t.tobytes(),
+                    config,
+                    scoring,
+                    boundaries.name,
+                    boundaries.array.shape,
+                    ready,
+                    results,
+                ),
+            )
+            for w in range(config.n_workers)
+        ]
+        try:
+            for w in workers:
+                w.start()
+            collected = drain_results(
+                results, workers, config.n_workers, config.timeout
+            )
+            for w in workers:
+                w.join(timeout=config.timeout)
+        finally:
+            for w in workers:
+                if w.is_alive():
+                    w.terminate()
+                    w.join(timeout=5.0)
 
     queue = AlignmentQueue()
     for found in collected.values():

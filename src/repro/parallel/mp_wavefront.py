@@ -22,10 +22,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.alignment import AlignmentQueue, LocalAlignment
-from ..core.kernels import SCORE_DTYPE, sw_row_slice
+from ..core.engine import KernelWorkspace
+from ..core.kernels import SCORE_DTYPE
 from ..core.regions import RegionConfig, StreamingRegionFinder
 from ..core.scoring import DEFAULT_SCORING, Scoring
 from ..strategies.partition import column_partition
+from .guard import drain_results
 from .shm import attach_shared_array, create_shared_array
 
 
@@ -61,10 +63,10 @@ def _worker(
     slices = column_partition(len(t), config.n_workers)
     c0, c1 = slices[worker_id]
     width = c1 - c0
-    borders = attach_shared_array(shm_name, shape, SCORE_DTYPE)
     batch = config.rows_per_exchange
     finder = StreamingRegionFinder(RegionConfig(threshold=config.threshold))
-    try:
+    with attach_shared_array(shm_name, shape, SCORE_DTYPE) as borders:
+        ws = KernelWorkspace(t[c0:c1], scoring)
         prev = np.zeros(width + 1, dtype=SCORE_DTYPE)
         for lo in range(0, len(s), batch):
             hi = min(lo + batch, len(s))
@@ -73,7 +75,7 @@ def _worker(
                     raise TimeoutError(f"worker {worker_id} starved at row {lo}")
             for i in range(lo, hi):
                 left = int(borders.array[worker_id - 1, i]) if worker_id > 0 else 0
-                prev = sw_row_slice(prev, int(s[i]), t[c0:c1], left, scoring)
+                prev = ws.sw_row_slice(prev, int(s[i]), left, out=prev)
                 finder.feed(i + 1, prev)
                 if worker_id < config.n_workers - 1:
                     borders.array[worker_id, i] = prev[-1]
@@ -93,8 +95,6 @@ def _worker(
             for a in [r.as_alignment()]
         ]
         results.put((worker_id, found))
-    finally:
-        borders.close()
 
 
 def mp_wavefront_alignments(
@@ -113,42 +113,44 @@ def mp_wavefront_alignments(
         raise ValueError("sequence narrower than the worker count")
     ctx = mp.get_context()
     # borders[w, i] = last cell of worker w's slice on row i
-    borders = create_shared_array((max(1, config.n_workers - 1), len(s)), SCORE_DTYPE)
     produced = [ctx.Semaphore(0) for _ in range(max(0, config.n_workers - 1))]
     consumed = [ctx.Semaphore(0) for _ in range(max(0, config.n_workers - 1))]
     results: mp.Queue = ctx.Queue()
-    workers = [
-        ctx.Process(
-            target=_worker,
-            args=(
-                w,
-                s.tobytes(),
-                t.tobytes(),
-                config,
-                scoring,
-                borders.name,
-                borders.array.shape,
-                produced,
-                consumed,
-                results,
-            ),
-        )
-        for w in range(config.n_workers)
-    ]
-    try:
-        for w in workers:
-            w.start()
-        collected: dict[int, list] = {}
-        for _ in workers:
-            worker_id, found = results.get(timeout=config.timeout)
-            collected[worker_id] = found
-        for w in workers:
-            w.join(timeout=config.timeout)
-    finally:
-        for w in workers:
-            if w.is_alive():
-                w.terminate()
-        borders.close()
+    with create_shared_array((max(1, config.n_workers - 1), len(s)), SCORE_DTYPE) as borders:
+        workers = [
+            ctx.Process(
+                target=_worker,
+                args=(
+                    w,
+                    s.tobytes(),
+                    t.tobytes(),
+                    config,
+                    scoring,
+                    borders.name,
+                    borders.array.shape,
+                    produced,
+                    consumed,
+                    results,
+                ),
+            )
+            for w in range(config.n_workers)
+        ]
+        try:
+            for w in workers:
+                w.start()
+            # Poll with exit-code checks: a crashed worker fails the call in
+            # under a second instead of hanging until the full timeout while
+            # its named shared-memory segment leaks.
+            collected = drain_results(
+                results, workers, config.n_workers, config.timeout
+            )
+            for w in workers:
+                w.join(timeout=config.timeout)
+        finally:
+            for w in workers:
+                if w.is_alive():
+                    w.terminate()
+                    w.join(timeout=5.0)
 
     queue = AlignmentQueue()
     for found in collected.values():

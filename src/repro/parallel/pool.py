@@ -1,0 +1,440 @@
+"""Persistent shared-memory worker pool for repeated alignments.
+
+The one-shot ``mp_*`` backends pay full process spawn plus sequence pickling
+on *every* call -- fine for a single 400 kBP comparison, ruinous for the
+ROADMAP's serving scenario where the same genome pair (or a stream of pairs)
+is aligned over and over.  :class:`AlignmentWorkerPool` keeps ``n_workers``
+processes alive across requests:
+
+* Sequences are published once per pair through a
+  :class:`repro.parallel.shm.SequenceArena`; workers attach by name and slice
+  zero-copy views, so a request carries only a small job descriptor.
+* Per-job coordination uses named shared-memory *progress counters* instead
+  of semaphores/events, because synchronisation primitives can only be
+  inherited at fork time while shm segments can be attached by name at any
+  moment -- exactly what a long-lived pool serving arbitrary job shapes
+  needs.
+* Worker death is detected while collecting results (exit-code polling via
+  :func:`repro.parallel.guard.drain_results`), so a crashed worker fails the
+  request in well under a second instead of hanging for the full timeout.
+
+The pool serves all three real-parallel algorithms: the non-blocked
+wave-front (Section 4.2), the blocked wave-front (Section 4.3) and the
+phase-2 scattered mapping (Section 4.4).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from typing import Sequence
+
+import numpy as np
+
+from ..core.alignment import AlignmentQueue, LocalAlignment
+from ..core.engine import KernelWorkspace
+from ..core.global_align import SubsequenceAlignment, align_region
+from ..core.kernels import SCORE_DTYPE
+from ..core.regions import RegionConfig, StreamingRegionFinder
+from ..core.scoring import DEFAULT_SCORING, Scoring
+from ..seq.alphabet import encode
+from ..strategies.blocked import compute_tile
+from ..strategies.partition import column_partition, explicit_tiling
+from .guard import WorkerCrashed, drain_results, poll_until
+from .mp_blocked import MpBlockedConfig
+from .mp_wavefront import MpWavefrontConfig
+from .shm import ArenaHandle, SequenceArena, attach_arena, attach_shared_array, create_shared_array
+
+
+class PoolJobError(RuntimeError):
+    """A pool worker raised while executing a job (the pool itself is fine)."""
+
+
+# --------------------------------------------------------------------------
+# Worker side
+# --------------------------------------------------------------------------
+
+
+def _get_pair(arenas: dict, handle: ArenaHandle) -> tuple[np.ndarray, np.ndarray]:
+    """Attach (and cache) the arena named by ``handle``; evict stale pairs."""
+    cached = arenas.get(handle.name)
+    if cached is None:
+        for name in list(arenas):
+            arenas.pop(name)[0].close()
+        arenas[handle.name] = attach_arena(handle)
+        cached = arenas[handle.name]
+    return cached[1], cached[2]
+
+
+def _job_wavefront(role: int, job: dict, arenas: dict) -> list:
+    s, t = _get_pair(arenas, job["arena"])
+    n_workers: int = job["n_workers"]
+    timeout: float = job["timeout"]
+    scoring: Scoring = job["scoring"]
+    m = len(s)
+    c0, c1 = column_partition(len(t), n_workers)[role]
+    with attach_shared_array(
+        job["borders"], (max(1, n_workers - 1), m), SCORE_DTYPE
+    ) as borders, attach_shared_array(job["progress"], (n_workers,), np.int64) as progress:
+        ws = KernelWorkspace(t[c0:c1], scoring)
+        finder = StreamingRegionFinder(RegionConfig(threshold=job["threshold"]))
+        prev = np.zeros(c1 - c0 + 1, dtype=SCORE_DTYPE)
+        batch: int = job["rows_per_exchange"]
+        for lo in range(0, m, batch):
+            hi = min(lo + batch, m)
+            if role > 0:
+                poll_until(
+                    lambda: int(progress.array[role - 1]) >= hi,
+                    timeout,
+                    f"wavefront worker {role} starved at row {lo}",
+                )
+            for i in range(lo, hi):
+                left = int(borders.array[role - 1, i]) if role > 0 else 0
+                prev = ws.sw_row_slice(prev, int(s[i]), left, out=prev)
+                finder.feed(i + 1, prev)
+                if role < n_workers - 1:
+                    borders.array[role, i] = prev[-1]
+            if role < n_workers - 1:
+                progress.array[role] = hi
+        return [
+            (r.score, a.s_start, a.s_end, a.t_start + c0, a.t_end + c0)
+            for r in finder.finish()
+            for a in [r.as_alignment()]
+        ]
+
+
+def _job_blocked(role: int, job: dict, arenas: dict) -> list:
+    s, t = _get_pair(arenas, job["arena"])
+    n_workers: int = job["n_workers"]
+    timeout: float = job["timeout"]
+    scoring: Scoring = job["scoring"]
+    tiling = explicit_tiling(len(s), len(t), job["n_bands"], job["n_blocks"])
+    found: list[tuple[int, int, int, int, int]] = []
+    with attach_shared_array(
+        job["boundaries"], (tiling.n_bands + 1, len(t) + 1), SCORE_DTYPE
+    ) as boundaries, attach_shared_array(
+        job["band_done"], (tiling.n_bands,), np.int64
+    ) as band_done:
+        # One workspace per column block, shared by every band this worker
+        # owns: the query profile for a block is band-invariant.
+        workspaces: dict[int, KernelWorkspace] = {}
+        for band in range(tiling.n_bands):
+            if band % n_workers != role:
+                continue
+            r0, r1 = tiling.row_bounds[band]
+            h = r1 - r0
+            s_band = s[r0:r1]
+            left_col = np.zeros(h, dtype=SCORE_DTYPE)
+            band_rows = np.zeros((h, len(t) + 1), dtype=SCORE_DTYPE)
+            for block in range(tiling.n_blocks):
+                c0, c1 = tiling.col_bounds[block]
+                if band > 0:
+                    poll_until(
+                        lambda: int(band_done.array[band - 1]) > block,
+                        timeout,
+                        f"blocked worker {role} starved at ({band - 1}, {block})",
+                    )
+                if c1 > c0 and h:
+                    ws = workspaces.get(block)
+                    if ws is None:
+                        ws = workspaces[block] = KernelWorkspace(t[c0:c1], scoring)
+                    top = boundaries.array[band, c0 : c1 + 1].copy()
+                    tile = compute_tile(top, left_col, s_band, t[c0:c1], scoring, ws)
+                    band_rows[:, c0 + 1 : c1 + 1] = tile[:, 1:]
+                    left_col = tile[:, -1].copy()
+                    boundaries.array[band + 1, c0 + 1 : c1 + 1] = tile[-1, 1:]
+                band_done.array[band] = block + 1
+            if h:
+                finder = StreamingRegionFinder(RegionConfig(threshold=job["threshold"]))
+                for r in range(h):
+                    finder.feed(r0 + r + 1, band_rows[r])
+                for region in finder.finish():
+                    a = region.as_alignment()
+                    found.append((a.score, a.s_start, a.s_end, a.t_start, a.t_end))
+    return found
+
+
+def _job_phase2(role: int, job: dict, arenas: dict) -> list:
+    s, t = _get_pair(arenas, job["arena"])
+    n_workers: int = job["n_workers"]
+    scoring: Scoring = job["scoring"]
+    out = []
+    # The paper's scattered mapping: worker i takes vector slots i, i+P, ...
+    for idx in range(role, len(job["regions"]), n_workers):
+        score, s0, s1, t0, t1 = job["regions"][idx]
+        record = align_region(s, t, LocalAlignment(score, s0, s1, t0, t1), scoring)
+        out.append((idx, record))
+    return out
+
+
+_JOB_KINDS = {
+    "wavefront": _job_wavefront,
+    "blocked": _job_blocked,
+    "phase2": _job_phase2,
+}
+
+
+def _pool_worker(role: int, tasks, results) -> None:
+    arenas: dict = {}
+    try:
+        while True:
+            job = tasks.get()
+            if job is None:
+                break
+            try:
+                payload = _JOB_KINDS[job["kind"]](role, job, arenas)
+                results.put((job["id"], role, "ok", payload))
+            except Exception as exc:  # propagate, keep the worker alive
+                results.put((job["id"], role, "error", f"{type(exc).__name__}: {exc}"))
+    finally:
+        for name in list(arenas):
+            arenas.pop(name)[0].close()
+
+
+# --------------------------------------------------------------------------
+# Parent side
+# --------------------------------------------------------------------------
+
+
+class AlignmentWorkerPool:
+    """A reusable pool of alignment workers with shared-memory sequences.
+
+    >>> with AlignmentWorkerPool(n_workers=2) as pool:
+    ...     pool.load_pair(s, t)                 # publish once
+    ...     regions = pool.wavefront()           # many requests, no respawn
+    ...     records = pool.phase2(regions)
+
+    Sequences may also be passed directly to :meth:`wavefront` /
+    :meth:`blocked` / :meth:`phase2`; the pool republishes the arena only
+    when the pair actually changes.
+    """
+
+    def __init__(self, n_workers: int = 2, timeout: float = 300.0) -> None:
+        if n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        self.n_workers = n_workers
+        self.timeout = timeout
+        ctx = mp.get_context()
+        self._tasks = [ctx.Queue() for _ in range(n_workers)]
+        self._results = ctx.Queue()
+        self._procs = [
+            ctx.Process(
+                target=_pool_worker,
+                args=(w, self._tasks[w], self._results),
+                daemon=True,
+            )
+            for w in range(n_workers)
+        ]
+        for p in self._procs:
+            p.start()
+        self._arena: SequenceArena | None = None
+        self._loaded: tuple | None = None
+        self._job_counter = 0
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "AlignmentWorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self, join_timeout: float = 5.0) -> None:
+        """Shut the workers down and release every shared segment."""
+        if self._closed:
+            return
+        self._closed = True
+        for q in self._tasks:
+            try:
+                q.put(None)
+            except (ValueError, OSError):
+                pass
+        for p in self._procs:
+            p.join(timeout=join_timeout)
+        for p in self._procs:
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=1.0)
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
+        self._loaded = None
+
+    # -- sequence publication ----------------------------------------------
+
+    def load_pair(self, s, t) -> ArenaHandle:
+        """Publish an encoded sequence pair to all workers (replaces any prior)."""
+        s = encode(s)
+        t = encode(t)
+        if self._arena is not None:
+            self._arena.close()
+        self._arena = SequenceArena(s, t)
+        self._loaded = (s, t)
+        return self._arena.handle
+
+    def _ensure_pair(self, s, t) -> ArenaHandle:
+        if s is None and t is None:
+            if self._arena is None:
+                raise ValueError("no sequence pair loaded; call load_pair first")
+            return self._arena.handle
+        if s is None or t is None:
+            raise ValueError("pass both sequences or neither")
+        s = encode(s)
+        t = encode(t)
+        if (
+            self._loaded is not None
+            and s is self._loaded[0]
+            and t is self._loaded[1]
+        ):
+            return self._arena.handle  # type: ignore[union-attr]
+        return self.load_pair(s, t)
+
+    # -- job plumbing ------------------------------------------------------
+
+    def _submit(self, job: dict) -> dict[int, object]:
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        self._job_counter += 1
+        job["id"] = self._job_counter
+        for q in self._tasks:
+            q.put(job)
+        return self._collect(job["id"])
+
+    def _collect(self, job_id: int) -> dict[int, object]:
+        import queue as _queue
+
+        collected: dict[int, object] = {}
+        deadline = time.monotonic() + self.timeout
+        while len(collected) < self.n_workers:
+            try:
+                jid, role, status, payload = self._results.get(timeout=0.2)
+            except _queue.Empty:
+                dead = [
+                    (w, p.exitcode)
+                    for w, p in enumerate(self._procs)
+                    if p.exitcode is not None
+                ]
+                if dead:
+                    self.close(join_timeout=0.1)
+                    raise WorkerCrashed(
+                        f"pool worker(s) {dead} died; the pool has been closed"
+                    )
+                if time.monotonic() > deadline:
+                    raise TimeoutError(f"pool job {job_id} timed out")
+                continue
+            if jid != job_id:
+                continue  # stale result from a previously failed job
+            if status == "error":
+                raise PoolJobError(str(payload))
+            collected[role] = payload
+        return collected
+
+    # -- alignment requests -------------------------------------------------
+
+    def wavefront(
+        self,
+        s=None,
+        t=None,
+        config: MpWavefrontConfig | None = None,
+        scoring: Scoring = DEFAULT_SCORING,
+    ) -> list[LocalAlignment]:
+        """Strategy 1 on the persistent workers; same results as
+        :func:`repro.parallel.mp_wavefront.mp_wavefront_alignments`."""
+        config = config or MpWavefrontConfig(n_workers=self.n_workers)
+        handle = self._ensure_pair(s, t)
+        if handle.t_len < self.n_workers:
+            raise ValueError("sequence narrower than the worker count")
+        borders = create_shared_array((max(1, self.n_workers - 1), handle.s_len), SCORE_DTYPE)
+        progress = create_shared_array((self.n_workers,), np.int64)
+        try:
+            collected = self._submit(
+                {
+                    "kind": "wavefront",
+                    "arena": handle,
+                    "n_workers": self.n_workers,
+                    "borders": borders.name,
+                    "progress": progress.name,
+                    "rows_per_exchange": config.rows_per_exchange,
+                    "threshold": config.threshold,
+                    "timeout": config.timeout,
+                    "scoring": scoring,
+                }
+            )
+        finally:
+            borders.close()
+            progress.close()
+        return _merge_found(collected.values(), config.threshold, config.min_score)
+
+    def blocked(
+        self,
+        s=None,
+        t=None,
+        config: MpBlockedConfig | None = None,
+        scoring: Scoring = DEFAULT_SCORING,
+    ) -> list[LocalAlignment]:
+        """Strategy 2 on the persistent workers; same results as
+        :func:`repro.parallel.mp_blocked.mp_blocked_alignments`."""
+        config = config or MpBlockedConfig(n_workers=self.n_workers)
+        handle = self._ensure_pair(s, t)
+        tiling = explicit_tiling(handle.s_len, handle.t_len, config.n_bands, config.n_blocks)
+        boundaries = create_shared_array((tiling.n_bands + 1, handle.t_len + 1), SCORE_DTYPE)
+        band_done = create_shared_array((tiling.n_bands,), np.int64)
+        try:
+            collected = self._submit(
+                {
+                    "kind": "blocked",
+                    "arena": handle,
+                    "n_workers": self.n_workers,
+                    "boundaries": boundaries.name,
+                    "band_done": band_done.name,
+                    "n_bands": config.n_bands,
+                    "n_blocks": config.n_blocks,
+                    "threshold": config.threshold,
+                    "timeout": config.timeout,
+                    "scoring": scoring,
+                }
+            )
+        finally:
+            boundaries.close()
+            band_done.close()
+        return _merge_found(collected.values(), config.threshold, config.min_score)
+
+    def phase2(
+        self,
+        regions: Sequence[LocalAlignment],
+        s=None,
+        t=None,
+        scoring: Scoring = DEFAULT_SCORING,
+    ) -> list[SubsequenceAlignment]:
+        """Section 4.4's scattered mapping on the persistent workers."""
+        handle = self._ensure_pair(s, t)
+        ordered = sorted(regions, key=lambda r: (-r.size, r.region))
+        if not ordered:
+            return []
+        collected = self._submit(
+            {
+                "kind": "phase2",
+                "arena": handle,
+                "n_workers": self.n_workers,
+                "regions": [
+                    (r.score, r.s_start, r.s_end, r.t_start, r.t_end) for r in ordered
+                ],
+                "scoring": scoring,
+            }
+        )
+        out: list[SubsequenceAlignment | None] = [None] * len(ordered)
+        for part in collected.values():
+            for idx, record in part:
+                out[idx] = record
+        return out  # type: ignore[return-value]
+
+
+def _merge_found(parts, threshold: int, min_score: int | None) -> list[LocalAlignment]:
+    """The same queue merge/finalize step every phase-1 backend performs."""
+    queue = AlignmentQueue()
+    for found in parts:
+        for score, s0, s1, t0, t1 in found:
+            queue.push(LocalAlignment(score, s0, s1, t0, t1))
+    min_score = min_score if min_score is not None else threshold
+    return queue.finalize(min_score=min_score, overlap_slack=8, merge=True)

@@ -1,38 +1,86 @@
-"""Shared-memory numpy arrays for the real-parallel backend.
+"""Shared-memory numpy arrays and sequence arenas for the real backend.
 
 The simulated cluster in :mod:`repro.sim` reproduces the paper's *numbers*;
 this package reproduces its *mechanics* on an actual multicore host using
 :mod:`multiprocessing.shared_memory` as the stand-in for JIAJIA's shared
-pages.  These helpers wrap allocation/attach/cleanup of typed arrays.
+pages.  These helpers wrap allocation/attach/cleanup of typed arrays, plus
+the :class:`SequenceArena` the persistent worker pool uses to publish a
+sequence pair to every worker exactly once (instead of pickling both
+sequences into every task).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from multiprocessing import shared_memory
+from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
 
 
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to a named segment without the attacher tracking its lifetime.
+
+    Only the creating (parent) process owns a segment; before Python 3.13
+    merely attaching also registers it with the resource tracker, which then
+    warns about "leaked" segments at worker shutdown even though the parent
+    cleans up properly.  Registration must be *suppressed*, not undone with
+    ``unregister``: under fork the tracker is shared, so a worker-side
+    unregister would strip the parent's own registration and make the
+    parent's later unlink double-unregister.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track flag; skip the registration
+        original = resource_tracker.register
+
+        def register_skipping_shm(rname, rtype):
+            if rtype != "shared_memory":
+                original(rname, rtype)
+
+        resource_tracker.register = register_skipping_shm
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
 @dataclass
 class SharedArray:
-    """A numpy array living in named shared memory."""
+    """A numpy array living in named shared memory.
 
-    shm: shared_memory.SharedMemory
+    Usable as a context manager; :meth:`close` is idempotent, so belt-and-
+    braces cleanup in ``finally`` blocks cannot double-unlink the segment.
+    """
+
+    shm: shared_memory.SharedMemory | None
     array: np.ndarray
     owner: bool
 
     @property
     def name(self) -> str:
+        if self.shm is None:
+            raise ValueError("shared array already closed")
         return self.shm.name
 
+    def __enter__(self) -> "SharedArray":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     def close(self) -> None:
+        if self.shm is None:
+            return
         # Views into the buffer must be dropped before closing, or CPython
         # warns about leaked memoryviews.
         self.array = None  # type: ignore[assignment]
-        self.shm.close()
+        shm, self.shm = self.shm, None
+        shm.close()
         if self.owner:
-            self.shm.unlink()
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass  # already unlinked by another cleanup path
 
 
 def create_shared_array(shape: tuple[int, ...], dtype=np.int32) -> SharedArray:
@@ -46,6 +94,62 @@ def create_shared_array(shape: tuple[int, ...], dtype=np.int32) -> SharedArray:
 
 def attach_shared_array(name: str, shape: tuple[int, ...], dtype=np.int32) -> SharedArray:
     """Attach to an existing shared array by name (worker side)."""
-    shm = shared_memory.SharedMemory(name=name)
+    shm = _attach_segment(name)
     array = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
     return SharedArray(shm=shm, array=array, owner=False)
+
+
+@dataclass(frozen=True)
+class ArenaHandle:
+    """Picklable descriptor of a sequence pair living in shared memory."""
+
+    name: str
+    s_len: int
+    t_len: int
+
+
+class SequenceArena:
+    """One encoded ``(s, t)`` pair in a named shared-memory segment.
+
+    The pool parent creates an arena once per sequence pair; workers attach
+    by name (cheap, no copy) and slice out zero-copy uint8 views.  This is
+    what makes repeated alignments of the same pair pay no per-request
+    serialization at all.
+    """
+
+    def __init__(self, s: np.ndarray, t: np.ndarray) -> None:
+        s = np.ascontiguousarray(s, dtype=np.uint8)
+        t = np.ascontiguousarray(t, dtype=np.uint8)
+        total = int(s.size + t.size)
+        self._shm = shared_memory.SharedMemory(create=True, size=max(1, total))
+        buf = np.ndarray(total, dtype=np.uint8, buffer=self._shm.buf)
+        buf[: s.size] = s
+        buf[s.size :] = t
+        self.handle = ArenaHandle(self._shm.name, int(s.size), int(t.size))
+
+    def __enter__(self) -> "SequenceArena":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def attach_arena(handle: ArenaHandle) -> tuple[shared_memory.SharedMemory, np.ndarray, np.ndarray]:
+    """Worker-side attach: returns the segment plus zero-copy (s, t) views.
+
+    The caller owns the returned segment and must ``close()`` (not unlink) it
+    when the views are no longer needed.
+    """
+    shm = _attach_segment(handle.name)
+    buf = np.ndarray(handle.s_len + handle.t_len, dtype=np.uint8, buffer=shm.buf)
+    return shm, buf[: handle.s_len], buf[handle.s_len :]

@@ -47,13 +47,15 @@ def protein_best_score(
     scoring: ProteinScoring = BLOSUM62_SCORING,
 ) -> int:
     """Best local score in linear space (two-row scan over protein codes)."""
-    from ..core.kernels import initial_row, sw_row
+    from ..core.engine import KernelWorkspace
+    from ..core.kernels import initial_row
 
     s = PROTEIN_ALPHABET.encode(s)
     t = PROTEIN_ALPHABET.encode(t)
+    ws = KernelWorkspace(t, scoring)  # profile rows fill lazily per amino acid
     row = initial_row(len(t), local=True, scoring=scoring)
     best = 0
     for ch in s:
-        row = sw_row(row, int(ch), t, scoring)
+        row = ws.sw_row(row, int(ch), out=row)
         best = max(best, int(row.max()))
     return best

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.affine import AffineScoring
-from ..core.scoring import Scoring
+from ..core.scoring import SCORE_DTYPE, Scoring
 from ..seq.alphabet import Alphabet
 
 #: The 20 standard amino acids, in BLOSUM row order.
@@ -78,7 +78,7 @@ class ProteinScoring(Scoring):
         return np.asarray(self.matrix, dtype=np.int32)
 
     def substitution_row(self, s_char: int, t_codes: np.ndarray) -> np.ndarray:
-        return self._array()[s_char][t_codes]
+        return self._array()[s_char][t_codes].astype(SCORE_DTYPE, copy=False)
 
     def pair_score(self, a: int, b: int) -> int:
         return self.matrix[a][b]
@@ -119,7 +119,9 @@ class ProteinAffineScoring(AffineScoring):
         super().__post_init__()
 
     def substitution_row(self, s_char: int, t_codes: np.ndarray) -> np.ndarray:
-        return np.asarray(self.matrix, dtype=np.int32)[s_char][t_codes]
+        return np.asarray(self.matrix, dtype=np.int32)[s_char][t_codes].astype(
+            SCORE_DTYPE, copy=False
+        )
 
     def pair_score(self, a: int, b: int) -> int:
         return self.matrix[a][b]

@@ -25,7 +25,15 @@ from .preprocess import (
 )
 from .retrieval import InterestingRegion, interesting_regions, retrieve_alignments
 from .tuning import TuningResult, tune_blocking
-from .runner import STRATEGIES, PipelineResult, run_phase1, run_pipeline
+from .runner import (
+    MP_BACKENDS,
+    STRATEGIES,
+    MpPipelineResult,
+    PipelineResult,
+    run_mp_pipeline,
+    run_phase1,
+    run_pipeline,
+)
 from .wavefront import WavefrontConfig, run_wavefront, serial_wavefront_time
 from .wavefront_exact import ExactWavefrontConfig, exact_wavefront_alignments
 
@@ -36,6 +44,8 @@ __all__ = [
     "ExactWavefrontConfig",
     "HeteroConfig",
     "IO_MODES",
+    "MP_BACKENDS",
+    "MpPipelineResult",
     "InterestingRegion",
     "Phase2Config",
     "PipelineResult",
@@ -60,6 +70,7 @@ __all__ = [
     "interesting_regions",
     "run_blocked",
     "run_hetero",
+    "run_mp_pipeline",
     "run_phase1",
     "run_phase2",
     "run_pipeline",

@@ -21,7 +21,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.alignment import AlignmentQueue
-from ..core.kernels import SCORE_DTYPE, sw_row_slice
+from ..core.engine import KernelWorkspace
+from ..core.kernels import SCORE_DTYPE
 from ..core.regions import Region, StreamingRegionFinder
 from ..core.scoring import Scoring
 from ..dsm.jiajia import JiaJia
@@ -60,6 +61,7 @@ def compute_tile(
     s_band: np.ndarray,
     t_block: np.ndarray,
     scoring: Scoring,
+    workspace: KernelWorkspace | None = None,
 ) -> np.ndarray:
     """DP over one (band x block) tile given its top row and left column.
 
@@ -68,13 +70,15 @@ def compute_tile(
     this block's columns.  ``left_col[r] = H[r0+r, c0-1]`` comes from the
     block to the left (zeros at the matrix edge).  Returns the full tile
     including the left border column (shape ``h x (w+1)``).
+
+    ``workspace`` (built over ``t_block``) lets callers that revisit the same
+    column block -- every band of a blocked run -- amortize the query profile
+    and scratch buffers across tiles.
     """
     h, w = len(s_band), len(t_block)
+    ws = workspace if workspace is not None else KernelWorkspace(t_block, scoring)
     tile = np.empty((h, w + 1), dtype=SCORE_DTYPE)
-    prev = top
-    for r in range(h):
-        prev = sw_row_slice(prev, int(s_band[r]), t_block, int(left_col[r]), scoring)
-        tile[r] = prev
+    ws.sw_rows_slice(top, s_band, left_col, out=tile)
     return tile
 
 

@@ -23,7 +23,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.alignment import AlignmentQueue
-from ..core.kernels import SCORE_DTYPE, sw_row_slice
+from ..core.engine import KernelWorkspace
+from ..core.kernels import SCORE_DTYPE
 from ..core.regions import Region, StreamingRegionFinder
 from ..dsm.jiajia import JiaJia
 from ..sim.costmodel import DEFAULT_COST_MODEL, CostModel
@@ -113,6 +114,7 @@ def run_wavefront(
         c0, c1 = slices[p]
         width = c1 - c0
         t_slice = workload.t[c0:c1]
+        ws = KernelWorkspace(t_slice, workload.scoring)
         yield Delay(cost.node_startup_time)
         yield from dsm.barrier(p)
         if p == 0:
@@ -133,9 +135,7 @@ def run_wavefront(
                 for r in range(g_rows):
                     i = lo + r + 1
                     left = int(incoming[r]) if incoming is not None else 0
-                    prev = sw_row_slice(
-                        prev, workload.s[lo + r], t_slice, left, workload.scoring
-                    )
+                    prev = ws.sw_row_slice(prev, workload.s[lo + r], left, out=prev)
                     finders[p].feed(i, prev)
                     if p < n_procs - 1:
                         borders[p + 1].append(int(prev[-1]))

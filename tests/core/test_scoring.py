@@ -48,3 +48,51 @@ class TestScoring:
     def test_frozen(self):
         with pytest.raises(Exception):
             DEFAULT_SCORING.match = 5  # type: ignore[misc]
+
+
+class TestScoreDtypePinned:
+    """Regression: every substitution_row stays SCORE_DTYPE (int32).
+
+    ``np.where`` promotes to int64 on some platforms and a stray wide row
+    silently doubles DP memory traffic, so the pin is asserted for every
+    scoring flavour, plus the initial_row builder that seeds each scan.
+    """
+
+    def test_plain_scoring_row_dtype(self):
+        from repro.core.scoring import SCORE_DTYPE
+
+        t = encode("ACGTACGT")
+        for ch in range(4):
+            assert DEFAULT_SCORING.substitution_row(ch, t).dtype == SCORE_DTYPE
+
+    def test_matrix_scoring_row_dtype(self):
+        from repro.core import TRANSITION_TRANSVERSION
+        from repro.core.scoring import SCORE_DTYPE
+
+        t = encode("ACGTACGT")
+        for ch in range(4):
+            assert TRANSITION_TRANSVERSION.substitution_row(ch, t).dtype == SCORE_DTYPE
+
+    def test_affine_scoring_row_dtype(self):
+        from repro.core import DEFAULT_AFFINE
+        from repro.core.scoring import SCORE_DTYPE
+
+        t = encode("ACGTACGT")
+        assert DEFAULT_AFFINE.substitution_row(1, t).dtype == SCORE_DTYPE
+
+    def test_protein_scoring_row_dtype(self):
+        from repro.core.scoring import SCORE_DTYPE
+        from repro.protein import BLOSUM62_SCORING, PROTEIN_ALPHABET
+        from repro.protein.blosum import BLOSUM62_AFFINE
+
+        t = PROTEIN_ALPHABET.encode("MKVLAWGRRNDE")
+        assert BLOSUM62_SCORING.substitution_row(3, t).dtype == SCORE_DTYPE
+        assert BLOSUM62_AFFINE.substitution_row(3, t).dtype == SCORE_DTYPE
+
+    def test_initial_row_dtype_both_modes(self):
+        from repro.core import initial_row
+        from repro.core.scoring import SCORE_DTYPE
+
+        assert initial_row(16, local=True).dtype == SCORE_DTYPE
+        assert initial_row(16, local=False).dtype == SCORE_DTYPE
+        assert initial_row(4, local=False).tolist() == [0, -2, -4, -6, -8]

@@ -1,0 +1,192 @@
+"""Tests for the persistent shared-memory worker pool.
+
+The pool must be a drop-in for the one-shot ``mp_*`` backends (identical
+results), stay correct across many repeated requests (the amortisation case
+it exists for), and fail fast -- not hang for the full timeout -- when a
+worker dies.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import LocalAlignment
+from repro.parallel import (
+    AlignmentWorkerPool,
+    MpBlockedConfig,
+    MpWavefrontConfig,
+    SequenceArena,
+    SharedArray,
+    WorkerCrashed,
+    create_shared_array,
+    mp_blocked_alignments,
+    mp_phase2,
+    mp_wavefront_alignments,
+)
+from repro.parallel.shm import attach_arena
+from repro.seq import genome_pair
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return genome_pair(
+        600, 600, n_regions=2, region_length=60, mutation_rate=0.02, rng=51
+    )
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with AlignmentWorkerPool(n_workers=2) as p:
+        yield p
+
+
+class TestSequenceArena:
+    def test_round_trip(self):
+        s = np.array([0, 1, 2, 3, 1], dtype=np.uint8)
+        t = np.array([3, 2, 1], dtype=np.uint8)
+        with SequenceArena(s, t) as arena:
+            shm, s_view, t_view = attach_arena(arena.handle)
+            try:
+                assert s_view.tolist() == s.tolist()
+                assert t_view.tolist() == t.tolist()
+                assert s_view.dtype == np.uint8
+            finally:
+                shm.close()
+
+    def test_context_manager_unlinks(self):
+        from multiprocessing import shared_memory
+
+        s = np.zeros(4, dtype=np.uint8)
+        with SequenceArena(s, s) as arena:
+            name = arena.handle.name
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+class TestSharedArrayLifecycle:
+    def test_context_manager_unlinks(self):
+        from multiprocessing import shared_memory
+
+        with create_shared_array((3, 3)) as arr:
+            name = arr.name
+            arr.array[1, 1] = 9
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_close_idempotent(self):
+        arr = create_shared_array((4,))
+        arr.close()
+        arr.close()  # second close is a no-op, not a crash
+
+    def test_name_after_close_raises(self):
+        arr = create_shared_array((4,))
+        arr.close()
+        with pytest.raises(ValueError):
+            _ = arr.name
+
+
+class TestPoolMatchesOneShotBackends:
+    def test_wavefront_matches(self, pool, pair):
+        config = MpWavefrontConfig(n_workers=2, rows_per_exchange=16)
+        expected = mp_wavefront_alignments(pair.s, pair.t, config)
+        got = pool.wavefront(pair.s, pair.t, config)
+        assert [a.region for a in got] == [a.region for a in expected]
+        assert [a.score for a in got] == [a.score for a in expected]
+
+    def test_blocked_matches(self, pool, pair):
+        config = MpBlockedConfig(n_workers=2, n_bands=6, n_blocks=4)
+        expected = mp_blocked_alignments(pair.s, pair.t, config)
+        got = pool.blocked(pair.s, pair.t, config)
+        assert [a.region for a in got] == [a.region for a in expected]
+
+    def test_phase2_matches(self, pool, pair):
+        regions = [
+            LocalAlignment(10, p.s_start, p.s_end, p.t_start, p.t_end)
+            for p in pair.regions
+        ]
+        expected = mp_phase2(pair.s, pair.t, regions, n_workers=2)
+        got = pool.phase2(regions, pair.s, pair.t)
+        assert len(got) == len(expected)
+        for g, e in zip(got, expected):
+            assert g.similarity == e.similarity
+            assert g.source.region == e.source.region
+
+    def test_repeated_requests_stay_correct(self, pool, pair):
+        """Ten requests on live workers: the amortisation scenario."""
+        config = MpWavefrontConfig(n_workers=2, rows_per_exchange=16)
+        expected = mp_wavefront_alignments(pair.s, pair.t, config)
+        pool.load_pair(pair.s, pair.t)
+        for _ in range(10):
+            got = pool.wavefront(config=config)
+            assert [a.region for a in got] == [a.region for a in expected]
+
+    def test_pair_switch(self, pool, pair):
+        other = genome_pair(
+            400, 400, n_regions=1, region_length=70, mutation_rate=0.0, rng=50
+        )
+        config = MpWavefrontConfig(n_workers=2, rows_per_exchange=16)
+        first = pool.wavefront(pair.s, pair.t, config)
+        second = pool.wavefront(other.s, other.t, config)
+        third = pool.wavefront(pair.s, pair.t, config)
+        assert [a.region for a in first] == [a.region for a in third]
+        assert [a.region for a in second] != [a.region for a in first]
+
+    def test_phase2_empty(self, pool, pair):
+        assert pool.phase2([], pair.s, pair.t) == []
+
+
+class TestPoolLifecycle:
+    def test_requires_loaded_pair(self):
+        with AlignmentWorkerPool(n_workers=1) as p:
+            with pytest.raises(ValueError):
+                p.wavefront()
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            AlignmentWorkerPool(n_workers=0)
+
+    def test_submit_after_close_raises(self, pair):
+        p = AlignmentWorkerPool(n_workers=1)
+        p.close()
+        with pytest.raises(RuntimeError):
+            p.wavefront(pair.s, pair.t)
+
+    def test_close_idempotent(self):
+        p = AlignmentWorkerPool(n_workers=1)
+        p.close()
+        p.close()
+
+    def test_worker_error_reports_not_hangs(self, pair):
+        """A job-level error surfaces as PoolJobError and the pool survives."""
+        from repro.parallel import PoolJobError
+
+        with AlignmentWorkerPool(n_workers=2) as p:
+            with pytest.raises((PoolJobError, ValueError)):
+                # t narrower than worker count -> worker-side / parent-side error
+                p.wavefront(pair.s[:4], pair.t[:1])
+            # the pool still serves good jobs afterwards
+            got = p.wavefront(
+                pair.s, pair.t, MpWavefrontConfig(n_workers=2, rows_per_exchange=16)
+            )
+            assert got
+
+
+class TestWorkerDeathDetection:
+    def test_killed_worker_raises_quickly(self, pair):
+        """SIGKILL one worker mid-pool: the request fails in seconds, it does
+        not sit out the full 300 s job timeout."""
+        pool = AlignmentWorkerPool(n_workers=2)
+        try:
+            pool.load_pair(pair.s, pair.t)
+            os.kill(pool._procs[1].pid, signal.SIGKILL)
+            start = time.monotonic()
+            with pytest.raises(WorkerCrashed):
+                pool.wavefront(
+                    config=MpWavefrontConfig(n_workers=2, rows_per_exchange=16)
+                )
+            assert time.monotonic() - start < 30.0
+        finally:
+            pool.close(join_timeout=0.5)
