@@ -10,7 +10,11 @@ Two acceptance numbers live here:
   runs of :func:`repro.parallel.mp_wavefront_alignments`.
 
 Both raw timings land in ``BENCH_kernels.json`` via the ``perf_record``
-fixture in conftest.py.
+fixture in conftest.py.  Throughput is additionally recorded in GCUPS (giga
+cell updates per second, the SW literature's unit) derived from the
+``repro.obs`` metrics registry: the scan runs once under ``observed()`` so
+the engine's own ``cells_computed`` counter -- not a hand-derived constant --
+is what the number is computed from.
 """
 
 import time
@@ -21,6 +25,7 @@ import pytest
 from repro.core import KernelWorkspace, initial_row
 from repro.core.kernels import SCORE_DTYPE, sw_row_naive
 from repro.core.scoring import DEFAULT_SCORING
+from repro.obs import gcups, observed
 from repro.seq import genome_pair, random_dna
 
 N_4K = 4096
@@ -92,6 +97,17 @@ def test_workspace_beats_seed_kernel_2x_on_4k(benchmark, scan_4k, perf_record):
     sw_row_naive(prev, int(s[0]), t)
     naive_row_s = time.perf_counter() - start
 
+    # GCUPS from the metrics registry: one batched scan under observed() so
+    # the engine's own cells_computed counter feeds the number.
+    with observed("bench") as (_, metrics):
+        start = time.perf_counter()
+        ws = KernelWorkspace(t)
+        block = np.empty((len(s), len(t) + 1), dtype=SCORE_DTYPE)
+        ws.sw_rows(initial_row(len(t), local=True), s, out=block)
+        counted_scan_s = time.perf_counter() - start
+    cells_counted = metrics.counter("cells_computed").value
+    assert cells_counted == cells
+
     ratio = seed_s / workspace_s
     perf_record(
         "sw_scan_4096x4096",
@@ -101,6 +117,8 @@ def test_workspace_beats_seed_kernel_2x_on_4k(benchmark, scan_4k, perf_record):
         vectorized_seconds=seed_s,
         workspace_seconds=workspace_s,
         workspace_speedup_vs_vectorized=ratio,
+        workspace_gcups=gcups(cells_counted, counted_scan_s),
+        cells_counted=cells_counted,
     )
     assert ratio >= 2.0, f"workspace only {ratio:.2f}x the old sw_row path"
 
@@ -117,10 +135,17 @@ def test_workspace_batched_rows_on_matrix(benchmark, scan_4k, perf_record):
         return H
 
     benchmark.pedantic(fill, rounds=3, iterations=1)
-    start = time.perf_counter()
-    fill()
-    elapsed = time.perf_counter() - start
-    perf_record("sw_rows_batched_512x4096", cells_per_s=m * n / elapsed)
+    with observed("bench") as (_, metrics):
+        start = time.perf_counter()
+        fill()
+        elapsed = time.perf_counter() - start
+    cells_counted = metrics.counter("cells_computed").value
+    assert cells_counted == m * n
+    perf_record(
+        "sw_rows_batched_512x4096",
+        cells_per_s=m * n / elapsed,
+        gcups=gcups(cells_counted, elapsed),
+    )
 
 
 def test_pool_amortizes_spawn_over_10_alignments(benchmark, perf_record):

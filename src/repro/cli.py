@@ -4,7 +4,12 @@ Subcommands
 -----------
 ``align``      compare two FASTA files (or a synthetic demo pair) with one of
                the paper's strategies on the simulated cluster and print the
-               similar regions plus their global alignments.
+               similar regions plus their global alignments.  ``--trace FILE``
+               writes a wall-clock Chrome trace (coordinator + worker spans,
+               open in https://ui.perfetto.dev); ``--metrics`` prints the
+               metric registry (cells, GCUPS, queue waits).
+``obs``        observability utilities; ``obs report TRACE.json`` prints the
+               per-phase time/cells/GCUPS table from an ``align --trace`` run.
 ``experiment`` regenerate one of the paper's tables/figures (or ``all``).
 ``generate``   write a synthetic genome pair with planted homologies.
 ``dotplot``    print the Fig. 14-style dot plot for two FASTA files.
@@ -43,47 +48,81 @@ def _load_pair(args) -> tuple:
 
 
 def cmd_align(args) -> int:
+    from contextlib import nullcontext
+
+    from . import obs
+
     s, t = _load_pair(args)
-    if args.backend == "mp":
-        from .strategies import run_mp_pipeline
+    observing = bool(args.trace or args.metrics)
+    scope = obs.observed("coordinator") if observing else nullcontext((None, None))
+    with scope as (tracer, metrics):
+        if args.backend == "mp":
+            from .strategies import run_mp_pipeline
 
-        backend = {"heuristic": "wavefront", "heuristic_block": "blocked"}.get(
-            args.strategy
-        )
-        if backend is None:
-            raise SystemExit(
-                f"strategy {args.strategy!r} has no real-parallel backend; "
-                "use --strategy heuristic or heuristic_block with --backend mp"
+            backend = {"heuristic": "wavefront", "heuristic_block": "blocked"}.get(
+                args.strategy
             )
-        result = run_mp_pipeline(s, t, backend=backend, n_workers=args.mp_workers)
-        print(
-            f"phase 1 ({result.backend}, {result.n_workers} worker processes): "
-            f"{result.phase1_seconds:.2f} s wall, {len(result.regions)} similar regions"
-        )
-        print(
-            f"phase 2: {result.phase2_seconds:.2f} s wall, "
-            f"{len(result.records)} global alignments"
-        )
-        for rec in result.best_records(args.top):
-            print()
-            print(rec.render())
-        return 0
+            if backend is None:
+                raise SystemExit(
+                    f"strategy {args.strategy!r} has no real-parallel backend; "
+                    "use --strategy heuristic or heuristic_block with --backend mp"
+                )
+            result = run_mp_pipeline(s, t, backend=backend, n_workers=args.mp_workers)
+            print(
+                f"phase 1 ({result.backend}, {result.n_workers} worker processes): "
+                f"{result.phase1_seconds:.2f} s wall, {len(result.regions)} similar regions"
+            )
+            print(
+                f"phase 2: {result.phase2_seconds:.2f} s wall, "
+                f"{len(result.records)} global alignments"
+            )
+            for rec in result.best_records(args.top):
+                print()
+                print(rec.render())
+        else:
+            from .strategies import run_pipeline
 
-    from .strategies import run_pipeline
-
-    result = run_pipeline(s, t, strategy=args.strategy, n_procs=args.procs)
-    p1 = result.phase1
-    print(
-        f"phase 1 ({p1.name}, {p1.n_procs} simulated processors): "
-        f"{p1.total_time:.2f} virtual s, {len(p1.alignments)} similar regions"
-    )
-    print(
-        f"phase 2: {result.phase2.total_time:.2f} virtual s, "
-        f"{len(result.records)} global alignments"
-    )
-    for rec in result.best_records(args.top):
+            result = run_pipeline(s, t, strategy=args.strategy, n_procs=args.procs)
+            p1 = result.phase1
+            print(
+                f"phase 1 ({p1.name}, {p1.n_procs} simulated processors): "
+                f"{p1.total_time:.2f} virtual s, {len(p1.alignments)} similar regions"
+            )
+            print(
+                f"phase 2: {result.phase2.total_time:.2f} virtual s, "
+                f"{len(result.records)} global alignments "
+                f"({result.wall_seconds:.2f} s wall)"
+            )
+            for rec in result.best_records(args.top):
+                print()
+                print(rec.render())
+    if args.trace:
+        tracer.write_chrome_trace(args.trace, metrics=metrics.snapshot())
         print()
-        print(rec.render())
+        print(
+            f"wrote {args.trace}: {len(tracer.spans)} spans from "
+            f"{len(tracer.processes())} process(es) "
+            "(open in https://ui.perfetto.dev, or run: obs report)"
+        )
+    if args.metrics:
+        from .obs.report import render_report
+
+        print()
+        print(
+            render_report(
+                {
+                    "traceEvents": tracer.to_chrome_trace(),
+                    "reproMetrics": metrics.snapshot(),
+                }
+            )
+        )
+    return 0
+
+
+def cmd_obs_report(args) -> int:
+    from .obs.report import load_trace, render_report
+
+    print(render_report(load_trace(args.trace)))
     return 0
 
 
@@ -223,7 +262,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--mp-workers", type=int, default=2, help="process count for --backend mp"
     )
     p_align.add_argument("--top", type=int, default=3, help="alignments to print")
+    p_align.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a wall-clock Chrome-trace JSON (coordinator + mp worker "
+        "spans; open in Perfetto or feed to 'obs report')",
+    )
+    p_align.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics registry (cells, GCUPS, queue waits) after the run",
+    )
     p_align.set_defaults(func=cmd_align)
+
+    p_obs = sub.add_parser("obs", help="observability utilities")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_obs_report = obs_sub.add_parser(
+        "report", help="per-phase time/cells/GCUPS table from a trace file"
+    )
+    p_obs_report.add_argument("trace", help="JSON file written by align --trace")
+    p_obs_report.set_defaults(func=cmd_obs_report)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p_exp.add_argument("name", help="experiment id (e.g. table1, fig9) or 'all'")

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs import count_cells
 from .scoring import DEFAULT_SCORING, SCORE_DTYPE, Scoring
 
 
@@ -178,6 +179,7 @@ class KernelWorkspace:
         row = prev
         for r in range(k):
             row = self.sw_row(row, int(s_codes[r]), out=out[r])
+        count_cells(k * self.width)  # one guarded hook per batch, never per row
         return out
 
     def nw_rows(
@@ -194,6 +196,7 @@ class KernelWorkspace:
         row = prev
         for r in range(k):
             row = self.nw_row(row, int(s_codes[r]), int(boundaries[r]), out=out[r])
+        count_cells(k * self.width)
         return out
 
     def sw_rows_slice(
@@ -210,4 +213,5 @@ class KernelWorkspace:
         row = prev
         for r in range(k):
             row = self.sw_row_slice(row, int(s_codes[r]), int(lefts[r]), out=out[r])
+        count_cells(k * self.width)
         return out

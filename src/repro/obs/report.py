@@ -1,0 +1,153 @@
+"""Render per-phase and per-process tables from an ``align --trace`` file.
+
+``repro obs report trace.json`` digests the Chrome-trace JSON written by
+:meth:`repro.obs.trace.Tracer.write_chrome_trace` into the paper's style of
+summary: a per-phase table (wall time, DP cells, GCUPS, and the
+communication/computation split inside each phase window -- the Fig. 13
+breakdown measured on real processes) plus a per-process occupancy table and
+the raw metric snapshot embedded under ``reproMetrics``.
+
+Phase attribution is purely temporal: every worker slice is credited to the
+phase span whose ``[ts, ts+dur)`` window it overlaps, clipped to the
+overlap.  All spans share one monotonic clock, so this is exact up to clock
+resolution.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .metrics import gcups
+
+
+def load_trace(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if "traceEvents" not in payload:
+        raise ValueError(f"{path} is not a trace file (no traceEvents)")
+    return payload
+
+
+def _overlap(event: dict, lo: float, hi: float) -> float:
+    start = float(event["ts"])
+    end = start + float(event["dur"])
+    return max(0.0, min(end, hi) - max(start, lo))
+
+
+def _fmt_cells(cells) -> str:
+    return f"{int(cells):,}" if cells else "-"
+
+
+def phase_rows(payload: dict) -> list[dict]:
+    """One summary dict per "phase"-category span, plus a total row."""
+    events = payload.get("traceEvents", [])
+    phases = sorted((e for e in events if e.get("cat") == "phase"), key=lambda e: e["ts"])
+    others = [e for e in events if e.get("cat") in ("computation", "communication")]
+    rows = []
+    for ph in phases:
+        lo = float(ph["ts"])
+        hi = lo + float(ph["dur"])
+        comp = sum(_overlap(e, lo, hi) for e in others if e["cat"] == "computation")
+        comm = sum(_overlap(e, lo, hi) for e in others if e["cat"] == "communication")
+        seconds = float(ph["dur"]) / 1e6
+        cells = ph.get("args", {}).get("cells", 0)
+        rows.append(
+            {
+                "phase": ph["name"],
+                "seconds": seconds,
+                "cells": cells,
+                "gcups": gcups(cells, seconds),
+                "compute_s": comp / 1e6,
+                "comm_s": comm / 1e6,
+                "comm_ratio": (comm / comp) if comp else 0.0,
+            }
+        )
+    if rows:
+        total_cells = sum(r["cells"] for r in rows)
+        total_s = sum(r["seconds"] for r in rows)
+        rows.append(
+            {
+                "phase": "total",
+                "seconds": total_s,
+                "cells": total_cells,
+                "gcups": gcups(total_cells, total_s),
+                "compute_s": sum(r["compute_s"] for r in rows),
+                "comm_s": sum(r["comm_s"] for r in rows),
+                "comm_ratio": (
+                    sum(r["comm_s"] for r in rows) / sum(r["compute_s"] for r in rows)
+                    if sum(r["compute_s"] for r in rows)
+                    else 0.0
+                ),
+            }
+        )
+    return rows
+
+
+def process_rows(payload: dict) -> list[dict]:
+    """Per-process busy breakdown over the whole trace (Fig. 13 style)."""
+    events = payload.get("traceEvents", [])
+    if not events:
+        return []
+    span_us = max(float(e["ts"]) + float(e["dur"]) for e in events) - min(
+        float(e["ts"]) for e in events
+    )
+    by_process: dict[str, dict[str, float]] = {}
+    for e in events:
+        process = e.get("args", {}).get("process", f"pid{e.get('pid', '?')}")
+        bucket = by_process.setdefault(process, {"computation": 0.0, "communication": 0.0})
+        if e.get("cat") in bucket:
+            bucket[e["cat"]] += float(e["dur"]) / 1e6
+    rows = []
+    for process in sorted(by_process):
+        comp = by_process[process]["computation"]
+        comm = by_process[process]["communication"]
+        rows.append(
+            {
+                "process": process,
+                "compute_s": comp,
+                "comm_s": comm,
+                "busy_pct": 100.0 * (comp + comm) / (span_us / 1e6) if span_us else 0.0,
+            }
+        )
+    return rows
+
+
+def render_report(payload: dict) -> str:
+    """The full ``obs report`` text."""
+    lines = []
+    rows = phase_rows(payload)
+    lines.append("per-phase breakdown (wall clock)")
+    header = f"{'phase':<12} {'seconds':>9} {'cells':>15} {'GCUPS':>8} {'comp s':>8} {'comm s':>8} {'comm/comp':>9}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    if not rows:
+        lines.append("(no phase spans in trace)")
+    for r in rows:
+        lines.append(
+            f"{r['phase']:<12} {r['seconds']:>9.3f} {_fmt_cells(r['cells']):>15} "
+            f"{r['gcups']:>8.3f} {r['compute_s']:>8.3f} {r['comm_s']:>8.3f} "
+            f"{r['comm_ratio']:>9.2f}"
+        )
+    procs = process_rows(payload)
+    if procs:
+        lines.append("")
+        lines.append("per-process occupancy")
+        lines.append(f"{'process':<16} {'comp s':>8} {'comm s':>8} {'busy %':>7}")
+        for r in procs:
+            lines.append(
+                f"{r['process']:<16} {r['compute_s']:>8.3f} {r['comm_s']:>8.3f} "
+                f"{r['busy_pct']:>7.1f}"
+            )
+    metrics = payload.get("reproMetrics")
+    if metrics:
+        lines.append("")
+        lines.append("metrics")
+        for name, value in metrics.get("counters", {}).items():
+            shown = f"{value:,}" if isinstance(value, int) else f"{value:.4g}"
+            lines.append(f"  {name} = {shown}")
+        for name, value in metrics.get("gauges", {}).items():
+            lines.append(f"  {name} = {value:.4g}")
+        for name, h in metrics.get("histograms", {}).items():
+            mean = h["sum"] / h["count"] if h.get("count") else 0.0
+            lines.append(f"  {name}: n={h.get('count', 0)} mean={mean:.4g}s")
+    return "\n".join(lines)

@@ -1,0 +1,286 @@
+"""Wall-clock span tracer with the same export schema as ``sim.trace``.
+
+Spans are timed with :func:`time.perf_counter`, which on Linux reads
+``CLOCK_MONOTONIC`` -- a *system-wide* clock, so spans recorded by worker
+processes and by the coordinator land on one comparable timeline without any
+cross-process clock handshake.  Export normalises timestamps to the earliest
+span, producing the exact Chrome-trace "complete event" schema
+:meth:`repro.sim.trace.Timeline.to_chrome_trace` emits (``ph="X"``,
+microsecond ``ts``/``dur``, one ``pid`` per process, ``args.process``), so
+real and simulated runs open side by side in Perfetto.
+
+Two recording styles:
+
+* ``with tracer.span("phase1", "phase"):`` -- nesting-aware context manager
+  for coordinator-side structure (depth is tracked so tests can assert
+  nesting; Perfetto nests by time containment).
+* ``tracer.record(name, category, start, duration)`` -- explicit slices for
+  worker hot loops, mirroring ``Timeline.record`` so the two APIs read the
+  same.
+
+:data:`NULL_TRACER` is the disabled stand-in: ``span()`` hands back a shared
+do-nothing context manager and ``record`` is a no-op, keeping the cost of an
+instrumentation site to roughly one attribute check.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from time import perf_counter
+
+#: Span categories shared with the report layer.  "phase" marks the
+#: top-level pipeline phases; "computation"/"communication" mirror the
+#: simulator's categories so the Fig. 13-style breakdown works on both.
+CATEGORIES = ("phase", "computation", "communication", "coordination")
+
+
+@dataclass(frozen=True)
+class Span:
+    """One timed interval of one process (the wall-clock TraceSlice)."""
+
+    name: str
+    category: str
+    process: str
+    start: float  # perf_counter seconds (absolute monotonic)
+    duration: float
+    depth: int = 0
+    args: dict = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form used by the segment files."""
+        return {
+            "name": self.name,
+            "cat": self.category,
+            "process": self.process,
+            "start": self.start,
+            "dur": self.duration,
+            "depth": self.depth,
+            "args": self.args,
+        }
+
+
+class _SpanContext:
+    """Context manager recording one nested span on exit."""
+
+    __slots__ = ("_tracer", "name", "category", "args", "start", "duration", "depth")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str, args: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.args = args
+        self.start = 0.0
+        self.duration = 0.0
+        self.depth = 0
+
+    def __enter__(self) -> "_SpanContext":
+        self.depth = self._tracer._depth
+        self._tracer._depth += 1
+        self.start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.duration = perf_counter() - self.start
+        self._tracer._depth -= 1
+        self._tracer.spans.append(
+            Span(
+                name=self.name,
+                category=self.category,
+                process=self._tracer.process,
+                start=self.start,
+                duration=self.duration,
+                depth=self.depth,
+                args=self.args,
+            )
+        )
+
+
+class _NullSpan:
+    """Shared do-nothing span for the disabled tracer."""
+
+    __slots__ = ()
+    duration = 0.0
+    start = 0.0
+    depth = 0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a near-free no-op."""
+
+    enabled = False
+    process = ""
+    spans: tuple = ()
+
+    def span(self, name: str, category: str = "computation", **args) -> _NullSpan:
+        return _NULL_SPAN
+
+    def record(self, name, category, start, duration, **args) -> None:
+        return None
+
+    def export_slices(self) -> list:
+        return []
+
+    def add_slices(self, slices) -> None:
+        return None
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Append-only wall-clock span collector for one process."""
+
+    enabled = True
+
+    def __init__(self, process: str = "coordinator") -> None:
+        self.process = process
+        self.spans: list[Span] = []
+        self._depth = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def span(self, name: str, category: str = "computation", **args) -> _SpanContext:
+        """Open a nested span; closes (and records) when the ``with`` exits."""
+        return _SpanContext(self, name, category, args)
+
+    def record(
+        self,
+        name: str,
+        category: str,
+        start: float,
+        duration: float,
+        *,
+        process: str | None = None,
+        depth: int = 0,
+        **args,
+    ) -> None:
+        """Append an explicit slice (worker hot loops; mirrors Timeline.record)."""
+        if duration < 0:
+            raise ValueError("negative duration")
+        self.spans.append(
+            Span(
+                name=name,
+                category=category,
+                process=process or self.process,
+                start=start,
+                duration=duration,
+                depth=depth,
+                args=args,
+            )
+        )
+
+    # -- cross-process merge -----------------------------------------------
+
+    def export_slices(self) -> list[dict]:
+        """All spans as JSON-serialisable dicts (segment file payload)."""
+        return [s.to_dict() for s in self.spans]
+
+    def add_slices(self, slices) -> None:
+        """Merge slices exported by another process's tracer."""
+        for raw in slices:
+            self.spans.append(
+                Span(
+                    name=str(raw["name"]),
+                    category=str(raw["cat"]),
+                    process=str(raw["process"]),
+                    start=float(raw["start"]),
+                    duration=float(raw["dur"]),
+                    depth=int(raw.get("depth", 0)),
+                    args=dict(raw.get("args", {})),
+                )
+            )
+
+    # -- analysis ----------------------------------------------------------
+
+    def processes(self) -> list[str]:
+        return sorted({s.process for s in self.spans})
+
+    def busy_time(self, process: str, category: str | None = None) -> float:
+        """Total span time of one process (optionally one category)."""
+        return sum(
+            s.duration
+            for s in self.spans
+            if s.process == process and (category is None or s.category == category)
+        )
+
+    def named(self, name: str) -> list[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    @property
+    def origin(self) -> float:
+        """Earliest span start (the trace's t=0)."""
+        return min((s.start for s in self.spans), default=0.0)
+
+    # -- export (schema parity with sim.trace.Timeline) --------------------
+
+    def to_chrome_trace(self) -> list[dict]:
+        """Chrome-trace "complete" events (microsecond timestamps).
+
+        Same key set as :meth:`repro.sim.trace.Timeline.to_chrome_trace`;
+        timestamps are normalised to the earliest span so traces start at 0
+        like the simulator's.
+        """
+        origin = self.origin
+        events = []
+        pids = {name: i + 1 for i, name in enumerate(self.processes())}
+        for s in sorted(self.spans, key=lambda s: (s.start, s.depth)):
+            events.append(
+                {
+                    "name": s.name,
+                    "cat": s.category,
+                    "ph": "X",
+                    "ts": (s.start - origin) * 1e6,
+                    "dur": s.duration * 1e6,
+                    "pid": pids[s.process],
+                    "tid": 1,
+                    "args": {"process": s.process, **s.args},
+                }
+            )
+        return events
+
+    def write_chrome_trace(self, path: str | os.PathLike[str], metrics: dict | None = None) -> None:
+        """Write the trace JSON; ``metrics`` (a registry snapshot) rides along
+        under the extra top-level key ``reproMetrics`` (legal in the Chrome
+        trace object format, ignored by viewers, read by ``obs report``)."""
+        payload: dict = {"traceEvents": self.to_chrome_trace()}
+        if metrics is not None:
+            payload["reproMetrics"] = metrics
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+
+
+class Stopwatch:
+    """Minimal elapsed-wall-time context manager.
+
+    ``elapsed`` is 0.0 until the block exits.  This is the only timing
+    primitive the pipeline runners use, so simulated ``total_time`` and
+    wall-clock seconds can never be conflated by accident.
+    """
+
+    __slots__ = ("elapsed", "_t0")
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._t0 = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed = perf_counter() - self._t0

@@ -16,7 +16,10 @@ source of the paper's performance curves.
 from __future__ import annotations
 
 import multiprocessing as mp
+import shutil
+import tempfile
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
@@ -25,6 +28,8 @@ from ..core.engine import KernelWorkspace
 from ..core.kernels import SCORE_DTYPE
 from ..core.regions import RegionConfig, StreamingRegionFinder
 from ..core.scoring import DEFAULT_SCORING, Scoring
+from ..obs import get_metrics, get_tracer, is_enabled
+from ..obs.collect import ObsJob, merge_into, observed_worker
 from ..strategies.blocked import compute_tile
 from ..strategies.partition import explicit_tiling
 from .guard import drain_results
@@ -57,13 +62,18 @@ def _worker(
     shape: tuple[int, int],
     ready: list,
     results: "mp.Queue",
+    obs: ObsJob | None = None,
 ) -> None:
     """One cluster-node stand-in: processes its bands, signals block edges."""
     s = np.frombuffer(s_bytes, dtype=np.uint8)
     t = np.frombuffer(t_bytes, dtype=np.uint8)
     tiling = explicit_tiling(len(s), len(t), config.n_bands, config.n_blocks)
     found: list[tuple[int, int, int, int, int]] = []
-    with attach_shared_array(shm_name, shape, SCORE_DTYPE) as boundaries:
+    with observed_worker(obs, f"worker-{worker_id}") as (tracer, metrics), attach_shared_array(
+        shm_name, shape, SCORE_DTYPE
+    ) as boundaries:
+        tracing = tracer.enabled
+        wait_s = busy_s = 0.0
         # Column blocks repeat across this worker's bands, so their query
         # profiles and scratch buffers are built once per block, not per tile.
         workspaces: dict[int, KernelWorkspace] = {}
@@ -78,6 +88,7 @@ def _worker(
             for block in range(tiling.n_blocks):
                 c0, c1 = tiling.col_bounds[block]
                 if band > 0:
+                    t0 = perf_counter() if tracing else 0.0
                     if not ready[(band - 1) * tiling.n_blocks + block].wait(
                         config.timeout
                     ):
@@ -85,15 +96,26 @@ def _worker(
                             f"worker {worker_id} starved waiting for "
                             f"block ({band - 1}, {block})"
                         )
+                    if tracing:
+                        waited = perf_counter() - t0
+                        wait_s += waited
+                        tracer.record(
+                            "block_wait", "communication", t0, waited, band=band, block=block
+                        )
                 if c1 > c0 and h:
                     ws = workspaces.get(block)
                     if ws is None:
                         ws = workspaces[block] = KernelWorkspace(t[c0:c1], scoring)
+                    t0 = perf_counter() if tracing else 0.0
                     top = boundaries.array[band, c0 : c1 + 1].copy()
                     tile = compute_tile(top, left_col, s_band, t[c0:c1], scoring, ws)
                     band_rows[:, c0 + 1 : c1 + 1] = tile[:, 1:]
                     left_col = tile[:, -1].copy()
                     boundaries.array[band + 1, c0 + 1 : c1 + 1] = tile[-1, 1:]
+                    if tracing:
+                        spent = perf_counter() - t0
+                        busy_s += spent
+                        tracer.record("tile", "computation", t0, spent, band=band, block=block)
                 ready[band * tiling.n_blocks + block].set()
             if h:
                 finder = StreamingRegionFinder(RegionConfig(threshold=config.threshold))
@@ -102,6 +124,10 @@ def _worker(
                 for region in finder.finish():
                     a = region.as_alignment()
                     found.append((a.score, a.s_start, a.s_end, a.t_start, a.t_end))
+        if tracing:
+            # Tile cells are counted by the engine's batched-kernel hook.
+            metrics.counter("worker_busy_seconds").inc(busy_s)
+            metrics.counter("worker_wait_seconds").inc(wait_s)
         results.put((worker_id, found))
 
 
@@ -123,6 +149,11 @@ def mp_blocked_alignments(
     t = encode(t)
     tiling = explicit_tiling(len(s), len(t), config.n_bands, config.n_blocks)
     ctx = mp.get_context()
+    obs_dir: str | None = None
+    obs: ObsJob | None = None
+    if is_enabled():
+        obs_dir = tempfile.mkdtemp(prefix="repro-obs-")
+        obs = ObsJob(obs_dir, "blocked", perf_counter())
     ready = [ctx.Event() for _ in range(tiling.n_bands * tiling.n_blocks)]
     results: mp.Queue = ctx.Queue()
     with create_shared_array((tiling.n_bands + 1, len(t) + 1), SCORE_DTYPE) as boundaries:
@@ -139,23 +170,28 @@ def mp_blocked_alignments(
                     boundaries.array.shape,
                     ready,
                     results,
+                    obs,
                 ),
             )
             for w in range(config.n_workers)
         ]
         try:
-            for w in workers:
-                w.start()
-            collected = drain_results(
-                results, workers, config.n_workers, config.timeout
-            )
-            for w in workers:
-                w.join(timeout=config.timeout)
+            with get_tracer().span("mp_blocked", "coordination", n_workers=config.n_workers):
+                for w in workers:
+                    w.start()
+                collected = drain_results(
+                    results, workers, config.n_workers, config.timeout
+                )
+                for w in workers:
+                    w.join(timeout=config.timeout)
         finally:
             for w in workers:
                 if w.is_alive():
                     w.terminate()
                     w.join(timeout=5.0)
+            if obs is not None:
+                merge_into(get_tracer(), get_metrics(), obs.dir, obs.key)
+                shutil.rmtree(obs_dir, ignore_errors=True)
 
     queue = AlignmentQueue()
     for found in collected.values():

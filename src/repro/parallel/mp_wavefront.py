@@ -17,7 +17,10 @@ Section 4.3's whole point re-enacted on real hardware.
 from __future__ import annotations
 
 import multiprocessing as mp
+import shutil
+import tempfile
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
@@ -26,6 +29,8 @@ from ..core.engine import KernelWorkspace
 from ..core.kernels import SCORE_DTYPE
 from ..core.regions import RegionConfig, StreamingRegionFinder
 from ..core.scoring import DEFAULT_SCORING, Scoring
+from ..obs import get_metrics, get_tracer, is_enabled
+from ..obs.collect import ObsJob, merge_into, observed_worker
 from ..strategies.partition import column_partition
 from .guard import drain_results
 from .shm import attach_shared_array, create_shared_array
@@ -57,6 +62,7 @@ def _worker(
     produced: list,
     consumed: list,
     results: "mp.Queue",
+    obs: ObsJob | None = None,
 ) -> None:
     s = np.frombuffer(s_bytes, dtype=np.uint8)
     t = np.frombuffer(t_bytes, dtype=np.uint8)
@@ -65,20 +71,34 @@ def _worker(
     width = c1 - c0
     batch = config.rows_per_exchange
     finder = StreamingRegionFinder(RegionConfig(threshold=config.threshold))
-    with attach_shared_array(shm_name, shape, SCORE_DTYPE) as borders:
+    with observed_worker(obs, f"worker-{worker_id}") as (tracer, metrics), attach_shared_array(
+        shm_name, shape, SCORE_DTYPE
+    ) as borders:
+        tracing = tracer.enabled
+        wait_s = busy_s = 0.0
         ws = KernelWorkspace(t[c0:c1], scoring)
         prev = np.zeros(width + 1, dtype=SCORE_DTYPE)
         for lo in range(0, len(s), batch):
             hi = min(lo + batch, len(s))
             if worker_id > 0:
+                t0 = perf_counter() if tracing else 0.0
                 if not produced[worker_id - 1].acquire(timeout=config.timeout):
                     raise TimeoutError(f"worker {worker_id} starved at row {lo}")
+                if tracing:
+                    waited = perf_counter() - t0
+                    wait_s += waited
+                    tracer.record("border_wait", "communication", t0, waited, row=lo)
+            t0 = perf_counter() if tracing else 0.0
             for i in range(lo, hi):
                 left = int(borders.array[worker_id - 1, i]) if worker_id > 0 else 0
                 prev = ws.sw_row_slice(prev, int(s[i]), left, out=prev)
                 finder.feed(i + 1, prev)
                 if worker_id < config.n_workers - 1:
                     borders.array[worker_id, i] = prev[-1]
+            if tracing:
+                spent = perf_counter() - t0
+                busy_s += spent
+                tracer.record("rows", "computation", t0, spent, lo=lo, hi=hi)
             if worker_id > 0:
                 consumed[worker_id - 1].release()  # read-acknowledge
             if worker_id < config.n_workers - 1:
@@ -89,6 +109,10 @@ def _worker(
                         f"worker {worker_id} never got its ack at row {lo}"
                     )
                 produced[worker_id].release()
+        if tracing:
+            metrics.counter("cells_computed").inc(len(s) * width)
+            metrics.counter("worker_busy_seconds").inc(busy_s)
+            metrics.counter("worker_wait_seconds").inc(wait_s)
         found = [
             (r.score, a.s_start, a.s_end, a.t_start + c0, a.t_end + c0)
             for r in finder.finish()
@@ -112,6 +136,11 @@ def mp_wavefront_alignments(
     if len(t) < config.n_workers:
         raise ValueError("sequence narrower than the worker count")
     ctx = mp.get_context()
+    obs_dir: str | None = None
+    obs: ObsJob | None = None
+    if is_enabled():
+        obs_dir = tempfile.mkdtemp(prefix="repro-obs-")
+        obs = ObsJob(obs_dir, "wavefront", perf_counter())
     # borders[w, i] = last cell of worker w's slice on row i
     produced = [ctx.Semaphore(0) for _ in range(max(0, config.n_workers - 1))]
     consumed = [ctx.Semaphore(0) for _ in range(max(0, config.n_workers - 1))]
@@ -131,26 +160,31 @@ def mp_wavefront_alignments(
                     produced,
                     consumed,
                     results,
+                    obs,
                 ),
             )
             for w in range(config.n_workers)
         ]
         try:
-            for w in workers:
-                w.start()
-            # Poll with exit-code checks: a crashed worker fails the call in
-            # under a second instead of hanging until the full timeout while
-            # its named shared-memory segment leaks.
-            collected = drain_results(
-                results, workers, config.n_workers, config.timeout
-            )
-            for w in workers:
-                w.join(timeout=config.timeout)
+            with get_tracer().span("mp_wavefront", "coordination", n_workers=config.n_workers):
+                for w in workers:
+                    w.start()
+                # Poll with exit-code checks: a crashed worker fails the call
+                # in under a second instead of hanging until the full timeout
+                # while its named shared-memory segment leaks.
+                collected = drain_results(
+                    results, workers, config.n_workers, config.timeout
+                )
+                for w in workers:
+                    w.join(timeout=config.timeout)
         finally:
             for w in workers:
                 if w.is_alive():
                     w.terminate()
                     w.join(timeout=5.0)
+            if obs is not None:
+                merge_into(get_tracer(), get_metrics(), obs.dir, obs.key)
+                shutil.rmtree(obs_dir, ignore_errors=True)
 
     queue = AlignmentQueue()
     for found in collected.values():

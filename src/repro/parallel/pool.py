@@ -26,7 +26,10 @@ phase-2 scattered mapping (Section 4.4).
 from __future__ import annotations
 
 import multiprocessing as mp
+import shutil
+import tempfile
 import time
+from time import perf_counter
 from typing import Sequence
 
 import numpy as np
@@ -37,6 +40,8 @@ from ..core.global_align import SubsequenceAlignment, align_region
 from ..core.kernels import SCORE_DTYPE
 from ..core.regions import RegionConfig, StreamingRegionFinder
 from ..core.scoring import DEFAULT_SCORING, Scoring
+from ..obs import get_metrics, get_tracer, is_enabled
+from ..obs.collect import ObsJob, discard_segments, merge_into, observed_worker
 from ..seq.alphabet import encode
 from ..strategies.blocked import compute_tile
 from ..strategies.partition import column_partition, explicit_tiling
@@ -80,14 +85,25 @@ def _job_wavefront(role: int, job: dict, arenas: dict) -> list:
         finder = StreamingRegionFinder(RegionConfig(threshold=job["threshold"]))
         prev = np.zeros(c1 - c0 + 1, dtype=SCORE_DTYPE)
         batch: int = job["rows_per_exchange"]
+        # Telemetry is chunk-grained: with the tracer disabled each chunk
+        # pays two branch checks, keeping the hot per-row path untouched.
+        tracer = get_tracer()
+        tracing = tracer.enabled
+        wait_s = busy_s = 0.0
         for lo in range(0, m, batch):
             hi = min(lo + batch, m)
             if role > 0:
+                t0 = perf_counter() if tracing else 0.0
                 poll_until(
                     lambda: int(progress.array[role - 1]) >= hi,
                     timeout,
                     f"wavefront worker {role} starved at row {lo}",
                 )
+                if tracing:
+                    waited = perf_counter() - t0
+                    wait_s += waited
+                    tracer.record("border_wait", "communication", t0, waited, row=lo)
+            t0 = perf_counter() if tracing else 0.0
             for i in range(lo, hi):
                 left = int(borders.array[role - 1, i]) if role > 0 else 0
                 prev = ws.sw_row_slice(prev, int(s[i]), left, out=prev)
@@ -96,6 +112,15 @@ def _job_wavefront(role: int, job: dict, arenas: dict) -> list:
                     borders.array[role, i] = prev[-1]
             if role < n_workers - 1:
                 progress.array[role] = hi
+            if tracing:
+                spent = perf_counter() - t0
+                busy_s += spent
+                tracer.record("rows", "computation", t0, spent, lo=lo, hi=hi)
+        if tracing:
+            metrics = get_metrics()
+            metrics.counter("cells_computed").inc(m * (c1 - c0))
+            metrics.counter("worker_busy_seconds").inc(busy_s)
+            metrics.counter("worker_wait_seconds").inc(wait_s)
         return [
             (r.score, a.s_start, a.s_end, a.t_start + c0, a.t_end + c0)
             for r in finder.finish()
@@ -118,6 +143,9 @@ def _job_blocked(role: int, job: dict, arenas: dict) -> list:
         # One workspace per column block, shared by every band this worker
         # owns: the query profile for a block is band-invariant.
         workspaces: dict[int, KernelWorkspace] = {}
+        tracer = get_tracer()
+        tracing = tracer.enabled
+        wait_s = busy_s = 0.0
         for band in range(tiling.n_bands):
             if band % n_workers != role:
                 continue
@@ -129,20 +157,32 @@ def _job_blocked(role: int, job: dict, arenas: dict) -> list:
             for block in range(tiling.n_blocks):
                 c0, c1 = tiling.col_bounds[block]
                 if band > 0:
+                    t0 = perf_counter() if tracing else 0.0
                     poll_until(
                         lambda: int(band_done.array[band - 1]) > block,
                         timeout,
                         f"blocked worker {role} starved at ({band - 1}, {block})",
                     )
+                    if tracing:
+                        waited = perf_counter() - t0
+                        wait_s += waited
+                        tracer.record(
+                            "block_wait", "communication", t0, waited, band=band, block=block
+                        )
                 if c1 > c0 and h:
                     ws = workspaces.get(block)
                     if ws is None:
                         ws = workspaces[block] = KernelWorkspace(t[c0:c1], scoring)
+                    t0 = perf_counter() if tracing else 0.0
                     top = boundaries.array[band, c0 : c1 + 1].copy()
                     tile = compute_tile(top, left_col, s_band, t[c0:c1], scoring, ws)
                     band_rows[:, c0 + 1 : c1 + 1] = tile[:, 1:]
                     left_col = tile[:, -1].copy()
                     boundaries.array[band + 1, c0 + 1 : c1 + 1] = tile[-1, 1:]
+                    if tracing:
+                        spent = perf_counter() - t0
+                        busy_s += spent
+                        tracer.record("tile", "computation", t0, spent, band=band, block=block)
                 band_done.array[band] = block + 1
             if h:
                 finder = StreamingRegionFinder(RegionConfig(threshold=job["threshold"]))
@@ -151,6 +191,12 @@ def _job_blocked(role: int, job: dict, arenas: dict) -> list:
                 for region in finder.finish():
                     a = region.as_alignment()
                     found.append((a.score, a.s_start, a.s_end, a.t_start, a.t_end))
+    if tracing:
+        # Tile cells are counted by the engine's batched-kernel hook; only
+        # the busy/wait split needs recording here.
+        metrics = get_metrics()
+        metrics.counter("worker_busy_seconds").inc(busy_s)
+        metrics.counter("worker_wait_seconds").inc(wait_s)
     return found
 
 
@@ -159,11 +205,22 @@ def _job_phase2(role: int, job: dict, arenas: dict) -> list:
     n_workers: int = job["n_workers"]
     scoring: Scoring = job["scoring"]
     out = []
+    tracer = get_tracer()
+    tracing = tracer.enabled
     # The paper's scattered mapping: worker i takes vector slots i, i+P, ...
     for idx in range(role, len(job["regions"]), n_workers):
         score, s0, s1, t0, t1 = job["regions"][idx]
+        begin = perf_counter() if tracing else 0.0
+        # DP cells are counted by the engine's batched-kernel hook inside
+        # needleman_wunsch; counting the region area here would double-count.
         record = align_region(s, t, LocalAlignment(score, s0, s1, t0, t1), scoring)
         out.append((idx, record))
+        if tracing:
+            tracer.record(
+                "align_region", "computation", begin, perf_counter() - begin, idx=idx
+            )
+    if tracing:
+        get_metrics().counter("regions_aligned").inc(len(out))
     return out
 
 
@@ -182,7 +239,11 @@ def _pool_worker(role: int, tasks, results) -> None:
             if job is None:
                 break
             try:
-                payload = _JOB_KINDS[job["kind"]](role, job, arenas)
+                # observed_worker installs this job's tracer/registry (or
+                # resets any state inherited over fork) and writes the
+                # telemetry segment on the way out, error or not.
+                with observed_worker(job.get("obs"), f"worker-{role}"):
+                    payload = _JOB_KINDS[job["kind"]](role, job, arenas)
                 results.put((job["id"], role, "ok", payload))
             except Exception as exc:  # propagate, keep the worker alive
                 results.put((job["id"], role, "error", f"{type(exc).__name__}: {exc}"))
@@ -231,6 +292,7 @@ class AlignmentWorkerPool:
         self._loaded: tuple | None = None
         self._job_counter = 0
         self._closed = False
+        self._obs_dir: str | None = None  # created lazily on the first traced job
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -260,6 +322,9 @@ class AlignmentWorkerPool:
             self._arena.close()
             self._arena = None
         self._loaded = None
+        if self._obs_dir is not None:
+            shutil.rmtree(self._obs_dir, ignore_errors=True)
+            self._obs_dir = None
 
     # -- sequence publication ----------------------------------------------
 
@@ -269,7 +334,10 @@ class AlignmentWorkerPool:
         t = encode(t)
         if self._arena is not None:
             self._arena.close()
-        self._arena = SequenceArena(s, t)
+        with get_tracer().span("shm_publish", "communication", bytes=int(s.size + t.size)):
+            self._arena = SequenceArena(s, t)
+        if is_enabled():
+            get_metrics().counter("arena_bytes_published").inc(int(s.size + t.size))
         self._loaded = (s, t)
         return self._arena.handle
 
@@ -297,9 +365,23 @@ class AlignmentWorkerPool:
             raise RuntimeError("pool is closed")
         self._job_counter += 1
         job["id"] = self._job_counter
-        for q in self._tasks:
-            q.put(job)
-        return self._collect(job["id"])
+        tracer = get_tracer()
+        obs: ObsJob | None = None
+        if tracer.enabled:
+            if self._obs_dir is None:
+                self._obs_dir = tempfile.mkdtemp(prefix="repro-obs-")
+            obs = ObsJob(self._obs_dir, f"job{job['id']}", perf_counter())
+            job["obs"] = obs
+        with tracer.span(f"pool_job:{job['kind']}", "coordination", job=job["id"]):
+            for q in self._tasks:
+                q.put(job)
+            collected = self._collect(job["id"])
+        if obs is not None:
+            # Fold every worker's segment (spans + metric snapshot) into the
+            # coordinator's tracer/registry -- one coherent timeline per run.
+            merge_into(tracer, get_metrics(), obs.dir, obs.key)
+            discard_segments(obs.dir, obs.key)
+        return collected
 
     def _collect(self, job_id: int) -> dict[int, object]:
         import queue as _queue

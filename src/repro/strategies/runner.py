@@ -7,7 +7,6 @@ scattered mapping of Section 4.4 and render Fig. 16-style records.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -15,6 +14,8 @@ import numpy as np
 from ..core.alignment import LocalAlignment
 from ..core.global_align import SubsequenceAlignment
 from ..core.scoring import DEFAULT_SCORING, Scoring
+from ..obs import gcups, get_metrics, get_tracer, is_enabled
+from ..obs.trace import Stopwatch
 from ..sim.costmodel import DEFAULT_COST_MODEL, CostModel
 from .base import ScaledWorkload, StrategyResult
 from .blocked import BlockedConfig, run_blocked
@@ -44,11 +45,18 @@ def run_phase1(
 
 @dataclass
 class PipelineResult:
-    """Both phases of one genome comparison."""
+    """Both phases of one genome comparison.
+
+    ``total_time`` is *virtual* cluster seconds from the cost model;
+    ``wall_seconds`` is what this host actually spent running the simulation
+    (measured by the observability stopwatch).  Keeping both as separate
+    fields means reports can never conflate the two clocks.
+    """
 
     phase1: StrategyResult
     phase2: StrategyResult
     records: list = field(default_factory=list)
+    wall_seconds: float = 0.0
 
     @property
     def total_time(self) -> float:
@@ -84,15 +92,26 @@ def run_pipeline(
             "pre_process": PreprocessConfig(n_procs=n_procs),
         }
         phase1_config = defaults.get(strategy)
-    phase1 = run_phase1(workload, strategy, phase1_config, cost)
-    regions = [r for r in phase1.alignments if r.s_length and r.t_length]
-    if scale != 1:
-        regions = []
-    phase2 = run_phase2(
-        workload.s, workload.t, regions, phase2_config or Phase2Config(n_procs=n_procs), cost
-    )
+    tracer = get_tracer()
+    with Stopwatch() as wall:
+        with tracer.span("phase1", "phase", strategy=strategy, backend="sim"):
+            phase1 = run_phase1(workload, strategy, phase1_config, cost)
+        regions = [r for r in phase1.alignments if r.s_length and r.t_length]
+        if scale != 1:
+            regions = []
+        with tracer.span("phase2", "phase", regions=len(regions), backend="sim"):
+            phase2 = run_phase2(
+                workload.s,
+                workload.t,
+                regions,
+                phase2_config or Phase2Config(n_procs=n_procs),
+                cost,
+            )
     return PipelineResult(
-        phase1=phase1, phase2=phase2, records=phase2.extras.get("records", [])
+        phase1=phase1,
+        phase2=phase2,
+        records=phase2.extras.get("records", []),
+        wall_seconds=wall.elapsed,
     )
 
 
@@ -149,25 +168,38 @@ def run_mp_pipeline(
     owns = pool is None
     if pool is None:
         pool = AlignmentWorkerPool(n_workers=n_workers)
+    tracer = get_tracer()
+    phase1_cells = len(s) * len(t)
     try:
-        t0 = time.perf_counter()
-        if backend == "wavefront":
-            regions = pool.wavefront(s, t, phase1_config, scoring=scoring)
-        else:
-            regions = pool.blocked(s, t, phase1_config, scoring=scoring)
-        t1 = time.perf_counter()
-        records = pool.phase2(
-            [r for r in regions if r.s_length and r.t_length], scoring=scoring
+        with Stopwatch() as sw1, tracer.span(
+            "phase1", "phase", backend=backend, cells=phase1_cells
+        ):
+            if backend == "wavefront":
+                regions = pool.wavefront(s, t, phase1_config, scoring=scoring)
+            else:
+                regions = pool.blocked(s, t, phase1_config, scoring=scoring)
+        alignable = [r for r in regions if r.s_length and r.t_length]
+        phase2_cells = sum(
+            (r.s_end - r.s_start) * (r.t_end - r.t_start) for r in alignable
         )
-        t2 = time.perf_counter()
+        with Stopwatch() as sw2, tracer.span(
+            "phase2", "phase", regions=len(alignable), cells=phase2_cells
+        ):
+            records = pool.phase2(alignable, scoring=scoring)
     finally:
         if owns:
             pool.close()
+    if is_enabled():
+        metrics = get_metrics()
+        metrics.gauge("phase1_seconds").set(sw1.elapsed)
+        metrics.gauge("phase2_seconds").set(sw2.elapsed)
+        metrics.gauge("phase1_gcups").set(gcups(phase1_cells, sw1.elapsed))
+        metrics.gauge("phase2_gcups").set(gcups(phase2_cells, sw2.elapsed))
     return MpPipelineResult(
         backend=backend,
         n_workers=pool.n_workers,
         regions=regions,
         records=records,
-        phase1_seconds=t1 - t0,
-        phase2_seconds=t2 - t1,
+        phase1_seconds=sw1.elapsed,
+        phase2_seconds=sw2.elapsed,
     )

@@ -1,0 +1,163 @@
+"""Cross-process segment collection, including killed-worker partial files."""
+
+import json
+import os
+
+import repro.obs as obs
+from repro.obs.collect import (
+    ObsJob,
+    discard_segments,
+    merge_into,
+    merge_segments,
+    observed_worker,
+    segment_path,
+    write_segment,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+def _make_segment(dir_, key, process, n_spans=2, cells=100):
+    """Write a well-formed worker segment the way observed_worker would."""
+    tracer = Tracer(process)
+    for i in range(n_spans):
+        tracer.record("rows", "computation", 10.0 + i, 0.5, lo=i)
+    metrics = MetricsRegistry()
+    metrics.counter("cells_computed").inc(cells)
+    write_segment(ObsJob(str(dir_), key), process, tracer, metrics)
+
+
+class TestSegmentRoundtrip:
+    def test_write_then_merge(self, tmp_path):
+        _make_segment(tmp_path, "job1", "worker-0", n_spans=3, cells=30)
+        _make_segment(tmp_path, "job1", "worker-1", n_spans=2, cells=20)
+        slices, snaps = merge_segments(str(tmp_path), "job1")
+        assert len(slices) == 5
+        assert sum(s["counters"]["cells_computed"] for s in snaps) == 50
+
+    def test_merge_into_coordinator(self, tmp_path):
+        _make_segment(tmp_path, "job1", "worker-0")
+        tracer = Tracer("coordinator")
+        metrics = MetricsRegistry()
+        n = merge_into(tracer, metrics, str(tmp_path), "job1")
+        assert n == 2
+        assert "worker-0" in tracer.processes()
+        assert metrics.counter("cells_computed").value == 100
+
+    def test_keys_do_not_cross_jobs(self, tmp_path):
+        _make_segment(tmp_path, "job1", "worker-0")
+        _make_segment(tmp_path, "job2", "worker-0", cells=7)
+        _, snaps = merge_segments(str(tmp_path), "job2")
+        assert [s["counters"]["cells_computed"] for s in snaps] == [7]
+
+    def test_discard(self, tmp_path):
+        _make_segment(tmp_path, "job1", "worker-0")
+        discard_segments(str(tmp_path), "job1")
+        assert merge_segments(str(tmp_path), "job1") == ([], [])
+
+
+class TestKilledWorker:
+    """Partial segments from a dead worker must never corrupt the merge."""
+
+    def test_truncated_tail_keeps_valid_prefix(self, tmp_path):
+        _make_segment(tmp_path, "job1", "worker-0", n_spans=2, cells=100)
+        # worker-1 died mid-write: valid span line, then a torn one.
+        path = segment_path(ObsJob(str(tmp_path), "job1"), "worker-1")
+        good = json.dumps(
+            {
+                "kind": "span",
+                "name": "rows",
+                "cat": "computation",
+                "process": "worker-1",
+                "start": 1.0,
+                "dur": 0.5,
+            }
+        )
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(good + "\n")
+            fh.write('{"kind": "span", "name": "rows", "cat": "comp')  # torn
+        slices, snaps = merge_segments(str(tmp_path), "job1")
+        # 2 complete spans from worker-0 + the one valid worker-1 line.
+        assert len(slices) == 3
+        # worker-1 never reached its metrics line; worker-0's survives.
+        assert len(snaps) == 1
+
+    def test_missing_segment_is_fine(self, tmp_path):
+        _make_segment(tmp_path, "job1", "worker-0")
+        slices, snaps = merge_segments(str(tmp_path), "job1")
+        assert len(slices) == 2 and len(snaps) == 1
+
+    def test_empty_and_garbage_files(self, tmp_path):
+        open(os.path.join(tmp_path, "job1-worker-0.jsonl"), "w").close()
+        with open(os.path.join(tmp_path, "job1-worker-1.jsonl"), "w") as fh:
+            fh.write("not json at all\n")
+        with open(os.path.join(tmp_path, "job1-worker-2.jsonl"), "w") as fh:
+            fh.write('["a", "list", "not", "a", "dict"]\n')
+            fh.write(json.dumps({"kind": "metrics", "data": {"counters": {"c": 1}}}) + "\n")
+        slices, snaps = merge_segments(str(tmp_path), "job1")
+        assert slices == []
+        assert snaps == [{"counters": {"c": 1}}]
+
+    def test_span_missing_required_keys_skipped(self, tmp_path):
+        with open(os.path.join(tmp_path, "job1-worker-0.jsonl"), "w") as fh:
+            fh.write(json.dumps({"kind": "span", "name": "x"}) + "\n")
+        slices, _ = merge_segments(str(tmp_path), "job1")
+        assert slices == []
+
+    def test_merged_timeline_stays_coherent(self, tmp_path):
+        """After merging a partial segment the tracer still exports cleanly."""
+        _make_segment(tmp_path, "job1", "worker-0")
+        path = segment_path(ObsJob(str(tmp_path), "job1"), "worker-1")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write('{"kind": "span", "na')  # nothing salvageable
+        tracer = Tracer("coordinator")
+        merge_into(tracer, MetricsRegistry(), str(tmp_path), "job1")
+        events = tracer.to_chrome_trace()
+        assert len(events) == 2
+        assert all(e["ph"] == "X" for e in events)
+
+
+class TestObservedWorker:
+    def test_null_when_no_obs(self):
+        obs.enable("inherited-from-fork")  # simulate state inherited over fork
+        try:
+            with observed_worker(None, "worker-0") as (tracer, metrics):
+                assert tracer.enabled is False
+            # the inherited tracer must have been reset, not kept
+            assert obs.is_enabled() is False
+        finally:
+            obs.disable()
+
+    def test_writes_segment_and_restores_state(self, tmp_path):
+        job = ObsJob(str(tmp_path), "job9", t_submit=0.0)
+        with observed_worker(job, "worker-3") as (tracer, metrics):
+            assert obs.get_tracer() is tracer
+            with tracer.span("rows", "computation"):
+                pass
+            metrics.counter("cells_computed").inc(5)
+        assert obs.is_enabled() is False
+        slices, snaps = merge_segments(str(tmp_path), "job9")
+        assert len(slices) == 1
+        assert snaps[0]["counters"]["cells_computed"] == 5
+
+    def test_segment_written_even_on_error(self, tmp_path):
+        job = ObsJob(str(tmp_path), "job9")
+        try:
+            with observed_worker(job, "worker-0") as (tracer, _):
+                tracer.record("rows", "computation", 0.0, 1.0)
+                raise RuntimeError("job blew up")
+        except RuntimeError:
+            pass
+        slices, _ = merge_segments(str(tmp_path), "job9")
+        assert len(slices) == 1
+
+    def test_queue_wait_recorded(self, tmp_path):
+        from time import perf_counter
+
+        job = ObsJob(str(tmp_path), "job9", t_submit=perf_counter() - 0.05)
+        with observed_worker(job, "worker-0") as (_, metrics):
+            pass
+        _, snaps = merge_segments(str(tmp_path), "job9")
+        hist = snaps[0]["histograms"]["pool_queue_wait_seconds"]
+        assert hist["count"] == 1
+        assert hist["sum"] >= 0.05

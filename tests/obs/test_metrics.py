@@ -1,0 +1,123 @@
+"""Metrics registry: counters, gauges, histogram bucket edges, merge rules."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    gcups,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_monotonic(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_set(self):
+        g = Gauge("g")
+        g.set(3.5)
+        g.set(1.0)
+        assert g.value == 1.0
+
+
+class TestHistogramBuckets:
+    def test_edges_are_inclusive_upper_bounds(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        h.observe(1.0)  # exactly on the first edge -> bucket 0
+        h.observe(1.5)  # between 1 and 2 -> bucket 1
+        h.observe(2.0)  # exactly on an edge -> bucket 1
+        h.observe(4.0)  # last edge -> bucket 2
+        h.observe(5.0)  # above every edge -> overflow
+        assert h.counts == [1, 2, 1, 1]
+        assert h.count == 5
+        assert h.total == pytest.approx(13.5)
+        assert h.mean == pytest.approx(2.7)
+
+    def test_below_first_edge(self):
+        h = Histogram("h", buckets=(1.0, 2.0))
+        h.observe(0.0)
+        assert h.counts == [1, 0, 0]
+
+    def test_overflow_slot_exists(self):
+        h = Histogram("h", buckets=(1.0,))
+        assert len(h.counts) == 2
+
+    def test_default_buckets_ascending(self):
+        assert list(DEFAULT_SECONDS_BUCKETS) == sorted(DEFAULT_SECONDS_BUCKETS)
+
+    def test_rejects_unsorted_or_empty(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        r = MetricsRegistry()
+        assert r.counter("c") is r.counter("c")
+        assert r.gauge("g") is r.gauge("g")
+        assert r.histogram("h") is r.histogram("h")
+        assert len(r) == 3
+
+    def test_snapshot_is_jsonable(self):
+        import json
+
+        r = MetricsRegistry()
+        r.counter("cells").inc(100)
+        r.gauge("gcups").set(1.5)
+        r.histogram("lat", buckets=(0.1, 1.0)).observe(0.5)
+        snap = json.loads(json.dumps(r.snapshot()))
+        assert snap["counters"]["cells"] == 100
+        assert snap["gauges"]["gcups"] == 1.5
+        assert snap["histograms"]["lat"]["counts"] == [0, 1, 0]
+
+    def test_merge_counters_add_gauges_max_histograms_sum(self):
+        a = MetricsRegistry()
+        a.counter("cells").inc(10)
+        a.gauge("peak").set(2.0)
+        a.histogram("lat", buckets=(1.0, 2.0)).observe(0.5)
+
+        b = MetricsRegistry()
+        b.counter("cells").inc(5)
+        b.gauge("peak").set(3.0)
+        b.histogram("lat", buckets=(1.0, 2.0)).observe(1.5)
+
+        a.merge(b.snapshot())
+        assert a.counter("cells").value == 15
+        assert a.gauge("peak").value == 3.0
+        h = a.histogram("lat", buckets=(1.0, 2.0))
+        assert h.counts == [1, 1, 0]
+        assert h.count == 2
+
+    def test_merge_skips_mismatched_histogram_buckets(self):
+        a = MetricsRegistry()
+        a.histogram("lat", buckets=(1.0, 2.0)).observe(0.5)
+        a.merge({"histograms": {"lat": {"buckets": [9.0], "counts": [1, 1], "sum": 1, "count": 2}}})
+        assert a.histogram("lat", buckets=(1.0, 2.0)).count == 1
+
+    def test_merge_tolerates_malformed_snapshot(self):
+        a = MetricsRegistry()
+        a.merge({"histograms": {"bad": {"buckets": None}}})
+        a.merge({})
+        assert len(a) == 0
+
+
+class TestGcups:
+    def test_value(self):
+        assert gcups(2e9, 2.0) == pytest.approx(1.0)
+
+    def test_zero_time(self):
+        assert gcups(1e9, 0.0) == 0.0

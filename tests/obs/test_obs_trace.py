@@ -1,0 +1,156 @@
+"""Span tracer: nesting, ordering, and Chrome-trace schema parity."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import NULL_TRACER, Span, Stopwatch, Tracer
+from repro.sim import Simulator, compute
+from repro.sim.trace import Timeline
+
+
+class TestSpanNesting:
+    def test_nested_depths(self):
+        tracer = Tracer("p0")
+        with tracer.span("outer", "phase"):
+            with tracer.span("inner", "computation"):
+                with tracer.span("innermost", "computation"):
+                    pass
+            with tracer.span("sibling", "communication"):
+                pass
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].depth == 1
+        assert by_name["innermost"].depth == 2
+        assert by_name["sibling"].depth == 1
+
+    def test_children_contained_in_parent(self):
+        tracer = Tracer("p0")
+        with tracer.span("outer", "phase"):
+            with tracer.span("inner"):
+                pass
+        outer = tracer.named("outer")[0]
+        inner = tracer.named("inner")[0]
+        assert outer.start <= inner.start
+        assert inner.end <= outer.end
+
+    def test_chrome_export_sorted_by_start(self):
+        tracer = Tracer("p0")
+        tracer.record("b", "computation", 2.0, 1.0)
+        tracer.record("a", "computation", 1.0, 0.5)
+        events = tracer.to_chrome_trace()
+        assert [e["name"] for e in events] == ["a", "b"]
+        assert events[0]["ts"] == 0.0  # normalised to the earliest span
+
+    def test_span_context_exposes_duration(self):
+        tracer = Tracer("p0")
+        with tracer.span("x") as sp:
+            pass
+        assert sp.duration >= 0.0
+        assert tracer.spans[0].duration == sp.duration
+
+    def test_record_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            Tracer("p").record("x", "computation", 0.0, -1.0)
+
+
+class TestSchemaParity:
+    """Real and simulated traces must emit the same Chrome-trace schema."""
+
+    def _sim_events(self):
+        tl = Timeline()
+        sim = Simulator(timeline=tl)
+
+        def body():
+            yield compute(0.5)
+
+        sim.spawn(body(), name="n0")
+        sim.spawn(body(), name="n1")
+        sim.run()
+        return tl.to_chrome_trace()
+
+    def _obs_events(self):
+        tracer = Tracer("coordinator")
+        with tracer.span("phase1", "phase"):
+            pass
+        tracer.record("rows", "computation", tracer.spans[0].start, 0.001, process="worker-0")
+        return tracer.to_chrome_trace()
+
+    def test_same_key_set(self):
+        sim_keys = {frozenset(e) for e in self._sim_events()}
+        obs_keys = {frozenset(e) for e in self._obs_events()}
+        assert sim_keys == obs_keys
+
+    def test_complete_events_with_process_arg(self):
+        for events in (self._sim_events(), self._obs_events()):
+            for e in events:
+                assert e["ph"] == "X"
+                assert isinstance(e["ts"], float)
+                assert isinstance(e["dur"], float)
+                assert e["tid"] == 1
+                assert "process" in e["args"]
+
+    def test_pids_enumerate_processes(self):
+        events = self._obs_events()
+        assert {e["pid"] for e in events} == {1, 2}
+
+    def test_write_chrome_trace_embeds_metrics(self, tmp_path):
+        tracer = Tracer("p")
+        with tracer.span("x"):
+            pass
+        path = tmp_path / "t.json"
+        tracer.write_chrome_trace(path, metrics={"counters": {"c": 1}})
+        payload = json.loads(path.read_text())
+        assert "traceEvents" in payload
+        assert payload["reproMetrics"]["counters"]["c"] == 1
+
+
+class TestCrossProcessMerge:
+    def test_slices_roundtrip(self):
+        worker = Tracer("worker-0")
+        with worker.span("rows", "computation", lo=0, hi=8):
+            pass
+        coordinator = Tracer("coordinator")
+        with coordinator.span("phase1", "phase"):
+            pass
+        coordinator.add_slices(worker.export_slices())
+        assert coordinator.processes() == ["coordinator", "worker-0"]
+        merged = coordinator.named("rows")[0]
+        assert merged.process == "worker-0"
+        assert merged.args == {"lo": 0, "hi": 8}
+
+    def test_busy_time_per_process(self):
+        tracer = Tracer("c")
+        tracer.record("a", "computation", 1.0, 2.0, process="w0")
+        tracer.record("b", "communication", 3.0, 1.0, process="w0")
+        assert tracer.busy_time("w0") == pytest.approx(3.0)
+        assert tracer.busy_time("w0", "computation") == pytest.approx(2.0)
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("x", "computation", a=1) as sp:
+            assert sp.duration == 0.0
+        NULL_TRACER.record("x", "computation", 0.0, 1.0)
+        assert NULL_TRACER.export_slices() == []
+        assert len(NULL_TRACER.spans) == 0
+
+    def test_span_object_is_shared(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+
+class TestStopwatch:
+    def test_measures_elapsed(self):
+        with Stopwatch() as sw:
+            assert sw.elapsed == 0.0
+        assert sw.elapsed > 0.0
+
+
+class TestSpanDataclass:
+    def test_end_and_dict(self):
+        s = Span("n", "computation", "p", 1.0, 2.0, depth=1, args={"k": "v"})
+        assert s.end == 3.0
+        d = s.to_dict()
+        assert d["name"] == "n" and d["cat"] == "computation"
+        assert d["start"] == 1.0 and d["dur"] == 2.0 and d["depth"] == 1

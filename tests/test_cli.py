@@ -103,6 +103,38 @@ class TestTuneAndTrace:
         assert events and all(e["ph"] == "X" for e in events)
 
 
+class TestObs:
+    def test_align_trace_and_report(self, tmp_path, capsys):
+        """Acceptance: `align --backend mp --trace` yields a Chrome trace with
+        spans from >= 2 workers plus the coordinator; `obs report` reads it."""
+        import json
+
+        out = tmp_path / "t.json"
+        rc = main(
+            [
+                "align", "--demo", "--demo-length", "500",
+                "--backend", "mp", "--mp-workers", "2",
+                "--trace", str(out), "--metrics",
+            ]
+        )
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "GCUPS" in printed and "phase1" in printed
+
+        payload = json.loads(out.read_text())
+        events = payload["traceEvents"]
+        assert events and all(e["ph"] == "X" for e in events)
+        procs = {e["args"]["process"] for e in events}
+        assert "coordinator" in procs
+        assert {"worker-0", "worker-1"} <= procs
+        assert "reproMetrics" in payload
+
+        rc = main(["obs", "report", str(out)])
+        assert rc == 0
+        report = capsys.readouterr().out
+        assert "phase1" in report and "phase2" in report and "GCUPS" in report
+
+
 class TestExperiment:
     def test_unknown_name(self):
         with pytest.raises(SystemExit, match="unknown experiment"):
