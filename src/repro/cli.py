@@ -10,8 +10,13 @@ Subcommands
                metric registry (cells, GCUPS, queue waits).
 ``obs``        observability utilities; ``obs report TRACE.json`` prints the
                per-phase time/cells/GCUPS table from an ``align --trace`` run.
+``search``     scan one query against a FASTA database with the batched
+               multi-sequence kernel (length-bucketed SIMD lanes) and print
+               the top-scoring hits; ``--workers N`` fans buckets out over
+               the persistent worker pool's dynamic work queue.
 ``experiment`` regenerate one of the paper's tables/figures (or ``all``).
 ``generate``   write a synthetic genome pair with planted homologies.
+``generate-db`` write a synthetic FASTA database for ``search`` runs.
 ``dotplot``    print the Fig. 14-style dot plot for two FASTA files.
 """
 
@@ -103,6 +108,70 @@ def cmd_align(args) -> int:
             f"wrote {args.trace}: {len(tracer.spans)} spans from "
             f"{len(tracer.processes())} process(es) "
             "(open in https://ui.perfetto.dev, or run: obs report)"
+        )
+    if args.metrics:
+        from .obs.report import render_report
+
+        print()
+        print(
+            render_report(
+                {
+                    "traceEvents": tracer.to_chrome_trace(),
+                    "reproMetrics": metrics.snapshot(),
+                }
+            )
+        )
+    return 0
+
+
+def cmd_search(args) -> int:
+    from contextlib import nullcontext
+
+    from . import obs
+    from .seq import pack_database, read_fasta, stream_fasta
+    from .strategies import SearchConfig, search_db
+
+    queries = read_fasta(args.query)
+    if not queries:
+        raise SystemExit("empty query FASTA")
+    query = queries[0]
+    config = SearchConfig(
+        top_k=args.top, max_lanes=args.batch_lanes, max_waste=args.max_waste
+    )
+    observing = bool(args.trace or args.metrics)
+    scope = obs.observed("coordinator") if observing else nullcontext((None, None))
+    with scope as (tracer, metrics):
+        packed = pack_database(
+            stream_fasta(args.database),
+            max_lanes=args.batch_lanes,
+            max_waste=args.max_waste,
+        )
+        if args.workers > 1:
+            from .parallel import AlignmentWorkerPool
+
+            with AlignmentWorkerPool(n_workers=args.workers) as pool:
+                result = search_db(query.codes, packed, config, pool=pool)
+        else:
+            result = search_db(query.codes, packed, config)
+    print(
+        f"query {query.name} ({len(query.codes)} bp) vs {result.n_sequences} "
+        f"sequences ({packed.total_residues:,} residues in {len(packed.buckets)} "
+        f"buckets, {packed.padded_slots - packed.total_residues:,} padded slots)"
+    )
+    print(
+        f"{result.total_cells:,} cells in {result.wall_seconds:.3f} s wall = "
+        f"{result.gcups:.3f} GCUPS ({result.backend}, {result.n_workers} worker(s))"
+    )
+    print()
+    print(f"{'rank':>4}  {'score':>6}  {'length':>7}  name")
+    for rank, hit in enumerate(result.hits, 1):
+        print(f"{rank:>4}  {hit.score:>6}  {hit.length:>7}  {hit.name}")
+    if args.trace:
+        tracer.write_chrome_trace(args.trace, metrics=metrics.snapshot())
+        print()
+        print(
+            f"wrote {args.trace}: {len(tracer.spans)} spans from "
+            f"{len(tracer.processes())} process(es)"
         )
     if args.metrics:
         from .obs.report import render_report
@@ -211,6 +280,18 @@ def cmd_generate(args) -> int:
     return 0
 
 
+def cmd_generate_db(args) -> int:
+    from .seq import synthetic_database, write_fasta
+
+    records = synthetic_database(
+        n=args.n, min_length=args.min_length, max_length=args.max_length, rng=args.seed
+    )
+    write_fasta(args.out, records)
+    total = sum(len(r.codes) for r in records)
+    print(f"wrote {args.out}: {len(records)} sequences, {total:,} residues")
+    return 0
+
+
 def cmd_dotplot(args) -> int:
     from .core import RegionConfig, find_regions
     from .seq import dotplot
@@ -275,6 +356,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_align.set_defaults(func=cmd_align)
 
+    p_search = sub.add_parser("search", help="scan a query against a FASTA database")
+    p_search.add_argument("query", help="FASTA file; the first record is the query")
+    p_search.add_argument("database", help="FASTA database of target sequences")
+    p_search.add_argument("--top", type=int, default=10, help="hits to report")
+    p_search.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="1 = in-process batched scan; >1 = dynamic dispatch over the pool",
+    )
+    p_search.add_argument(
+        "--batch-lanes", type=int, default=512, help="max sequences per SIMD batch"
+    )
+    p_search.add_argument(
+        "--max-waste",
+        type=float,
+        default=0.15,
+        help="max padded fraction of a batch before a new length bucket is cut",
+    )
+    p_search.add_argument(
+        "--trace", metavar="FILE", help="write a wall-clock Chrome-trace JSON"
+    )
+    p_search.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics registry (cells, GCUPS, per-worker rates) after the run",
+    )
+    p_search.set_defaults(func=cmd_search)
+
     p_obs = sub.add_parser("obs", help="observability utilities")
     obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
     p_obs_report = obs_sub.add_parser(
@@ -313,6 +423,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("--mutation-rate", type=float, default=0.05)
     p_gen.add_argument("--seed", type=int, default=42)
     p_gen.set_defaults(func=cmd_generate)
+
+    p_gen_db = sub.add_parser("generate-db", help="write a synthetic FASTA database")
+    p_gen_db.add_argument("out")
+    p_gen_db.add_argument("--n", type=int, default=100, help="number of sequences")
+    p_gen_db.add_argument("--min-length", type=int, default=300)
+    p_gen_db.add_argument("--max-length", type=int, default=700)
+    p_gen_db.add_argument("--seed", type=int, default=42)
+    p_gen_db.set_defaults(func=cmd_generate_db)
 
     p_dot = sub.add_parser("dotplot", help="plot similar regions")
     add_pair_args(p_dot)

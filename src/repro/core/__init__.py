@@ -37,6 +37,7 @@ from .exact_linear import (
     reverse_scan,
 )
 from .engine import KernelWorkspace
+from .multi_engine import PAD_CODE, PAD_SCORE, MultiSequenceWorkspace, pack_codes
 from .global_align import SubsequenceAlignment, align_region, global_alignment
 from .heuristic import HeuristicAligner, HeuristicParams, heuristic_local_alignments
 from .hirschberg import hirschberg
@@ -77,6 +78,9 @@ __all__ = [
     "LocalAlignment",
     "MatrixScoring",
     "MatrixTooLarge",
+    "MultiSequenceWorkspace",
+    "PAD_CODE",
+    "PAD_SCORE",
     "TRANSITION_TRANSVERSION",
     "affine_best_score",
     "affine_matrices",
@@ -114,6 +118,7 @@ __all__ = [
     "needleman_wunsch",
     "nw_last_row",
     "nw_row",
+    "pack_codes",
     "predicted_necessary_fraction",
     "predicted_unnecessary_cells",
     "rebuild_alignment",

@@ -20,7 +20,12 @@ processes alive across requests:
 
 The pool serves all three real-parallel algorithms: the non-blocked
 wave-front (Section 4.2), the blocked wave-front (Section 4.3) and the
-phase-2 scattered mapping (Section 4.4).
+phase-2 scattered mapping (Section 4.4) -- plus the database-search job
+(:meth:`AlignmentWorkerPool.search`), which replaces the static per-role
+partition with a *dynamic* work queue: the packed database is published once
+through the arena, each length bucket becomes a chunk descriptor on a shared
+queue, and workers pull the next chunk whenever they finish one (greedy
+self-scheduling), so a skewed bucket cannot stall the rest of the pool.
 """
 
 from __future__ import annotations
@@ -38,13 +43,15 @@ from ..core.alignment import AlignmentQueue, LocalAlignment
 from ..core.engine import KernelWorkspace
 from ..core.global_align import SubsequenceAlignment, align_region
 from ..core.kernels import SCORE_DTYPE
+from ..core.multi_engine import MultiSequenceWorkspace
 from ..core.regions import RegionConfig, StreamingRegionFinder
 from ..core.scoring import DEFAULT_SCORING, Scoring
-from ..obs import get_metrics, get_tracer, is_enabled
+from ..obs import gcups, get_metrics, get_tracer, is_enabled
 from ..obs.collect import ObsJob, discard_segments, merge_into, observed_worker
 from ..seq.alphabet import encode
 from ..strategies.blocked import compute_tile
 from ..strategies.partition import column_partition, explicit_tiling
+from ..strategies.search import TopK
 from .guard import WorkerCrashed, drain_results, poll_until
 from .mp_blocked import MpBlockedConfig
 from .mp_wavefront import MpWavefrontConfig
@@ -60,12 +67,28 @@ class PoolJobError(RuntimeError):
 # --------------------------------------------------------------------------
 
 
+def _close_arenas(arenas: dict) -> None:
+    """Close every cached arena attachment, dropping its views first.
+
+    Shared by the stale-pair eviction in :func:`_get_pair` and the worker
+    exit path.  The numpy views are released before ``close`` so no exported
+    buffer outlives the mapping, and failures are swallowed: this runs in
+    ``finally`` blocks where a raise would mask the real error.
+    """
+    for name in list(arenas):
+        shm, *views = arenas.pop(name)
+        del views
+        try:
+            shm.close()
+        except (BufferError, OSError):
+            pass
+
+
 def _get_pair(arenas: dict, handle: ArenaHandle) -> tuple[np.ndarray, np.ndarray]:
     """Attach (and cache) the arena named by ``handle``; evict stale pairs."""
     cached = arenas.get(handle.name)
     if cached is None:
-        for name in list(arenas):
-            arenas.pop(name)[0].close()
+        _close_arenas(arenas)
         arenas[handle.name] = attach_arena(handle)
         cached = arenas[handle.name]
     return cached[1], cached[2]
@@ -224,6 +247,59 @@ def _job_phase2(role: int, job: dict, arenas: dict) -> list:
     return out
 
 
+def _job_search(role: int, job: dict, arenas: dict, work) -> list:
+    """Dynamic-dispatch database search: pull packed chunks until sentinel.
+
+    The arena's ``s`` slot holds the query, ``t`` the flat concatenation of
+    every bucket's code matrix; each chunk descriptor is
+    ``(offset, width, lanes, lengths, indices)`` locating one bucket in the
+    blob.  The worker keeps a local top-k (deterministic total order, so the
+    merge is interleaving-independent) and stops at the first ``None``
+    sentinel -- exactly one per worker is enqueued ahead of the job.
+    """
+    q, blob = _get_pair(arenas, job["arena"])
+    scoring: Scoring = job["scoring"]
+    top = TopK(job["top_k"])
+    tracer = get_tracer()
+    tracing = tracer.enabled
+    busy_s = 0.0
+    cells = 0
+    chunks_done = 0
+    queue_depth = 0
+    while True:
+        chunk = work.get()
+        if chunk is None:
+            break
+        offset, width, lanes, lengths, indices = chunk
+        if tracing:
+            try:
+                queue_depth = max(queue_depth, work.qsize())
+            except NotImplementedError:  # qsize is unimplemented on macOS
+                pass
+        t0 = perf_counter()
+        codes = blob[offset : offset + lanes * width].reshape(lanes, width)
+        ws = MultiSequenceWorkspace(codes, lengths, scoring)
+        scores = ws.sw_best_scores(q)
+        for lane, index in enumerate(indices):
+            top.push(int(scores[lane]), int(index))
+        chunks_done += 1
+        if tracing:
+            spent = perf_counter() - t0
+            busy_s += spent
+            cells += int(len(q)) * int(sum(lengths))
+            tracer.record(
+                "search_chunk", "computation", t0, spent, lanes=lanes, width=width
+            )
+    if tracing:
+        metrics = get_metrics()
+        metrics.counter("search_chunks").inc(chunks_done)
+        metrics.counter("worker_busy_seconds").inc(busy_s)
+        metrics.gauge("search_queue_depth").set(queue_depth)
+        if busy_s > 0.0:
+            metrics.gauge(f"search_worker{role}_gcups").set(gcups(cells, busy_s))
+    return top.items()
+
+
 _JOB_KINDS = {
     "wavefront": _job_wavefront,
     "blocked": _job_blocked,
@@ -231,7 +307,7 @@ _JOB_KINDS = {
 }
 
 
-def _pool_worker(role: int, tasks, results) -> None:
+def _pool_worker(role: int, tasks, results, work) -> None:
     arenas: dict = {}
     try:
         while True:
@@ -243,13 +319,15 @@ def _pool_worker(role: int, tasks, results) -> None:
                 # resets any state inherited over fork) and writes the
                 # telemetry segment on the way out, error or not.
                 with observed_worker(job.get("obs"), f"worker-{role}"):
-                    payload = _JOB_KINDS[job["kind"]](role, job, arenas)
+                    if job["kind"] == "search":
+                        payload = _job_search(role, job, arenas, work)
+                    else:
+                        payload = _JOB_KINDS[job["kind"]](role, job, arenas)
                 results.put((job["id"], role, "ok", payload))
             except Exception as exc:  # propagate, keep the worker alive
                 results.put((job["id"], role, "error", f"{type(exc).__name__}: {exc}"))
     finally:
-        for name in list(arenas):
-            arenas.pop(name)[0].close()
+        _close_arenas(arenas)
 
 
 # --------------------------------------------------------------------------
@@ -278,10 +356,14 @@ class AlignmentWorkerPool:
         ctx = mp.get_context()
         self._tasks = [ctx.Queue() for _ in range(n_workers)]
         self._results = ctx.Queue()
+        # The dynamic work queue for search jobs.  Queues can only be
+        # inherited at fork time, so it exists for the pool's whole life; it
+        # is empty between jobs (drained even on failure).
+        self._work = ctx.Queue()
         self._procs = [
             ctx.Process(
                 target=_pool_worker,
-                args=(w, self._tasks[w], self._results),
+                args=(w, self._tasks[w], self._results, self._work),
                 daemon=True,
             )
             for w in range(n_workers)
@@ -360,7 +442,7 @@ class AlignmentWorkerPool:
 
     # -- job plumbing ------------------------------------------------------
 
-    def _submit(self, job: dict) -> dict[int, object]:
+    def _submit(self, job: dict, fail_fast: bool = True) -> dict[int, object]:
         if self._closed:
             raise RuntimeError("pool is closed")
         self._job_counter += 1
@@ -375,7 +457,7 @@ class AlignmentWorkerPool:
         with tracer.span(f"pool_job:{job['kind']}", "coordination", job=job["id"]):
             for q in self._tasks:
                 q.put(job)
-            collected = self._collect(job["id"])
+            collected = self._collect(job["id"], fail_fast=fail_fast)
         if obs is not None:
             # Fold every worker's segment (spans + metric snapshot) into the
             # coordinator's tracer/registry -- one coherent timeline per run.
@@ -383,12 +465,13 @@ class AlignmentWorkerPool:
             discard_segments(obs.dir, obs.key)
         return collected
 
-    def _collect(self, job_id: int) -> dict[int, object]:
+    def _collect(self, job_id: int, fail_fast: bool = True) -> dict[int, object]:
         import queue as _queue
 
         collected: dict[int, object] = {}
+        errors: list[str] = []
         deadline = time.monotonic() + self.timeout
-        while len(collected) < self.n_workers:
+        while len(collected) + len(errors) < self.n_workers:
             try:
                 jid, role, status, payload = self._results.get(timeout=0.2)
             except _queue.Empty:
@@ -408,8 +491,16 @@ class AlignmentWorkerPool:
             if jid != job_id:
                 continue  # stale result from a previously failed job
             if status == "error":
-                raise PoolJobError(str(payload))
+                # fail_fast suits the statically-partitioned jobs; search
+                # waits for every worker so the shared work queue is quiet
+                # (and safe to drain) by the time the error propagates.
+                if fail_fast:
+                    raise PoolJobError(str(payload))
+                errors.append(f"worker {role}: {payload}")
+                continue
             collected[role] = payload
+        if errors:
+            raise PoolJobError("; ".join(errors))
         return collected
 
     # -- alignment requests -------------------------------------------------
@@ -510,6 +601,93 @@ class AlignmentWorkerPool:
             for idx, record in part:
                 out[idx] = record
         return out  # type: ignore[return-value]
+
+    # -- database search -----------------------------------------------------
+
+    def search(
+        self,
+        query,
+        packed,
+        top_k: int = 10,
+        scoring: Scoring = DEFAULT_SCORING,
+    ) -> list[tuple[int, int]]:
+        """One query against a :class:`repro.seq.PackedDatabase`.
+
+        Publishes the query plus the flat concatenation of every bucket
+        matrix through a single arena, enqueues one chunk descriptor per
+        bucket on the dynamic work queue (then one sentinel per worker), and
+        broadcasts the job.  Workers pull chunks greedily and return local
+        top-k heaps; the deterministic total order makes the merged
+        ``(score, index)`` ranking identical to a sequential scan.
+        """
+        query = encode(query)
+        if not packed.buckets:
+            return []
+        total = sum(b.codes.size for b in packed.buckets)
+        blob = np.empty(total, dtype=np.uint8)
+        chunks = []
+        offset = 0
+        for bucket in packed.buckets:
+            flat = np.ascontiguousarray(bucket.codes).reshape(-1)
+            blob[offset : offset + flat.size] = flat
+            chunks.append(
+                (
+                    offset,
+                    bucket.width,
+                    bucket.lanes,
+                    tuple(int(x) for x in bucket.lengths),
+                    tuple(int(x) for x in bucket.indices),
+                )
+            )
+            offset += flat.size
+        with get_tracer().span(
+            "shm_publish", "communication", bytes=int(query.size + blob.size)
+        ):
+            arena = SequenceArena(query, blob)
+        if is_enabled():
+            metrics = get_metrics()
+            metrics.counter("arena_bytes_published").inc(int(query.size + blob.size))
+            metrics.gauge("search_queue_chunks").set(len(chunks))
+        try:
+            for chunk in chunks:
+                self._work.put(chunk)
+            for _ in range(self.n_workers):
+                self._work.put(None)
+            collected = self._submit(
+                {
+                    "kind": "search",
+                    "arena": arena.handle,
+                    "top_k": top_k,
+                    "scoring": scoring,
+                },
+                fail_fast=False,
+            )
+        except PoolJobError:
+            # Every worker has reported back (fail_fast=False), so nothing is
+            # still pulling: leftover chunks and the failed worker's sentinel
+            # can be drained without starving anyone.
+            self._drain_work()
+            raise
+        except BaseException:
+            # Timeout/crash/interrupt: workers may be mid-pull, so the queue
+            # cannot be drained safely -- retire the pool instead.
+            self.close(join_timeout=1.0)
+            raise
+        finally:
+            arena.close()
+        top = TopK(top_k)
+        for items in collected.values():
+            top.merge(items)
+        return top.ranked()
+
+    def _drain_work(self) -> None:
+        import queue as _queue
+
+        while True:
+            try:
+                self._work.get(timeout=0.1)
+            except (_queue.Empty, OSError, ValueError):
+                return
 
 
 def _merge_found(parts, threshold: int, min_score: int | None) -> list[LocalAlignment]:

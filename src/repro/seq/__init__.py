@@ -11,6 +11,13 @@ from .alphabet import (
     encode,
     reverse_complement,
 )
+from .db import (
+    PackedBucket,
+    PackedDatabase,
+    pack_database,
+    stream_fasta,
+    synthetic_database,
+)
 from .dotplot import DotPlot, dotplot, zoom
 from .fasta import FastaError, FastaRecord, parse_fasta, read_fasta, write_fasta
 from .stats import CompositionStats, composition, kmer_spectrum, longest_shared_kmer
@@ -35,6 +42,8 @@ __all__ = [
     "FastaError",
     "FastaRecord",
     "GenomePair",
+    "PackedBucket",
+    "PackedDatabase",
     "PlantedRegion",
     "biased_dna",
     "complement",
@@ -47,10 +56,13 @@ __all__ = [
     "longest_shared_kmer",
     "mito_like",
     "mutate",
+    "pack_database",
     "parse_fasta",
     "random_dna",
     "read_fasta",
     "reverse_complement",
+    "stream_fasta",
+    "synthetic_database",
     "write_fasta",
     "zoom",
 ]

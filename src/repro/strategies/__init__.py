@@ -24,6 +24,14 @@ from .preprocess import (
     serial_preprocess_time,
 )
 from .retrieval import InterestingRegion, interesting_regions, retrieve_alignments
+from .search import (
+    SearchConfig,
+    SearchHit,
+    SearchResult,
+    TopK,
+    search_db,
+    search_db_sequential,
+)
 from .tuning import TuningResult, tune_blocking
 from .runner import (
     MP_BACKENDS,
@@ -53,9 +61,13 @@ __all__ = [
     "RegionSettings",
     "STRATEGIES",
     "ScaledWorkload",
+    "SearchConfig",
+    "SearchHit",
+    "SearchResult",
     "StrategyResult",
     "SubCluster",
     "Tiling",
+    "TopK",
     "TuningResult",
     "WavefrontConfig",
     "balanced_band_size",
@@ -79,6 +91,8 @@ __all__ = [
     "restart_band_from_store",
     "run_wavefront",
     "save_preprocess_columns",
+    "search_db",
+    "search_db_sequential",
     "serial_blocked_time",
     "serial_phase2_time",
     "serial_preprocess_time",

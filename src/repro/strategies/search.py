@@ -1,0 +1,232 @@
+"""One-query-vs-many-targets database search (the serving workload).
+
+Every other pipeline in this repository compares one sequence *pair*; the
+dominant real workload (SWAPHI's inter-task database search, ALAE's exact
+database local alignment -- see PAPERS.md) is a query scanned against a
+whole database of targets.  :func:`search_db` is that pipeline:
+
+1. the database is packed into length buckets
+   (:func:`repro.seq.pack_database`), each a padded code matrix;
+2. each bucket is scanned by a :class:`repro.core.MultiSequenceWorkspace`,
+   which advances all lanes per numpy call (batch axis = SIMD lane axis);
+3. per-lane best scores feed a bounded :class:`TopK` heap keyed by
+   ``(score, -index)``, so results are deterministic -- byte-identical to a
+   sequential scan -- no matter how buckets are ordered or which worker
+   scans them.
+
+With a :class:`repro.parallel.AlignmentWorkerPool` the packed database is
+published once through a shared-memory arena and buckets are dispatched
+through a *dynamic* work queue: workers pull the next chunk when free, so a
+skewed bucket cannot stall the rest of the pool (see ``pool.search``).
+
+:func:`search_db_sequential` is the one-at-a-time
+:class:`repro.core.KernelWorkspace` reference the batched path is verified
+(and benchmarked) against.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.engine import KernelWorkspace
+from ..core.multi_engine import MultiSequenceWorkspace
+from ..core.scoring import DEFAULT_SCORING, SCORE_DTYPE, Scoring
+from ..obs import gcups, get_metrics, get_tracer, is_enabled
+from ..obs.trace import Stopwatch
+from ..seq.alphabet import encode
+from ..seq.db import PackedDatabase, pack_database
+
+
+class TopK:
+    """A bounded max-score heap with deterministic tie-breaking.
+
+    Entries are ``(score, db_index)``; ordering is by score descending then
+    index ascending.  Because the comparison key ``(score, -index)`` is a
+    total order, the surviving set (and therefore :meth:`ranked`) does not
+    depend on insertion order -- workers may push in any interleaving.
+    """
+
+    __slots__ = ("k", "_heap")
+
+    def __init__(self, k: int) -> None:
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        self.k = k
+        self._heap: list[tuple[int, int]] = []
+
+    def push(self, score: int, index: int) -> None:
+        if self.k == 0:
+            return
+        entry = (score, -index)
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, entry)
+        elif entry > self._heap[0]:
+            heapq.heapreplace(self._heap, entry)
+
+    def push_lanes(self, scores: np.ndarray, indices: np.ndarray) -> None:
+        """Push one bucket's per-lane best scores."""
+        for lane in range(len(indices)):
+            self.push(int(scores[lane]), int(indices[lane]))
+
+    def merge(self, items) -> None:
+        """Fold another heap's :meth:`items` (worker-local results) in."""
+        for score, index in items:
+            self.push(score, index)
+
+    def items(self) -> list[tuple[int, int]]:
+        """Unordered ``(score, index)`` survivors (picklable)."""
+        return [(score, -neg) for score, neg in self._heap]
+
+    def ranked(self) -> list[tuple[int, int]]:
+        """Survivors sorted by score descending, index ascending."""
+        return sorted(self.items(), key=lambda e: (-e[0], e[1]))
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Knobs of one database search."""
+
+    top_k: int = 10
+    max_lanes: int = 512
+    max_waste: float = 0.15
+    scoring: Scoring = DEFAULT_SCORING
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One ranked database hit."""
+
+    score: int
+    index: int
+    name: str
+    length: int
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one query-vs-database search."""
+
+    hits: list[SearchHit]
+    n_sequences: int
+    total_cells: int
+    wall_seconds: float
+    n_workers: int = 1
+    backend: str = "batched"
+
+    @property
+    def gcups(self) -> float:
+        return gcups(self.total_cells, self.wall_seconds)
+
+    def scores(self) -> list[tuple[int, int]]:
+        """The ``(score, index)`` ranking (comparison-friendly form)."""
+        return [(h.score, h.index) for h in self.hits]
+
+
+def _as_packed(database, config: SearchConfig) -> PackedDatabase:
+    if isinstance(database, PackedDatabase):
+        return database
+    return pack_database(
+        database, max_lanes=config.max_lanes, max_waste=config.max_waste
+    )
+
+
+def _hits(packed: PackedDatabase, ranked: list[tuple[int, int]]) -> list[SearchHit]:
+    return [
+        SearchHit(score, index, packed.names[index], int(packed.lengths[index]))
+        for score, index in ranked
+    ]
+
+
+def search_db(
+    query,
+    database,
+    config: SearchConfig | None = None,
+    pool=None,
+) -> SearchResult:
+    """Best local-alignment score of ``query`` against every database record.
+
+    ``database`` is a :class:`repro.seq.PackedDatabase` or any iterable of
+    FASTA records / ``(name, codes)`` tuples (packed on the fly).  Pass an
+    :class:`repro.parallel.AlignmentWorkerPool` as ``pool`` to fan buckets
+    out over persistent workers; otherwise the scan runs in-process.
+    """
+    config = config or SearchConfig()
+    query = encode(query)
+    packed = _as_packed(database, config)
+    cells = int(len(query)) * packed.total_residues
+    tracer = get_tracer()
+    with Stopwatch() as sw, tracer.span(
+        "search_db",
+        "phase",
+        sequences=packed.n_sequences,
+        buckets=len(packed.buckets),
+        cells=cells,
+    ):
+        if pool is None:
+            top = TopK(config.top_k)
+            for bucket in packed.buckets:
+                ws = MultiSequenceWorkspace(bucket.codes, bucket.lengths, config.scoring)
+                top.push_lanes(ws.sw_best_scores(query), bucket.indices)
+            ranked = top.ranked()
+            n_workers = 1
+        else:
+            ranked = pool.search(
+                query, packed, top_k=config.top_k, scoring=config.scoring
+            )
+            n_workers = pool.n_workers
+    if is_enabled():
+        metrics = get_metrics()
+        metrics.gauge("search_seconds").set(sw.elapsed)
+        metrics.gauge("search_gcups").set(gcups(cells, sw.elapsed))
+    return SearchResult(
+        hits=_hits(packed, ranked),
+        n_sequences=packed.n_sequences,
+        total_cells=cells,
+        wall_seconds=sw.elapsed,
+        n_workers=n_workers,
+        backend="batched" if pool is None else "pool",
+    )
+
+
+def sequential_best_score(query: np.ndarray, target: np.ndarray, scoring: Scoring) -> int:
+    """Best local score via one pairwise :class:`KernelWorkspace` scan."""
+    ws = KernelWorkspace(target, scoring)
+    prev = np.zeros(len(target) + 1, dtype=SCORE_DTYPE)
+    best = 0
+    for ch in query:
+        prev = ws.sw_row(prev, int(ch), out=prev)
+        row_best = int(prev.max()) if prev.size else 0
+        if row_best > best:
+            best = row_best
+    return best
+
+
+def search_db_sequential(
+    query,
+    database,
+    config: SearchConfig | None = None,
+) -> SearchResult:
+    """One-at-a-time reference scan (differential testing and benchmarking)."""
+    config = config or SearchConfig()
+    query = encode(query)
+    packed = _as_packed(database, config)
+    top = TopK(config.top_k)
+    with Stopwatch() as sw:
+        for bucket in packed.buckets:
+            for lane in range(bucket.lanes):
+                width = int(bucket.lengths[lane])
+                score = sequential_best_score(
+                    query, bucket.codes[lane, :width], config.scoring
+                )
+                top.push(score, int(bucket.indices[lane]))
+    return SearchResult(
+        hits=_hits(packed, top.ranked()),
+        n_sequences=packed.n_sequences,
+        total_cells=int(len(query)) * packed.total_residues,
+        wall_seconds=sw.elapsed,
+        n_workers=1,
+        backend="sequential",
+    )

@@ -1,0 +1,81 @@
+"""Fuzz the vectorized Gotoh scan against the naive triple recurrence.
+
+The existing tests in ``test_affine.py`` already probe small pairs under a
+narrow penalty grid; this module is the heavier differential battery the
+vectorized ``E``-chain closed form (see the module docstring of
+:mod:`repro.core.affine`) rests on: random DNA pairs up to ~120 bp under
+penalties drawn from the whole legal ``open <= extend < 0`` regime --
+including the ``open == extend`` boundary where the chain degenerates to the
+linear-gap recurrence, and deep-open scorings where a single run must absorb
+many extensions before reopening could ever pay.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AffineScoring, affine_best_score, affine_matrices
+from repro.core.affine import gotoh_naive
+from repro.seq import random_dna
+
+from _strategies import dna_text
+
+# Built from a filtered tuple (not st.builds) because invalid combinations
+# raise inside AffineScoring.__post_init__ before a filter could reject them.
+wide_affine_scorings = (
+    st.tuples(
+        st.integers(1, 9),  # match
+        st.integers(-9, 0),  # mismatch
+        st.integers(-30, -1),  # gap_open
+        st.integers(-6, -1),  # gap_extend
+    )
+    .filter(lambda p: p[2] <= p[3])
+    .map(lambda p: AffineScoring(match=p[0], mismatch=p[1], gap_open=p[2], gap_extend=p[3]))
+)
+
+
+def _random_scoring(rng: np.random.Generator) -> AffineScoring:
+    extend = -int(rng.integers(1, 7))
+    return AffineScoring(
+        match=int(rng.integers(1, 10)),
+        mismatch=-int(rng.integers(0, 10)),
+        gap_open=extend - int(rng.integers(0, 25)),
+        gap_extend=extend,
+    )
+
+
+@given(dna_text(0, 40), dna_text(0, 40), wide_affine_scorings)
+@settings(max_examples=120, deadline=None)
+def test_local_scan_matches_naive(s, t, sc):
+    assert affine_best_score(s, t, sc) == gotoh_naive(s, t, sc, local=True)
+
+
+@given(dna_text(0, 32), dna_text(0, 32), wide_affine_scorings)
+@settings(max_examples=80, deadline=None)
+def test_global_matrices_match_naive(s, t, sc):
+    H, _, _ = affine_matrices(s, t, sc, local=False)
+    assert int(H[len(s), len(t)]) == gotoh_naive(s, t, sc, local=False)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_seeded_fuzz_larger_pairs(seed):
+    """Bigger pairs than hypothesis can afford against the O(mn) reference."""
+    rng = np.random.default_rng(1000 + seed)
+    for _ in range(4):
+        sc = _random_scoring(rng)
+        s = random_dna(int(rng.integers(1, 121)), rng)
+        t = random_dna(int(rng.integers(1, 121)), rng)
+        assert affine_best_score(s, t, sc) == gotoh_naive(s, t, sc, local=True)
+        H, _, _ = affine_matrices(s, t, sc, local=False)
+        assert int(H[len(s), len(t)]) == gotoh_naive(s, t, sc, local=False)
+
+
+def test_open_equals_extend_boundary():
+    """The chain's degenerate case: affine collapses to linear gaps."""
+    rng = np.random.default_rng(7)
+    sc = AffineScoring(match=3, mismatch=-2, gap_open=-4, gap_extend=-4)
+    for _ in range(5):
+        s = random_dna(int(rng.integers(1, 80)), rng)
+        t = random_dna(int(rng.integers(1, 80)), rng)
+        assert affine_best_score(s, t, sc) == gotoh_naive(s, t, sc, local=True)

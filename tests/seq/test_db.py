@@ -1,0 +1,124 @@
+"""Database ingestion: streaming FASTA and the greedy length-bucket packer."""
+
+import numpy as np
+import pytest
+
+from repro.core import PAD_CODE
+from repro.seq import (
+    pack_database,
+    random_dna,
+    read_fasta,
+    stream_fasta,
+    synthetic_database,
+    write_fasta,
+)
+
+
+@pytest.fixture
+def db(rng):
+    return synthetic_database(n=60, min_length=20, max_length=200, rng=rng)
+
+
+class TestStreamFasta:
+    def test_round_trips_write_fasta(self, tmp_path, db):
+        path = tmp_path / "db.fa"
+        write_fasta(path, db)
+        streamed = list(stream_fasta(path))
+        assert [r.name for r in streamed] == [r.name for r in db]
+        for got, want in zip(streamed, db):
+            np.testing.assert_array_equal(got.codes, want.codes)
+
+    def test_matches_read_fasta(self, tmp_path, db):
+        path = tmp_path / "db.fa"
+        write_fasta(path, db)
+        assert [r.name for r in stream_fasta(path)] == [r.name for r in read_fasta(path)]
+
+    def test_is_lazy(self, tmp_path, db):
+        path = tmp_path / "db.fa"
+        write_fasta(path, db)
+        gen = stream_fasta(path)
+        assert next(gen).name == db[0].name  # only the head was parsed
+        gen.close()
+
+
+class TestPackDatabase:
+    def test_indices_partition_the_database(self, db):
+        packed = pack_database(db, max_lanes=16)
+        seen = sorted(i for b in packed.buckets for i in b.indices.tolist())
+        assert seen == list(range(len(db)))
+        assert packed.n_sequences == len(db)
+
+    def test_lanes_in_database_order_within_bucket(self, db):
+        packed = pack_database(db, max_lanes=16)
+        for bucket in packed.buckets:
+            assert bucket.indices.tolist() == sorted(bucket.indices.tolist())
+
+    def test_lane_contents_match_records(self, db):
+        packed = pack_database(db, max_lanes=16)
+        for bucket in packed.buckets:
+            for lane, index in enumerate(bucket.indices.tolist()):
+                length = int(bucket.lengths[lane])
+                assert length == len(db[index].codes)
+                np.testing.assert_array_equal(
+                    bucket.codes[lane, :length], db[index].codes
+                )
+                assert (bucket.codes[lane, length:] == PAD_CODE).all()
+
+    def test_max_lanes_cap(self, db):
+        packed = pack_database(db, max_lanes=7)
+        assert all(b.lanes <= 7 for b in packed.buckets)
+
+    def test_max_waste_invariant(self, db):
+        packed = pack_database(db, max_lanes=512, max_waste=0.1)
+        for bucket in packed.buckets:
+            assert int(bucket.lengths.min()) >= (1.0 - 0.1) * bucket.width
+
+    def test_accepts_name_codes_tuples(self, rng):
+        packed = pack_database([("a", random_dna(10, rng)), ("b", random_dna(5, rng))])
+        assert packed.names == ["a", "b"]
+        assert packed.lengths.tolist() == [10, 5]
+
+    def test_small_window_still_packs_everything(self, db):
+        packed = pack_database(db, max_lanes=16, window=8)
+        seen = sorted(i for b in packed.buckets for i in b.indices.tolist())
+        assert seen == list(range(len(db)))
+
+    def test_empty_database(self):
+        packed = pack_database([])
+        assert packed.buckets == []
+        assert packed.n_sequences == 0
+        assert packed.total_residues == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pack_database([], max_lanes=0)
+        with pytest.raises(ValueError):
+            pack_database([], max_waste=1.0)
+
+    def test_padded_slots_accounting(self, db):
+        packed = pack_database(db, max_lanes=16)
+        assert packed.padded_slots >= packed.total_residues
+        assert packed.total_residues == sum(len(r.codes) for r in db)
+
+
+class TestSyntheticDatabase:
+    def test_deterministic_for_seed(self):
+        a = synthetic_database(n=5, rng=3)
+        b = synthetic_database(n=5, rng=3)
+        for x, y in zip(a, b):
+            assert x.name == y.name
+            np.testing.assert_array_equal(x.codes, y.codes)
+
+    def test_lengths_in_range(self):
+        for r in synthetic_database(n=20, min_length=10, max_length=12, rng=1):
+            assert 10 <= len(r.codes) <= 12
+
+    def test_names_sort_in_database_order(self):
+        names = [r.name for r in synthetic_database(n=11, rng=0)]
+        assert names == sorted(names)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_database(n=-1)
+        with pytest.raises(ValueError):
+            synthetic_database(min_length=10, max_length=5)
