@@ -149,6 +149,41 @@ def test_workspace_batched_rows_on_matrix(benchmark, scan_4k, perf_record):
     )
 
 
+def test_sanitizer_off_means_no_wrapping_and_no_segments(scan_4k):
+    """Benchmark guard: with ``REPRO_SANITIZE`` unset the sanitizer must be
+    structurally absent -- no singleton, no lock wrappers, no obs segment
+    plumbing on the pool path -- so the numbers above measure the engine,
+    not the instrumentation."""
+    import os
+    import threading
+
+    from repro.check import sanitizer as san_mod
+    from repro.check.sanitizer import get_sanitizer, sanitize_lock
+    from repro.parallel import AlignmentWorkerPool, MpWavefrontConfig
+
+    prev = os.environ.pop(san_mod.ENV_VAR, None)
+    san_mod.reset()
+    try:
+        assert get_sanitizer() is None
+        lock = threading.Lock()
+        assert sanitize_lock(lock, "bench") is lock  # identity, not a wrapper
+
+        gp = genome_pair(
+            400, 400, n_regions=1, region_length=50, mutation_rate=0.02, rng=52
+        )
+        with AlignmentWorkerPool(n_workers=2) as pool:
+            pool.load_pair(gp.s, gp.t)
+            pool.wavefront(config=MpWavefrontConfig(n_workers=2, rows_per_exchange=16))
+            # No tracer, no sanitizer => the pool never materializes an obs
+            # directory: jobs run with zero telemetry plumbing.
+            assert pool._obs_dir is None
+        assert get_sanitizer() is None  # still off after a full pool lifecycle
+    finally:
+        if prev is not None:
+            os.environ[san_mod.ENV_VAR] = prev
+        san_mod.reset()
+
+
 def test_pool_amortizes_spawn_over_10_alignments(benchmark, perf_record):
     """Tentpole acceptance: the persistent pool beats per-call spawning on
     >= 10 repeated mp_wavefront alignments of one loaded pair."""

@@ -1,0 +1,53 @@
+"""Project-specific static analysis and runtime concurrency sanitizing.
+
+The correctness of this repository rests on invariants no general-purpose
+tool enforces: DP kernels must stay pinned to :data:`~repro.core.scoring.SCORE_DTYPE`
+(a stray float64 upcast is silent and slow), hot loops must not allocate per
+iteration, shared-memory arenas must be closed on every path (a leaked named
+segment outlives the process), ``repro.obs`` must never read the wall clock
+where ``perf_counter`` is required, and the worker-pool queue protocol has
+exactly one safe shape.  Following the sanitizer/lint tradition
+(ThreadSanitizer-style happens-before checking, flake8-style AST rules) this
+package encodes those invariants as executable checks:
+
+* :mod:`repro.check.engine` -- an AST rule engine (``repro check`` in the
+  CLI): per-file visitor dispatch over the rules in
+  :mod:`repro.check.rules`, ``# repro: noqa[RULE]`` suppressions, JSON and
+  human-readable output.  CI fails on any finding.
+* :mod:`repro.check.sanitizer` -- a runtime lock-order and arena-lifecycle
+  sanitizer, enabled with ``REPRO_SANITIZE=1``.  Hooks in
+  :mod:`repro.parallel.shm` and the mp backends record per-process event
+  streams; worker events travel through the existing obs jsonl segments and
+  are folded into the coordinator, where :func:`~repro.check.sanitizer.analyze`
+  detects lock-order cycles, arena leaks and double-closes.
+"""
+
+from __future__ import annotations
+
+from .engine import (
+    FileContext,
+    Finding,
+    Rule,
+    check_paths,
+    check_source,
+    render_json,
+    render_text,
+)
+from .rules import DEFAULT_RULES
+from .sanitizer import SanitizedLock, Sanitizer, analyze, get_sanitizer, sanitize_lock
+
+__all__ = [
+    "DEFAULT_RULES",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "SanitizedLock",
+    "Sanitizer",
+    "analyze",
+    "check_paths",
+    "check_source",
+    "get_sanitizer",
+    "render_json",
+    "render_text",
+    "sanitize_lock",
+]

@@ -1,0 +1,251 @@
+"""AST rule engine: registry, per-file dispatch, noqa suppression, output.
+
+A *rule* is an object with an ``id``, a one-line ``summary``, an
+``applies(module)`` predicate over the package-relative module path (e.g.
+``"core/engine.py"``) and a ``check(ctx)`` method yielding
+:class:`Finding` objects from one parsed file.  The engine owns everything
+rule authors should not have to re-implement: file discovery, parsing,
+parent links, suppression comments and rendering.
+
+Suppression uses the project marker ``# repro: noqa[RULE1,RULE2]`` (or the
+bare ``# repro: noqa`` to silence every rule) on the flagged line, so each
+suppression is searchable and reviewable -- plain flake8 ``# noqa`` is
+deliberately *not* honoured, to keep the two tools' exemptions independent.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import re
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence
+
+#: Pseudo-rule reported when a file cannot be parsed at all.
+PARSE_ERROR_RULE = "E000"
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9_,\s]+)\])?")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+class FileContext:
+    """One parsed file plus the lookups every rule needs.
+
+    ``module`` is the package-relative path (the part after the last
+    ``repro/`` segment) that rules scope themselves with; for files outside
+    the package it falls back to the path as given.
+    """
+
+    def __init__(self, source: str, path: str, module: Optional[str] = None) -> None:
+        self.path = path
+        self.module = module if module is not None else module_path(path)
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        self._parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        self._noqa = _parse_noqa(self.lines)
+
+    # -- navigation --------------------------------------------------------
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk from ``node``'s parent up to the module node."""
+        cur = self._parents.get(node)
+        while cur is not None:
+            yield cur
+            cur = self._parents.get(cur)
+
+    def statement(self, node: ast.AST) -> ast.AST:
+        """The enclosing statement of an expression node (or ``node`` itself)."""
+        cur = node
+        while not isinstance(cur, ast.stmt):
+            parent = self._parents.get(cur)
+            if parent is None:
+                return cur
+            cur = parent
+        return cur
+
+    # -- suppression -------------------------------------------------------
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        marked = self._noqa.get(line)
+        if marked is None:
+            return False
+        return not marked or rule in marked
+
+    def line_has_comment(self, line: int, marker: str) -> bool:
+        """True when source line ``line`` (1-based) carries ``marker`` in a comment."""
+        if 1 <= line <= len(self.lines):
+            text = self.lines[line - 1]
+            hash_at = text.find("#")
+            return hash_at >= 0 and marker in text[hash_at:]
+        return False
+
+
+class Rule:
+    """Base class for project rules (subclasses set ``id`` and ``summary``)."""
+
+    id: str = ""
+    summary: str = ""
+
+    def applies(self, module: str) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.id,
+            message=message,
+        )
+
+
+def _parse_noqa(lines: Sequence[str]) -> dict[int, frozenset[str]]:
+    """Map 1-based line numbers to suppressed rule sets (empty = all rules)."""
+    out: dict[int, frozenset[str]] = {}
+    for lineno, text in enumerate(lines, 1):
+        hash_at = text.find("#")
+        if hash_at < 0:
+            continue
+        match = _NOQA_RE.search(text, hash_at)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            out[lineno] = frozenset()
+        else:
+            out[lineno] = frozenset(r.strip() for r in rules.split(",") if r.strip())
+    return out
+
+
+def module_path(path: str) -> str:
+    """The package-relative module path used by ``Rule.applies``.
+
+    ``src/repro/core/engine.py`` -> ``core/engine.py``; paths without a
+    ``repro`` segment are returned unchanged (posix-normalised).
+    """
+    parts = path.replace(os.sep, "/").split("/")
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i + 1 :])
+    return "/".join(parts)
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Expand files/directories into a sorted stream of ``.py`` paths."""
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in sorted(os.walk(path)):
+                dirs[:] = sorted(
+                    d for d in dirs if d != "__pycache__" and not d.startswith(".")
+                )
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        yield os.path.join(root, name)
+        elif path.endswith(".py"):
+            yield path
+
+
+def check_source(
+    source: str,
+    rules: Sequence[Rule],
+    path: str = "<string>",
+    module: Optional[str] = None,
+) -> list[Finding]:
+    """Run ``rules`` over one source string (the fixture-test entry point)."""
+    try:
+        ctx = FileContext(source, path=path, module=module)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=int(exc.lineno or 1),
+                col=int(exc.offset or 0),
+                rule=PARSE_ERROR_RULE,
+                message=f"cannot parse: {exc.msg}",
+            )
+        ]
+    findings: list[Finding] = []
+    for rule in rules:
+        if not rule.applies(ctx.module):
+            continue
+        for finding in rule.check(ctx):
+            if not ctx.suppressed(finding.line, finding.rule):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def check_paths(paths: Sequence[str], rules: Optional[Sequence[Rule]] = None) -> list[Finding]:
+    """Run the rule set over files and directories; returns sorted findings."""
+    if rules is None:
+        from .rules import DEFAULT_RULES
+
+        rules = DEFAULT_RULES
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError as exc:
+            findings.append(
+                Finding(path=path, line=1, col=0, rule=PARSE_ERROR_RULE, message=str(exc))
+            )
+            continue
+        findings.extend(check_source(source, rules, path=path))
+    return sorted(findings)
+
+
+# -- output ----------------------------------------------------------------
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    lines = [f.format() for f in findings]
+    lines.append(
+        f"{len(findings)} finding(s)" if findings else "repro check: clean"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], rules: Optional[Sequence[Rule]] = None) -> str:
+    if rules is None:
+        from .rules import DEFAULT_RULES
+
+        rules = DEFAULT_RULES
+    payload = {
+        "findings": [f.to_dict() for f in findings],
+        "count": len(findings),
+        "rules": {rule.id: rule.summary for rule in rules},
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

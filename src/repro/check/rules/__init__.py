@@ -1,0 +1,47 @@
+"""The default project rule set (one module per invariant family).
+
+Every rule that ships here exists because the invariant it guards was
+load-bearing in a real PR: the dtype rules encode the SCORE_DTYPE pinning
+the zero-copy engine depends on, the hot-loop rules the per-row allocation
+discipline, the shm rule the arena-lifecycle contract of the worker pool,
+the clock rule the ``perf_counter`` discipline of ``repro.obs``, and the mp
+rules the pull-loop/sentinel protocol of ``repro.parallel``.  Adding a rule
+means adding a module with a :class:`repro.check.engine.Rule` subclass,
+listing it in :data:`DEFAULT_RULES`, and giving it a fixture test proving
+it fires on a minimal bad example and stays quiet on the fixed idiom (see
+``tests/check/``).
+"""
+
+from __future__ import annotations
+
+from .clock import WallClockInObs
+from .dtype import FloatWidening, UnpinnedAllocation
+from .hotloop import KERNEL_MARKER, KERNEL_MODULES, LoopAllocation, NestedKernelLoop
+from .mp_protocol import LoneSentinelSend, UnboundedQueueGet
+from .shm_lifecycle import UnguardedSharedResource
+
+#: The rule set ``repro check`` runs by default (and CI gates on).
+DEFAULT_RULES = (
+    UnpinnedAllocation(),
+    FloatWidening(),
+    NestedKernelLoop(),
+    LoopAllocation(),
+    UnguardedSharedResource(),
+    WallClockInObs(),
+    UnboundedQueueGet(),
+    LoneSentinelSend(),
+)
+
+__all__ = [
+    "DEFAULT_RULES",
+    "KERNEL_MARKER",
+    "KERNEL_MODULES",
+    "FloatWidening",
+    "LoneSentinelSend",
+    "LoopAllocation",
+    "NestedKernelLoop",
+    "UnboundedQueueGet",
+    "UnguardedSharedResource",
+    "UnpinnedAllocation",
+    "WallClockInObs",
+]

@@ -1,0 +1,55 @@
+"""Clock-discipline rule for the observability layer.
+
+``repro.obs`` merges spans from many processes onto one timeline *because*
+every stamp comes from ``perf_counter`` (CLOCK_MONOTONIC, system-wide on
+Linux).  One ``time.time()`` slipped into a span or queue-wait measurement
+is NTP-steppable, non-monotonic, and silently misaligns the merged trace.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import FileContext, Finding, Rule
+
+#: Wall-clock reads that must not appear where spans are stamped.
+FORBIDDEN_CALLS = frozenset({"time", "now", "utcnow"})
+
+
+class WallClockInObs(Rule):
+    """CLOCK001: wall-clock read where ``perf_counter`` is required."""
+
+    id = "CLOCK001"
+    summary = (
+        "time.time()/datetime.now() in obs/: span timestamps must come from "
+        "perf_counter (monotonic, system-wide) or the merged timeline skews"
+    )
+
+    def applies(self, module: str) -> bool:
+        return module.startswith("obs/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            # `from time import time` -- flag at the import site.
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name == "time":
+                        yield self.finding(
+                            ctx, node, "import of time.time in obs/: use perf_counter"
+                        )
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in FORBIDDEN_CALLS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in ("time", "datetime", "date")
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{func.value.id}.{func.attr}() is wall-clock; obs/ spans "
+                    "must be stamped with perf_counter",
+                )

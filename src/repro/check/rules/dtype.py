@@ -1,0 +1,106 @@
+"""Dtype-discipline rules: keep DP state pinned to SCORE_DTYPE.
+
+The zero-copy kernels (``core/engine.py``, ``core/multi_engine.py``) are
+fast *because* every array stays in a pinned integer dtype: one bare
+``np.arange`` defaults to the platform C long (int32 on Windows, int64 on
+Linux), and one float operand silently upcasts a whole row chain to
+float64 -- twice the memory traffic and a different rounding regime.  Both
+mistakes pass every functional test on the machine that wrote them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..engine import FileContext, Finding, Rule
+
+#: numpy constructors whose dtype defaults are platform- or operand-derived.
+ALLOCATORS = frozenset({"zeros", "empty", "ones", "full", "arange"})
+
+#: dtype spellings that widen DP state to floating point.
+FLOAT_DTYPES = frozenset({"float", "float16", "float32", "float64", "double", "half", "single"})
+
+#: Score-bearing subpackages where the discipline is enforced.
+SCORE_MODULES = ("core/", "strategies/")
+
+
+def _is_numpy_attr(node: ast.AST, names: Iterable[str]) -> bool:
+    """True for ``np.X``/``numpy.X`` where ``X`` is in ``names``."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr in names
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("np", "numpy")
+    )
+
+
+def _is_float_dtype(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name) and node.id in FLOAT_DTYPES:
+        return True
+    if isinstance(node, ast.Attribute) and node.attr in FLOAT_DTYPES:
+        return True
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.lstrip("<>=").startswith("f") or "float" in node.value
+    return False
+
+
+class UnpinnedAllocation(Rule):
+    """DTYPE001: numpy allocation without an explicit ``dtype=`` in score code."""
+
+    id = "DTYPE001"
+    summary = (
+        "np.zeros/empty/ones/full/arange in core/ or strategies/ must pin dtype= "
+        "(platform default dtypes break SCORE_DTYPE discipline)"
+    )
+
+    def applies(self, module: str) -> bool:
+        return module.startswith(SCORE_MODULES)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not _is_numpy_attr(node.func, ALLOCATORS):
+                continue
+            if any(kw.arg == "dtype" for kw in node.keywords):
+                continue
+            name = node.func.attr  # type: ignore[union-attr]
+            yield self.finding(
+                ctx,
+                node,
+                f"np.{name}(...) without dtype=: the default is platform/operand-"
+                "dependent; pin SCORE_DTYPE (or the intended index dtype)",
+            )
+
+
+class FloatWidening(Rule):
+    """DTYPE002: ``.astype`` (or ``dtype=``) to a float type in kernel code."""
+
+    id = "DTYPE002"
+    summary = (
+        "astype/dtype= to a float type in core/ widens integer DP state to "
+        "floating point (silent 2x memory traffic, different rounding)"
+    )
+
+    def applies(self, module: str) -> bool:
+        return module.startswith("core/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "astype"
+                and node.args
+                and _is_float_dtype(node.args[0])
+            ):
+                yield self.finding(
+                    ctx, node, "astype to a float dtype widens pinned integer DP state"
+                )
+                continue
+            for kw in node.keywords:
+                if kw.arg == "dtype" and _is_float_dtype(kw.value):
+                    yield self.finding(
+                        ctx, node, "dtype= names a float type in integer kernel code"
+                    )

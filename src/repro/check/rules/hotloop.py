@@ -1,0 +1,108 @@
+"""Hot-loop hygiene rules for the DP kernel modules.
+
+The engine's contract (DESIGN.md §5b) is that per-cell work happens inside
+numpy, never in Python: a Python loop may step over *rows* or *lanes*, but
+a loop inside a loop is per-cell interpretation, and an allocation inside a
+loop resurrects exactly the allocator traffic :class:`KernelWorkspace` was
+built to remove.  The rules apply to the known kernel modules plus any
+function whose ``def`` line carries a ``# repro: kernel`` marker comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import FileContext, Finding, Rule
+from .dtype import ALLOCATORS, _is_numpy_attr
+
+#: Modules whose every function is held to kernel discipline.
+KERNEL_MODULES = frozenset(
+    {"core/engine.py", "core/multi_engine.py", "core/kernels.py"}
+)
+
+#: Comment marker promoting a single function to kernel discipline.
+KERNEL_MARKER = "repro: kernel"
+
+#: numpy calls that allocate a fresh array per evaluation.
+LOOP_ALLOCATORS = ALLOCATORS | {"where", "zeros_like", "empty_like", "ones_like", "array"}
+
+
+def _kernel_functions(ctx: FileContext) -> Iterator[ast.FunctionDef]:
+    """Functions subject to kernel discipline in this file."""
+    whole_module = ctx.module in KERNEL_MODULES
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if whole_module or ctx.line_has_comment(node.lineno, KERNEL_MARKER):
+                yield node  # type: ignore[misc]
+
+
+def _direct_loops(func: ast.AST) -> Iterator[ast.For]:
+    """``for`` loops belonging to ``func`` itself (not to nested defs)."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.For):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class NestedKernelLoop(Rule):
+    """LOOP001: a Python loop nested inside another loop of a kernel function."""
+
+    id = "LOOP001"
+    summary = (
+        "nested Python for-loop in a kernel function: per-cell interpretation; "
+        "vectorize the inner dimension or hoist it into numpy"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for func in _kernel_functions(ctx):
+            for outer in _direct_loops(func):
+                for inner in _direct_loops(outer):
+                    yield self.finding(
+                        ctx,
+                        inner,
+                        f"nested for-loop in kernel function {func.name!r}: "
+                        "per-cell Python work",
+                    )
+
+    def applies(self, module: str) -> bool:  # scoping happens per function
+        return True
+
+
+class LoopAllocation(Rule):
+    """LOOP002: a fresh numpy allocation on every iteration of a kernel loop."""
+
+    id = "LOOP002"
+    summary = (
+        "numpy allocation inside a kernel loop body: allocate once outside the "
+        "loop and reuse via out=/workspace scratch"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for func in _kernel_functions(ctx):
+            # A call under nested loops is inside several loop subtrees;
+            # report it once.
+            seen: set[int] = set()
+            for loop in _direct_loops(func):
+                for node in ast.walk(loop):
+                    if (
+                        isinstance(node, ast.Call)
+                        and _is_numpy_attr(node.func, LOOP_ALLOCATORS)
+                        and node is not loop.iter
+                        and id(node) not in seen
+                    ):
+                        seen.add(id(node))
+                        name = node.func.attr  # type: ignore[union-attr]
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"np.{name}(...) allocates on every iteration of a "
+                            f"loop in kernel function {func.name!r}",
+                        )
+
+    def applies(self, module: str) -> bool:
+        return True

@@ -1,0 +1,137 @@
+"""Mp-protocol rules: the pool's queue discipline has exactly one shape.
+
+A blocking ``queue.get()`` with no timeout hangs the caller forever when
+the producer died -- the failure mode :mod:`repro.parallel.guard` exists to
+prevent.  The one sanctioned blocking get is the worker pull loop::
+
+    while True:
+        job = tasks.get()
+        if job is None:      # sentinel
+            break
+
+because its producer is the coordinator, which always sends one sentinel
+per worker (in a loop over the workers) before ever joining them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..engine import FileContext, Finding, Rule
+
+
+def _while_true_ancestor(ctx: FileContext, node: ast.AST) -> Optional[ast.While]:
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, ast.While):
+            test = ancestor.test
+            if isinstance(test, ast.Constant) and test.value is True:
+                return ancestor
+            return None
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return None
+    return None
+
+
+def _breaks_on_none(loop: ast.While, var: str) -> bool:
+    """True when the loop body contains ``if var is None: break``."""
+    for node in ast.walk(loop):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        if (
+            isinstance(test, ast.Compare)
+            and isinstance(test.left, ast.Name)
+            and test.left.id == var
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Is)
+            and len(test.comparators) == 1
+            and isinstance(test.comparators[0], ast.Constant)
+            and test.comparators[0].value is None
+            and any(isinstance(n, ast.Break) for n in ast.walk(node))
+        ):
+            return True
+    return False
+
+
+class UnboundedQueueGet(Rule):
+    """MP001: blocking ``.get()`` outside the sentinel pull-loop pattern."""
+
+    id = "MP001"
+    summary = (
+        "queue .get() without timeout= outside a `while True` sentinel "
+        "pull-loop: hangs forever if the producer died"
+    )
+
+    def applies(self, module: str) -> bool:
+        return module.startswith("parallel/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            # Zero-argument .get() is the blocking queue read; dict.get and
+            # .get(timeout=...) both carry arguments and are not flagged.
+            if (
+                not isinstance(func, ast.Attribute)
+                or func.attr != "get"
+                or node.args
+                or node.keywords
+            ):
+                continue
+            if self._in_pull_loop(ctx, node):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                ".get() with no timeout blocks forever on producer death; pass "
+                "timeout= and poll exit codes (guard.drain_results), or use the "
+                "sentinel pull-loop",
+            )
+
+    def _in_pull_loop(self, ctx: FileContext, call: ast.Call) -> bool:
+        parent = ctx.parent(call)
+        if not isinstance(parent, ast.Assign):
+            return False
+        targets = parent.targets
+        if len(targets) != 1 or not isinstance(targets[0], ast.Name):
+            return False
+        loop = _while_true_ancestor(ctx, parent)
+        return loop is not None and _breaks_on_none(loop, targets[0].id)
+
+
+class LoneSentinelSend(Rule):
+    """MP002: a sentinel ``.put(None)`` outside a loop over the workers."""
+
+    id = "MP002"
+    summary = (
+        ".put(None) outside a for-loop: the pull-loop contract is one sentinel "
+        "per worker, so sentinel sends belong in a loop over the worker set"
+    )
+
+    def applies(self, module: str) -> bool:
+        return module.startswith("parallel/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                not isinstance(func, ast.Attribute)
+                or func.attr != "put"
+                or len(node.args) != 1
+                or node.keywords
+                or not isinstance(node.args[0], ast.Constant)
+                or node.args[0].value is not None
+            ):
+                continue
+            if any(isinstance(a, ast.For) for a in ctx.ancestors(node)):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                "lone sentinel .put(None): send exactly one sentinel per worker "
+                "from a loop over the worker set",
+            )

@@ -1,0 +1,104 @@
+"""Shm-lifecycle rule: named shared-memory resources must have an owner.
+
+A :class:`~repro.parallel.shm.SharedArray` or
+:class:`~repro.parallel.shm.SequenceArena` is backed by a *named* OS
+segment: drop the Python object without ``close()`` and the segment
+outlives the process (the exact page-ownership hazard the paper's §4.2-4.3
+attributes JIAJIA slowdowns to).  The safe idioms are:
+
+* ``with create_shared_array(...) as arr:`` (context manager),
+* creation inside a ``try`` whose ``finally`` closes,
+* storing on ``self``/a container whose lifecycle closes it,
+* returning it / passing it straight into another call (ownership moves).
+
+Everything else -- a plain local assignment or a bare expression -- is a
+leak waiting for the first exception between creation and cleanup.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..engine import FileContext, Finding, Rule
+
+#: Constructors/factories that hand back a closeable named-segment resource.
+RESOURCE_FACTORIES = frozenset(
+    {
+        "SharedArray",
+        "SequenceArena",
+        "create_shared_array",
+        "attach_shared_array",
+        "attach_arena",
+    }
+)
+
+
+def _callee_name(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class UnguardedSharedResource(Rule):
+    """SHM001: shared-memory resource created outside any cleanup guarantee."""
+
+    id = "SHM001"
+    summary = (
+        "SharedArray/SequenceArena created without with/try-finally/ownership "
+        "transfer: the named segment leaks on the first exception"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _callee_name(node)
+            if name not in RESOURCE_FACTORIES:
+                continue
+            if self._guarded(ctx, node):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"{name}(...) creates a named shared-memory resource with no "
+                "cleanup path; use `with`, try/finally, or transfer ownership",
+            )
+
+    # -- idiom detection ---------------------------------------------------
+
+    def _guarded(self, ctx: FileContext, call: ast.Call) -> bool:
+        parent = ctx.parent(call)
+        # `with factory(...) as x:` -- the context manager closes it.
+        if isinstance(parent, ast.withitem):
+            return True
+        # `return factory(...)` / `yield factory(...)` -- ownership moves out.
+        if isinstance(parent, (ast.Return, ast.Yield, ast.YieldFrom)):
+            return True
+        # `other(factory(...))`, `stack.enter_context(factory(...))`,
+        # `[factory(...) for ...]` fed somewhere -- ownership moves inward.
+        if isinstance(parent, (ast.Call, ast.Starred, ast.keyword)):
+            return True
+        # `self.arena = factory(...)` / `cache[k] = factory(...)` -- an
+        # attribute or container owns it; its lifecycle closes it.
+        if isinstance(parent, ast.Assign) and all(
+            isinstance(t, (ast.Attribute, ast.Subscript)) for t in parent.targets
+        ):
+            return True
+        if isinstance(parent, (ast.AnnAssign, ast.AugAssign)) and isinstance(
+            parent.target, (ast.Attribute, ast.Subscript)
+        ):
+            return True
+        # Anything lexically inside a try that has a finally: the finally is
+        # assumed to close (the tightest reviewable approximation).
+        stmt = ctx.statement(call)
+        node: ast.AST = stmt
+        for ancestor in ctx.ancestors(stmt):
+            if isinstance(ancestor, ast.Try) and ancestor.finalbody:
+                if node not in ancestor.finalbody:
+                    return True
+            node = ancestor
+        return False

@@ -1,0 +1,356 @@
+"""Runtime concurrency sanitizer: lock ordering + shm lifecycle checking.
+
+Enabled by ``REPRO_SANITIZE=1`` in the environment; otherwise
+:func:`get_sanitizer` returns ``None`` and every hook site is a cheap
+``is None`` branch with **no wrapping installed anywhere** (asserted by
+``benchmarks/test_engine_micro.py``).  The design mirrors ThreadSanitizer's
+happens-before bookkeeping scaled down to this project's primitives:
+
+* Every participating process appends events -- lock acquire/release,
+  semaphore/condition signal waits, arena/array open/close -- to a local
+  list, each stamped ``(pid, seq, perf_counter)``.
+* Worker events ride the existing obs jsonl segments: ``write_segment``
+  appends one ``{"kind": "sanitizer"}`` record, and the coordinator's
+  ``merge_into`` folds (``absorb``) them, deduplicating on ``(pid, seq)``
+  because persistent pool workers re-export their full history each job.
+* :func:`analyze` replays the merged stream: a held-locks stack per process
+  yields a lock-order graph (cycle = potential deadlock), and per-process
+  open/close counting yields arena leaks (owner resources opened but never
+  closed -- including when a worker died and its segment is truncated, since
+  the *owner* side is the coordinator) and double-closes.
+
+Only *owner* resources (created, not attached) are leak-checked: pool
+workers cache attachments across jobs by design, so an attachment still
+open when a segment is written is normal; an attachment *closed twice* is
+still an error and is reported.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Iterable, Optional, Sequence
+
+#: Environment variable that switches the sanitizer on.
+ENV_VAR = "REPRO_SANITIZE"
+
+_TRUTHY = ("1", "true", "on", "yes")
+
+
+class Sanitizer:
+    """Per-process event recorder (see module docstring for the protocol)."""
+
+    def __init__(self, pid: Optional[int] = None) -> None:
+        self.pid = os.getpid() if pid is None else pid
+        self.events: list[dict] = []
+        self._seq = 0
+        self._absorbed: set[tuple[int, int]] = set()
+
+    # -- recording hooks ---------------------------------------------------
+
+    def _emit(self, kind: str, name: str, **extra: object) -> None:
+        self._seq += 1
+        event = {
+            "pid": self.pid,
+            "seq": self._seq,
+            "kind": kind,
+            "name": name,
+            "t": perf_counter(),
+        }
+        event.update(extra)
+        self.events.append(event)
+
+    def on_acquire(self, name: str) -> None:
+        """A mutex-style lock was acquired (feeds the lock-order graph)."""
+        self._emit("acquire", name)
+
+    def on_release(self, name: str) -> None:
+        self._emit("release", name)
+
+    def on_wait(self, name: str) -> None:
+        """A signal-style wait completed (semaphore/event/condition/poll).
+
+        Signals are producer/consumer edges, not mutual exclusion, so they
+        are recorded for the report but kept out of the lock-order graph --
+        a worker legitimately "holds" a signal forever.
+        """
+        self._emit("signal_wait", name)
+
+    def on_post(self, name: str) -> None:
+        self._emit("signal_post", name)
+
+    def on_open(self, name: str, kind: str, owner: bool) -> None:
+        """A named shared-memory resource was created (owner) or attached."""
+        self._emit("open", name, resource=kind, owner=bool(owner))
+
+    def on_close(self, name: str, kind: str, owner: bool) -> None:
+        self._emit("close", name, resource=kind, owner=bool(owner))
+
+    # -- cross-process plumbing --------------------------------------------
+
+    def export_events(self) -> list[dict]:
+        """The full local event list (jsonl-segment payload)."""
+        return list(self.events)
+
+    def absorb(self, events: Iterable[dict]) -> int:
+        """Fold another process's exported events in; returns new-event count.
+
+        Persistent workers re-export their whole history with every job
+        segment, so duplicates are dropped on the ``(pid, seq)`` identity.
+        """
+        added = 0
+        for event in events:
+            try:
+                key = (int(event["pid"]), int(event["seq"]))
+            except (KeyError, TypeError, ValueError):
+                continue  # truncated segment tail; keep the valid prefix
+            if key in self._absorbed or key[0] == self.pid:
+                continue
+            self._absorbed.add(key)
+            self.events.append(event)
+            added += 1
+        return added
+
+    # -- analysis ----------------------------------------------------------
+
+    def report(self) -> "SanitizerReport":
+        return analyze(self.events)
+
+
+# -- module singleton -------------------------------------------------------
+
+_SAN: Optional[Sanitizer] = None
+_DISABLED = False  # sticky negative so the off path is one boolean check
+
+
+def get_sanitizer() -> Optional[Sanitizer]:
+    """The process sanitizer, or ``None`` when ``REPRO_SANITIZE`` is unset.
+
+    Fork-safe: a child process inheriting the parent's singleton sees a pid
+    mismatch and builds its own empty recorder, so parent events are never
+    double-counted through a worker's segment.
+    """
+    global _SAN, _DISABLED
+    if _DISABLED:
+        return None
+    if _SAN is not None and _SAN.pid == os.getpid():
+        return _SAN
+    if os.environ.get(ENV_VAR, "").lower() in _TRUTHY:
+        _SAN = Sanitizer()
+        return _SAN
+    if _SAN is None:
+        _DISABLED = True
+    return None
+
+
+def reset() -> Optional[Sanitizer]:
+    """Drop all sanitizer state and re-read the environment (test helper)."""
+    global _SAN, _DISABLED
+    _SAN = None
+    _DISABLED = False
+    return get_sanitizer()
+
+
+# -- lock wrapper -----------------------------------------------------------
+
+
+class SanitizedLock:
+    """A Lock/RLock/Condition wrapper reporting acquire/release events.
+
+    Only constructed by :func:`sanitize_lock` when the sanitizer is active;
+    with ``REPRO_SANITIZE`` unset callers get the original object back,
+    keeping the production path wrapper-free.
+    """
+
+    __slots__ = ("_inner", "name")
+
+    def __init__(self, inner: object, name: str) -> None:
+        self._inner = inner
+        self.name = name
+
+    def acquire(self, *args: object, **kwargs: object) -> bool:
+        got = self._inner.acquire(*args, **kwargs)  # type: ignore[attr-defined]
+        if got:
+            san = get_sanitizer()
+            if san is not None:
+                san.on_acquire(self.name)
+        return bool(got)
+
+    def release(self) -> None:
+        san = get_sanitizer()
+        if san is not None:
+            san.on_release(self.name)
+        self._inner.release()  # type: ignore[attr-defined]
+
+    def __enter__(self) -> "SanitizedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.release()
+
+    def __getattr__(self, attr: str) -> object:  # wait/notify/etc. pass through
+        return getattr(self._inner, attr)
+
+
+def sanitize_lock(lock: object, name: str) -> object:
+    """Wrap ``lock`` for lock-order recording -- identity when disabled."""
+    if get_sanitizer() is None:
+        return lock
+    return SanitizedLock(lock, name)
+
+
+# -- analysis ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SanitizerFinding:
+    """One detected hazard (kind: lock-cycle | arena-leak | double-close)."""
+
+    kind: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.kind}: {self.message}"
+
+
+@dataclass
+class SanitizerReport:
+    """The verdict over one merged event stream."""
+
+    findings: list[SanitizerFinding] = field(default_factory=list)
+    n_events: int = 0
+    n_processes: int = 0
+    lock_edges: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def render(self) -> str:
+        head = (
+            f"sanitizer: {self.n_events} event(s) from {self.n_processes} "
+            f"process(es), {len(self.findings)} finding(s)"
+        )
+        return "\n".join([head] + [f"  {f.format()}" for f in self.findings])
+
+
+def _lock_edges(events: Sequence[dict]) -> list[tuple[str, str]]:
+    """Held-lock -> next-acquired edges, replayed per process."""
+    held: dict[int, list[str]] = {}
+    edges: set[tuple[str, str]] = set()
+    for event in events:
+        kind = event.get("kind")
+        if kind not in ("acquire", "release"):
+            continue
+        pid = int(event["pid"])
+        name = str(event["name"])
+        stack = held.setdefault(pid, [])
+        if kind == "acquire":
+            for h in stack:
+                if h != name:
+                    edges.add((h, name))
+            stack.append(name)
+        else:
+            for i in range(len(stack) - 1, -1, -1):
+                if stack[i] == name:
+                    del stack[i]
+                    break
+    return sorted(edges)
+
+
+def _find_cycle(edges: Sequence[tuple[str, str]]) -> Optional[list[str]]:
+    """One cycle through the lock-order graph, or None (iterative DFS)."""
+    graph: dict[str, list[str]] = {}
+    for a, b in edges:
+        graph.setdefault(a, []).append(b)
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in graph}
+    for root in sorted(graph):
+        if color[root] != WHITE:
+            continue
+        path: list[str] = []
+        stack: list[tuple[str, int]] = [(root, 0)]
+        while stack:
+            node, child = stack[-1]
+            if child == 0:
+                color[node] = GREY
+                path.append(node)
+            targets = graph.get(node, ())
+            if child < len(targets):
+                stack[-1] = (node, child + 1)
+                nxt = targets[child]
+                state = color.get(nxt, WHITE)
+                if state == GREY:
+                    return path[path.index(nxt) :] + [nxt]
+                if state == WHITE:
+                    stack.append((nxt, 0))
+            else:
+                color[node] = BLACK
+                path.pop()
+                stack.pop()
+    return None
+
+
+def analyze(events: Sequence[dict]) -> SanitizerReport:
+    """Detect lock-order cycles, arena leaks and double-closes."""
+    report = SanitizerReport(
+        n_events=len(events),
+        n_processes=len({e.get("pid") for e in events if "pid" in e}),
+    )
+    report.lock_edges = _lock_edges(events)
+    cycle = _find_cycle(report.lock_edges)
+    if cycle is not None:
+        report.findings.append(
+            SanitizerFinding(
+                kind="lock-cycle",
+                message="inconsistent lock order (potential deadlock): "
+                + " -> ".join(cycle),
+            )
+        )
+    # Lifecycle accounting per (pid, segment name).
+    opens: dict[tuple[int, str], dict] = {}
+    closes: dict[tuple[int, str], int] = {}
+    for event in events:
+        kind = event.get("kind")
+        if kind not in ("open", "close"):
+            continue
+        key = (int(event["pid"]), str(event["name"]))
+        if kind == "open":
+            entry = opens.setdefault(key, {"count": 0, "owner": False, "resource": ""})
+            entry["count"] += 1
+            entry["owner"] = entry["owner"] or bool(event.get("owner"))
+            entry["resource"] = str(event.get("resource", ""))
+        else:
+            closes[key] = closes.get(key, 0) + 1
+    for (pid, name), entry in sorted(opens.items()):
+        n_closed = closes.get((pid, name), 0)
+        if entry["owner"] and n_closed < entry["count"]:
+            report.findings.append(
+                SanitizerFinding(
+                    kind="arena-leak",
+                    message=f"process {pid} created {entry['resource'] or 'segment'} "
+                    f"{name!r} {entry['count']}x but closed it {n_closed}x",
+                )
+            )
+        if n_closed > entry["count"]:
+            report.findings.append(
+                SanitizerFinding(
+                    kind="double-close",
+                    message=f"process {pid} closed {name!r} {n_closed}x after "
+                    f"{entry['count']} open(s)",
+                )
+            )
+    return report
+
+
+def assert_clean(sanitizer: Optional[Sanitizer] = None) -> SanitizerReport:
+    """Raise ``AssertionError`` with the rendered report on any finding."""
+    san = sanitizer if sanitizer is not None else get_sanitizer()
+    if san is None:
+        raise AssertionError("sanitizer is not active (set REPRO_SANITIZE=1)")
+    report = san.report()
+    if not report.clean:
+        raise AssertionError(report.render())
+    return report

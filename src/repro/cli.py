@@ -14,6 +14,9 @@ Subcommands
                multi-sequence kernel (length-bucketed SIMD lanes) and print
                the top-scoring hits; ``--workers N`` fans buckets out over
                the persistent worker pool's dynamic work queue.
+``check``      run the project's static analyzer (``repro.check``) over one or
+               more paths; exits 1 when findings remain.  ``--format json``
+               emits the machine-readable report CI archives.
 ``experiment`` regenerate one of the paper's tables/figures (or ``all``).
 ``generate``   write a synthetic genome pair with planted homologies.
 ``generate-db`` write a synthetic FASTA database for ``search`` runs.
@@ -186,6 +189,18 @@ def cmd_search(args) -> int:
             )
         )
     return 0
+
+
+def cmd_check(args) -> int:
+    from .check import check_paths, render_json, render_text
+    from .check.rules import DEFAULT_RULES
+
+    findings = check_paths(args.paths)
+    if args.format == "json":
+        print(render_json(findings, DEFAULT_RULES))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0
 
 
 def cmd_obs_report(args) -> int:
@@ -384,6 +399,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the metrics registry (cells, GCUPS, per-worker rates) after the run",
     )
     p_search.set_defaults(func=cmd_search)
+
+    p_check = sub.add_parser(
+        "check", help="run the project-specific static analyzer"
+    )
+    p_check.add_argument(
+        "paths", nargs="+", help="files or directories to analyze (e.g. src/)"
+    )
+    p_check.add_argument(
+        "--format",
+        default="text",
+        choices=("text", "json"),
+        help="text = one line per finding; json = machine-readable report",
+    )
+    p_check.set_defaults(func=cmd_check)
 
     p_obs = sub.add_parser("obs", help="observability utilities")
     obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)

@@ -58,8 +58,10 @@ def banded_global_score(
         prev[width + j] = j * gap
     for i in range(1, m + 1):
         cur = np.full(span, _NEG, dtype=np.int64)
-        # diagonal predecessor keeps the same k (both i and j advance)
-        sub_j = np.arange(i - width, i + width + 1)
+        # diagonal predecessor keeps the same k (both i and j advance);
+        # dtype pinned: the default would be platform C long (int32 on
+        # Windows), and sub_j feeds int64 index arithmetic below
+        sub_j = np.arange(i - width, i + width + 1, dtype=np.int64)
         valid = (sub_j >= 1) & (sub_j <= n)
         sub = np.full(span, 0, dtype=np.int64)
         idx = sub_j[valid] - 1
@@ -115,7 +117,7 @@ def banded_global(
         H[0, width + j] = j * gap
     for i in range(1, m + 1):
         prev = H[i - 1]
-        sub_j = np.arange(i - width, i + width + 1)
+        sub_j = np.arange(i - width, i + width + 1, dtype=np.int64)
         valid = (sub_j >= 1) & (sub_j <= n)
         sub = np.zeros(span, dtype=np.int64)
         idx = sub_j[valid] - 1

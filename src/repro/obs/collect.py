@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from glob import glob
 from time import perf_counter
 
+from ..check.sanitizer import get_sanitizer
 from . import disable, enable
 from .metrics import MetricsRegistry
 from .trace import NULL_TRACER, Tracer
@@ -49,11 +50,22 @@ def segment_path(obs: ObsJob, process: str) -> str:
 
 
 def write_segment(obs: ObsJob, process: str, tracer, metrics: MetricsRegistry) -> None:
-    """Dump one worker's spans + metrics snapshot as a jsonl segment."""
+    """Dump one worker's spans + metrics snapshot as a jsonl segment.
+
+    With ``REPRO_SANITIZE=1`` the process's full sanitizer event history is
+    appended as one extra record (persistent workers re-export everything;
+    the coordinator deduplicates on absorb), so lock/arena events reach the
+    coordinator over the same channel as spans.
+    """
     with open(segment_path(obs, process), "w", encoding="utf-8") as fh:
         for raw in tracer.export_slices():
             fh.write(json.dumps({"kind": "span", **raw}) + "\n")
         fh.write(json.dumps({"kind": "metrics", "data": metrics.snapshot()}) + "\n")
+        san = get_sanitizer()
+        if san is not None:
+            fh.write(
+                json.dumps({"kind": "sanitizer", "events": san.export_events()}) + "\n"
+            )
 
 
 @contextmanager
@@ -115,12 +127,43 @@ def merge_segments(dir_: str, key: str) -> tuple[list[dict], list[dict]]:
     return slices, snapshots
 
 
+def read_sanitizer_events(dir_: str, key: str) -> list[dict]:
+    """Sanitizer event records from one job's segments (same tolerance rules)."""
+    events: list[dict] = []
+    for path in sorted(glob(os.path.join(dir_, f"{key}-*.jsonl"))):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        except OSError:
+            continue
+        for line in lines:
+            try:
+                record = json.loads(line)
+            except ValueError:
+                break  # truncated tail of a killed worker
+            if (
+                isinstance(record, dict)
+                and record.get("kind") == "sanitizer"
+                and isinstance(record.get("events"), list)
+            ):
+                events.extend(e for e in record["events"] if isinstance(e, dict))
+    return events
+
+
 def merge_into(tracer: Tracer, metrics: MetricsRegistry, dir_: str, key: str) -> int:
-    """Fold one job's segments into coordinator state; returns slice count."""
+    """Fold one job's segments into coordinator state; returns slice count.
+
+    Also absorbs worker sanitizer events into the coordinator's sanitizer
+    when ``REPRO_SANITIZE=1``, so a single end-of-run ``report()`` sees the
+    whole cluster's lock and arena history.
+    """
     slices, snapshots = merge_segments(dir_, key)
     tracer.add_slices(slices)
     for snap in snapshots:
         metrics.merge(snap)
+    san = get_sanitizer()
+    if san is not None:
+        san.absorb(read_sanitizer_events(dir_, key))
     return len(slices)
 
 

@@ -23,6 +23,7 @@ from time import perf_counter
 
 import numpy as np
 
+from ..check.sanitizer import get_sanitizer
 from ..core.alignment import AlignmentQueue, LocalAlignment
 from ..core.engine import KernelWorkspace
 from ..core.kernels import SCORE_DTYPE
@@ -96,6 +97,9 @@ def _worker(
                             f"worker {worker_id} starved waiting for "
                             f"block ({band - 1}, {block})"
                         )
+                    san = get_sanitizer()
+                    if san is not None:
+                        san.on_wait(f"ready[{band - 1},{block}]")
                     if tracing:
                         waited = perf_counter() - t0
                         wait_s += waited
@@ -117,6 +121,9 @@ def _worker(
                         busy_s += spent
                         tracer.record("tile", "computation", t0, spent, band=band, block=block)
                 ready[band * tiling.n_blocks + block].set()
+                san = get_sanitizer()
+                if san is not None:
+                    san.on_post(f"ready[{band},{block}]")
             if h:
                 finder = StreamingRegionFinder(RegionConfig(threshold=config.threshold))
                 for r in range(h):
@@ -151,7 +158,8 @@ def mp_blocked_alignments(
     ctx = mp.get_context()
     obs_dir: str | None = None
     obs: ObsJob | None = None
-    if is_enabled():
+    # Segments also flow when only the sanitizer is on (they carry its events).
+    if is_enabled() or get_sanitizer() is not None:
         obs_dir = tempfile.mkdtemp(prefix="repro-obs-")
         obs = ObsJob(obs_dir, "blocked", perf_counter())
     ready = [ctx.Event() for _ in range(tiling.n_bands * tiling.n_blocks)]

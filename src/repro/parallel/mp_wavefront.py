@@ -24,6 +24,7 @@ from time import perf_counter
 
 import numpy as np
 
+from ..check.sanitizer import get_sanitizer
 from ..core.alignment import AlignmentQueue, LocalAlignment
 from ..core.engine import KernelWorkspace
 from ..core.kernels import SCORE_DTYPE
@@ -84,6 +85,9 @@ def _worker(
                 t0 = perf_counter() if tracing else 0.0
                 if not produced[worker_id - 1].acquire(timeout=config.timeout):
                     raise TimeoutError(f"worker {worker_id} starved at row {lo}")
+                san = get_sanitizer()
+                if san is not None:
+                    san.on_wait(f"produced[{worker_id - 1}]")
                 if tracing:
                     waited = perf_counter() - t0
                     wait_s += waited
@@ -101,6 +105,9 @@ def _worker(
                 tracer.record("rows", "computation", t0, spent, lo=lo, hi=hi)
             if worker_id > 0:
                 consumed[worker_id - 1].release()  # read-acknowledge
+                san = get_sanitizer()
+                if san is not None:
+                    san.on_post(f"consumed[{worker_id - 1}]")
             if worker_id < config.n_workers - 1:
                 if lo > 0 and not consumed[worker_id].acquire(
                     timeout=config.timeout
@@ -138,7 +145,8 @@ def mp_wavefront_alignments(
     ctx = mp.get_context()
     obs_dir: str | None = None
     obs: ObsJob | None = None
-    if is_enabled():
+    # Segments also flow when only the sanitizer is on (they carry its events).
+    if is_enabled() or get_sanitizer() is not None:
         obs_dir = tempfile.mkdtemp(prefix="repro-obs-")
         obs = ObsJob(obs_dir, "wavefront", perf_counter())
     # borders[w, i] = last cell of worker w's slice on row i

@@ -39,6 +39,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..check.sanitizer import get_sanitizer
 from ..core.alignment import AlignmentQueue, LocalAlignment
 from ..core.engine import KernelWorkspace
 from ..core.global_align import SubsequenceAlignment, align_region
@@ -75,13 +76,16 @@ def _close_arenas(arenas: dict) -> None:
     buffer outlives the mapping, and failures are swallowed: this runs in
     ``finally`` blocks where a raise would mask the real error.
     """
+    san = get_sanitizer()
     for name in list(arenas):
         shm, *views = arenas.pop(name)
         del views
         try:
             shm.close()
         except (BufferError, OSError):
-            pass
+            continue
+        if san is not None:
+            san.on_close(name, "arena", False)
 
 
 def _get_pair(arenas: dict, handle: ArenaHandle) -> tuple[np.ndarray, np.ndarray]:
@@ -122,6 +126,9 @@ def _job_wavefront(role: int, job: dict, arenas: dict) -> list:
                     timeout,
                     f"wavefront worker {role} starved at row {lo}",
                 )
+                san = get_sanitizer()
+                if san is not None:
+                    san.on_wait(f"progress[{role - 1}]")
                 if tracing:
                     waited = perf_counter() - t0
                     wait_s += waited
@@ -186,6 +193,9 @@ def _job_blocked(role: int, job: dict, arenas: dict) -> list:
                         timeout,
                         f"blocked worker {role} starved at ({band - 1}, {block})",
                     )
+                    san = get_sanitizer()
+                    if san is not None:
+                        san.on_wait(f"band_done[{band - 1}]")
                     if tracing:
                         waited = perf_counter() - t0
                         wait_s += waited
@@ -449,7 +459,9 @@ class AlignmentWorkerPool:
         job["id"] = self._job_counter
         tracer = get_tracer()
         obs: ObsJob | None = None
-        if tracer.enabled:
+        # Segments also flow when only the sanitizer is on: they are the
+        # channel worker lock/arena events travel back through.
+        if tracer.enabled or get_sanitizer() is not None:
             if self._obs_dir is None:
                 self._obs_dir = tempfile.mkdtemp(prefix="repro-obs-")
             obs = ObsJob(self._obs_dir, f"job{job['id']}", perf_counter())
@@ -518,9 +530,11 @@ class AlignmentWorkerPool:
         handle = self._ensure_pair(s, t)
         if handle.t_len < self.n_workers:
             raise ValueError("sequence narrower than the worker count")
-        borders = create_shared_array((max(1, self.n_workers - 1), handle.s_len), SCORE_DTYPE)
-        progress = create_shared_array((self.n_workers,), np.int64)
-        try:
+        # Nested `with` (not sequential creates + try/finally): if the second
+        # allocation raises, the first segment is still unwound.
+        with create_shared_array(
+            (max(1, self.n_workers - 1), handle.s_len), SCORE_DTYPE
+        ) as borders, create_shared_array((self.n_workers,), np.int64) as progress:
             collected = self._submit(
                 {
                     "kind": "wavefront",
@@ -534,9 +548,6 @@ class AlignmentWorkerPool:
                     "scoring": scoring,
                 }
             )
-        finally:
-            borders.close()
-            progress.close()
         return _merge_found(collected.values(), config.threshold, config.min_score)
 
     def blocked(
@@ -551,9 +562,9 @@ class AlignmentWorkerPool:
         config = config or MpBlockedConfig(n_workers=self.n_workers)
         handle = self._ensure_pair(s, t)
         tiling = explicit_tiling(handle.s_len, handle.t_len, config.n_bands, config.n_blocks)
-        boundaries = create_shared_array((tiling.n_bands + 1, handle.t_len + 1), SCORE_DTYPE)
-        band_done = create_shared_array((tiling.n_bands,), np.int64)
-        try:
+        with create_shared_array(
+            (tiling.n_bands + 1, handle.t_len + 1), SCORE_DTYPE
+        ) as boundaries, create_shared_array((tiling.n_bands,), np.int64) as band_done:
             collected = self._submit(
                 {
                     "kind": "blocked",
@@ -568,9 +579,6 @@ class AlignmentWorkerPool:
                     "scoring": scoring,
                 }
             )
-        finally:
-            boundaries.close()
-            band_done.close()
         return _merge_found(collected.values(), config.threshold, config.min_score)
 
     def phase2(
@@ -640,41 +648,48 @@ class AlignmentWorkerPool:
                 )
             )
             offset += flat.size
-        with get_tracer().span(
-            "shm_publish", "communication", bytes=int(query.size + blob.size)
-        ):
-            arena = SequenceArena(query, blob)
-        if is_enabled():
-            metrics = get_metrics()
-            metrics.counter("arena_bytes_published").inc(int(query.size + blob.size))
-            metrics.gauge("search_queue_chunks").set(len(chunks))
+        arena: SequenceArena | None = None
         try:
-            for chunk in chunks:
-                self._work.put(chunk)
-            for _ in range(self.n_workers):
-                self._work.put(None)
-            collected = self._submit(
-                {
-                    "kind": "search",
-                    "arena": arena.handle,
-                    "top_k": top_k,
-                    "scoring": scoring,
-                },
-                fail_fast=False,
-            )
-        except PoolJobError:
-            # Every worker has reported back (fail_fast=False), so nothing is
-            # still pulling: leftover chunks and the failed worker's sentinel
-            # can be drained without starving anyone.
-            self._drain_work()
-            raise
-        except BaseException:
-            # Timeout/crash/interrupt: workers may be mid-pull, so the queue
-            # cannot be drained safely -- retire the pool instead.
-            self.close(join_timeout=1.0)
-            raise
+            # The arena is created inside the try so that *any* failure after
+            # it exists -- including the metrics block below -- unwinds it;
+            # previously an exception between creation and dispatch leaked
+            # the named segment.
+            with get_tracer().span(
+                "shm_publish", "communication", bytes=int(query.size + blob.size)
+            ):
+                arena = SequenceArena(query, blob)
+            if is_enabled():
+                metrics = get_metrics()
+                metrics.counter("arena_bytes_published").inc(int(query.size + blob.size))
+                metrics.gauge("search_queue_chunks").set(len(chunks))
+            try:
+                for chunk in chunks:
+                    self._work.put(chunk)
+                for _ in range(self.n_workers):
+                    self._work.put(None)
+                collected = self._submit(
+                    {
+                        "kind": "search",
+                        "arena": arena.handle,
+                        "top_k": top_k,
+                        "scoring": scoring,
+                    },
+                    fail_fast=False,
+                )
+            except PoolJobError:
+                # Every worker has reported back (fail_fast=False), so nothing
+                # is still pulling: leftover chunks and the failed worker's
+                # sentinel can be drained without starving anyone.
+                self._drain_work()
+                raise
+            except BaseException:
+                # Timeout/crash/interrupt: workers may be mid-pull, so the
+                # queue cannot be drained safely -- retire the pool instead.
+                self.close(join_timeout=1.0)
+                raise
         finally:
-            arena.close()
+            if arena is not None:
+                arena.close()
         top = TopK(top_k)
         for items in collected.values():
             top.merge(items)

@@ -16,6 +16,8 @@ from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
 
+from ..check.sanitizer import get_sanitizer
+
 
 def _attach_segment(name: str) -> shared_memory.SharedMemory:
     """Attach to a named segment without the attacher tracking its lifetime.
@@ -75,12 +77,16 @@ class SharedArray:
         # warns about leaked memoryviews.
         self.array = None  # type: ignore[assignment]
         shm, self.shm = self.shm, None
+        name = shm.name
         shm.close()
         if self.owner:
             try:
                 shm.unlink()
             except FileNotFoundError:
                 pass  # already unlinked by another cleanup path
+        san = get_sanitizer()
+        if san is not None:
+            san.on_close(name, "array", self.owner)
 
 
 def create_shared_array(shape: tuple[int, ...], dtype=np.int32) -> SharedArray:
@@ -89,6 +95,9 @@ def create_shared_array(shape: tuple[int, ...], dtype=np.int32) -> SharedArray:
     shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
     array = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
     array[:] = 0
+    san = get_sanitizer()
+    if san is not None:
+        san.on_open(shm.name, "array", True)
     return SharedArray(shm=shm, array=array, owner=True)
 
 
@@ -96,6 +105,9 @@ def attach_shared_array(name: str, shape: tuple[int, ...], dtype=np.int32) -> Sh
     """Attach to an existing shared array by name (worker side)."""
     shm = _attach_segment(name)
     array = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+    san = get_sanitizer()
+    if san is not None:
+        san.on_open(name, "array", False)
     return SharedArray(shm=shm, array=array, owner=False)
 
 
@@ -126,6 +138,9 @@ class SequenceArena:
         buf[: s.size] = s
         buf[s.size :] = t
         self.handle = ArenaHandle(self._shm.name, int(s.size), int(t.size))
+        san = get_sanitizer()
+        if san is not None:
+            san.on_open(self.handle.name, "arena", True)
 
     def __enter__(self) -> "SequenceArena":
         return self
@@ -137,11 +152,15 @@ class SequenceArena:
         if self._shm is None:
             return
         shm, self._shm = self._shm, None
+        name = shm.name
         shm.close()
         try:
             shm.unlink()
         except FileNotFoundError:
             pass
+        san = get_sanitizer()
+        if san is not None:
+            san.on_close(name, "arena", True)
 
 
 def attach_arena(handle: ArenaHandle) -> tuple[shared_memory.SharedMemory, np.ndarray, np.ndarray]:
@@ -152,4 +171,7 @@ def attach_arena(handle: ArenaHandle) -> tuple[shared_memory.SharedMemory, np.nd
     """
     shm = _attach_segment(handle.name)
     buf = np.ndarray(handle.s_len + handle.t_len, dtype=np.uint8, buffer=shm.buf)
+    san = get_sanitizer()
+    if san is not None:
+        san.on_open(handle.name, "arena", False)
     return shm, buf[: handle.s_len], buf[handle.s_len :]

@@ -1,0 +1,119 @@
+"""Engine-level behaviour: suppression, parse errors, discovery, rendering."""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+
+from repro.check import check_paths, check_source, render_json, render_text
+from repro.check.engine import (
+    PARSE_ERROR_RULE,
+    FileContext,
+    Finding,
+    Rule,
+    module_path,
+)
+
+
+class AlwaysFlagName(Rule):
+    """Test rule: flag every ``ast.Name`` node."""
+
+    id = "TEST001"
+    summary = "every name is flagged (test rule)"
+
+    def check(self, ctx):
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Name):
+                yield self.finding(ctx, node, f"name {node.id!r}")
+
+
+class CoreOnly(AlwaysFlagName):
+    id = "TEST002"
+
+    def applies(self, module):
+        return module.startswith("core/")
+
+
+def test_findings_are_sorted_and_formatted():
+    findings = check_source("b = 1\na = 2\n", [AlwaysFlagName()], path="x.py")
+    assert [f.line for f in findings] == [1, 2]
+    assert findings[0].format() == "x.py:1:0: TEST001 name 'b'"
+
+
+def test_noqa_bare_suppresses_every_rule():
+    source = "a = 1  # repro: noqa\nb = 2\n"
+    findings = check_source(source, [AlwaysFlagName()], path="x.py")
+    assert [f.line for f in findings] == [2]
+
+
+def test_noqa_with_rule_list_is_selective():
+    src_match = "a = 1  # repro: noqa[TEST001]\n"
+    src_other = "a = 1  # repro: noqa[OTHER999]\n"
+    assert check_source(src_match, [AlwaysFlagName()]) == []
+    assert len(check_source(src_other, [AlwaysFlagName()])) == 1
+
+
+def test_plain_flake8_noqa_is_not_honoured():
+    findings = check_source("a = 1  # noqa\n", [AlwaysFlagName()])
+    assert len(findings) == 1
+
+
+def test_parse_error_becomes_e000_finding():
+    findings = check_source("def broken(:\n", [AlwaysFlagName()], path="bad.py")
+    assert len(findings) == 1
+    assert findings[0].rule == PARSE_ERROR_RULE
+    assert findings[0].path == "bad.py"
+
+
+def test_applies_scopes_rules_by_module_path():
+    source = "a = 1\n"
+    hit = check_source(source, [CoreOnly()], module="core/engine.py")
+    miss = check_source(source, [CoreOnly()], module="parallel/pool.py")
+    assert len(hit) == 1 and miss == []
+
+
+def test_module_path_strips_up_to_last_repro_segment():
+    assert module_path("src/repro/core/engine.py") == "core/engine.py"
+    assert module_path(os.path.join("src", "repro", "obs", "trace.py")) == "obs/trace.py"
+    assert module_path("elsewhere/thing.py") == "elsewhere/thing.py"
+
+
+def test_check_paths_walks_directories(tmp_path):
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg.joinpath("mod.py")).write_text("import numpy as np\nx = np.zeros(3)\n")
+    (pkg.joinpath("notes.txt")).write_text("not python")
+    findings = check_paths([str(tmp_path)])
+    assert [f.rule for f in findings] == ["DTYPE001"]
+    assert findings[0].path.endswith("mod.py")
+
+
+def test_render_text_clean_and_dirty():
+    assert render_text([]) == "repro check: clean"
+    finding = Finding(path="x.py", line=1, col=0, rule="R", message="m")
+    text = render_text([finding])
+    assert "x.py:1:0: R m" in text and "1 finding(s)" in text
+
+
+def test_render_json_payload_shape():
+    finding = Finding(path="x.py", line=3, col=1, rule="TEST001", message="m")
+    payload = json.loads(render_json([finding], [AlwaysFlagName()]))
+    assert payload["count"] == 1
+    assert payload["findings"][0] == {
+        "path": "x.py",
+        "line": 3,
+        "col": 1,
+        "rule": "TEST001",
+        "message": "m",
+    }
+    assert payload["rules"]["TEST001"].startswith("every name")
+
+
+def test_statement_and_ancestors_navigation():
+    ctx = FileContext("def f():\n    x = g(1)\n", path="x.py")
+    call = next(n for n in ast.walk(ctx.tree) if isinstance(n, ast.Call))
+    stmt = ctx.statement(call)
+    assert isinstance(stmt, ast.Assign)
+    kinds = [type(a).__name__ for a in ctx.ancestors(call)]
+    assert kinds == ["Assign", "FunctionDef", "Module"]

@@ -1,0 +1,33 @@
+"""The analyzer's own acceptance bar: the shipped tree has zero findings.
+
+This is the test that turns every rule into a standing invariant -- a new
+unpinned allocation, leaked arena idiom, wall-clock read or queue-protocol
+deviation anywhere under ``src/repro`` fails CI with the exact file:line.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.check import check_paths, render_text
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+SRC = os.path.join(REPO_ROOT, "src", "repro")
+
+
+@pytest.mark.skipif(not os.path.isdir(SRC), reason="source tree not present")
+def test_src_tree_is_clean():
+    findings = check_paths([SRC])
+    assert not findings, "\n" + render_text(findings)
+
+
+@pytest.mark.skipif(not os.path.isdir(SRC), reason="source tree not present")
+def test_src_tree_has_files_to_check():
+    # Guard against the clean result being vacuous (wrong path, empty walk).
+    from repro.check.engine import iter_python_files
+
+    files = list(iter_python_files([SRC]))
+    assert len(files) > 40
+    assert any(p.endswith("core/engine.py") for p in files)

@@ -1,0 +1,52 @@
+"""CLOCK001 fixtures: wall-clock reads are confined out of obs/."""
+
+from __future__ import annotations
+
+from repro.check import check_source
+from repro.check.rules.clock import WallClockInObs
+
+RULES = [WallClockInObs()]
+
+
+def obs(source: str):
+    return check_source(source, RULES, module="obs/x.py")
+
+
+def test_time_time_fires():
+    findings = obs("import time\nt0 = time.time()\n")
+    assert [f.rule for f in findings] == ["CLOCK001"]
+
+
+def test_datetime_now_fires():
+    findings = obs("from datetime import datetime\nstamp = datetime.now()\n")
+    assert [f.rule for f in findings] == ["CLOCK001"]
+
+
+def test_datetime_utcnow_fires():
+    findings = obs("from datetime import datetime\nstamp = datetime.utcnow()\n")
+    assert [f.rule for f in findings] == ["CLOCK001"]
+
+
+def test_from_time_import_time_fires_at_the_import():
+    findings = obs("from time import time\n")
+    assert [f.rule for f in findings] == ["CLOCK001"]
+    assert findings[0].line == 1
+
+
+def test_perf_counter_is_the_sanctioned_clock():
+    src = "from time import perf_counter\nt0 = perf_counter()\n"
+    assert obs(src) == []
+
+
+def test_unrelated_time_attr_is_quiet():
+    assert obs("import time\ntime.sleep(0.1)\n") == []
+
+
+def test_methods_named_time_on_other_objects_are_quiet():
+    assert obs("elapsed = stopwatch.time()\n") == []
+
+
+def test_rule_is_scoped_to_obs():
+    src = "import time\nt0 = time.time()\n"
+    assert check_source(src, RULES, module="analysis/x.py") == []
+    assert check_source(src, RULES, module="sim/x.py") == []

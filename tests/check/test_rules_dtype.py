@@ -1,0 +1,85 @@
+"""DTYPE001/DTYPE002 fixtures: fire on the bad idiom, quiet on the fix."""
+
+from __future__ import annotations
+
+from repro.check import check_source
+from repro.check.rules.dtype import FloatWidening, UnpinnedAllocation
+
+RULES = [UnpinnedAllocation(), FloatWidening()]
+
+
+def check_core(source: str):
+    return check_source(source, RULES, module="core/x.py")
+
+
+# -- DTYPE001: unpinned allocations -----------------------------------------
+
+
+def test_unpinned_arange_fires():
+    findings = check_core("import numpy as np\nidx = np.arange(0, 10)\n")
+    assert [f.rule for f in findings] == ["DTYPE001"]
+
+
+def test_pinned_arange_is_quiet():
+    assert check_core("import numpy as np\nidx = np.arange(0, 10, dtype=np.int64)\n") == []
+
+
+def test_banded_regression_idiom_is_quiet():
+    # The exact fixed line from core/banded.py: this rule found the original
+    # unpinned version (platform C long) and must accept the pin.
+    src = (
+        "import numpy as np\n"
+        "i, width = 5, 3\n"
+        "sub_j = np.arange(i - width, i + width + 1, dtype=np.int64)\n"
+    )
+    assert check_core(src) == []
+
+
+def test_every_allocator_is_covered():
+    for name in ("zeros", "empty", "ones", "full"):
+        findings = check_core(f"import numpy as np\nx = np.{name}((4, 4))\n")
+        assert [f.rule for f in findings] == ["DTYPE001"], name
+
+
+def test_strategies_scope_included_but_parallel_is_not():
+    src = "import numpy as np\nx = np.zeros(3)\n"
+    assert check_source(src, RULES, module="strategies/x.py")
+    assert check_source(src, RULES, module="parallel/x.py") == []
+    assert check_source(src, RULES, module="obs/x.py") == []
+
+
+def test_non_numpy_zeros_is_quiet():
+    assert check_core("x = mymod.zeros(3)\n") == []
+
+
+# -- DTYPE002: float widening ------------------------------------------------
+
+
+def test_astype_float_fires():
+    findings = check_core("y = x.astype(np.float64)\n")
+    assert [f.rule for f in findings] == ["DTYPE002"]
+
+
+def test_astype_int_is_quiet():
+    assert check_core("y = x.astype(np.int32)\n") == []
+
+
+def test_dtype_kwarg_float_fires_even_with_pin():
+    # Pinned, so DTYPE001 stays quiet -- but pinned to a float, so DTYPE002 fires.
+    findings = check_core("import numpy as np\nx = np.zeros(3, dtype=np.float32)\n")
+    assert [f.rule for f in findings] == ["DTYPE002"]
+
+
+def test_float_string_dtype_fires():
+    findings = check_core("y = x.astype('<f8')\n")
+    assert [f.rule for f in findings] == ["DTYPE002"]
+
+
+def test_widening_only_applies_to_core():
+    src = "y = x.astype(np.float64)\n"
+    assert check_source(src, RULES, module="strategies/x.py") == []
+
+
+def test_noqa_silences_a_true_positive():
+    src = "import numpy as np\nx = np.zeros(3)  # repro: noqa[DTYPE001]\n"
+    assert check_core(src) == []

@@ -1,0 +1,113 @@
+"""LOOP001/LOOP002 fixtures: kernel-module scoping and the marker comment."""
+
+from __future__ import annotations
+
+from repro.check import check_source
+from repro.check.rules.hotloop import LoopAllocation, NestedKernelLoop
+
+RULES = [NestedKernelLoop(), LoopAllocation()]
+
+NESTED = """
+import numpy as np
+def sw_rows(prev):
+    for i in range(10):
+        for j in range(10):
+            prev[j] = i
+    return prev
+"""
+
+ALLOC_IN_LOOP = """
+import numpy as np
+def sw_rows(prev):
+    for i in range(10):
+        tmp = np.zeros(4, dtype=np.int32)
+    return prev
+"""
+
+CLEAN_KERNEL = """
+import numpy as np
+def sw_rows(prev, scratch):
+    for i in range(10):
+        np.maximum(prev, 0, out=scratch)
+    return prev
+"""
+
+
+def kernel(source: str):
+    return check_source(source, RULES, module="core/engine.py")
+
+
+def test_nested_loop_fires_in_kernel_module():
+    assert [f.rule for f in kernel(NESTED)] == ["LOOP001"]
+
+
+def test_allocation_in_loop_fires_once():
+    assert [f.rule for f in kernel(ALLOC_IN_LOOP)] == ["LOOP002"]
+
+
+def test_allocation_under_nested_loops_reported_once():
+    src = """
+import numpy as np
+def sw_rows(prev):
+    for i in range(10):
+        for j in range(10):
+            tmp = np.zeros(4, dtype=np.int32)
+"""
+    rules = [f.rule for f in kernel(src)]
+    assert rules.count("LOOP002") == 1  # not once per enclosing loop
+
+
+def test_out_param_reuse_is_quiet():
+    assert kernel(CLEAN_KERNEL) == []
+
+
+def test_single_row_loop_is_allowed():
+    src = """
+def sw_rows(prev, ws):
+    for i in range(10):
+        prev = ws.step(prev, i)
+    return prev
+"""
+    assert kernel(src) == []
+
+
+def test_non_kernel_module_is_exempt():
+    assert check_source(NESTED, RULES, module="strategies/x.py") == []
+
+
+def test_marker_comment_promotes_a_function_anywhere():
+    src = """
+import numpy as np
+def hot(prev):  # repro: kernel
+    for i in range(10):
+        for j in range(10):
+            prev[j] = i
+"""
+    findings = check_source(src, RULES, module="strategies/x.py")
+    assert [f.rule for f in findings] == ["LOOP001"]
+
+
+def test_allocation_outside_any_loop_is_quiet():
+    src = """
+import numpy as np
+def sw_rows(prev):
+    scratch = np.zeros(4, dtype=np.int32)
+    for i in range(10):
+        np.maximum(prev, 0, out=scratch)
+"""
+    assert kernel(src) == []
+
+
+def test_nested_def_inside_kernel_function_is_not_its_loop():
+    src = """
+def outer(prev):
+    def helper():
+        for i in range(3):
+            for j in range(3):
+                pass
+    return helper
+"""
+    # helper's loops belong to helper (itself a kernel function in this
+    # module), so the nested pair is still flagged -- but exactly once.
+    findings = kernel(src)
+    assert [f.rule for f in findings] == ["LOOP001"]

@@ -1,0 +1,95 @@
+"""MP001/MP002 fixtures: the queue discipline of the worker pool."""
+
+from __future__ import annotations
+
+from repro.check import check_source
+from repro.check.rules.mp_protocol import LoneSentinelSend, UnboundedQueueGet
+
+RULES = [UnboundedQueueGet(), LoneSentinelSend()]
+
+
+def check(source: str):
+    return check_source(source, RULES, module="parallel/x.py")
+
+
+# -- MP001: unbounded .get() -------------------------------------------------
+
+
+def test_bare_get_fires():
+    findings = check("def collect(q):\n    item = q.get()\n    return item\n")
+    assert [f.rule for f in findings] == ["MP001"]
+
+
+def test_get_with_timeout_is_quiet():
+    assert check("def collect(q):\n    return q.get(timeout=0.2)\n") == []
+
+
+def test_dict_get_with_key_is_quiet():
+    assert check("def lookup(d):\n    return d.get('key')\n") == []
+
+
+def test_sentinel_pull_loop_is_the_sanctioned_blocking_get():
+    src = """
+def worker(tasks):
+    while True:
+        job = tasks.get()
+        if job is None:
+            break
+        run(job)
+"""
+    assert check(src) == []
+
+
+def test_while_true_without_none_break_still_fires():
+    src = """
+def worker(tasks):
+    while True:
+        job = tasks.get()
+        run(job)
+"""
+    assert [f.rule for f in check(src)] == ["MP001"]
+
+
+def test_non_while_true_loop_is_not_a_pull_loop():
+    src = """
+def worker(tasks, running):
+    while running:
+        job = tasks.get()
+        if job is None:
+            break
+"""
+    assert [f.rule for f in check(src)] == ["MP001"]
+
+
+def test_rule_scoped_to_parallel():
+    src = "def collect(q):\n    return q.get()\n"
+    assert check_source(src, RULES, module="obs/x.py") == []
+
+
+# -- MP002: lone sentinel sends ---------------------------------------------
+
+
+def test_lone_put_none_fires():
+    assert [f.rule for f in check("def stop(q):\n    q.put(None)\n")] == ["MP002"]
+
+
+def test_sentinel_loop_over_workers_is_quiet():
+    src = """
+def stop(tasks):
+    for q in tasks:
+        q.put(None)
+"""
+    assert check(src) == []
+
+
+def test_one_queue_many_workers_loop_is_quiet():
+    src = """
+def stop(work, n_workers):
+    for _ in range(n_workers):
+        work.put(None)
+"""
+    assert check(src) == []
+
+
+def test_put_of_payload_is_quiet():
+    assert check("def send(q, job):\n    q.put(job)\n") == []

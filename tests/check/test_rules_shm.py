@@ -1,0 +1,96 @@
+"""SHM001 fixtures: every sanctioned ownership idiom, and the leaks."""
+
+from __future__ import annotations
+
+from repro.check import check_source
+from repro.check.rules.shm_lifecycle import UnguardedSharedResource
+
+RULES = [UnguardedSharedResource()]
+
+
+def check(source: str):
+    return check_source(source, RULES, module="parallel/x.py")
+
+
+def test_bare_local_assignment_fires():
+    findings = check("arena = SequenceArena(s, t)\nuse(arena)\n")
+    assert [f.rule for f in findings] == ["SHM001"]
+
+
+def test_bare_expression_fires():
+    assert [f.rule for f in check("create_shared_array((4,))\n")] == ["SHM001"]
+
+
+def test_with_statement_is_guarded():
+    assert check("with create_shared_array((4,)) as arr:\n    use(arr)\n") == []
+
+
+def test_nested_with_items_are_guarded():
+    src = (
+        "with create_shared_array((4,)) as a, create_shared_array((5,)) as b:\n"
+        "    use(a, b)\n"
+    )
+    assert check(src) == []
+
+
+def test_try_finally_is_guarded():
+    src = """
+arena = None
+try:
+    arena = SequenceArena(s, t)
+    use(arena)
+finally:
+    if arena is not None:
+        arena.close()
+"""
+    assert check(src) == []
+
+
+def test_creation_inside_the_finally_itself_is_not_guarded():
+    src = """
+try:
+    pass
+finally:
+    arena = SequenceArena(s, t)
+"""
+    assert [f.rule for f in check(src)] == ["SHM001"]
+
+
+def test_attribute_assignment_transfers_ownership():
+    assert check("self._arena = SequenceArena(s, t)\n") == []
+
+
+def test_container_assignment_transfers_ownership():
+    assert check("cache[name] = attach_arena(handle)\n") == []
+
+
+def test_return_transfers_ownership():
+    src = "def make():\n    return SharedArray(shm=x, array=y, owner=True)\n"
+    assert check(src) == []
+
+
+def test_call_argument_transfers_ownership():
+    assert check("stack.enter_context(create_shared_array((4,)))\n") == []
+
+
+def test_pool_search_regression_idiom_is_guarded():
+    # The fixed shape of AlignmentWorkerPool.search: creation inside an outer
+    # try whose finally closes.  The pre-fix shape (creation before the try)
+    # is the fire case above.
+    src = """
+arena = None
+try:
+    with tracer.span("publish"):
+        arena = SequenceArena(query, blob)
+    dispatch(arena.handle)
+finally:
+    if arena is not None:
+        arena.close()
+"""
+    assert check(src) == []
+
+
+def test_rule_runs_outside_parallel_too():
+    # Lifecycle bugs are wherever the factories are called from.
+    findings = check_source("a = SequenceArena(s, t)\n", RULES, module="strategies/x.py")
+    assert [f.rule for f in findings] == ["SHM001"]

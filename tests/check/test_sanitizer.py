@@ -1,0 +1,255 @@
+"""Unit tests for the runtime sanitizer: recording, absorb, analysis."""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro.check import sanitizer as san_mod
+from repro.check.sanitizer import (
+    SanitizedLock,
+    Sanitizer,
+    analyze,
+    assert_clean,
+    get_sanitizer,
+    sanitize_lock,
+)
+
+
+@pytest.fixture
+def enabled():
+    """A fresh active sanitizer; env + module state restored afterwards.
+
+    The environment is managed by hand (not monkeypatch) so the final
+    ``reset()`` re-reads the *restored* value -- a teardown ordered before
+    the env restore would leave the sticky-disabled cache poisoned for the
+    rest of a ``REPRO_SANITIZE=1`` session.
+    """
+    prev = os.environ.get(san_mod.ENV_VAR)
+    os.environ[san_mod.ENV_VAR] = "1"
+    san = san_mod.reset()
+    assert san is not None
+    yield san
+    _restore_env(prev)
+    san_mod.reset()
+
+
+@pytest.fixture
+def disabled():
+    prev = os.environ.get(san_mod.ENV_VAR)
+    os.environ.pop(san_mod.ENV_VAR, None)
+    san_mod.reset()
+    yield
+    _restore_env(prev)
+    san_mod.reset()
+
+
+def _restore_env(prev):
+    if prev is None:
+        os.environ.pop(san_mod.ENV_VAR, None)
+    else:
+        os.environ[san_mod.ENV_VAR] = prev
+
+
+# -- enable/disable singleton ------------------------------------------------
+
+
+def test_disabled_by_default(disabled):
+    assert get_sanitizer() is None
+
+
+def test_sanitize_lock_is_identity_when_disabled(disabled):
+    lock = threading.Lock()
+    assert sanitize_lock(lock, "x") is lock
+
+
+def test_enabled_returns_one_singleton(enabled):
+    assert get_sanitizer() is enabled
+    assert get_sanitizer() is get_sanitizer()
+
+
+def test_assert_clean_requires_an_active_sanitizer(disabled):
+    with pytest.raises(AssertionError, match="not active"):
+        assert_clean()
+
+
+# -- event recording ---------------------------------------------------------
+
+
+def test_events_carry_pid_seq_and_clock(enabled):
+    enabled.on_acquire("a")
+    enabled.on_release("a")
+    kinds = [e["kind"] for e in enabled.events]
+    assert kinds == ["acquire", "release"]
+    seqs = [e["seq"] for e in enabled.events]
+    assert seqs == [1, 2]
+    assert all(e["pid"] == enabled.pid for e in enabled.events)
+
+
+def test_sanitized_lock_records_and_delegates(enabled):
+    lock = threading.Lock()
+    wrapped = sanitize_lock(lock, "L")
+    assert isinstance(wrapped, SanitizedLock)
+    with wrapped:
+        assert lock.locked()
+    assert not lock.locked()
+    assert [e["kind"] for e in enabled.events] == ["acquire", "release"]
+    assert [e["name"] for e in enabled.events] == ["L", "L"]
+
+
+def test_failed_acquire_is_not_recorded(enabled):
+    lock = threading.Lock()
+    lock.acquire()
+    wrapped = SanitizedLock(lock, "L")
+    assert wrapped.acquire(blocking=False) is False
+    assert enabled.events == []
+    lock.release()
+
+
+# -- absorb (cross-process merge) -------------------------------------------
+
+
+def test_absorb_dedupes_on_pid_seq(enabled):
+    worker_events = [
+        {"pid": 99, "seq": 1, "kind": "acquire", "name": "a", "t": 0.0},
+        {"pid": 99, "seq": 2, "kind": "release", "name": "a", "t": 0.1},
+    ]
+    assert enabled.absorb(worker_events) == 2
+    # A persistent worker re-exports its full history with the next job.
+    assert enabled.absorb(worker_events + [
+        {"pid": 99, "seq": 3, "kind": "acquire", "name": "b", "t": 0.2},
+    ]) == 1
+    assert len(enabled.events) == 3
+
+
+def test_absorb_skips_own_pid_and_malformed(enabled):
+    enabled.on_acquire("a")
+    echoes = [dict(e) for e in enabled.export_events()]
+    assert enabled.absorb(echoes) == 0  # own events echoed back via a segment
+    assert enabled.absorb([{"kind": "acquire"}, "garbage", {"pid": "x", "seq": "y"}]) == 0
+    assert len(enabled.events) == 1
+
+
+# -- analysis: lock ordering -------------------------------------------------
+
+
+def _lock_events(pid, *names_in_order):
+    """acquire all names in order, then release in reverse (one critical section)."""
+    events = []
+    seq = 0
+    for name in names_in_order:
+        seq += 1
+        events.append({"pid": pid, "seq": seq, "kind": "acquire", "name": name, "t": seq * 0.1})
+    for name in reversed(names_in_order):
+        seq += 1
+        events.append({"pid": pid, "seq": seq, "kind": "release", "name": name, "t": seq * 0.1})
+    return events
+
+
+def test_consistent_lock_order_is_clean():
+    report = analyze(_lock_events(1, "a", "b") + _lock_events(2, "a", "b"))
+    assert report.clean
+    assert ("a", "b") in report.lock_edges
+
+
+def test_lock_order_inversion_is_a_cycle():
+    report = analyze(_lock_events(1, "a", "b") + _lock_events(2, "b", "a"))
+    assert not report.clean
+    assert report.findings[0].kind == "lock-cycle"
+    assert "a" in report.findings[0].message and "b" in report.findings[0].message
+
+
+def test_three_way_cycle_is_detected():
+    events = (
+        _lock_events(1, "a", "b") + _lock_events(2, "b", "c") + _lock_events(3, "c", "a")
+    )
+    report = analyze(events)
+    assert [f.kind for f in report.findings] == ["lock-cycle"]
+
+
+def test_signal_waits_stay_out_of_the_lock_graph():
+    # A worker that "holds" a semaphore signal forever is normal
+    # producer/consumer flow, not a mutual-exclusion edge.
+    san = Sanitizer(pid=7)
+    san.on_wait("produced[0]")
+    san.on_acquire("a")
+    san.on_release("a")
+    san.on_post("consumed[0]")
+    report = san.report()
+    assert report.clean
+    assert report.lock_edges == []
+
+
+def test_reentrant_same_lock_is_not_an_edge():
+    san = Sanitizer(pid=7)
+    san.on_acquire("r")
+    san.on_acquire("r")  # RLock re-entry
+    san.on_release("r")
+    san.on_release("r")
+    assert san.report().clean
+
+
+# -- analysis: resource lifecycle --------------------------------------------
+
+
+def _open_close(pid, name, *, opens=1, closes=1, owner=True, seq0=0):
+    events = []
+    seq = seq0
+    for _ in range(opens):
+        seq += 1
+        events.append(
+            {"pid": pid, "seq": seq, "kind": "open", "name": name,
+             "resource": "arena", "owner": owner, "t": seq * 0.1}
+        )
+    for _ in range(closes):
+        seq += 1
+        events.append(
+            {"pid": pid, "seq": seq, "kind": "close", "name": name,
+             "resource": "arena", "owner": owner, "t": seq * 0.1}
+        )
+    return events
+
+
+def test_balanced_open_close_is_clean():
+    assert analyze(_open_close(1, "seg")).clean
+
+
+def test_owner_leak_is_detected():
+    report = analyze(_open_close(1, "seg", opens=1, closes=0))
+    assert [f.kind for f in report.findings] == ["arena-leak"]
+    assert "seg" in report.findings[0].message
+
+
+def test_unclosed_attachment_is_not_a_leak():
+    # Pool workers cache attachments across jobs by design.
+    report = analyze(_open_close(1, "seg", opens=1, closes=0, owner=False))
+    assert report.clean
+
+
+def test_double_close_is_detected_even_for_attachments():
+    report = analyze(_open_close(1, "seg", opens=1, closes=2, owner=False))
+    assert [f.kind for f in report.findings] == ["double-close"]
+
+
+def test_same_name_in_different_processes_is_accounted_separately():
+    # Coordinator creates+closes; worker attaches and (by design) keeps it.
+    events = _open_close(1, "seg") + _open_close(2, "seg", closes=0, owner=False)
+    assert analyze(events).clean
+
+
+def test_assert_clean_raises_with_rendered_report(enabled):
+    enabled.on_open("seg", "arena", True)
+    with pytest.raises(AssertionError, match="arena-leak"):
+        assert_clean()
+    enabled.on_close("seg", "arena", True)
+    report = assert_clean()
+    assert report.clean and report.n_events == 2
+
+
+def test_report_render_mentions_counts():
+    san = Sanitizer(pid=3)
+    san.on_acquire("a")
+    text = san.report().render()
+    assert "1 event(s)" in text and "0 finding(s)" in text

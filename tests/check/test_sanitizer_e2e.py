@@ -1,0 +1,135 @@
+"""End-to-end sanitizer runs over every real-parallel backend.
+
+Each test enables ``REPRO_SANITIZE=1``, drives a backend with real worker
+processes (which inherit the environment at fork and ship their events back
+through the obs jsonl segments), and asserts the merged report is clean --
+no lock-order cycles, no leaked owner segments, no double-closes.  The
+worker-death test is the one that pins the pool's error-path cleanup.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.check import sanitizer as san_mod
+from repro.check.sanitizer import assert_clean
+
+pytestmark = pytest.mark.filterwarnings("ignore::UserWarning")
+
+
+@pytest.fixture
+def sanitize():
+    """Active sanitizer for the duration of one test (workers inherit it).
+
+    Env managed by hand so the teardown ``reset()`` re-reads the restored
+    value (keeps a session-wide ``REPRO_SANITIZE=1`` run working after
+    these tests finish).
+    """
+    prev = os.environ.get(san_mod.ENV_VAR)
+    os.environ[san_mod.ENV_VAR] = "1"
+    san = san_mod.reset()
+    assert san is not None
+    yield san
+    if prev is None:
+        os.environ.pop(san_mod.ENV_VAR, None)
+    else:
+        os.environ[san_mod.ENV_VAR] = prev
+    san_mod.reset()
+
+
+@pytest.fixture
+def pair():
+    rng = np.random.default_rng(7)
+    make = lambda: "".join(rng.choice(list("ACGT"), 240))
+    return make(), make()
+
+
+def test_mp_wavefront_runs_clean(sanitize, pair):
+    from repro.parallel.mp_wavefront import MpWavefrontConfig, mp_wavefront_alignments
+
+    mp_wavefront_alignments(*pair, MpWavefrontConfig(n_workers=2, threshold=18))
+    report = assert_clean()
+    assert report.n_processes >= 3  # coordinator + 2 workers reported in
+
+
+def test_mp_blocked_runs_clean(sanitize, pair):
+    from repro.parallel.mp_blocked import MpBlockedConfig, mp_blocked_alignments
+
+    mp_blocked_alignments(
+        *pair, MpBlockedConfig(n_workers=2, n_bands=4, n_blocks=4, threshold=18)
+    )
+    report = assert_clean()
+    assert report.n_processes >= 3
+
+
+def test_pool_backends_run_clean(sanitize, pair):
+    from repro.parallel.pool import AlignmentWorkerPool
+
+    with AlignmentWorkerPool(n_workers=2) as pool:
+        pool.wavefront(*pair)
+        pool.blocked(*pair)
+    report = assert_clean()
+    assert report.n_processes >= 3
+    # The coordinator's owner segments (arena + border/progress arrays) all
+    # closed: count them explicitly rather than trusting the verdict alone.
+    own = [e for e in sanitize.events if e.get("pid") == sanitize.pid]
+    opens = [e for e in own if e["kind"] == "open" and e.get("owner")]
+    closes = [e for e in own if e["kind"] == "close" and e.get("owner")]
+    assert len(opens) >= 5
+    assert len(closes) == len(opens)
+
+
+def test_search_db_runs_clean(sanitize):
+    from repro.parallel.pool import AlignmentWorkerPool
+    from repro.seq.db import pack_database, synthetic_database
+
+    packed = pack_database(synthetic_database(n=12, min_length=60, max_length=120, rng=1))
+    rng = np.random.default_rng(2)
+    query = "".join(rng.choice(list("ACGT"), 80))
+    with AlignmentWorkerPool(n_workers=2) as pool:
+        hits = pool.search(query, packed, top_k=5)
+    assert len(hits) == 5
+    assert_clean()
+
+
+def test_forced_worker_death_leaves_no_owner_leak(sanitize, pair):
+    """SIGKILL one pool worker mid-life: the error path must still unwind
+    every coordinator-owned segment (the PR's pool.py lifecycle fixes)."""
+    from repro.parallel.pool import AlignmentWorkerPool, PoolJobError, WorkerCrashed
+
+    with AlignmentWorkerPool(n_workers=2) as pool:
+        pool.wavefront(*pair)
+        os.kill(pool._procs[0].pid, signal.SIGKILL)
+        with pytest.raises((WorkerCrashed, PoolJobError)):
+            pool.blocked(*pair)
+    assert_clean()
+
+
+def test_search_failure_path_closes_the_arena(sanitize):
+    """A dispatch failure after the arena exists must still close it."""
+    from repro.parallel.pool import AlignmentWorkerPool
+    from repro.seq.db import pack_database, synthetic_database
+
+    packed = pack_database(synthetic_database(n=4, min_length=50, max_length=80, rng=3))
+
+    class Boom(RuntimeError):
+        pass
+
+    with AlignmentWorkerPool(n_workers=2) as pool:
+        class BrokenQueue:
+            def put(self, item):
+                raise Boom("work queue unavailable")
+
+            def get(self, *a, **k):
+                import queue
+
+                raise queue.Empty
+
+        pool._work = BrokenQueue()
+        with pytest.raises(Boom):
+            pool.search("ACGTACGT", packed, top_k=3)
+    assert_clean()

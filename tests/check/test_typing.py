@@ -1,0 +1,36 @@
+"""The typed island stays mypy-clean (skips where mypy is not installed).
+
+CI's ``typecheck`` job installs mypy and runs the same configuration from
+``pyproject.toml`` (``src/repro/check``, ``src/repro/obs``,
+``src/repro/seq/db.py`` in basic mode); this test makes the invariant
+reproducible locally for developers who have mypy available.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+@pytest.mark.skipif(
+    importlib.util.find_spec("mypy") is None, reason="mypy not installed"
+)
+@pytest.mark.skipif(
+    not os.path.isfile(os.path.join(REPO_ROOT, "pyproject.toml")),
+    reason="pyproject.toml not present",
+)
+def test_typed_island_is_mypy_clean():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--no-error-summary"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
