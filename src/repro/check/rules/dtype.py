@@ -22,7 +22,7 @@ ALLOCATORS = frozenset({"zeros", "empty", "ones", "full", "arange"})
 FLOAT_DTYPES = frozenset({"float", "float16", "float32", "float64", "double", "half", "single"})
 
 #: Score-bearing subpackages where the discipline is enforced.
-SCORE_MODULES = ("core/", "strategies/")
+SCORE_MODULES = ("core/", "strategies/", "plan/")
 
 
 def _is_numpy_attr(node: ast.AST, names: Iterable[str]) -> bool:

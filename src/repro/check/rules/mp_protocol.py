@@ -6,11 +6,17 @@ prevent.  The one sanctioned blocking get is the worker pull loop::
 
     while True:
         job = tasks.get()
-        if job is None:      # sentinel
+        if job is SENTINEL:      # or the literal `is None`
             break
 
 because its producer is the coordinator, which always sends one sentinel
-per worker (in a loop over the workers) before ever joining them.
+per worker (in a loop over the workers) before ever joining them.  The
+sentinel may be the literal ``None`` or a module-level constant assigned
+``None`` (e.g. ``SENTINEL = None``), which is how the generic task protocol
+spells it.
+
+Both rules cover :mod:`repro.parallel` and :mod:`repro.plan` -- everything
+that speaks the task-queue protocol.
 """
 
 from __future__ import annotations
@@ -19,6 +25,38 @@ import ast
 from typing import Iterator, Optional
 
 from ..engine import FileContext, Finding, Rule
+
+#: Module prefixes that speak the task-queue protocol.
+_SCOPE = ("parallel/", "plan/")
+
+
+def _sentinel_names(tree: ast.AST) -> set[str]:
+    """Module-level ``NAME = None`` constants (the named-sentinel spelling)."""
+    names: set[str] = set()
+    for node in getattr(tree, "body", []):
+        if (
+            isinstance(node, ast.Assign)
+            and isinstance(node.value, ast.Constant)
+            and node.value.value is None
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and isinstance(node.value, ast.Constant)
+            and node.value.value is None
+        ):
+            names.add(node.target.id)
+    return names
+
+
+def _is_sentinel_expr(node: ast.expr, sentinels: set[str]) -> bool:
+    """``None`` literal or a reference to a module-level None constant."""
+    if isinstance(node, ast.Constant) and node.value is None:
+        return True
+    return isinstance(node, ast.Name) and node.id in sentinels
 
 
 def _while_true_ancestor(ctx: FileContext, node: ast.AST) -> Optional[ast.While]:
@@ -33,8 +71,8 @@ def _while_true_ancestor(ctx: FileContext, node: ast.AST) -> Optional[ast.While]
     return None
 
 
-def _breaks_on_none(loop: ast.While, var: str) -> bool:
-    """True when the loop body contains ``if var is None: break``."""
+def _breaks_on_sentinel(loop: ast.While, var: str, sentinels: set[str]) -> bool:
+    """True when the loop body contains ``if var is <sentinel>: break``."""
     for node in ast.walk(loop):
         if not isinstance(node, ast.If):
             continue
@@ -46,8 +84,7 @@ def _breaks_on_none(loop: ast.While, var: str) -> bool:
             and len(test.ops) == 1
             and isinstance(test.ops[0], ast.Is)
             and len(test.comparators) == 1
-            and isinstance(test.comparators[0], ast.Constant)
-            and test.comparators[0].value is None
+            and _is_sentinel_expr(test.comparators[0], sentinels)
             and any(isinstance(n, ast.Break) for n in ast.walk(node))
         ):
             return True
@@ -64,9 +101,10 @@ class UnboundedQueueGet(Rule):
     )
 
     def applies(self, module: str) -> bool:
-        return module.startswith("parallel/")
+        return module.startswith(_SCOPE)
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
+        sentinels = _sentinel_names(ctx.tree)
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -80,7 +118,7 @@ class UnboundedQueueGet(Rule):
                 or node.keywords
             ):
                 continue
-            if self._in_pull_loop(ctx, node):
+            if self._in_pull_loop(ctx, node, sentinels):
                 continue
             yield self.finding(
                 ctx,
@@ -90,7 +128,9 @@ class UnboundedQueueGet(Rule):
                 "sentinel pull-loop",
             )
 
-    def _in_pull_loop(self, ctx: FileContext, call: ast.Call) -> bool:
+    def _in_pull_loop(
+        self, ctx: FileContext, call: ast.Call, sentinels: set[str]
+    ) -> bool:
         parent = ctx.parent(call)
         if not isinstance(parent, ast.Assign):
             return False
@@ -98,7 +138,7 @@ class UnboundedQueueGet(Rule):
         if len(targets) != 1 or not isinstance(targets[0], ast.Name):
             return False
         loop = _while_true_ancestor(ctx, parent)
-        return loop is not None and _breaks_on_none(loop, targets[0].id)
+        return loop is not None and _breaks_on_sentinel(loop, targets[0].id, sentinels)
 
 
 class LoneSentinelSend(Rule):
@@ -106,14 +146,16 @@ class LoneSentinelSend(Rule):
 
     id = "MP002"
     summary = (
-        ".put(None) outside a for-loop: the pull-loop contract is one sentinel "
-        "per worker, so sentinel sends belong in a loop over the worker set"
+        ".put(<sentinel>) outside a for-loop: the pull-loop contract is one "
+        "sentinel per worker, so sentinel sends belong in a loop over the "
+        "worker set"
     )
 
     def applies(self, module: str) -> bool:
-        return module.startswith("parallel/")
+        return module.startswith(_SCOPE)
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
+        sentinels = _sentinel_names(ctx.tree)
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -123,8 +165,7 @@ class LoneSentinelSend(Rule):
                 or func.attr != "put"
                 or len(node.args) != 1
                 or node.keywords
-                or not isinstance(node.args[0], ast.Constant)
-                or node.args[0].value is not None
+                or not _is_sentinel_expr(node.args[0], sentinels)
             ):
                 continue
             if any(isinstance(a, ast.For) for a in ctx.ancestors(node)):
@@ -132,6 +173,6 @@ class LoneSentinelSend(Rule):
             yield self.finding(
                 ctx,
                 node,
-                "lone sentinel .put(None): send exactly one sentinel per worker "
+                "lone sentinel send: send exactly one sentinel per worker "
                 "from a loop over the worker set",
             )

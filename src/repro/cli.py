@@ -65,17 +65,16 @@ def cmd_align(args) -> int:
     scope = obs.observed("coordinator") if observing else nullcontext((None, None))
     with scope as (tracer, metrics):
         if args.backend == "mp":
-            from .strategies import run_mp_pipeline
+            from .strategies import canonical_strategy, run_mp_pipeline
 
-            backend = {"heuristic": "wavefront", "heuristic_block": "blocked"}.get(
-                args.strategy
-            )
-            if backend is None:
+            if canonical_strategy(args.strategy) == "pre_process":
                 raise SystemExit(
                     f"strategy {args.strategy!r} has no real-parallel backend; "
                     "use --strategy heuristic or heuristic_block with --backend mp"
                 )
-            result = run_mp_pipeline(s, t, backend=backend, n_workers=args.mp_workers)
+            result = run_mp_pipeline(
+                s, t, backend=args.strategy, n_workers=args.mp_workers
+            )
             print(
                 f"phase 1 ({result.backend}, {result.n_workers} worker processes): "
                 f"{result.phase1_seconds:.2f} s wall, {len(result.regions)} similar regions"
@@ -90,17 +89,38 @@ def cmd_align(args) -> int:
         else:
             from .strategies import run_pipeline
 
-            result = run_pipeline(s, t, strategy=args.strategy, n_procs=args.procs)
+            executor = None
+            if args.backend == "inline":
+                from .plan import InlineExecutor
+
+                executor = InlineExecutor()
+            result = run_pipeline(
+                s,
+                t,
+                strategy=args.strategy,
+                n_procs=args.procs,
+                scale=args.scale,
+                executor=executor,
+            )
             p1 = result.phase1
-            print(
-                f"phase 1 ({p1.name}, {p1.n_procs} simulated processors): "
-                f"{p1.total_time:.2f} virtual s, {len(p1.alignments)} similar regions"
-            )
-            print(
-                f"phase 2: {result.phase2.total_time:.2f} virtual s, "
-                f"{len(result.records)} global alignments "
-                f"({result.wall_seconds:.2f} s wall)"
-            )
+            if args.backend == "inline":
+                print(
+                    f"phase 1 ({p1.name}, inline execution): "
+                    f"{p1.total_time:.2f} s wall, {len(p1.alignments)} similar regions"
+                )
+            else:
+                print(
+                    f"phase 1 ({p1.name}, {p1.n_procs} simulated processors): "
+                    f"{p1.total_time:.2f} virtual s, {len(p1.alignments)} similar regions"
+                )
+            if result.phase2_skipped_reason:
+                print(f"phase 2 skipped: {result.phase2_skipped_reason}")
+            else:
+                print(
+                    f"phase 2: {result.phase2.total_time:.2f} virtual s, "
+                    f"{len(result.records)} global alignments "
+                    f"({result.wall_seconds:.2f} s wall)"
+                )
             for rec in result.best_records(args.top):
                 print()
                 print(rec.render())
@@ -344,15 +364,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_align.add_argument(
         "--strategy",
         default="heuristic_block",
-        choices=("heuristic", "heuristic_block", "pre_process"),
+        choices=(
+            "heuristic",
+            "heuristic_block",
+            "pre_process",
+            # mp-backend aliases, accepted everywhere
+            "wavefront",
+            "blocked",
+            "preprocess",
+        ),
     )
     p_align.add_argument("--procs", type=int, default=8)
     p_align.add_argument(
         "--backend",
         default="sim",
-        choices=("sim", "mp"),
+        choices=("sim", "inline", "mp"),
         help="sim = virtual cluster (paper's cost model); "
+        "inline = single-process real execution of the same task graph; "
         "mp = real worker processes via the persistent shared-memory pool",
+    )
+    p_align.add_argument(
+        "--scale",
+        type=int,
+        default=1,
+        help="workload scale factor for --backend sim (phase 2 is skipped "
+        "when scale > 1; the result says why)",
     )
     p_align.add_argument(
         "--mp-workers", type=int, default=2, help="process count for --backend mp"

@@ -215,3 +215,30 @@ class KernelWorkspace:
             row = self.sw_row_slice(row, int(s_codes[r]), int(lefts[r]), out=out[r])
         count_cells(k * self.width)
         return out
+
+
+def compute_tile(
+    top: np.ndarray,
+    left_col: np.ndarray,
+    s_band: np.ndarray,
+    t_block: np.ndarray,
+    scoring: Scoring = DEFAULT_SCORING,
+    workspace: KernelWorkspace | None = None,
+) -> np.ndarray:
+    """DP over one (band x block) tile given its top row and left column.
+
+    ``top`` has length ``w + 1``: ``top[0]`` is the diagonal corner
+    ``H[r0-1, c0-1]`` and ``top[1:]`` the previous band's bottom row over
+    this block's columns.  ``left_col[r] = H[r0+r, c0-1]`` comes from the
+    block to the left (zeros at the matrix edge).  Returns the full tile
+    including the left border column (shape ``h x (w+1)``).
+
+    ``workspace`` (built over ``t_block``) lets callers that revisit the same
+    column block -- every band of a blocked run -- amortize the query profile
+    and scratch buffers across tiles.
+    """
+    h, w = len(s_band), len(t_block)
+    ws = workspace if workspace is not None else KernelWorkspace(t_block, scoring)
+    tile = np.empty((h, w + 1), dtype=SCORE_DTYPE)
+    ws.sw_rows_slice(top, s_band, left_col, out=tile)
+    return tile

@@ -1,0 +1,60 @@
+"""Bounded top-k selection with deterministic tie-breaking.
+
+Used by the database-search pipeline: workers (or the inline scan) keep a
+local heap of the best ``(score, db_index)`` pairs and the coordinator merges
+them.  Because the comparison key ``(score, -index)`` is a total order, the
+surviving set -- and therefore the final ranking -- does not depend on
+insertion order, so any interleaving of workers yields byte-identical
+results to a sequential scan.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+
+class TopK:
+    """A bounded max-score heap with deterministic tie-breaking.
+
+    Entries are ``(score, db_index)``; ordering is by score descending then
+    index ascending.  Because the comparison key ``(score, -index)`` is a
+    total order, the surviving set (and therefore :meth:`ranked`) does not
+    depend on insertion order -- workers may push in any interleaving.
+    """
+
+    __slots__ = ("k", "_heap")
+
+    def __init__(self, k: int) -> None:
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        self.k = k
+        self._heap: list[tuple[int, int]] = []
+
+    def push(self, score: int, index: int) -> None:
+        if self.k == 0:
+            return
+        entry = (score, -index)
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, entry)
+        elif entry > self._heap[0]:
+            heapq.heapreplace(self._heap, entry)
+
+    def push_lanes(self, scores: np.ndarray, indices: np.ndarray) -> None:
+        """Push one bucket's per-lane best scores."""
+        for lane in range(len(indices)):
+            self.push(int(scores[lane]), int(indices[lane]))
+
+    def merge(self, items) -> None:
+        """Fold another heap's :meth:`items` (worker-local results) in."""
+        for score, index in items:
+            self.push(score, index)
+
+    def items(self) -> list[tuple[int, int]]:
+        """Unordered ``(score, index)`` survivors (picklable)."""
+        return [(score, -neg) for score, neg in self._heap]
+
+    def ranked(self) -> list[tuple[int, int]]:
+        """Survivors sorted by score descending, index ascending."""
+        return sorted(self.items(), key=lambda e: (-e[0], e[1]))

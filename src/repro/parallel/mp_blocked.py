@@ -7,6 +7,11 @@ shared pages), and per-block readiness is signalled with
 :class:`multiprocessing.Event` (the stand-in for jia_setcv/jia_waitcv --
 like them, an Event remembers a signal sent before anyone waits).
 
+The schedule and the kernel-driving code both come from :mod:`repro.plan`:
+the worker walks its tiles of the blocked task graph and executes each one
+through the shared :class:`~repro.plan.BlockedRuntime`; only the Event
+handshake around each tile is this backend's own.
+
 CPython's GIL does not hinder this backend: each worker is a separate
 process, and the DP kernel is numpy-bound anyway.  On a single-core host it
 degrades to correct-but-serial execution; the simulated cluster remains the
@@ -24,15 +29,12 @@ from time import perf_counter
 import numpy as np
 
 from ..check.sanitizer import get_sanitizer
-from ..core.alignment import AlignmentQueue, LocalAlignment
-from ..core.engine import KernelWorkspace
+from ..core.alignment import LocalAlignment
 from ..core.kernels import SCORE_DTYPE
-from ..core.regions import RegionConfig, StreamingRegionFinder
 from ..core.scoring import DEFAULT_SCORING, Scoring
 from ..obs import get_metrics, get_tracer, is_enabled
 from ..obs.collect import ObsJob, merge_into, observed_worker
-from ..strategies.blocked import compute_tile
-from ..strategies.partition import explicit_tiling
+from ..plan import blocked_spec, cached_plan, finalize_plan, make_runtime, state_shape
 from .guard import drain_results
 from .shm import attach_shared_array, create_shared_array
 
@@ -52,6 +54,16 @@ class MpBlockedConfig:
         if self.n_workers <= 0 or self.n_bands <= 0 or self.n_blocks <= 0:
             raise ValueError("workers/bands/blocks must be positive")
 
+    def spec(self):
+        """The plan spec this config describes (one graph per (rows, cols))."""
+        return blocked_spec(
+            n_procs=self.n_workers,
+            n_bands=self.n_bands,
+            n_blocks=self.n_blocks,
+            threshold=self.threshold,
+            min_score=self.min_score,
+        )
+
 
 def _worker(
     worker_id: int,
@@ -68,74 +80,47 @@ def _worker(
     """One cluster-node stand-in: processes its bands, signals block edges."""
     s = np.frombuffer(s_bytes, dtype=np.uint8)
     t = np.frombuffer(t_bytes, dtype=np.uint8)
-    tiling = explicit_tiling(len(s), len(t), config.n_bands, config.n_blocks)
-    found: list[tuple[int, int, int, int, int]] = []
+    graph = cached_plan(config.spec(), len(s), len(t))
+    n_blocks = graph.params["n_blocks"]
     with observed_worker(obs, f"worker-{worker_id}") as (tracer, metrics), attach_shared_array(
         shm_name, shape, SCORE_DTYPE
     ) as boundaries:
+        runtime = make_runtime(graph, s, t, scoring, state=boundaries.array)
         tracing = tracer.enabled
         wait_s = busy_s = 0.0
-        # Column blocks repeat across this worker's bands, so their query
-        # profiles and scratch buffers are built once per block, not per tile.
-        workspaces: dict[int, KernelWorkspace] = {}
-        for band in range(tiling.n_bands):
-            if band % config.n_workers != worker_id:
-                continue
-            r0, r1 = tiling.row_bounds[band]
-            h = r1 - r0
-            s_band = s[r0:r1]
-            left_col = np.zeros(h, dtype=SCORE_DTYPE)
-            band_rows = np.zeros((h, len(t) + 1), dtype=SCORE_DTYPE)
-            for block in range(tiling.n_blocks):
-                c0, c1 = tiling.col_bounds[block]
-                if band > 0:
-                    t0 = perf_counter() if tracing else 0.0
-                    if not ready[(band - 1) * tiling.n_blocks + block].wait(
-                        config.timeout
-                    ):
-                        raise TimeoutError(
-                            f"worker {worker_id} starved waiting for "
-                            f"block ({band - 1}, {block})"
-                        )
-                    san = get_sanitizer()
-                    if san is not None:
-                        san.on_wait(f"ready[{band - 1},{block}]")
-                    if tracing:
-                        waited = perf_counter() - t0
-                        wait_s += waited
-                        tracer.record(
-                            "block_wait", "communication", t0, waited, band=band, block=block
-                        )
-                if c1 > c0 and h:
-                    ws = workspaces.get(block)
-                    if ws is None:
-                        ws = workspaces[block] = KernelWorkspace(t[c0:c1], scoring)
-                    t0 = perf_counter() if tracing else 0.0
-                    top = boundaries.array[band, c0 : c1 + 1].copy()
-                    tile = compute_tile(top, left_col, s_band, t[c0:c1], scoring, ws)
-                    band_rows[:, c0 + 1 : c1 + 1] = tile[:, 1:]
-                    left_col = tile[:, -1].copy()
-                    boundaries.array[band + 1, c0 + 1 : c1 + 1] = tile[-1, 1:]
-                    if tracing:
-                        spent = perf_counter() - t0
-                        busy_s += spent
-                        tracer.record("tile", "computation", t0, spent, band=band, block=block)
-                ready[band * tiling.n_blocks + block].set()
+        for tile in graph.tiles_of(worker_id):
+            band, block = tile.payload
+            if band > 0:
+                t0 = perf_counter() if tracing else 0.0
+                if not ready[(band - 1) * n_blocks + block].wait(config.timeout):
+                    raise TimeoutError(
+                        f"worker {worker_id} starved waiting for "
+                        f"block ({band - 1}, {block})"
+                    )
                 san = get_sanitizer()
                 if san is not None:
-                    san.on_post(f"ready[{band},{block}]")
-            if h:
-                finder = StreamingRegionFinder(RegionConfig(threshold=config.threshold))
-                for r in range(h):
-                    finder.feed(r0 + r + 1, band_rows[r])
-                for region in finder.finish():
-                    a = region.as_alignment()
-                    found.append((a.score, a.s_start, a.s_end, a.t_start, a.t_end))
+                    san.on_wait(f"ready[{band - 1},{block}]")
+                if tracing:
+                    waited = perf_counter() - t0
+                    wait_s += waited
+                    tracer.record(
+                        "block_wait", "communication", t0, waited, band=band, block=block
+                    )
+            t0 = perf_counter() if tracing else 0.0
+            runtime.run_tile(tile)
+            if tracing and tile.cells:
+                spent = perf_counter() - t0
+                busy_s += spent
+                tracer.record("tile", "computation", t0, spent, band=band, block=block)
+            ready[band * n_blocks + block].set()
+            san = get_sanitizer()
+            if san is not None:
+                san.on_post(f"ready[{band},{block}]")
         if tracing:
             # Tile cells are counted by the engine's batched-kernel hook.
             metrics.counter("worker_busy_seconds").inc(busy_s)
             metrics.counter("worker_wait_seconds").inc(wait_s)
-        results.put((worker_id, found))
+        results.put((worker_id, runtime.emit(worker_id)))
 
 
 def mp_blocked_alignments(
@@ -154,7 +139,7 @@ def mp_blocked_alignments(
 
     s = encode(s)
     t = encode(t)
-    tiling = explicit_tiling(len(s), len(t), config.n_bands, config.n_blocks)
+    graph = cached_plan(config.spec(), len(s), len(t))
     ctx = mp.get_context()
     obs_dir: str | None = None
     obs: ObsJob | None = None
@@ -162,9 +147,9 @@ def mp_blocked_alignments(
     if is_enabled() or get_sanitizer() is not None:
         obs_dir = tempfile.mkdtemp(prefix="repro-obs-")
         obs = ObsJob(obs_dir, "blocked", perf_counter())
-    ready = [ctx.Event() for _ in range(tiling.n_bands * tiling.n_blocks)]
+    ready = [ctx.Event() for _ in range(len(graph.tiles))]
     results: mp.Queue = ctx.Queue()
-    with create_shared_array((tiling.n_bands + 1, len(t) + 1), SCORE_DTYPE) as boundaries:
+    with create_shared_array(state_shape(graph), SCORE_DTYPE) as boundaries:
         workers = [
             ctx.Process(
                 target=_worker,
@@ -201,9 +186,5 @@ def mp_blocked_alignments(
                 merge_into(get_tracer(), get_metrics(), obs.dir, obs.key)
                 shutil.rmtree(obs_dir, ignore_errors=True)
 
-    queue = AlignmentQueue()
-    for found in collected.values():
-        for score, s0, s1, t0, t1 in found:
-            queue.push(LocalAlignment(score, s0, s1, t0, t1))
-    min_score = config.min_score if config.min_score is not None else config.threshold
-    return queue.finalize(min_score=min_score, overlap_slack=8, merge=True)
+    parts = [collected[w] for w in sorted(collected)]
+    return finalize_plan(graph, parts).alignments

@@ -7,6 +7,11 @@ counting "values produced", one counting "values consumed" (the paper's
 read-acknowledge, which lets the producer stay exactly one row ahead,
 matching the one-slot border buffer of the DSM version).
 
+The schedule and the kernel-driving code both come from :mod:`repro.plan`:
+the worker walks its tiles of the wave-front task graph and executes each
+one through the shared :class:`~repro.plan.WavefrontRuntime`; only the
+semaphore handshake around each tile is this backend's own.
+
 Row-by-row semaphore round trips make this backend deliberately
 communication-heavy -- it *is* the strategy whose overheads Table 1
 documents -- so a ``rows_per_exchange`` knob (the blocking factor in
@@ -25,14 +30,12 @@ from time import perf_counter
 import numpy as np
 
 from ..check.sanitizer import get_sanitizer
-from ..core.alignment import AlignmentQueue, LocalAlignment
-from ..core.engine import KernelWorkspace
+from ..core.alignment import LocalAlignment
 from ..core.kernels import SCORE_DTYPE
-from ..core.regions import RegionConfig, StreamingRegionFinder
 from ..core.scoring import DEFAULT_SCORING, Scoring
 from ..obs import get_metrics, get_tracer, is_enabled
 from ..obs.collect import ObsJob, merge_into, observed_worker
-from ..strategies.partition import column_partition
+from ..plan import cached_plan, finalize_plan, make_runtime, state_shape, wavefront_spec
 from .guard import drain_results
 from .shm import attach_shared_array, create_shared_array
 
@@ -51,6 +54,15 @@ class MpWavefrontConfig:
         if self.n_workers <= 0 or self.rows_per_exchange <= 0:
             raise ValueError("workers and rows_per_exchange must be positive")
 
+    def spec(self):
+        """The plan spec this config describes (one graph per (rows, cols))."""
+        return wavefront_spec(
+            n_procs=self.n_workers,
+            group_rows=self.rows_per_exchange,
+            threshold=self.threshold,
+            min_score=self.min_score,
+        )
+
 
 def _worker(
     worker_id: int,
@@ -67,20 +79,17 @@ def _worker(
 ) -> None:
     s = np.frombuffer(s_bytes, dtype=np.uint8)
     t = np.frombuffer(t_bytes, dtype=np.uint8)
-    slices = column_partition(len(t), config.n_workers)
-    c0, c1 = slices[worker_id]
-    width = c1 - c0
-    batch = config.rows_per_exchange
-    finder = StreamingRegionFinder(RegionConfig(threshold=config.threshold))
+    graph = cached_plan(config.spec(), len(s), len(t))
     with observed_worker(obs, f"worker-{worker_id}") as (tracer, metrics), attach_shared_array(
         shm_name, shape, SCORE_DTYPE
     ) as borders:
+        runtime = make_runtime(graph, s, t, scoring, state=borders.array)
         tracing = tracer.enabled
         wait_s = busy_s = 0.0
-        ws = KernelWorkspace(t[c0:c1], scoring)
-        prev = np.zeros(width + 1, dtype=SCORE_DTYPE)
-        for lo in range(0, len(s), batch):
-            hi = min(lo + batch, len(s))
+        cells = 0
+        last = worker_id == config.n_workers - 1
+        for tile in graph.tiles_of(worker_id):
+            lo, hi, _c0, _c1 = tile.payload
             if worker_id > 0:
                 t0 = perf_counter() if tracing else 0.0
                 if not produced[worker_id - 1].acquire(timeout=config.timeout):
@@ -93,12 +102,8 @@ def _worker(
                     wait_s += waited
                     tracer.record("border_wait", "communication", t0, waited, row=lo)
             t0 = perf_counter() if tracing else 0.0
-            for i in range(lo, hi):
-                left = int(borders.array[worker_id - 1, i]) if worker_id > 0 else 0
-                prev = ws.sw_row_slice(prev, int(s[i]), left, out=prev)
-                finder.feed(i + 1, prev)
-                if worker_id < config.n_workers - 1:
-                    borders.array[worker_id, i] = prev[-1]
+            runtime.run_tile(tile)
+            cells += tile.cells  # sw_row_slice bypasses the engine's cell hook
             if tracing:
                 spent = perf_counter() - t0
                 busy_s += spent
@@ -108,7 +113,7 @@ def _worker(
                 san = get_sanitizer()
                 if san is not None:
                     san.on_post(f"consumed[{worker_id - 1}]")
-            if worker_id < config.n_workers - 1:
+            if not last:
                 if lo > 0 and not consumed[worker_id].acquire(
                     timeout=config.timeout
                 ):
@@ -117,15 +122,10 @@ def _worker(
                     )
                 produced[worker_id].release()
         if tracing:
-            metrics.counter("cells_computed").inc(len(s) * width)
+            metrics.counter("cells_computed").inc(cells)
             metrics.counter("worker_busy_seconds").inc(busy_s)
             metrics.counter("worker_wait_seconds").inc(wait_s)
-        found = [
-            (r.score, a.s_start, a.s_end, a.t_start + c0, a.t_end + c0)
-            for r in finder.finish()
-            for a in [r.as_alignment()]
-        ]
-        results.put((worker_id, found))
+        results.put((worker_id, runtime.emit(worker_id)))
 
 
 def mp_wavefront_alignments(
@@ -142,6 +142,7 @@ def mp_wavefront_alignments(
     t = encode(t)
     if len(t) < config.n_workers:
         raise ValueError("sequence narrower than the worker count")
+    graph = cached_plan(config.spec(), len(s), len(t))
     ctx = mp.get_context()
     obs_dir: str | None = None
     obs: ObsJob | None = None
@@ -153,7 +154,7 @@ def mp_wavefront_alignments(
     produced = [ctx.Semaphore(0) for _ in range(max(0, config.n_workers - 1))]
     consumed = [ctx.Semaphore(0) for _ in range(max(0, config.n_workers - 1))]
     results: mp.Queue = ctx.Queue()
-    with create_shared_array((max(1, config.n_workers - 1), len(s)), SCORE_DTYPE) as borders:
+    with create_shared_array(state_shape(graph), SCORE_DTYPE) as borders:
         workers = [
             ctx.Process(
                 target=_worker,
@@ -194,9 +195,5 @@ def mp_wavefront_alignments(
                 merge_into(get_tracer(), get_metrics(), obs.dir, obs.key)
                 shutil.rmtree(obs_dir, ignore_errors=True)
 
-    queue = AlignmentQueue()
-    for found in collected.values():
-        for score, s0, s1, t0, t1 in found:
-            queue.push(LocalAlignment(score, s0, s1, t0, t1))
-    min_score = config.min_score if config.min_score is not None else config.threshold
-    return queue.finalize(min_score=min_score, overlap_slack=8, merge=True)
+    parts = [collected[w] for w in sorted(collected)]
+    return finalize_plan(graph, parts).alignments

@@ -9,23 +9,30 @@ processes alive across requests:
 * Sequences are published once per pair through a
   :class:`repro.parallel.shm.SequenceArena`; workers attach by name and slice
   zero-copy views, so a request carries only a small job descriptor.
-* Per-job coordination uses named shared-memory *progress counters* instead
-  of semaphores/events, because synchronisation primitives can only be
+* Every statically-partitioned phase-1 job speaks one *generic task
+  protocol* (:func:`_job_plan`): the job ships a
+  :class:`repro.plan.PlanSpec`, each worker rebuilds the identical
+  :class:`repro.plan.TaskGraph` via :func:`repro.plan.cached_plan`, runs its
+  own tiles in id order and gates every cross-worker dependency on a shared
+  *done-flag* array indexed by tile id.  Shared flags (not
+  semaphores/events) because synchronisation primitives can only be
   inherited at fork time while shm segments can be attached by name at any
   moment -- exactly what a long-lived pool serving arbitrary job shapes
   needs.
-* Worker death is detected while collecting results (exit-code polling via
-  :func:`repro.parallel.guard.drain_results`), so a crashed worker fails the
+* Worker death is detected while collecting results (exit-code polling in
+  :meth:`AlignmentWorkerPool._collect`), so a crashed worker fails the
   request in well under a second instead of hanging for the full timeout.
 
-The pool serves all three real-parallel algorithms: the non-blocked
-wave-front (Section 4.2), the blocked wave-front (Section 4.3) and the
-phase-2 scattered mapping (Section 4.4) -- plus the database-search job
+The pool therefore serves every plan kind the planner can spell -- the
+non-blocked wave-front (Section 4.2), the blocked wave-front (Section 4.3),
+the pre_process scoreboard (Section 5) -- plus the phase-2 scattered mapping
+(Section 4.4) and the database-search job
 (:meth:`AlignmentWorkerPool.search`), which replaces the static per-role
 partition with a *dynamic* work queue: the packed database is published once
-through the arena, each length bucket becomes a chunk descriptor on a shared
-queue, and workers pull the next chunk whenever they finish one (greedy
-self-scheduling), so a skewed bucket cannot stall the rest of the pool.
+through the arena, each length-bucket tile of the search graph goes on a
+shared queue, and workers pull the next tile whenever they finish one
+(greedy self-scheduling), so a skewed bucket cannot stall the rest of the
+pool.
 """
 
 from __future__ import annotations
@@ -40,23 +47,36 @@ from typing import Sequence
 import numpy as np
 
 from ..check.sanitizer import get_sanitizer
-from ..core.alignment import AlignmentQueue, LocalAlignment
-from ..core.engine import KernelWorkspace
+from ..core.alignment import LocalAlignment
 from ..core.global_align import SubsequenceAlignment, align_region
 from ..core.kernels import SCORE_DTYPE
-from ..core.multi_engine import MultiSequenceWorkspace
-from ..core.regions import RegionConfig, StreamingRegionFinder
 from ..core.scoring import DEFAULT_SCORING, Scoring
 from ..obs import gcups, get_metrics, get_tracer, is_enabled
 from ..obs.collect import ObsJob, discard_segments, merge_into, observed_worker
+from ..plan import (
+    ExecutionResult,
+    PlanSpec,
+    SearchRuntime,
+    TaskGraph,
+    blocked_spec,
+    cached_plan,
+    finalize_plan,
+    make_runtime,
+    plan_search_buckets,
+    search_blob,
+    state_shape,
+    wavefront_spec,
+)
 from ..seq.alphabet import encode
-from ..strategies.blocked import compute_tile
-from ..strategies.partition import column_partition, explicit_tiling
-from ..strategies.search import TopK
-from .guard import WorkerCrashed, drain_results, poll_until
+from .guard import WorkerCrashed, poll_until
 from .mp_blocked import MpBlockedConfig
 from .mp_wavefront import MpWavefrontConfig
 from .shm import ArenaHandle, SequenceArena, attach_arena, attach_shared_array, create_shared_array
+
+#: End-of-stream marker of every pool queue.  ``None`` by value (needs no
+#: shared state to compare against); always spelled ``SENTINEL`` so the
+#: shutdown handshake is explicit at every get/put site.
+SENTINEL = None
 
 
 class PoolJobError(RuntimeError):
@@ -98,139 +118,75 @@ def _get_pair(arenas: dict, handle: ArenaHandle) -> tuple[np.ndarray, np.ndarray
     return cached[1], cached[2]
 
 
-def _job_wavefront(role: int, job: dict, arenas: dict) -> list:
+def _job_plan(role: int, job: dict, arenas: dict) -> list:
+    """Generic ready-set execution of one planned job (any static kind).
+
+    The worker rebuilds the task graph from the job's spec (cached across
+    requests on the same pair), attaches the shared cross-owner state array
+    plus the shared per-tile done-flag array, and walks its own tiles in id
+    order.  A tile may run once every dependency's flag is up: same-owner
+    dependencies are satisfied by program order, cross-owner ones are polled
+    under the job timeout so a stuck neighbour surfaces as a descriptive
+    error instead of a hang.
+    """
     s, t = _get_pair(arenas, job["arena"])
-    n_workers: int = job["n_workers"]
+    graph = cached_plan(job["spec"], len(s), len(t))
     timeout: float = job["timeout"]
     scoring: Scoring = job["scoring"]
-    m = len(s)
-    c0, c1 = column_partition(len(t), n_workers)[role]
     with attach_shared_array(
-        job["borders"], (max(1, n_workers - 1), m), SCORE_DTYPE
-    ) as borders, attach_shared_array(job["progress"], (n_workers,), np.int64) as progress:
-        ws = KernelWorkspace(t[c0:c1], scoring)
-        finder = StreamingRegionFinder(RegionConfig(threshold=job["threshold"]))
-        prev = np.zeros(c1 - c0 + 1, dtype=SCORE_DTYPE)
-        batch: int = job["rows_per_exchange"]
-        # Telemetry is chunk-grained: with the tracer disabled each chunk
-        # pays two branch checks, keeping the hot per-row path untouched.
+        job["state"], state_shape(graph), SCORE_DTYPE
+    ) as state, attach_shared_array(job["done"], (len(graph.tiles),), np.int64) as done:
+        runtime = make_runtime(graph, s, t, scoring, state=state.array)
+        done_flags = done.array
+        tiles = graph.tiles
+        # Telemetry is tile-grained: with the tracer disabled each tile pays
+        # two branch checks, keeping the hot per-row path untouched.
         tracer = get_tracer()
         tracing = tracer.enabled
         wait_s = busy_s = 0.0
-        for lo in range(0, m, batch):
-            hi = min(lo + batch, m)
-            if role > 0:
+        cells = 0
+        for tile in graph.tiles_of(role):
+            for dep in tile.deps:
+                if tiles[dep].owner == role:
+                    continue  # program order: own tiles run in id order
                 t0 = perf_counter() if tracing else 0.0
                 poll_until(
-                    lambda: int(progress.array[role - 1]) >= hi,
+                    lambda d=dep: int(done_flags[d]) == 1,
                     timeout,
-                    f"wavefront worker {role} starved at row {lo}",
+                    f"plan worker {role} starved at tile {tile.id} (dep {dep})",
                 )
                 san = get_sanitizer()
                 if san is not None:
-                    san.on_wait(f"progress[{role - 1}]")
+                    san.on_wait(f"done[{dep}]")
                 if tracing:
                     waited = perf_counter() - t0
                     wait_s += waited
-                    tracer.record("border_wait", "communication", t0, waited, row=lo)
+                    tracer.record(
+                        "tile_wait", "communication", t0, waited, tile=tile.id, dep=dep
+                    )
             t0 = perf_counter() if tracing else 0.0
-            for i in range(lo, hi):
-                left = int(borders.array[role - 1, i]) if role > 0 else 0
-                prev = ws.sw_row_slice(prev, int(s[i]), left, out=prev)
-                finder.feed(i + 1, prev)
-                if role < n_workers - 1:
-                    borders.array[role, i] = prev[-1]
-            if role < n_workers - 1:
-                progress.array[role] = hi
+            runtime.run_tile(tile)
+            done_flags[tile.id] = 1
             if tracing:
                 spent = perf_counter() - t0
                 busy_s += spent
-                tracer.record("rows", "computation", t0, spent, lo=lo, hi=hi)
+                tracer.record(
+                    runtime.SPAN_NAME,
+                    "computation",
+                    t0,
+                    spent,
+                    tile=tile.id,
+                    cells=tile.cells,
+                )
+            if not runtime.ENGINE_COUNTS_CELLS:
+                cells += tile.cells
         if tracing:
             metrics = get_metrics()
-            metrics.counter("cells_computed").inc(m * (c1 - c0))
+            if cells:
+                metrics.counter("cells_computed").inc(cells)
             metrics.counter("worker_busy_seconds").inc(busy_s)
             metrics.counter("worker_wait_seconds").inc(wait_s)
-        return [
-            (r.score, a.s_start, a.s_end, a.t_start + c0, a.t_end + c0)
-            for r in finder.finish()
-            for a in [r.as_alignment()]
-        ]
-
-
-def _job_blocked(role: int, job: dict, arenas: dict) -> list:
-    s, t = _get_pair(arenas, job["arena"])
-    n_workers: int = job["n_workers"]
-    timeout: float = job["timeout"]
-    scoring: Scoring = job["scoring"]
-    tiling = explicit_tiling(len(s), len(t), job["n_bands"], job["n_blocks"])
-    found: list[tuple[int, int, int, int, int]] = []
-    with attach_shared_array(
-        job["boundaries"], (tiling.n_bands + 1, len(t) + 1), SCORE_DTYPE
-    ) as boundaries, attach_shared_array(
-        job["band_done"], (tiling.n_bands,), np.int64
-    ) as band_done:
-        # One workspace per column block, shared by every band this worker
-        # owns: the query profile for a block is band-invariant.
-        workspaces: dict[int, KernelWorkspace] = {}
-        tracer = get_tracer()
-        tracing = tracer.enabled
-        wait_s = busy_s = 0.0
-        for band in range(tiling.n_bands):
-            if band % n_workers != role:
-                continue
-            r0, r1 = tiling.row_bounds[band]
-            h = r1 - r0
-            s_band = s[r0:r1]
-            left_col = np.zeros(h, dtype=SCORE_DTYPE)
-            band_rows = np.zeros((h, len(t) + 1), dtype=SCORE_DTYPE)
-            for block in range(tiling.n_blocks):
-                c0, c1 = tiling.col_bounds[block]
-                if band > 0:
-                    t0 = perf_counter() if tracing else 0.0
-                    poll_until(
-                        lambda: int(band_done.array[band - 1]) > block,
-                        timeout,
-                        f"blocked worker {role} starved at ({band - 1}, {block})",
-                    )
-                    san = get_sanitizer()
-                    if san is not None:
-                        san.on_wait(f"band_done[{band - 1}]")
-                    if tracing:
-                        waited = perf_counter() - t0
-                        wait_s += waited
-                        tracer.record(
-                            "block_wait", "communication", t0, waited, band=band, block=block
-                        )
-                if c1 > c0 and h:
-                    ws = workspaces.get(block)
-                    if ws is None:
-                        ws = workspaces[block] = KernelWorkspace(t[c0:c1], scoring)
-                    t0 = perf_counter() if tracing else 0.0
-                    top = boundaries.array[band, c0 : c1 + 1].copy()
-                    tile = compute_tile(top, left_col, s_band, t[c0:c1], scoring, ws)
-                    band_rows[:, c0 + 1 : c1 + 1] = tile[:, 1:]
-                    left_col = tile[:, -1].copy()
-                    boundaries.array[band + 1, c0 + 1 : c1 + 1] = tile[-1, 1:]
-                    if tracing:
-                        spent = perf_counter() - t0
-                        busy_s += spent
-                        tracer.record("tile", "computation", t0, spent, band=band, block=block)
-                band_done.array[band] = block + 1
-            if h:
-                finder = StreamingRegionFinder(RegionConfig(threshold=job["threshold"]))
-                for r in range(h):
-                    finder.feed(r0 + r + 1, band_rows[r])
-                for region in finder.finish():
-                    a = region.as_alignment()
-                    found.append((a.score, a.s_start, a.s_end, a.t_start, a.t_end))
-    if tracing:
-        # Tile cells are counted by the engine's batched-kernel hook; only
-        # the busy/wait split needs recording here.
-        metrics = get_metrics()
-        metrics.counter("worker_busy_seconds").inc(busy_s)
-        metrics.counter("worker_wait_seconds").inc(wait_s)
-    return found
+        return runtime.emit(role)
 
 
 def _job_phase2(role: int, job: dict, arenas: dict) -> list:
@@ -258,47 +214,45 @@ def _job_phase2(role: int, job: dict, arenas: dict) -> list:
 
 
 def _job_search(role: int, job: dict, arenas: dict, work) -> list:
-    """Dynamic-dispatch database search: pull packed chunks until sentinel.
+    """Dynamic-dispatch database search: pull graph tiles until SENTINEL.
 
-    The arena's ``s`` slot holds the query, ``t`` the flat concatenation of
-    every bucket's code matrix; each chunk descriptor is
-    ``(offset, width, lanes, lengths, indices)`` locating one bucket in the
-    blob.  The worker keeps a local top-k (deterministic total order, so the
-    merge is interleaving-independent) and stops at the first ``None``
-    sentinel -- exactly one per worker is enqueued ahead of the job.
+    The arena's ``s`` slot holds the query, ``t`` the flat bucket blob
+    (:func:`repro.plan.search_blob`); each queue item is one search-graph
+    :class:`~repro.plan.Tile` whose payload locates a bucket inside the
+    blob.  The worker's :class:`~repro.plan.SearchRuntime` keeps a local
+    top-k (deterministic total order, so the merge is
+    interleaving-independent) and stops at the first SENTINEL -- exactly one
+    per worker is enqueued ahead of the job.
     """
     q, blob = _get_pair(arenas, job["arena"])
-    scoring: Scoring = job["scoring"]
-    top = TopK(job["top_k"])
+    runtime = SearchRuntime(q, blob, job["scoring"], job["top_k"])
     tracer = get_tracer()
     tracing = tracer.enabled
     busy_s = 0.0
-    cells = 0
     chunks_done = 0
     queue_depth = 0
     while True:
-        chunk = work.get()
-        if chunk is None:
+        tile = work.get()
+        if tile is SENTINEL:
             break
-        offset, width, lanes, lengths, indices = chunk
         if tracing:
             try:
                 queue_depth = max(queue_depth, work.qsize())
             except NotImplementedError:  # qsize is unimplemented on macOS
                 pass
         t0 = perf_counter()
-        codes = blob[offset : offset + lanes * width].reshape(lanes, width)
-        ws = MultiSequenceWorkspace(codes, lengths, scoring)
-        scores = ws.sw_best_scores(q)
-        for lane, index in enumerate(indices):
-            top.push(int(scores[lane]), int(index))
+        runtime.run_tile(tile)
         chunks_done += 1
         if tracing:
             spent = perf_counter() - t0
             busy_s += spent
-            cells += int(len(q)) * int(sum(lengths))
             tracer.record(
-                "search_chunk", "computation", t0, spent, lanes=lanes, width=width
+                "search_chunk",
+                "computation",
+                t0,
+                spent,
+                lanes=tile.payload[2],
+                width=tile.payload[1],
             )
     if tracing:
         metrics = get_metrics()
@@ -306,13 +260,12 @@ def _job_search(role: int, job: dict, arenas: dict, work) -> list:
         metrics.counter("worker_busy_seconds").inc(busy_s)
         metrics.gauge("search_queue_depth").set(queue_depth)
         if busy_s > 0.0:
-            metrics.gauge(f"search_worker{role}_gcups").set(gcups(cells, busy_s))
-    return top.items()
+            metrics.gauge(f"search_worker{role}_gcups").set(gcups(runtime.cells, busy_s))
+    return runtime.emit(role)
 
 
 _JOB_KINDS = {
-    "wavefront": _job_wavefront,
-    "blocked": _job_blocked,
+    "plan": _job_plan,
     "phase2": _job_phase2,
 }
 
@@ -322,7 +275,7 @@ def _pool_worker(role: int, tasks, results, work) -> None:
     try:
         while True:
             job = tasks.get()
-            if job is None:
+            if job is SENTINEL:
                 break
             try:
                 # observed_worker installs this job's tracer/registry (or
@@ -355,7 +308,8 @@ class AlignmentWorkerPool:
 
     Sequences may also be passed directly to :meth:`wavefront` /
     :meth:`blocked` / :meth:`phase2`; the pool republishes the arena only
-    when the pair actually changes.
+    when the pair actually changes.  Arbitrary planned jobs go through
+    :meth:`run_plan`.
     """
 
     def __init__(self, n_workers: int = 2, timeout: float = 300.0) -> None:
@@ -401,7 +355,7 @@ class AlignmentWorkerPool:
         self._closed = True
         for q in self._tasks:
             try:
-                q.put(None)
+                q.put(SENTINEL)
             except (ValueError, OSError):
                 pass
         for p in self._procs:
@@ -515,6 +469,53 @@ class AlignmentWorkerPool:
             raise PoolJobError("; ".join(errors))
         return collected
 
+    # -- planned jobs -------------------------------------------------------
+
+    def run_plan(
+        self,
+        spec: PlanSpec,
+        s=None,
+        t=None,
+        *,
+        scoring: Scoring = DEFAULT_SCORING,
+        timeout: float | None = None,
+    ) -> ExecutionResult:
+        """Execute one planned job (any static plan kind) on the workers.
+
+        The *spec* -- not the graph -- rides the job descriptor; every
+        worker rebuilds the identical graph from ``(spec, rows, cols)`` via
+        :func:`repro.plan.cached_plan` and runs its tiles under the generic
+        done-flag protocol.  Returns the merged
+        :class:`repro.plan.ExecutionResult`.
+        """
+        handle = self._ensure_pair(s, t)
+        graph = cached_plan(spec, handle.s_len, handle.t_len)
+        if graph.n_procs != self.n_workers:
+            raise ValueError(
+                f"plan wants {graph.n_procs} processors"
+                f" but the pool has {self.n_workers} workers"
+            )
+        # Nested `with` (not sequential creates + try/finally): if the second
+        # allocation raises, the first segment is still unwound.
+        with create_shared_array(
+            state_shape(graph), SCORE_DTYPE
+        ) as state, create_shared_array((len(graph.tiles),), np.int64) as done:
+            collected = self._submit(
+                {
+                    "kind": "plan",
+                    "arena": handle,
+                    "spec": spec,
+                    "state": state.name,
+                    "done": done.name,
+                    "timeout": self.timeout if timeout is None else timeout,
+                    "scoring": scoring,
+                }
+            )
+        parts = [collected[role] for role in sorted(collected)]
+        result = finalize_plan(graph, parts)
+        result.backend = "pool"
+        return result
+
     # -- alignment requests -------------------------------------------------
 
     def wavefront(
@@ -530,25 +531,13 @@ class AlignmentWorkerPool:
         handle = self._ensure_pair(s, t)
         if handle.t_len < self.n_workers:
             raise ValueError("sequence narrower than the worker count")
-        # Nested `with` (not sequential creates + try/finally): if the second
-        # allocation raises, the first segment is still unwound.
-        with create_shared_array(
-            (max(1, self.n_workers - 1), handle.s_len), SCORE_DTYPE
-        ) as borders, create_shared_array((self.n_workers,), np.int64) as progress:
-            collected = self._submit(
-                {
-                    "kind": "wavefront",
-                    "arena": handle,
-                    "n_workers": self.n_workers,
-                    "borders": borders.name,
-                    "progress": progress.name,
-                    "rows_per_exchange": config.rows_per_exchange,
-                    "threshold": config.threshold,
-                    "timeout": config.timeout,
-                    "scoring": scoring,
-                }
-            )
-        return _merge_found(collected.values(), config.threshold, config.min_score)
+        spec = wavefront_spec(
+            n_procs=self.n_workers,
+            group_rows=config.rows_per_exchange,
+            threshold=config.threshold,
+            min_score=config.min_score,
+        )
+        return self.run_plan(spec, timeout=config.timeout, scoring=scoring).alignments
 
     def blocked(
         self,
@@ -560,26 +549,15 @@ class AlignmentWorkerPool:
         """Strategy 2 on the persistent workers; same results as
         :func:`repro.parallel.mp_blocked.mp_blocked_alignments`."""
         config = config or MpBlockedConfig(n_workers=self.n_workers)
-        handle = self._ensure_pair(s, t)
-        tiling = explicit_tiling(handle.s_len, handle.t_len, config.n_bands, config.n_blocks)
-        with create_shared_array(
-            (tiling.n_bands + 1, handle.t_len + 1), SCORE_DTYPE
-        ) as boundaries, create_shared_array((tiling.n_bands,), np.int64) as band_done:
-            collected = self._submit(
-                {
-                    "kind": "blocked",
-                    "arena": handle,
-                    "n_workers": self.n_workers,
-                    "boundaries": boundaries.name,
-                    "band_done": band_done.name,
-                    "n_bands": config.n_bands,
-                    "n_blocks": config.n_blocks,
-                    "threshold": config.threshold,
-                    "timeout": config.timeout,
-                    "scoring": scoring,
-                }
-            )
-        return _merge_found(collected.values(), config.threshold, config.min_score)
+        self._ensure_pair(s, t)
+        spec = blocked_spec(
+            n_procs=self.n_workers,
+            n_bands=config.n_bands,
+            n_blocks=config.n_blocks,
+            threshold=config.threshold,
+            min_score=config.min_score,
+        )
+        return self.run_plan(spec, timeout=config.timeout, scoring=scoring).alignments
 
     def phase2(
         self,
@@ -621,33 +599,35 @@ class AlignmentWorkerPool:
     ) -> list[tuple[int, int]]:
         """One query against a :class:`repro.seq.PackedDatabase`.
 
-        Publishes the query plus the flat concatenation of every bucket
-        matrix through a single arena, enqueues one chunk descriptor per
-        bucket on the dynamic work queue (then one sentinel per worker), and
-        broadcasts the job.  Workers pull chunks greedily and return local
-        top-k heaps; the deterministic total order makes the merged
-        ``(score, index)`` ranking identical to a sequential scan.
+        Plans one independent tile per length bucket
+        (:func:`repro.plan.plan_search_buckets`) and runs the graph through
+        :meth:`run_search_plan`; returns the merged ``(score, index)``
+        ranking, identical to a sequential scan.
         """
         query = encode(query)
         if not packed.buckets:
             return []
-        total = sum(b.codes.size for b in packed.buckets)
-        blob = np.empty(total, dtype=np.uint8)
-        chunks = []
-        offset = 0
-        for bucket in packed.buckets:
-            flat = np.ascontiguousarray(bucket.codes).reshape(-1)
-            blob[offset : offset + flat.size] = flat
-            chunks.append(
-                (
-                    offset,
-                    bucket.width,
-                    bucket.lanes,
-                    tuple(int(x) for x in bucket.lengths),
-                    tuple(int(x) for x in bucket.indices),
-                )
-            )
-            offset += flat.size
+        graph = plan_search_buckets(packed, len(query), top_k=top_k)
+        return self.run_search_plan(
+            graph, query, search_blob(packed), scoring=scoring
+        ).hits
+
+    def run_search_plan(
+        self,
+        graph: TaskGraph,
+        query: np.ndarray,
+        blob: np.ndarray,
+        *,
+        scoring: Scoring = DEFAULT_SCORING,
+    ) -> ExecutionResult:
+        """Dynamic-dispatch execution of one search graph.
+
+        Publishes the query plus the flat bucket blob through a single
+        arena, enqueues every tile of the graph on the dynamic work queue
+        (then one SENTINEL per worker), and broadcasts the job.  Workers
+        pull tiles greedily and return local top-k heaps; the deterministic
+        total order makes the merged ranking interleaving-independent.
+        """
         arena: SequenceArena | None = None
         try:
             # The arena is created inside the try so that *any* failure after
@@ -661,24 +641,24 @@ class AlignmentWorkerPool:
             if is_enabled():
                 metrics = get_metrics()
                 metrics.counter("arena_bytes_published").inc(int(query.size + blob.size))
-                metrics.gauge("search_queue_chunks").set(len(chunks))
+                metrics.gauge("search_queue_chunks").set(len(graph.tiles))
             try:
-                for chunk in chunks:
-                    self._work.put(chunk)
+                for tile in graph.tiles:
+                    self._work.put(tile)
                 for _ in range(self.n_workers):
-                    self._work.put(None)
+                    self._work.put(SENTINEL)
                 collected = self._submit(
                     {
                         "kind": "search",
                         "arena": arena.handle,
-                        "top_k": top_k,
+                        "top_k": graph.params["top_k"],
                         "scoring": scoring,
                     },
                     fail_fast=False,
                 )
             except PoolJobError:
                 # Every worker has reported back (fail_fast=False), so nothing
-                # is still pulling: leftover chunks and the failed worker's
+                # is still pulling: leftover tiles and the failed worker's
                 # sentinel can be drained without starving anyone.
                 self._drain_work()
                 raise
@@ -690,10 +670,10 @@ class AlignmentWorkerPool:
         finally:
             if arena is not None:
                 arena.close()
-        top = TopK(top_k)
-        for items in collected.values():
-            top.merge(items)
-        return top.ranked()
+        parts = [collected[role] for role in sorted(collected)]
+        result = finalize_plan(graph, parts)
+        result.backend = "pool"
+        return result
 
     def _drain_work(self) -> None:
         import queue as _queue
@@ -703,13 +683,3 @@ class AlignmentWorkerPool:
                 self._work.get(timeout=0.1)
             except (_queue.Empty, OSError, ValueError):
                 return
-
-
-def _merge_found(parts, threshold: int, min_score: int | None) -> list[LocalAlignment]:
-    """The same queue merge/finalize step every phase-1 backend performs."""
-    queue = AlignmentQueue()
-    for found in parts:
-        for score, s0, s1, t0, t1 in found:
-            queue.push(LocalAlignment(score, s0, s1, t0, t1))
-    min_score = min_score if min_score is not None else threshold
-    return queue.finalize(min_score=min_score, overlap_slack=8, merge=True)

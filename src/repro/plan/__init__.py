@@ -1,0 +1,99 @@
+"""Unified execution planner: one task-graph IR behind every backend.
+
+The paper's three strategies and the database search all reduce to the same
+shape -- a dependence graph of DP tiles -- so this package factors the
+schedule out of the backends:
+
+* :mod:`repro.plan.ir` -- :class:`Tile` / :class:`TaskGraph`, the IR;
+* :mod:`repro.plan.partition` -- the decomposition geometry;
+* :mod:`repro.plan.planners` -- strategy parameters -> graph
+  (:func:`plan_wavefront`, :func:`plan_blocked`, :func:`plan_preprocess`,
+  :func:`plan_search_buckets`) and the picklable :class:`PlanSpec`;
+* :mod:`repro.plan.runtime` -- the single copy of kernel-driving code every
+  backend executes tiles with (parity by construction);
+* :mod:`repro.plan.executors` / :mod:`repro.plan.sim_exec` -- the inline,
+  pool and simulated executors.
+
+Import discipline: nothing in this package imports :mod:`repro.strategies`
+or :mod:`repro.parallel`; both of those layers import *us*.
+"""
+
+from .executors import Executor, InlineExecutor, PoolExecutor
+from .ir import DYNAMIC, TaskGraph, Tile
+from .partition import (
+    Tiling,
+    balanced_band_size,
+    band_heights,
+    bounds_from_heights,
+    chunk_widths,
+    column_partition,
+    explicit_tiling,
+    split_even,
+    tiling_from_multiplier,
+)
+from .planners import (
+    PlanSpec,
+    blocked_spec,
+    build_plan,
+    cached_plan,
+    plan_blocked,
+    plan_preprocess,
+    plan_search_buckets,
+    plan_wavefront,
+    preprocess_spec,
+    search_blob,
+    wavefront_spec,
+)
+from .result import ExecutionResult, StrategyResult
+from .runtime import (
+    BlockedRuntime,
+    PlanRuntime,
+    PreprocessRuntime,
+    SearchRuntime,
+    WavefrontRuntime,
+    finalize_plan,
+    make_runtime,
+    state_shape,
+)
+from .sim_exec import PAPER_NAMES, SimExecutor
+
+__all__ = [
+    "DYNAMIC",
+    "BlockedRuntime",
+    "ExecutionResult",
+    "Executor",
+    "InlineExecutor",
+    "PAPER_NAMES",
+    "PlanRuntime",
+    "PlanSpec",
+    "PoolExecutor",
+    "PreprocessRuntime",
+    "SearchRuntime",
+    "SimExecutor",
+    "StrategyResult",
+    "TaskGraph",
+    "Tile",
+    "Tiling",
+    "WavefrontRuntime",
+    "balanced_band_size",
+    "band_heights",
+    "blocked_spec",
+    "bounds_from_heights",
+    "build_plan",
+    "cached_plan",
+    "chunk_widths",
+    "column_partition",
+    "explicit_tiling",
+    "finalize_plan",
+    "make_runtime",
+    "plan_blocked",
+    "plan_preprocess",
+    "plan_search_buckets",
+    "plan_wavefront",
+    "preprocess_spec",
+    "search_blob",
+    "split_even",
+    "state_shape",
+    "tiling_from_multiplier",
+    "wavefront_spec",
+]

@@ -1,0 +1,133 @@
+"""Executors: run any task graph on a real backend.
+
+Every executor consumes the same :class:`~repro.plan.ir.TaskGraph` and
+returns results through the same finalize step, so the choice of backend is
+orthogonal to the strategy that produced the graph:
+
+* :class:`InlineExecutor` -- single process, tiles in topological order.
+  The fastest way to get exact answers on one host, and the oracle the
+  multi-process backends are parity-tested against.
+* :class:`PoolExecutor` -- dispatches the graph to a persistent
+  :class:`repro.parallel.AlignmentWorkerPool` (duck-typed: anything with
+  ``run_plan`` / ``run_search_plan`` works), which executes it over shared
+  memory with the generic ready-set task protocol.
+
+The simulated backend lives in :mod:`repro.plan.sim_exec`; it shares this
+base class so observability (the ``plan:{kind}`` coordination span, the
+tile counter) is emitted uniformly no matter where tiles actually run.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+import numpy as np
+
+from ..core.scoring import DEFAULT_SCORING, Scoring
+from ..obs import count_cells, get_metrics, get_tracer, is_enabled
+from ..obs.trace import Stopwatch
+from .ir import TaskGraph
+from .result import ExecutionResult
+from .runtime import finalize_plan, make_runtime
+
+
+class Executor:
+    """Template: wrap ``_execute`` in timing and observability.
+
+    Subclasses implement ``_execute(graph, s, t, scoring, scale)`` and
+    declare a ``BACKEND`` name.  The wrapper records one coordination span
+    per plan execution (category ``coordination`` -- phase spans stay the
+    runner's business) and stamps backend/wall-clock onto the result when
+    the backend returns an :class:`ExecutionResult`.
+    """
+
+    BACKEND = "abstract"
+
+    def run(
+        self,
+        graph: TaskGraph,
+        s: np.ndarray,
+        t: np.ndarray,
+        scoring: Scoring = DEFAULT_SCORING,
+        *,
+        scale: int = 1,
+    ):
+        tracer = get_tracer()
+        with Stopwatch() as sw, tracer.span(
+            f"plan:{graph.kind}",
+            "coordination",
+            backend=self.BACKEND,
+            tiles=len(graph.tiles),
+            cells=graph.total_cells,
+            n_procs=graph.n_procs,
+        ):
+            result = self._execute(graph, s, t, scoring, scale)
+        if is_enabled():
+            get_metrics().counter("plan_tiles_executed").inc(len(graph.tiles))
+        if isinstance(result, ExecutionResult):
+            result.backend = self.BACKEND
+            result.wall_seconds = sw.elapsed
+        return result
+
+    def _execute(self, graph, s, t, scoring, scale):
+        raise NotImplementedError
+
+
+class InlineExecutor(Executor):
+    """Execute every tile in-process, in topological (id) order."""
+
+    BACKEND = "inline"
+
+    def _execute(self, graph, s, t, scoring, scale) -> ExecutionResult:
+        if scale != 1:
+            raise ValueError("real backends execute actual cells only (scale=1)")
+        runtime = make_runtime(graph, s, t, scoring)
+        tracing = is_enabled()
+        tracer = get_tracer()
+        for tile in graph.tiles:
+            if tracing:
+                t0 = perf_counter()
+                runtime.run_tile(tile)
+                tracer.record(
+                    runtime.SPAN_NAME,
+                    "computation",
+                    t0,
+                    perf_counter() - t0,
+                    tile=tile.id,
+                    cells=tile.cells,
+                )
+            else:
+                runtime.run_tile(tile)
+            if not runtime.ENGINE_COUNTS_CELLS:
+                count_cells(tile.cells)
+        parts = [runtime.emit(owner) for owner in graph.owners()]
+        return finalize_plan(graph, parts)
+
+
+class PoolExecutor(Executor):
+    """Hand the graph to a persistent worker pool for real parallelism.
+
+    ``pool`` is duck-typed (``run_plan(spec, s, t, ...)`` for sequence-pair
+    graphs, ``run_search_plan(graph, ...)`` for search graphs) so this
+    module never imports :mod:`repro.parallel`.
+    """
+
+    BACKEND = "pool"
+
+    def __init__(self, pool, timeout: float | None = None) -> None:
+        self.pool = pool
+        self.timeout = timeout
+
+    def _execute(self, graph, s, t, scoring, scale) -> ExecutionResult:
+        if scale != 1:
+            raise ValueError("real backends execute actual cells only (scale=1)")
+        if graph.kind == "search":
+            raise ValueError(
+                "search graphs carry no rebuildable spec; "
+                "use pool.run_search_plan directly (or pool.search)"
+            )
+        if graph.spec is None:
+            raise ValueError("pool execution needs a graph with a PlanSpec")
+        return self.pool.run_plan(
+            graph.spec, s, t, scoring=scoring, timeout=self.timeout
+        )

@@ -1,0 +1,421 @@
+"""Plan runtimes: the one copy of kernel-driving code behind every backend.
+
+A runtime binds a :class:`~repro.plan.ir.TaskGraph` to concrete sequences
+and knows how to execute one tile: which kernel to call, which shared state
+to read and write, and what partial results to emit per owner.  The
+simulated backend, the inline executor, the one-shot multiprocessing
+backends and the persistent pool all drive the *same* runtime object model,
+which is why their region sets and search rankings are bitwise identical --
+parity holds by construction, not by careful duplication.
+
+Cross-owner dataflow goes through one ndarray per graph
+(:func:`state_shape`): the wave-front's border columns, the banded plans'
+boundary rows.  Backends that run owners in separate processes back that
+array with a shared-memory arena; in-process backends use a plain array.
+Synchronisation is the *backend's* job -- a runtime assumes every
+dependency of a tile has already run.
+
+:func:`finalize_plan` is the single merge step: it turns the per-owner
+emissions into an :class:`~repro.plan.result.ExecutionResult` (alignment
+queue finalisation, result-matrix assembly, or top-k merge).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.alignment import AlignmentQueue, LocalAlignment
+from ..core.engine import KernelWorkspace, compute_tile
+from ..core.multi_engine import MultiSequenceWorkspace
+from ..core.regions import RegionConfig, StreamingRegionFinder
+from ..core.scoring import DEFAULT_SCORING, SCORE_DTYPE, Scoring
+from ..core.topk import TopK
+from .ir import TaskGraph, Tile
+from .result import ExecutionResult
+
+
+def state_shape(graph: TaskGraph) -> tuple[int, ...] | None:
+    """Shape of the shared cross-owner state array for this graph.
+
+    Wave-front plans share one border-column slot per (edge, row); banded
+    plans share the boundary row below every band.  Search plans have no
+    cross-tile dataflow at all.
+    """
+    rows, cols = graph.shape
+    if graph.kind == "wavefront":
+        return (max(1, graph.n_procs - 1), rows)
+    if graph.kind in ("blocked", "preprocess"):
+        return (graph.params["n_bands"] + 1, cols + 1)
+    if graph.kind == "search":
+        return None
+    raise ValueError(f"unknown plan kind {graph.kind!r}")
+
+
+def _region_config(params: dict) -> RegionConfig:
+    return RegionConfig(
+        threshold=params["threshold"],
+        col_tolerance=params["col_tolerance"],
+        row_tolerance=params["row_tolerance"],
+    )
+
+
+def _admission_score(params: dict) -> int:
+    min_score = params.get("min_score")
+    return params["threshold"] if min_score is None else min_score
+
+
+class PlanRuntime:
+    """Executes tiles of one graph kind against concrete sequences.
+
+    Subclass contract:
+
+    * ``SPAN_NAME`` -- tracer span name one tile execution is recorded
+      under (kept identical to the names the pre-planner backends used, so
+      existing trace tooling keeps working);
+    * ``ENGINE_COUNTS_CELLS`` -- True when the kernels this runtime calls
+      already fire the :func:`repro.obs.count_cells` hook (batched
+      kernels); False when the caller must count ``tile.cells`` itself;
+    * :meth:`run_tile` assumes all dependencies of the tile have run;
+    * :meth:`emit` returns a *picklable* partial result for one owner.
+    """
+
+    SPAN_NAME = "tile"
+    ENGINE_COUNTS_CELLS = True
+
+    def run_tile(self, tile: Tile) -> None:
+        raise NotImplementedError
+
+    def emit(self, owner: int) -> list:
+        raise NotImplementedError
+
+    def open_region_count(self, owner: int) -> int:
+        """How many candidate regions this owner would gather (sim sizing)."""
+        return len(self.emit(owner))
+
+
+class WavefrontRuntime(PlanRuntime):
+    """Section 4.2 execution: per-owner two-row scans over a column slice.
+
+    ``state[p - 1, i]`` is the border value processor ``p`` reads for row
+    ``i`` (written by ``p - 1``); the last processor writes no borders.
+    """
+
+    SPAN_NAME = "rows"
+    ENGINE_COUNTS_CELLS = False  # sw_row_slice is a single-row kernel
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        s: np.ndarray,
+        t: np.ndarray,
+        scoring: Scoring,
+        state: np.ndarray,
+    ) -> None:
+        self.graph = graph
+        self.s = s
+        self.t = t
+        self.scoring = scoring
+        self.borders = state
+        self._owners: dict[int, dict] = {}
+
+    def _owner(self, p: int) -> dict:
+        st = self._owners.get(p)
+        if st is None:
+            c0, c1 = self.graph.params["slices"][p]
+            st = {
+                "c0": c0,
+                "ws": KernelWorkspace(self.t[c0:c1], self.scoring),
+                "prev": np.zeros(c1 - c0 + 1, dtype=SCORE_DTYPE),
+                "finder": StreamingRegionFinder(_region_config(self.graph.params)),
+            }
+            self._owners[p] = st
+        return st
+
+    def run_tile(self, tile: Tile) -> None:
+        lo, hi, _c0, _c1 = tile.payload
+        p = tile.owner
+        st = self._owner(p)
+        ws, prev, finder = st["ws"], st["prev"], st["finder"]
+        s, borders = self.s, self.borders
+        last = p == self.graph.n_procs - 1
+        for i in range(lo, hi):
+            left = int(borders[p - 1, i]) if p > 0 else 0
+            prev = ws.sw_row_slice(prev, int(s[i]), left, out=prev)
+            finder.feed(i + 1, prev)
+            if not last:
+                borders[p, i] = prev[-1]
+        st["prev"] = prev
+
+    def emit(self, owner: int) -> list:
+        """Regions of one owner as global-coordinate alignment tuples."""
+        st = self._owner(owner)
+        c0 = st["c0"]
+        out = []
+        for region in st["finder"].finish():
+            a = region.as_alignment()
+            out.append((a.score, a.s_start, a.s_end, a.t_start + c0, a.t_end + c0))
+        return out
+
+    def open_region_count(self, owner: int) -> int:
+        finder = self._owner(owner)["finder"]
+        return len(finder._finished) + len(finder._active)
+
+
+class _BandedRuntime(PlanRuntime):
+    """Shared machinery of the blocked and pre_process runtimes.
+
+    ``state[band + 1]`` is the boundary row below ``band`` (DP indexing,
+    full matrix width); a tile reads ``state[band]`` and its own running
+    left column, both valid once its dependencies have run.
+    """
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        s: np.ndarray,
+        t: np.ndarray,
+        scoring: Scoring,
+        state: np.ndarray,
+    ) -> None:
+        self.graph = graph
+        self.s = s
+        self.t = t
+        self.scoring = scoring
+        self.boundaries = state
+        self.row_bounds = graph.params["row_bounds"]
+        self.col_bounds = graph.params["col_bounds"]
+        self._bands: dict[int, dict] = {}  # owner -> current-band scratch
+        self._workspaces: dict[int, KernelWorkspace] = {}  # per column block
+
+    def _workspace(self, block: int, c0: int, c1: int) -> KernelWorkspace:
+        ws = self._workspaces.get(block)
+        if ws is None:
+            ws = KernelWorkspace(self.t[c0:c1], self.scoring)
+            self._workspaces[block] = ws
+        return ws
+
+    def _compute(self, tile: Tile) -> np.ndarray | None:
+        """Run the DP over one tile, update boundaries, return the tile matrix."""
+        band, block = tile.payload
+        r0, r1 = self.row_bounds[band]
+        c0, c1 = self.col_bounds[block]
+        h, w = r1 - r0, c1 - c0
+        if h == 0 or w == 0:
+            return None
+        st = self._bands.get(tile.owner)
+        if st is None or st["band"] != band:
+            st = {"band": band, "left_col": np.zeros(h, dtype=SCORE_DTYPE)}
+            self._bands[tile.owner] = st
+        top = self.boundaries[band, c0 : c1 + 1].copy()
+        matrix = compute_tile(
+            top,
+            st["left_col"],
+            self.s[r0:r1],
+            self.t[c0:c1],
+            self.scoring,
+            workspace=self._workspace(block, c0, c1),
+        )
+        st["left_col"] = matrix[:, -1].copy()
+        self.boundaries[band + 1, c0 + 1 : c1 + 1] = matrix[-1, 1:]
+        return matrix
+
+
+class BlockedRuntime(_BandedRuntime):
+    """Section 4.3 execution: banded blocks plus per-band region detection."""
+
+    SPAN_NAME = "tile"
+    ENGINE_COUNTS_CELLS = True  # compute_tile uses the batched slice kernel
+
+    def __init__(self, graph, s, t, scoring, state) -> None:
+        super().__init__(graph, s, t, scoring, state)
+        self._found: dict[int, list] = {}
+        self._band_rows: dict[int, np.ndarray] = {}  # owner -> current band rows
+
+    def run_tile(self, tile: Tile) -> None:
+        band, block = tile.payload
+        r0, r1 = self.row_bounds[band]
+        c0, c1 = self.col_bounds[block]
+        h = r1 - r0
+        if block == 0 and h:
+            self._band_rows[tile.owner] = np.zeros(
+                (h, self.graph.shape[1] + 1), dtype=SCORE_DTYPE
+            )
+        matrix = self._compute(tile)
+        if matrix is not None:
+            self._band_rows[tile.owner][:, c0 + 1 : c1 + 1] = matrix[:, 1:]
+        if block == len(self.col_bounds) - 1 and h:
+            # band finished: phase-1 candidate detection over its rows
+            finder = StreamingRegionFinder(_region_config(self.graph.params))
+            band_rows = self._band_rows[tile.owner]
+            for r in range(h):
+                finder.feed(r0 + r + 1, band_rows[r])
+            found = self._found.setdefault(tile.owner, [])
+            for region in finder.finish():
+                a = region.as_alignment()
+                found.append((a.score, a.s_start, a.s_end, a.t_start, a.t_end))
+
+    def emit(self, owner: int) -> list:
+        return self._found.get(owner, [])
+
+
+class PreprocessRuntime(_BandedRuntime):
+    """Section 5 execution: banded chunks feeding the scoreboard."""
+
+    SPAN_NAME = "tile"
+    ENGINE_COUNTS_CELLS = True
+
+    def __init__(self, graph, s, t, scoring, state) -> None:
+        super().__init__(graph, s, t, scoring, state)
+        params = graph.params
+        self.threshold = params["threshold"]
+        self.ip_result = params["result_interleave"]
+        cols = graph.shape[1]
+        n_buckets = -(-cols // self.ip_result)
+        self.result_matrix = np.zeros((params["n_bands"], n_buckets), dtype=np.int64)
+
+    def run_tile(self, tile: Tile) -> None:
+        matrix = self._compute(tile)
+        if matrix is None:
+            return
+        band, block = tile.payload
+        c0, c1 = self.col_bounds[block]
+        hits_per_col = (matrix[:, 1:] >= self.threshold).sum(axis=0)
+        row = self.result_matrix[band]
+        for j in range(c1 - c0):
+            row[(c0 + j) // self.ip_result] += int(hits_per_col[j])
+
+    def emit(self, owner: int) -> list:
+        """``(band, counts)`` rows of the scoreboard this owner filled."""
+        bands = sorted({t.payload[0] for t in self.graph.tiles_of(owner)})
+        return [(band, self.result_matrix[band].copy()) for band in bands]
+
+
+class SearchRuntime(PlanRuntime):
+    """Database-search execution: one batched bucket scan per tile.
+
+    Deliberately constructible without a graph (``query``, ``blob``,
+    ``scoring``, ``top_k``): pool workers receive the blob through a shared
+    arena and the tiles through the work queue, never the graph object.
+    """
+
+    SPAN_NAME = "search_chunk"
+    ENGINE_COUNTS_CELLS = True  # MultiSequenceWorkspace counts per bucket
+
+    def __init__(
+        self,
+        query: np.ndarray,
+        blob: np.ndarray,
+        scoring: Scoring = DEFAULT_SCORING,
+        top_k: int = 10,
+    ) -> None:
+        self.query = query
+        self.blob = blob
+        self.scoring = scoring
+        self.top = TopK(top_k)
+        self.cells = 0  # residues scanned x query length (local accounting)
+
+    def run_tile(self, tile: Tile) -> None:
+        offset, width, lanes, lengths, indices = tile.payload
+        codes = self.blob[offset : offset + lanes * width].reshape(lanes, width)
+        ws = MultiSequenceWorkspace(
+            codes, np.asarray(lengths, dtype=np.int64), self.scoring
+        )
+        self.top.push_lanes(ws.sw_best_scores(self.query), indices)
+        self.cells += tile.cells
+
+    def emit(self, owner: int) -> list:
+        return self.top.items()
+
+
+_RUNTIMES = {
+    "wavefront": WavefrontRuntime,
+    "blocked": BlockedRuntime,
+    "preprocess": PreprocessRuntime,
+}
+
+
+def make_runtime(
+    graph: TaskGraph,
+    s: np.ndarray,
+    t: np.ndarray,
+    scoring: Scoring = DEFAULT_SCORING,
+    state: np.ndarray | None = None,
+) -> PlanRuntime:
+    """Build the runtime for a graph, allocating private state if none given.
+
+    For search graphs, ``s`` is the encoded query and ``t`` the packed
+    database blob (:func:`repro.plan.planners.search_blob`) -- the pair the
+    tiles' bucket locators index into.
+    """
+    if graph.kind == "search":
+        return SearchRuntime(s, t, scoring, graph.params["top_k"])
+    try:
+        cls = _RUNTIMES[graph.kind]
+    except KeyError:
+        raise ValueError(f"no runtime for plan kind {graph.kind!r}") from None
+    if state is None:
+        state = np.zeros(state_shape(graph), dtype=SCORE_DTYPE)
+    return cls(graph, s, t, scoring, state)
+
+
+def finalize_plan(
+    graph: TaskGraph, parts: list[list], scale: int = 1
+) -> ExecutionResult:
+    """Merge per-owner emissions into one result (the gather step).
+
+    ``parts`` is one :meth:`PlanRuntime.emit` list per participating owner,
+    in any order.  ``scale`` projects region coordinates into nominal units
+    before queue finalisation -- the scaled-workload path of the simulated
+    backend; real backends always pass 1.
+    """
+    params = graph.params
+    result = ExecutionResult(
+        kind=graph.kind,
+        n_procs=graph.n_procs,
+        n_tiles=len(graph.tiles),
+        total_cells=graph.total_cells,
+    )
+    if graph.kind in ("wavefront", "blocked"):
+        queue = AlignmentQueue()
+        for part in parts:
+            for score, s0, s1, t0, t1 in part:
+                queue.push(
+                    LocalAlignment(
+                        score=score,
+                        s_start=s0 * scale,
+                        s_end=s1 * scale,
+                        t_start=t0 * scale,
+                        t_end=t1 * scale,
+                    )
+                )
+        result.alignments = queue.finalize(
+            min_score=_admission_score(params),
+            overlap_slack=params["overlap_slack"] * scale,
+            merge=True,
+        )
+        if graph.kind == "blocked":
+            result.extras = {
+                "n_bands": params["n_bands"],
+                "n_blocks": params["n_blocks"],
+            }
+    elif graph.kind == "preprocess":
+        cols = graph.shape[1]
+        n_buckets = -(-cols // params["result_interleave"])
+        matrix = np.zeros((params["n_bands"], n_buckets), dtype=np.int64)
+        for part in parts:
+            for band, counts in part:
+                matrix[band] += np.asarray(counts)
+        result.extras = {
+            "result_matrix": matrix,
+            "band_heights": params["band_heights"],
+            "n_bands": params["n_bands"],
+            "n_chunks": params["n_chunks"],
+        }
+    elif graph.kind == "search":
+        top = TopK(params["top_k"])
+        for part in parts:
+            top.merge(part)
+        result.hits = top.ranked()
+    else:
+        raise ValueError(f"unknown plan kind {graph.kind!r}")
+    return result

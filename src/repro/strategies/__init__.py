@@ -36,8 +36,10 @@ from .tuning import TuningResult, tune_blocking
 from .runner import (
     MP_BACKENDS,
     STRATEGIES,
+    STRATEGY_ALIASES,
     MpPipelineResult,
     PipelineResult,
+    canonical_strategy,
     run_mp_pipeline,
     run_phase1,
     run_pipeline,
@@ -60,6 +62,7 @@ __all__ = [
     "PreprocessConfig",
     "RegionSettings",
     "STRATEGIES",
+    "STRATEGY_ALIASES",
     "ScaledWorkload",
     "SearchConfig",
     "SearchHit",
@@ -73,6 +76,7 @@ __all__ = [
     "balanced_band_size",
     "band_heights",
     "bounds_from_heights",
+    "canonical_strategy",
     "chunk_widths",
     "column_partition",
     "compute_tile",

@@ -16,15 +16,17 @@ O(scale * P / n_nominal) (see DESIGN.md).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..core.alignment import LocalAlignment
 from ..core.regions import RegionConfig
 from ..core.scoring import DEFAULT_SCORING, Scoring
+from ..plan.result import StrategyResult
 from ..seq.alphabet import encode
-from ..sim.stats import ClusterStats, PhaseTimes
+
+__all__ = ["RegionSettings", "ScaledWorkload", "StrategyResult"]
 
 
 @dataclass
@@ -75,33 +77,6 @@ class ScaledWorkload:
             t_start=alignment.t_start * self.scale,
             t_end=alignment.t_end * self.scale,
         )
-
-
-@dataclass
-class StrategyResult:
-    """What one simulated run produces: times, breakdowns, and alignments."""
-
-    name: str
-    n_procs: int
-    nominal_size: tuple[int, int]
-    total_time: float
-    phases: PhaseTimes
-    stats: ClusterStats
-    alignments: list[LocalAlignment] = field(default_factory=list)
-    extras: dict = field(default_factory=dict)
-
-    @property
-    def core_time(self) -> float:
-        return self.phases.core
-
-    def speedup_against(self, serial: "StrategyResult | float") -> float:
-        """Absolute speed-up "calculated considering the total execution
-        times and thus include time for initialization and collecting
-        results" (Section 4.2.1)."""
-        serial_time = serial if isinstance(serial, (int, float)) else serial.total_time
-        if self.total_time <= 0:
-            raise ValueError("non-positive total time")
-        return serial_time / self.total_time
 
 
 @dataclass(frozen=True)

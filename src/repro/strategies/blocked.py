@@ -12,25 +12,30 @@ consumer and the per-block costs overlap with computation.  What limits
 speed-up instead is pipeline fill/drain -- with a 1x1 blocking multiplier
 each block is n/P columns wide and n/P rows tall, and processors idle for
 most of the run (Table 3's 732 s vs 363 s at 5x5).
+
+:func:`blocked_plan` builds the band x block task graph;
+:func:`run_blocked` executes it on the simulated cluster.  The tile kernel
+itself (``compute_tile``) lives in :mod:`repro.core.engine` and is
+re-exported here for compatibility.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from ..core.alignment import AlignmentQueue
-from ..core.engine import KernelWorkspace
-from ..core.kernels import SCORE_DTYPE
-from ..core.regions import Region, StreamingRegionFinder
-from ..core.scoring import Scoring
-from ..dsm.jiajia import JiaJia
+from ..core.engine import compute_tile
+from ..plan import SimExecutor, TaskGraph, Tiling, plan_blocked
 from ..sim.costmodel import DEFAULT_COST_MODEL, CostModel
-from ..sim.engine import Delay, Simulator
-from ..sim.stats import PhaseTimes
 from .base import RegionSettings, ScaledWorkload, StrategyResult
-from .partition import Tiling, explicit_tiling, tiling_from_multiplier
+from .partition import explicit_tiling, tiling_from_multiplier
+
+__all__ = [
+    "BlockedConfig",
+    "blocked_plan",
+    "compute_tile",
+    "run_blocked",
+    "serial_blocked_time",
+]
 
 
 @dataclass(frozen=True)
@@ -55,39 +60,22 @@ class BlockedConfig:
         return tiling_from_multiplier(rows, cols, self.n_procs, self.multiplier)
 
 
-def compute_tile(
-    top: np.ndarray,
-    left_col: np.ndarray,
-    s_band: np.ndarray,
-    t_block: np.ndarray,
-    scoring: Scoring,
-    workspace: KernelWorkspace | None = None,
-) -> np.ndarray:
-    """DP over one (band x block) tile given its top row and left column.
-
-    ``top`` has length ``w + 1``: ``top[0]`` is the diagonal corner
-    ``H[r0-1, c0-1]`` and ``top[1:]`` the previous band's bottom row over
-    this block's columns.  ``left_col[r] = H[r0+r, c0-1]`` comes from the
-    block to the left (zeros at the matrix edge).  Returns the full tile
-    including the left border column (shape ``h x (w+1)``).
-
-    ``workspace`` (built over ``t_block``) lets callers that revisit the same
-    column block -- every band of a blocked run -- amortize the query profile
-    and scratch buffers across tiles.
-    """
-    h, w = len(s_band), len(t_block)
-    ws = workspace if workspace is not None else KernelWorkspace(t_block, scoring)
-    tile = np.empty((h, w + 1), dtype=SCORE_DTYPE)
-    ws.sw_rows_slice(top, s_band, left_col, out=tile)
-    return tile
-
-
-def _cv_block(band: int, block: int, n_blocks: int) -> int:
-    return 1000 + band * n_blocks + block
-
-
-def _band_lock(band: int) -> int:
-    return 500 + band
+def blocked_plan(workload: ScaledWorkload, config: BlockedConfig) -> TaskGraph:
+    """The Section 4.3 task graph for this workload and config."""
+    tiling = config.tiling(workload.rows, workload.cols)
+    regions = config.regions
+    return plan_blocked(
+        workload.rows,
+        workload.cols,
+        n_procs=config.n_procs,
+        n_bands=tiling.n_bands,
+        n_blocks=tiling.n_blocks,
+        threshold=regions.threshold,
+        col_tolerance=regions.col_tolerance,
+        row_tolerance=regions.row_tolerance,
+        min_score=regions.min_score,
+        overlap_slack=regions.overlap_slack,
+    )
 
 
 def run_blocked(
@@ -98,125 +86,9 @@ def run_blocked(
 ) -> StrategyResult:
     """Simulate one blocked run; returns timings and found alignments."""
     config = config or BlockedConfig()
-    n_procs = config.n_procs
-    tiling = config.tiling(workload.rows, workload.cols)
-    n_bands, n_blocks = tiling.n_bands, tiling.n_blocks
-    scale = workload.scale
-    scoring = workload.scoring
-
-    sim = Simulator(timeline)
-    dsm = JiaJia(sim, n_procs, cost)
-
-    # One passage region per band boundary, homed at the consumer so that
-    # the producer's writes are what the release diffs (Section 5's "only a
-    # limited amount of the similar array should be shared" applies to
-    # strategy 2 as well: only boundary rows live in DSM).
-    border_bytes = cost.border_bytes_per_cell
-    passage = [
-        dsm.alloc(
-            (workload.nominal_cols + 1) * border_bytes,
-            f"passage-{b}",
-            home=tiling.band_owner(b + 1, n_procs) if b + 1 < n_bands else 0,
-        )
-        for b in range(n_bands)
-    ]
-
-    # Actual boundary rows (full width, DP indexing) between bands.
-    boundaries = [np.zeros(workload.cols + 1, dtype=SCORE_DTYPE) for _ in range(n_bands + 1)]
-    queues = [AlignmentQueue() for _ in range(n_procs)]
-    marks: dict[str, float] = {}
-
-    def node(p: int):
-        yield Delay(cost.node_startup_time)
-        yield from dsm.barrier(p)
-        if p == 0:
-            marks["core_start"] = sim.now
-
-        for band in range(n_bands):
-            if tiling.band_owner(band, n_procs) != p:
-                continue
-            r0, r1 = tiling.row_bounds[band]
-            h = r1 - r0
-            s_band = workload.s[r0:r1]
-            band_rows = np.zeros((h, workload.cols + 1), dtype=SCORE_DTYPE)
-            left_col = np.zeros(h, dtype=SCORE_DTYPE)
-            for block in range(n_blocks):
-                c0, c1 = tiling.col_bounds[block]
-                w = c1 - c0
-                if band > 0:
-                    yield from dsm.waitcv(p, _cv_block(band - 1, block, n_blocks))
-                    # passage pages are home-local to this consumer: the
-                    # producer's diffs already delivered the data.
-                if w == 0 or h == 0:
-                    continue
-                top = boundaries[band][c0 : c1 + 1].copy()
-                tile = compute_tile(top, left_col, s_band, workload.t[c0:c1], scoring)
-                band_rows[:, c0 + 1 : c1 + 1] = tile[:, 1:]
-                left_col = tile[:, -1].copy()
-                cells = h * w
-                yield from dsm.compute(
-                    p,
-                    cells * scale * scale * cost.blocked_cell_time,
-                    cells=cells * scale * scale,
-                )
-                # publish the block's bottom row through the passage band
-                boundaries[band + 1][c0 + 1 : c1 + 1] = tile[-1, 1:]
-                if band + 1 < n_bands:
-                    dsm.write(
-                        p,
-                        passage[band],
-                        c0 * scale * border_bytes,
-                        w * scale * border_bytes,
-                    )
-                    yield from dsm.lock(p, _band_lock(band))
-                    yield from dsm.unlock(p, _band_lock(band))
-                    yield from dsm.setcv(p, _cv_block(band, block, n_blocks))
-            # phase-1 candidate detection over the finished band
-            if h:
-                finder = StreamingRegionFinder(config.regions.region_config())
-                for r in range(h):
-                    finder.feed(r0 + r + 1, band_rows[r])
-                for region in finder.finish():
-                    queues[p].push(workload.scale_alignment(region.as_alignment()))
-
-        yield from dsm.barrier(p)
-        if p == 0:
-            marks["core_end"] = sim.now
-        if p != 0:
-            n_found = len(queues[p])
-            gather = cost.message_time(64 + 32 * n_found)
-            dsm.stats[p].record_message(64 + 32 * n_found)
-            dsm.stats[p].breakdown.add("communication", gather)
-            yield Delay(gather)
-        yield Delay(cost.node_teardown_time)
-        yield from dsm.barrier(p)
-
-    procs = [sim.spawn(node(p), name=f"node{p}") for p in range(n_procs)]
-    sim.run_all(procs)
-
-    merged = AlignmentQueue()
-    for q in queues:
-        merged.merge(q)
-    alignments = merged.finalize(
-        min_score=config.regions.admission_score,
-        overlap_slack=config.regions.overlap_slack * scale,
-        merge=True,
-    )
-
-    core_start = marks.get("core_start", 0.0)
-    core_end = marks.get("core_end", sim.now)
-    phases = PhaseTimes(
-        init=core_start, core=core_end - core_start, term=sim.now - core_end
-    )
-    return StrategyResult(
-        name="heuristic_block",
-        n_procs=n_procs,
-        nominal_size=(workload.nominal_rows, workload.nominal_cols),
-        total_time=sim.now,
-        phases=phases,
-        stats=dsm.cluster_stats(),
-        alignments=alignments,
-        extras={"n_bands": n_bands, "n_blocks": n_blocks},
+    graph = blocked_plan(workload, config)
+    return SimExecutor(cost, timeline).run(
+        graph, workload.s, workload.t, workload.scoring, scale=workload.scale
     )
 
 

@@ -20,23 +20,20 @@ this has a negative impact on the memory locality within the CPU cache",
 Fig. 19) is modelled as a cell-time multiplier once a band's column arrays
 outgrow the L1/L2 budget; the ablation benchmark regenerates Fig. 19 from
 exactly this term.
+
+:func:`preprocess_plan` converts the config's *nominal* sizes to actual
+rows/columns and builds the band x chunk task graph; :func:`run_preprocess`
+executes it on the simulated cluster.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from ..core.kernels import SCORE_DTYPE
-from ..dsm.jiajia import JiaJia
+from ..plan import SimExecutor, TaskGraph, plan_preprocess
 from ..sim.costmodel import DEFAULT_COST_MODEL, CostModel
-from ..sim.disk import NfsDisk
-from ..sim.engine import Delay, Simulator
-from ..sim.stats import PhaseTimes
 from .base import ScaledWorkload, StrategyResult
-from .blocked import compute_tile
-from .partition import band_heights, bounds_from_heights, chunk_widths
+from .partition import band_heights
 
 IO_MODES = ("none", "immediate", "deferred")
 BAND_SCHEMES = ("fixed", "equal", "balanced")
@@ -82,12 +79,32 @@ class PreprocessConfig:
         return base
 
 
-def _cv_chunk(band: int, chunk: int, n_chunks: int) -> int:
-    return 20_000 + band * n_chunks + chunk
+def preprocess_plan(workload: ScaledWorkload, config: PreprocessConfig) -> TaskGraph:
+    """The Section 5 task graph for this workload and config.
 
+    Config sizes are nominal; the graph is built in actual units, while the
+    cache knobs stay nominal (the sim charges per nominal band height).
+    """
+    scale = workload.scale
 
-def _band_lock(band: int) -> int:
-    return 10_000 + band
+    def to_actual(nominal: int) -> int:
+        return max(1, nominal // scale)
+
+    return plan_preprocess(
+        workload.rows,
+        workload.cols,
+        n_procs=config.n_procs,
+        band_size=to_actual(config.band_size),
+        chunk_size=to_actual(config.chunk_size),
+        band_scheme=config.band_scheme,
+        chunk_growth=config.chunk_growth,
+        threshold=config.threshold,
+        result_interleave=to_actual(config.result_interleave),
+        save_interleave=to_actual(config.save_interleave),
+        io_mode=config.io_mode,
+        cache_friendly_rows=config.cache_friendly_rows,
+        cache_penalty=config.cache_penalty,
+    )
 
 
 def run_preprocess(
@@ -102,138 +119,9 @@ def run_preprocess(
     column bucket), the band heights used, and disk statistics.
     """
     config = config or PreprocessConfig()
-    n_procs = config.n_procs
-    scale = workload.scale
-
-    def to_actual(nominal: int) -> int:
-        return max(1, nominal // scale)
-
-    heights = band_heights(
-        config.band_scheme, workload.rows, to_actual(config.band_size), n_procs
-    )
-    row_bounds = bounds_from_heights(heights)
-    widths = chunk_widths(workload.cols, to_actual(config.chunk_size), config.chunk_growth)
-    col_bounds = bounds_from_heights(widths)
-    n_bands, n_chunks = len(row_bounds), len(col_bounds)
-
-    sim = Simulator(timeline)
-    dsm = JiaJia(sim, n_procs, cost)
-    disks = [NfsDisk(cost.disk) for _ in range(n_procs)]
-    border_bytes = cost.border_bytes_per_cell
-    passage = [
-        dsm.alloc(
-            (workload.nominal_cols + 1) * border_bytes,
-            f"passage-{b}",
-            home=(b + 1) % n_procs if b + 1 < n_bands else 0,
-        )
-        for b in range(n_bands)
-    ]
-
-    boundaries = [np.zeros(workload.cols + 1, dtype=SCORE_DTYPE) for _ in range(n_bands + 1)]
-    ip_result = to_actual(config.result_interleave)
-    ip_save = to_actual(config.save_interleave)
-    n_buckets = -(-workload.cols // ip_result)
-    result_matrix = np.zeros((n_bands, n_buckets), dtype=np.int64)
-    deferred_bytes = [0] * n_procs
-    marks: dict[str, float] = {}
-
-    def node(p: int):
-        yield Delay(cost.node_startup_time)
-        yield from dsm.barrier(p)
-        if p == 0:
-            marks["core_start"] = sim.now
-
-        for band in range(n_bands):
-            if band % n_procs != p:
-                continue
-            r0, r1 = row_bounds[band]
-            h = r1 - r0
-            s_band = workload.s[r0:r1]
-            cell_time = config.cell_time(h * scale, cost)
-            left_col = np.zeros(h, dtype=SCORE_DTYPE)
-            for chunk in range(n_chunks):
-                c0, c1 = col_bounds[chunk]
-                w = c1 - c0
-                if band > 0:
-                    yield from dsm.waitcv(p, _cv_chunk(band - 1, chunk, n_chunks))
-                top = boundaries[band][c0 : c1 + 1].copy()
-                tile = compute_tile(
-                    top, left_col, s_band, workload.t[c0:c1], workload.scoring
-                )
-                left_col = tile[:, -1].copy()
-                cells = h * w
-                yield from dsm.compute(
-                    p, cells * scale * scale * cell_time, cells=cells * scale * scale
-                )
-                # scoreboard: hits per column, bucketed into the result matrix
-                hits_per_col = (tile[:, 1:] >= config.threshold).sum(axis=0)
-                for j in range(w):
-                    result_matrix[band, (c0 + j) // ip_result] += int(hits_per_col[j])
-                # column saving (Section 5: i != 0 and i % ip == 0)
-                if config.io_mode != "none":
-                    saved_cols = sum(
-                        1 for j in range(c0, c1) if j != 0 and j % ip_save == 0
-                    )
-                    if saved_cols:
-                        # one saved column is band_height nominal cells; the
-                        # actual and nominal saved-column *counts* coincide
-                        # because the interleave scales with the columns
-                        nbytes = saved_cols * h * scale * cost.result_bytes_per_cell
-                        dsm.stats[p].disk_bytes_written += nbytes
-                        if config.io_mode == "immediate":
-                            io_time = disks[p].write_time(sim.now, nbytes)
-                            dsm.stats[p].breakdown.add("communication", io_time)
-                            yield Delay(io_time)
-                        else:
-                            deferred_bytes[p] += nbytes
-                boundaries[band + 1][c0 + 1 : c1 + 1] = tile[-1, 1:]
-                if band + 1 < n_bands:
-                    dsm.write(
-                        p, passage[band], c0 * scale * border_bytes, w * scale * border_bytes
-                    )
-                    yield from dsm.lock(p, _band_lock(band))
-                    yield from dsm.unlock(p, _band_lock(band))
-                    yield from dsm.setcv(p, _cv_chunk(band, chunk, n_chunks))
-
-        yield from dsm.barrier(p)
-        if p == 0:
-            marks["core_end"] = sim.now
-        # termination: deferred I/O drains here (Section 5.1's term time)
-        if config.io_mode == "deferred" and deferred_bytes[p]:
-            stage = disks[p].write_time(sim.now, deferred_bytes[p])
-            io_time = stage + disks[p].flush_time(sim.now + stage)
-            dsm.stats[p].breakdown.add("communication", io_time)
-            yield Delay(io_time)
-        elif config.io_mode == "immediate":
-            flush = disks[p].flush_time(sim.now)
-            dsm.stats[p].breakdown.add("communication", flush)
-            yield Delay(flush)
-        yield Delay(cost.node_teardown_time)
-        yield from dsm.barrier(p)
-
-    procs = [sim.spawn(node(p), name=f"node{p}") for p in range(n_procs)]
-    sim.run_all(procs)
-
-    core_start = marks.get("core_start", 0.0)
-    core_end = marks.get("core_end", sim.now)
-    phases = PhaseTimes(
-        init=core_start, core=core_end - core_start, term=sim.now - core_end
-    )
-    return StrategyResult(
-        name="pre_process",
-        n_procs=n_procs,
-        nominal_size=(workload.nominal_rows, workload.nominal_cols),
-        total_time=sim.now,
-        phases=phases,
-        stats=dsm.cluster_stats(),
-        alignments=[],
-        extras={
-            "result_matrix": result_matrix,
-            "band_heights": heights,
-            "n_bands": n_bands,
-            "n_chunks": n_chunks,
-            "disk_bytes": [d.total_written for d in disks],
-        },
+    graph = preprocess_plan(workload, config)
+    return SimExecutor(cost, timeline).run(
+        graph, workload.s, workload.t, workload.scoring, scale=workload.scale
     )
 
 

@@ -18,13 +18,35 @@ from ..obs import gcups, get_metrics, get_tracer, is_enabled
 from ..obs.trace import Stopwatch
 from ..sim.costmodel import DEFAULT_COST_MODEL, CostModel
 from .base import ScaledWorkload, StrategyResult
-from .blocked import BlockedConfig, run_blocked
+from .blocked import BlockedConfig, blocked_plan, run_blocked
 from .phase2 import Phase2Config, run_phase2
-from .preprocess import PreprocessConfig, run_preprocess
-from .wavefront import WavefrontConfig, run_wavefront
+from .preprocess import PreprocessConfig, preprocess_plan, run_preprocess
+from .wavefront import WavefrontConfig, run_wavefront, wavefront_plan
 
 #: Phase-1 strategy registry (the paper's names).
 STRATEGIES = ("heuristic", "heuristic_block", "pre_process")
+
+#: Accepted alternative spellings -- the mp backends' names and common
+#: variants -- mapped to the paper's canonical names.
+STRATEGY_ALIASES = {
+    "wavefront": "heuristic",
+    "blocked": "heuristic_block",
+    "preprocess": "pre_process",
+    "pre-process": "pre_process",
+}
+
+
+def canonical_strategy(name: str) -> str:
+    """Resolve any accepted strategy spelling to the paper's name."""
+    if name in STRATEGIES:
+        return name
+    canonical = STRATEGY_ALIASES.get(name)
+    if canonical is None:
+        raise ValueError(
+            f"unknown strategy {name!r}; expected one of {STRATEGIES} "
+            f"or an alias in {tuple(STRATEGY_ALIASES)}"
+        )
+    return canonical
 
 
 def run_phase1(
@@ -32,15 +54,33 @@ def run_phase1(
     strategy: str = "heuristic_block",
     config=None,
     cost: CostModel = DEFAULT_COST_MODEL,
+    executor=None,
 ) -> StrategyResult:
-    """Run one phase-1 strategy by paper name."""
-    if strategy == "heuristic":
-        return run_wavefront(workload, config, cost)
-    if strategy == "heuristic_block":
-        return run_blocked(workload, config, cost)
-    if strategy == "pre_process":
+    """Run one phase-1 strategy by name (paper names or mp aliases).
+
+    With ``executor=None`` the run goes through the simulated cluster.  Any
+    other :class:`repro.plan.Executor` (e.g. an
+    :class:`~repro.plan.InlineExecutor`) receives the same planner-built
+    task graph and executes it for real -- identical regions, wall-clock
+    timing.
+    """
+    strategy = canonical_strategy(strategy)
+    if executor is None:
+        if strategy == "heuristic":
+            return run_wavefront(workload, config, cost)
+        if strategy == "heuristic_block":
+            return run_blocked(workload, config, cost)
         return run_preprocess(workload, config, cost)
-    raise ValueError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
+    planners = {
+        "heuristic": (wavefront_plan, WavefrontConfig),
+        "heuristic_block": (blocked_plan, BlockedConfig),
+        "pre_process": (preprocess_plan, PreprocessConfig),
+    }
+    plan, default_config = planners[strategy]
+    graph = plan(workload, config or default_config())
+    return executor.run(
+        graph, workload.s, workload.t, workload.scoring, scale=workload.scale
+    )
 
 
 @dataclass
@@ -57,6 +97,10 @@ class PipelineResult:
     phase2: StrategyResult
     records: list = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: Why phase 2 ran on an empty region list, when it did (e.g. workload
+    #: scaling leaves phase-1 regions in nominal coordinates).  ``None``
+    #: when phase 2 saw the real region queue.
+    phase2_skipped_reason: str | None = None
 
     @property
     def total_time(self) -> float:
@@ -77,13 +121,18 @@ def run_pipeline(
     phase1_config=None,
     phase2_config: Phase2Config | None = None,
     cost: CostModel = DEFAULT_COST_MODEL,
+    executor=None,
 ) -> PipelineResult:
     """Compare two genomes end to end on the simulated cluster.
 
     With ``scale == 1`` (the default) the phase-2 alignments are real; with
     workload scaling the phase-1 queue is in nominal coordinates, so phase 2
-    is skipped unless the caller maps regions back to actual data.
+    runs on an empty region list and the result records why in
+    ``phase2_skipped_reason``.  Pass an ``executor`` (e.g.
+    :class:`repro.plan.InlineExecutor`) to run phase 1 for real instead of
+    on the virtual cluster.
     """
+    strategy = canonical_strategy(strategy)
     workload = ScaledWorkload(s, t, scale=scale)
     if phase1_config is None:
         defaults = {
@@ -92,14 +141,20 @@ def run_pipeline(
             "pre_process": PreprocessConfig(n_procs=n_procs),
         }
         phase1_config = defaults.get(strategy)
+    backend = "sim" if executor is None else executor.BACKEND
     tracer = get_tracer()
     with Stopwatch() as wall:
-        with tracer.span("phase1", "phase", strategy=strategy, backend="sim"):
-            phase1 = run_phase1(workload, strategy, phase1_config, cost)
+        with tracer.span("phase1", "phase", strategy=strategy, backend=backend):
+            phase1 = run_phase1(workload, strategy, phase1_config, cost, executor)
         regions = [r for r in phase1.alignments if r.s_length and r.t_length]
+        phase2_skipped_reason = None
         if scale != 1:
+            phase2_skipped_reason = (
+                f"workload scaling (scale={scale}) leaves phase-1 regions in "
+                "nominal coordinates with no actual sequence data behind them"
+            )
             regions = []
-        with tracer.span("phase2", "phase", regions=len(regions), backend="sim"):
+        with tracer.span("phase2", "phase", regions=len(regions), backend=backend):
             phase2 = run_phase2(
                 workload.s,
                 workload.t,
@@ -112,11 +167,29 @@ def run_pipeline(
         phase2=phase2,
         records=phase2.extras.get("records", []),
         wall_seconds=wall.elapsed,
+        phase2_skipped_reason=phase2_skipped_reason,
     )
 
 
 #: Real-parallel (multiprocessing) phase-1 backends served by the pool.
 MP_BACKENDS = ("wavefront", "blocked")
+
+#: Canonical strategy name -> pool backend (pre_process has no real backend).
+_MP_BY_STRATEGY = {"heuristic": "wavefront", "heuristic_block": "blocked"}
+
+
+def _mp_backend(name: str) -> str:
+    """Resolve an mp backend name or any strategy alias to the pool's name."""
+    if name in MP_BACKENDS:
+        return name
+    canonical = canonical_strategy(name)
+    backend = _MP_BY_STRATEGY.get(canonical)
+    if backend is None:
+        raise ValueError(
+            f"strategy {canonical!r} has no real-parallel backend; "
+            f"expected one of {MP_BACKENDS} (or the matching paper names)"
+        )
+    return backend
 
 
 @dataclass
@@ -154,15 +227,16 @@ def run_mp_pipeline(
 ) -> MpPipelineResult:
     """Compare two genomes end to end on real OS processes.
 
-    ``backend`` picks the phase-1 strategy (``"wavefront"`` = Section 4.2,
-    ``"blocked"`` = Section 4.3); phase 2 always uses the scattered mapping
-    of Section 4.4.  Pass an :class:`repro.parallel.AlignmentWorkerPool` as
-    ``pool`` to reuse live workers across calls (the sequences are published
-    to shared memory once and both phases run without a respawn); otherwise
-    a pool is created for this call and torn down afterwards.
+    ``backend`` picks the phase-1 strategy (``"wavefront"``/``"heuristic"``
+    = Section 4.2, ``"blocked"``/``"heuristic_block"`` = Section 4.3; the
+    paper names and the mp names are interchangeable); phase 2 always uses
+    the scattered mapping of Section 4.4.  Pass an
+    :class:`repro.parallel.AlignmentWorkerPool` as ``pool`` to reuse live
+    workers across calls (the sequences are published to shared memory once
+    and both phases run without a respawn); otherwise a pool is created for
+    this call and torn down afterwards.
     """
-    if backend not in MP_BACKENDS:
-        raise ValueError(f"unknown mp backend {backend!r}; expected one of {MP_BACKENDS}")
+    backend = _mp_backend(backend)
     from ..parallel import AlignmentWorkerPool  # local import: optional heavy dep chain
 
     owns = pool is None

@@ -26,63 +26,28 @@ skewed bucket cannot stall the rest of the pool (see ``pool.search``).
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..core.engine import KernelWorkspace
-from ..core.multi_engine import MultiSequenceWorkspace
 from ..core.scoring import DEFAULT_SCORING, SCORE_DTYPE, Scoring
+from ..core.topk import TopK
 from ..obs import gcups, get_metrics, get_tracer, is_enabled
 from ..obs.trace import Stopwatch
+from ..plan import InlineExecutor, plan_search_buckets, search_blob
 from ..seq.alphabet import encode
 from ..seq.db import PackedDatabase, pack_database
 
-
-class TopK:
-    """A bounded max-score heap with deterministic tie-breaking.
-
-    Entries are ``(score, db_index)``; ordering is by score descending then
-    index ascending.  Because the comparison key ``(score, -index)`` is a
-    total order, the surviving set (and therefore :meth:`ranked`) does not
-    depend on insertion order -- workers may push in any interleaving.
-    """
-
-    __slots__ = ("k", "_heap")
-
-    def __init__(self, k: int) -> None:
-        if k < 0:
-            raise ValueError("k must be non-negative")
-        self.k = k
-        self._heap: list[tuple[int, int]] = []
-
-    def push(self, score: int, index: int) -> None:
-        if self.k == 0:
-            return
-        entry = (score, -index)
-        if len(self._heap) < self.k:
-            heapq.heappush(self._heap, entry)
-        elif entry > self._heap[0]:
-            heapq.heapreplace(self._heap, entry)
-
-    def push_lanes(self, scores: np.ndarray, indices: np.ndarray) -> None:
-        """Push one bucket's per-lane best scores."""
-        for lane in range(len(indices)):
-            self.push(int(scores[lane]), int(indices[lane]))
-
-    def merge(self, items) -> None:
-        """Fold another heap's :meth:`items` (worker-local results) in."""
-        for score, index in items:
-            self.push(score, index)
-
-    def items(self) -> list[tuple[int, int]]:
-        """Unordered ``(score, index)`` survivors (picklable)."""
-        return [(score, -neg) for score, neg in self._heap]
-
-    def ranked(self) -> list[tuple[int, int]]:
-        """Survivors sorted by score descending, index ascending."""
-        return sorted(self.items(), key=lambda e: (-e[0], e[1]))
+__all__ = [
+    "SearchConfig",
+    "SearchHit",
+    "SearchResult",
+    "TopK",
+    "search_db",
+    "search_db_sequential",
+    "sequential_best_score",
+]
 
 
 @dataclass(frozen=True)
@@ -166,11 +131,10 @@ def search_db(
         cells=cells,
     ):
         if pool is None:
-            top = TopK(config.top_k)
-            for bucket in packed.buckets:
-                ws = MultiSequenceWorkspace(bucket.codes, bucket.lengths, config.scoring)
-                top.push_lanes(ws.sw_best_scores(query), bucket.indices)
-            ranked = top.ranked()
+            graph = plan_search_buckets(packed, len(query), top_k=config.top_k)
+            ranked = InlineExecutor().run(
+                graph, query, search_blob(packed), config.scoring
+            ).hits
             n_workers = 1
         else:
             ranked = pool.search(

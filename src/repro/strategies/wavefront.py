@@ -9,29 +9,21 @@ border write, a jia_setcv to the right neighbour, and a read-acknowledge
 jia_setcv back (the paper's "processor 0 waits on a condition variable in
 order to guarantee that the preceding value has already been read").
 
-The simulation executes the real DP kernel on the actual sequences while
-charging the virtual clock per *nominal* row (see
-:class:`repro.strategies.base.ScaledWorkload`).  Rows are aggregated into
-groups of G for event-count economy; all protocol costs are still charged
-once per nominal row via the DSM layer's ``repeat`` arguments.
+This module is now a thin strategy front-end: :func:`wavefront_plan` turns a
+config into a :class:`repro.plan.TaskGraph` (rows aggregated into groups of
+G for event-count economy) and :func:`run_wavefront` executes that graph on
+the simulated cluster via :class:`repro.plan.SimExecutor`, which charges all
+protocol costs once per *nominal* row through the DSM layer's ``repeat``
+arguments.  The same graph runs unchanged on the inline and pool backends.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from ..core.alignment import AlignmentQueue
-from ..core.engine import KernelWorkspace
-from ..core.kernels import SCORE_DTYPE
-from ..core.regions import Region, StreamingRegionFinder
-from ..dsm.jiajia import JiaJia
+from ..plan import SimExecutor, TaskGraph, plan_wavefront
 from ..sim.costmodel import DEFAULT_COST_MODEL, CostModel
-from ..sim.engine import Delay, Simulator
-from ..sim.stats import PhaseTimes
 from .base import RegionSettings, ScaledWorkload, StrategyResult
-from .partition import column_partition
 
 
 @dataclass(frozen=True)
@@ -54,22 +46,21 @@ class WavefrontConfig:
             raise ValueError("target_groups must be positive")
 
 
-def _row_groups(rows: int, target: int) -> list[tuple[int, int]]:
-    group = max(1, rows // target)
-    return [(lo, min(lo + group, rows)) for lo in range(0, rows, group)]
-
-
-# Lock / condition-variable id spaces (one per neighbour edge).
-def _edge_lock(p: int) -> int:
-    return 100 + p
-
-
-def _cv_data(p: int) -> int:
-    return 200 + p  # data-ready, signalled by p to p+1
-
-
-def _cv_ack(p: int) -> int:
-    return 300 + p  # read-acknowledge, signalled by p+1 back to p
+def wavefront_plan(workload: ScaledWorkload, config: WavefrontConfig) -> TaskGraph:
+    """The Section 4.2 task graph for this workload and config."""
+    regions = config.regions
+    return plan_wavefront(
+        workload.rows,
+        workload.cols,
+        n_procs=config.n_procs,
+        group_rows=max(1, workload.rows // config.target_groups),
+        threshold=regions.threshold,
+        col_tolerance=regions.col_tolerance,
+        row_tolerance=regions.row_tolerance,
+        min_score=regions.min_score,
+        overlap_slack=regions.overlap_slack,
+        home_migration=config.home_migration,
+    )
 
 
 def run_wavefront(
@@ -80,149 +71,9 @@ def run_wavefront(
 ) -> StrategyResult:
     """Simulate one non-blocked run; returns timings and found alignments."""
     config = config or WavefrontConfig()
-    n_procs = config.n_procs
-    if workload.cols < n_procs:
-        raise ValueError(
-            f"{workload.cols} columns cannot be split over {n_procs} processors"
-        )
-    sim = Simulator(timeline)
-    dsm = JiaJia(sim, n_procs, cost)
-    if config.home_migration:
-        dsm.config("home_migration", True)
-
-    cols = workload.cols
-    scale = workload.scale
-    slices = column_partition(cols, n_procs)
-    groups = _row_groups(workload.rows, config.target_groups)
-
-    # The two shared DP rows, allocated at nominal size with JIAJIA's
-    # round-robin homes: a processor's row-chunk writes are remote for
-    # (P-1)/P of their pages, which is what the release diffs.
-    bytes_per_cell = cost.shared_bytes_per_cell
-    rows_region = dsm.alloc(
-        2 * (workload.nominal_cols + 1) * bytes_per_cell, "dp-rows"
-    )
-
-    # Actual border values flowing across each edge (left neighbour -> me).
-    borders: list[list[int]] = [[] for _ in range(n_procs)]
-    finders = [
-        StreamingRegionFinder(config.regions.region_config()) for _ in range(n_procs)
-    ]
-    marks: dict[str, float] = {}
-
-    def node(p: int):
-        c0, c1 = slices[p]
-        width = c1 - c0
-        t_slice = workload.t[c0:c1]
-        ws = KernelWorkspace(t_slice, workload.scoring)
-        yield Delay(cost.node_startup_time)
-        yield from dsm.barrier(p)
-        if p == 0:
-            marks["core_start"] = sim.now
-
-        prev = np.zeros(width + 1, dtype=SCORE_DTYPE)
-        consumed = 0  # border values taken from the left edge so far
-        for g, (lo, hi) in enumerate(groups):
-            g_rows = hi - lo
-            g_nominal = g_rows * scale
-            if p > 0 and width:
-                yield from dsm.waitcv(p, _cv_data(p - 1), repeat=g_nominal)
-                yield from dsm.fault(p, pages=1, repeat=g_nominal)
-                yield from dsm.setcv(p, _cv_ack(p - 1), repeat=g_nominal)
-            if width:
-                # real kernel over my slice of rows [lo, hi)
-                incoming = borders[p][consumed : consumed + g_rows] if p > 0 else None
-                for r in range(g_rows):
-                    i = lo + r + 1
-                    left = int(incoming[r]) if incoming is not None else 0
-                    prev = ws.sw_row_slice(prev, workload.s[lo + r], left, out=prev)
-                    finders[p].feed(i, prev)
-                    if p < n_procs - 1:
-                        borders[p + 1].append(int(prev[-1]))
-                consumed += g_rows
-                cells = g_rows * width
-                seconds = cells * scale * scale * cost.heuristic_cell_time
-                yield from dsm.compute(p, seconds, cells=cells * scale * scale)
-                # The writing row chunk is re-dirtied every nominal row.  A
-                # producer flushes it at each per-row release (times = G);
-                # the last processor never releases, so its dirty pages
-                # coalesce until the final barrier flushes only the
-                # last-written content once.
-                if p < n_procs - 1:
-                    dsm.write(
-                        p,
-                        rows_region,
-                        (c0 * scale) * bytes_per_cell,
-                        (c1 - c0) * scale * bytes_per_cell,
-                        times=g_nominal,
-                    )
-                elif g == 0:
-                    dsm.write(
-                        p,
-                        rows_region,
-                        (c0 * scale) * bytes_per_cell,
-                        (c1 - c0) * scale * bytes_per_cell,
-                    )
-            if p < n_procs - 1 and width:
-                yield from dsm.lock(p, _edge_lock(p), repeat=g_nominal)
-                yield from dsm.unlock(p, _edge_lock(p), extra_releases=g_nominal - 1)
-                yield from dsm.setcv(p, _cv_data(p), repeat=g_nominal)
-                # The consumer acks immediately after *reading* (before its
-                # compute), so this wait does not serialise the pipeline;
-                # it is the paper's "guarantee that the preceding value has
-                # already been read".
-                yield from dsm.waitcv(p, _cv_ack(p), repeat=g_nominal)
-        yield from dsm.barrier(p)
-        if p == 0:
-            marks["core_end"] = sim.now
-        # gather: every node ships its queue to node 0
-        if p != 0:
-            n_found = len(finders[p]._finished) + len(finders[p]._active)
-            yield from dsm.compute(p, 0.0)
-            dsm.stats[p].record_message(64 + 32 * n_found)
-            gather = cost.message_time(64 + 32 * n_found)
-            dsm.stats[p].breakdown.add("communication", gather)
-            yield Delay(gather)
-        yield Delay(cost.node_teardown_time)
-        yield from dsm.barrier(p)
-
-    procs = [sim.spawn(node(p), name=f"node{p}") for p in range(n_procs)]
-    sim.run_all(procs)
-
-    queue = AlignmentQueue()
-    for p, finder in enumerate(finders):
-        c0 = slices[p][0]
-        for region in finder.finish():
-            shifted = Region(
-                s_start=region.s_start,
-                s_end=region.s_end,
-                t_start=region.t_start + c0,
-                t_end=region.t_end + c0,
-                score=region.score,
-                peak_i=region.peak_i,
-                peak_j=region.peak_j + c0,
-                n_hits=region.n_hits,
-            )
-            queue.push(workload.scale_alignment(shifted.as_alignment()))
-    alignments = queue.finalize(
-        min_score=config.regions.admission_score,
-        overlap_slack=config.regions.overlap_slack * scale,
-        merge=True,
-    )
-
-    core_start = marks.get("core_start", 0.0)
-    core_end = marks.get("core_end", sim.now)
-    phases = PhaseTimes(
-        init=core_start, core=core_end - core_start, term=sim.now - core_end
-    )
-    return StrategyResult(
-        name="heuristic",
-        n_procs=n_procs,
-        nominal_size=(workload.nominal_rows, workload.nominal_cols),
-        total_time=sim.now,
-        phases=phases,
-        stats=dsm.cluster_stats(),
-        alignments=alignments,
+    graph = wavefront_plan(workload, config)
+    return SimExecutor(cost, timeline).run(
+        graph, workload.s, workload.t, workload.scoring, scale=workload.scale
     )
 
 

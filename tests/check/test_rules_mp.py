@@ -61,9 +61,44 @@ def worker(tasks, running):
     assert [f.rule for f in check(src)] == ["MP001"]
 
 
+def test_named_sentinel_pull_loop_is_quiet():
+    src = """
+SENTINEL = None
+
+def worker(tasks):
+    while True:
+        job = tasks.get()
+        if job is SENTINEL:
+            break
+        run(job)
+"""
+    assert check(src) == []
+
+
+def test_named_sentinel_must_be_a_module_none_constant():
+    # A name that is not a module-level None binding is no sentinel: the
+    # break test compares against arbitrary state, so the get still hangs
+    # if the producer never sends that object.
+    src = """
+def worker(tasks, stop_token):
+    while True:
+        job = tasks.get()
+        if job is stop_token:
+            break
+        run(job)
+"""
+    assert [f.rule for f in check(src)] == ["MP001"]
+
+
 def test_rule_scoped_to_parallel():
     src = "def collect(q):\n    return q.get()\n"
     assert check_source(src, RULES, module="obs/x.py") == []
+
+
+def test_rule_covers_plan_modules():
+    src = "def collect(q):\n    return q.get()\n"
+    findings = check_source(src, RULES, module="plan/x.py")
+    assert [f.rule for f in findings] == ["MP001"]
 
 
 # -- MP002: lone sentinel sends ---------------------------------------------
@@ -91,5 +126,35 @@ def stop(work, n_workers):
     assert check(src) == []
 
 
+def test_lone_put_named_sentinel_fires():
+    src = """
+SENTINEL = None
+
+def stop(q):
+    q.put(SENTINEL)
+"""
+    assert [f.rule for f in check(src)] == ["MP002"]
+
+
+def test_named_sentinel_loop_over_workers_is_quiet():
+    src = """
+SENTINEL = None
+
+def stop(tasks):
+    for q in tasks:
+        q.put(SENTINEL)
+"""
+    assert check(src) == []
+
+
 def test_put_of_payload_is_quiet():
     assert check("def send(q, job):\n    q.put(job)\n") == []
+
+
+def test_put_of_non_sentinel_name_is_quiet():
+    # No module-level None binding for `job`, so this is a payload send.
+    src = """
+def send(q, job):
+    q.put(job)
+"""
+    assert check(src) == []

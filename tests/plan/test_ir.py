@@ -1,0 +1,74 @@
+"""The task-graph IR: invariants, queries, and the critical-path bound."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.plan import DYNAMIC, TaskGraph, Tile
+
+
+def diamond() -> TaskGraph:
+    #   0
+    #  / \
+    # 1   2
+    #  \ /
+    #   3
+    tiles = (
+        Tile(0, 0, 5, ("a",)),
+        Tile(1, 0, 3, ("b",), (0,)),
+        Tile(2, 1, 4, ("c",), (0,)),
+        Tile(3, 1, 2, ("d",), (1, 2)),
+    )
+    return TaskGraph(kind="blocked", n_procs=2, shape=(4, 4), tiles=tiles)
+
+
+class TestValidate:
+    def test_valid_graph_returns_itself(self):
+        g = diamond()
+        assert g.validate() is g
+
+    def test_ids_must_be_dense(self):
+        g = TaskGraph("blocked", 1, (2, 2), (Tile(1, 0, 4, ()),))
+        with pytest.raises(ValueError, match="dense"):
+            g.validate()
+
+    def test_deps_must_point_backwards(self):
+        tiles = (Tile(0, 0, 4, (), (0,)),)
+        with pytest.raises(ValueError, match="topological"):
+            TaskGraph("blocked", 1, (2, 2), tiles).validate()
+
+    def test_owner_out_of_range(self):
+        tiles = (Tile(0, 3, 4, ()),)
+        with pytest.raises(ValueError, match="owner"):
+            TaskGraph("blocked", 2, (2, 2), tiles).validate()
+
+    def test_dynamic_owner_is_allowed(self):
+        tiles = (Tile(0, DYNAMIC, 4, ()),)
+        TaskGraph("search", 1, (2, 2), tiles).validate()
+
+    def test_n_procs_must_be_positive(self):
+        with pytest.raises(ValueError, match="n_procs"):
+            TaskGraph("blocked", 0, (2, 2), ()).validate()
+
+
+class TestQueries:
+    def test_tiles_of_preserves_topological_order(self):
+        g = diamond()
+        assert [t.id for t in g.tiles_of(0)] == [0, 1]
+        assert [t.id for t in g.tiles_of(1)] == [2, 3]
+
+    def test_owners_sorted_dynamic_first(self):
+        tiles = (Tile(0, 1, 1, ()), Tile(1, DYNAMIC, 1, ()), Tile(2, 0, 1, ()))
+        g = TaskGraph("search", 2, (1, 1), tiles)
+        assert g.owners() == [DYNAMIC, 0, 1]
+
+    def test_total_cells(self):
+        assert diamond().total_cells == 14
+
+    def test_critical_path_is_heaviest_chain(self):
+        # 0 -> 2 -> 3 outweighs 0 -> 1 -> 3.
+        assert diamond().critical_path_cells() == 5 + 4 + 2
+
+    def test_critical_path_of_empty_graph_is_zero(self):
+        g = TaskGraph("search", 1, (0, 0), ())
+        assert g.critical_path_cells() == 0

@@ -1,0 +1,117 @@
+"""Cross-backend parity: one graph, identical answers everywhere.
+
+The planner's whole promise is that the choice of backend -- simulated
+cluster, inline, or the persistent pool -- changes *where* tiles run and
+nothing about the results.  These tests push the same task graph through
+all three and require bitwise-identical region sets and search rankings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.parallel import AlignmentWorkerPool
+from repro.plan import (
+    InlineExecutor,
+    PoolExecutor,
+    SimExecutor,
+    plan_blocked,
+    plan_search_buckets,
+    plan_wavefront,
+    search_blob,
+)
+from repro.seq import encode, genome_pair
+from repro.seq.db import pack_database, synthetic_database
+from repro.strategies import SearchConfig, search_db_sequential
+
+
+@pytest.fixture(scope="module")
+def pair():
+    gp = genome_pair(
+        600, 600, n_regions=2, region_length=60, mutation_rate=0.02, rng=77
+    )
+    return encode(gp.s), encode(gp.t)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with AlignmentWorkerPool(n_workers=2) as p:
+        yield p
+
+
+def regions(result):
+    return sorted(
+        (a.score, a.s_start, a.s_end, a.t_start, a.t_end) for a in result.alignments
+    )
+
+
+class TestRegionParity:
+    def test_wavefront_identical_across_backends(self, pair, pool):
+        s, t = pair
+        graph = plan_wavefront(len(s), len(t), n_procs=2, group_rows=16)
+        inline = InlineExecutor().run(graph, s, t)
+        sim = SimExecutor().run(graph, s, t)
+        pooled = PoolExecutor(pool).run(graph, s, t)
+        assert regions(inline)
+        assert regions(inline) == regions(sim) == regions(pooled)
+
+    def test_blocked_identical_across_backends(self, pair, pool):
+        s, t = pair
+        graph = plan_blocked(len(s), len(t), n_procs=2, n_bands=8, n_blocks=8)
+        inline = InlineExecutor().run(graph, s, t)
+        sim = SimExecutor().run(graph, s, t)
+        pooled = PoolExecutor(pool).run(graph, s, t)
+        assert regions(inline)
+        assert regions(inline) == regions(sim) == regions(pooled)
+
+    def test_backends_are_stamped(self, pair, pool):
+        s, t = pair
+        graph = plan_blocked(len(s), len(t), n_procs=2, n_bands=8, n_blocks=8)
+        inline = InlineExecutor().run(graph, s, t)
+        pooled = PoolExecutor(pool).run(graph, s, t)
+        assert inline.backend == "inline" and pooled.backend == "pool"
+        assert inline.name == "blocked"
+        assert inline.total_time == inline.wall_seconds
+
+
+class TestSearchParity:
+    def test_inline_pool_and_sequential_agree(self, pool):
+        db = synthetic_database(n=10, min_length=40, max_length=90, rng=9)
+        packed = pack_database(db)
+        query = "ACGTACGTACGTACGT"
+        q = encode(query)
+        graph = plan_search_buckets(packed, len(q), top_k=5)
+        inline = InlineExecutor().run(graph, q, search_blob(packed)).hits
+        pooled = pool.search(query, packed, top_k=5)
+        sequential = search_db_sequential(query, packed, SearchConfig(top_k=5))
+        reference = [(h.score, h.index) for h in sequential.hits]
+        assert reference
+        assert inline == pooled == reference
+
+
+class TestExecutorGuards:
+    def test_real_backends_reject_scaled_workloads(self, pair):
+        s, t = pair
+        graph = plan_wavefront(len(s), len(t), n_procs=2, group_rows=16)
+        with pytest.raises(ValueError, match="scale=1"):
+            InlineExecutor().run(graph, s, t, scale=4)
+        with pytest.raises(ValueError, match="scale=1"):
+            PoolExecutor(pool=None).run(graph, s, t, scale=4)
+
+    def test_pool_executor_rejects_search_graphs(self):
+        packed = pack_database(
+            synthetic_database(n=4, min_length=40, max_length=60, rng=3)
+        )
+        graph = plan_search_buckets(packed, 8)
+        with pytest.raises(ValueError, match="run_search_plan"):
+            PoolExecutor(pool=None).run(graph, encode("ACGTACGT"), search_blob(packed))
+
+    def test_pool_executor_needs_a_spec(self, pair):
+        s, t = pair
+        graph = plan_wavefront(len(s), len(t), n_procs=2, group_rows=16)
+        with pytest.raises(ValueError, match="PlanSpec"):
+            PoolExecutor(pool=None).run(
+                dataclasses.replace(graph, spec=None), s, t
+            )

@@ -1,0 +1,89 @@
+"""Strategy-name unification and the explicit phase-2 skip reason.
+
+The paper's names (``heuristic``, ``heuristic_block``, ``pre_process``) and
+the mp backends' names (``wavefront``, ``blocked``) must be interchangeable
+everywhere a strategy is named, and a scaled pipeline must *say* that phase
+2 was skipped instead of silently aligning nothing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.seq import genome_pair
+from repro.strategies import (
+    MP_BACKENDS,
+    STRATEGIES,
+    STRATEGY_ALIASES,
+    ScaledWorkload,
+    canonical_strategy,
+    run_phase1,
+    run_pipeline,
+)
+from repro.strategies.runner import _mp_backend
+
+
+@pytest.fixture(scope="module")
+def pair():
+    gp = genome_pair(
+        600, 600, n_regions=1, region_length=80, mutation_rate=0.02, rng=41
+    )
+    return gp.s, gp.t
+
+
+class TestCanonicalStrategy:
+    def test_paper_names_are_fixed_points(self):
+        for name in STRATEGIES:
+            assert canonical_strategy(name) == name
+
+    def test_every_alias_resolves_to_a_paper_name(self):
+        for alias, paper in STRATEGY_ALIASES.items():
+            assert canonical_strategy(alias) == paper
+            assert paper in STRATEGIES
+
+    def test_unknown_name_rejected_with_the_full_vocabulary(self):
+        with pytest.raises(ValueError, match="heuristic_block"):
+            canonical_strategy("diagonal")
+
+
+class TestAliasesAcceptedEverywhere:
+    def test_run_phase1_same_result_under_both_names(self, pair):
+        s, t = pair
+        workload = ScaledWorkload(s, t)
+        paper = run_phase1(workload, "heuristic")
+        alias = run_phase1(workload, "wavefront")
+        assert paper.name == alias.name == "heuristic"
+        assert paper.alignments == alias.alignments
+        assert paper.total_time == alias.total_time
+
+    def test_run_pipeline_accepts_mp_names(self, pair):
+        s, t = pair
+        result = run_pipeline(s, t, strategy="blocked", n_procs=4)
+        assert result.phase1.name == "heuristic_block"
+
+    def test_mp_backend_accepts_both_vocabularies(self):
+        assert _mp_backend("wavefront") == "wavefront"
+        assert _mp_backend("heuristic") == "wavefront"
+        assert _mp_backend("heuristic_block") == "blocked"
+        assert _mp_backend("blocked") == "blocked"
+
+    def test_pre_process_has_no_real_backend(self):
+        with pytest.raises(ValueError, match="no real-parallel backend"):
+            _mp_backend("pre_process")
+        with pytest.raises(ValueError, match="no real-parallel backend"):
+            _mp_backend("preprocess")
+        assert "pre_process" not in MP_BACKENDS
+
+
+class TestPhase2SkipReason:
+    def test_scaled_pipeline_records_why_phase2_was_skipped(self, pair):
+        s, t = pair
+        result = run_pipeline(s, t, strategy="heuristic_block", scale=4)
+        assert result.phase2_skipped_reason is not None
+        assert "scale=4" in result.phase2_skipped_reason
+        assert result.records == []
+
+    def test_unscaled_pipeline_has_no_skip_reason(self, pair):
+        s, t = pair
+        result = run_pipeline(s, t, strategy="heuristic_block", scale=1)
+        assert result.phase2_skipped_reason is None

@@ -26,6 +26,31 @@ class TestAlign:
         assert "phase 1" in out and "similar regions" in out
         assert "similarity:" in out
 
+    def test_demo_align_accepts_alias_names(self, capsys):
+        rc = main(
+            ["align", "--demo", "--demo-length", "600",
+             "--strategy", "blocked", "--procs", "2", "--top", "1"]
+        )
+        assert rc == 0
+        assert "heuristic_block" in capsys.readouterr().out
+
+    def test_inline_backend_reports_wall_clock(self, capsys):
+        rc = main(
+            ["align", "--demo", "--demo-length", "600", "--backend", "inline",
+             "--strategy", "wavefront", "--procs", "2", "--top", "1"]
+        )
+        assert rc == 0
+        assert "inline execution" in capsys.readouterr().out
+
+    def test_scaled_run_explains_the_phase2_skip(self, capsys):
+        rc = main(
+            ["align", "--demo", "--demo-length", "600", "--scale", "4",
+             "--procs", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "phase 2 skipped:" in out and "scale=4" in out
+
     def test_align_fasta_files(self, tmp_path, capsys):
         main(
             [
