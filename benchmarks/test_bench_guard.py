@@ -1,0 +1,92 @@
+"""Benchmark regression guard over the committed BENCH_kernels.json.
+
+Reruns the deterministic kernel suite (:mod:`repro.analysis.bench`) on this
+machine and fails if any committed ``*_gcups`` throughput entry regresses by
+more than 30%.  The committed baseline was produced by ``genomedsm bench
+kernels`` on the repository's reference machine; the ``_machine`` stamp in
+the JSON says which.  On a different machine absolute numbers shift, which
+is why the guard only fires on *regressions* against a locally regenerated
+run -- it lives in ``benchmarks/`` (not ``tests/``) so tier-1 CI, which runs
+on arbitrary shared runners, never judges wall-clock throughput.
+
+Usage: ``PYTHONPATH=src python -m pytest benchmarks/test_bench_guard.py``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.bench import run_kernel_bench
+
+BASELINE_PATH = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "BENCH_kernels.json")
+)
+
+#: Allowed throughput drop before the guard fires.  Generous because the
+#: suite runs on whatever this host is doing right now; a real kernel
+#: regression (a lost vectorized path, an accidental per-row allocation)
+#: costs 2x or more, well past this line.
+MAX_REGRESSION = 0.30
+
+#: Wall-time / speedup keys are not guarded: seconds scale with machine
+#: speed and speedups are ratios of two runs' noise.  Only the *_gcups
+#: throughput figures -- the numbers the README table quotes -- are.
+GUARDED_SUFFIX = "_gcups"
+
+
+@pytest.fixture(scope="module")
+def baseline() -> dict:
+    if not os.path.exists(BASELINE_PATH):
+        pytest.skip("no committed BENCH_kernels.json to guard against")
+    with open(BASELINE_PATH, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+@pytest.fixture(scope="module")
+def rerun() -> dict:
+    return run_kernel_bench(quick=False)
+
+
+def test_no_gcups_entry_regresses_30_percent(baseline, rerun):
+    if baseline.get("_machine", {}).get("quick"):
+        pytest.skip("baseline was recorded with --quick; not comparable")
+    failures = []
+    compared = 0
+    for entry_key, entry in baseline.items():
+        if entry_key.startswith("_") or not isinstance(entry, dict):
+            continue
+        fresh = rerun.get(entry_key)
+        for key, value in entry.items():
+            if not key.endswith(GUARDED_SUFFIX):
+                continue
+            if not isinstance(value, (int, float)) or value <= 0:
+                continue
+            if fresh is None or key not in fresh:
+                failures.append(f"{entry_key}.{key}: missing from rerun")
+                continue
+            compared += 1
+            ratio = fresh[key] / value
+            if ratio < 1.0 - MAX_REGRESSION:
+                failures.append(
+                    f"{entry_key}.{key}: {fresh[key]:.4f} vs baseline "
+                    f"{value:.4f} ({ratio:.0%} of baseline)"
+                )
+    assert compared > 0, "baseline has no *_gcups entries to guard"
+    assert not failures, "throughput regressions:\n  " + "\n  ".join(failures)
+
+
+def test_striped_entry_holds_3x_over_recorded_batched(baseline):
+    """The tentpole acceptance number, pinned against the *recorded* history.
+
+    The striped db-search entry must stay >= 3x the 0.28 GCUPS the batched
+    kernel recorded before the striped kernel landed (the classic entry has
+    since sped up too; the floor is the historical one the issue named).
+    """
+    entry = baseline.get("db_search_striped_1000seq_2kbp_query")
+    if entry is None:
+        pytest.skip("no striped db-search entry recorded yet")
+    assert entry["striped_gcups"] >= 0.84, (
+        f"striped db search at {entry['striped_gcups']:.3f} GCUPS, "
+        "below 3x the 0.28 batched baseline"
+    )

@@ -1,0 +1,314 @@
+"""Deterministic kernel benchmark suite behind ``genomedsm bench kernels``.
+
+Regenerates every entry of ``BENCH_kernels.json`` from fixed seeds: the
+4 kBP pairwise scan (naive -> vectorized -> workspace), the batched row
+block, the 1,000-sequence database search through both the classic batched
+kernel and the striped query-profile kernel of :mod:`repro.core.striped`,
+and the pool-vs-spawn wavefront repeat.  The same workloads and timing
+discipline as the ``benchmarks/`` pytest suite (min-of-rounds after a
+warmup call, cell counts cross-checked against the ``repro.obs`` metrics
+registry), so numbers regenerated here are comparable to the committed
+baseline on the same machine.
+
+Every entry carries ``kernel``/``dtype``/``lane_mode`` fields naming the
+code path it measured, and the file is stamped with a ``_machine`` record
+(platform, python, numpy) so cross-machine diffs are self-explaining.
+``quick=True`` shrinks the workloads for CI smoke runs; the resulting
+numbers exercise the same code paths but are *not* comparable to the
+committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+
+import numpy as np
+
+from ..core import KernelWorkspace, StripedMultiWorkspace, initial_row
+from ..core.kernels import SCORE_DTYPE, sw_row_naive
+from ..core.scoring import DEFAULT_SCORING
+from ..obs import gcups, observed
+from ..seq import genome_pair, pack_database, random_dna, synthetic_database
+from ..strategies import SearchConfig, search_db, search_db_sequential
+
+__all__ = ["run_kernel_bench", "write_bench"]
+
+
+def _seed_sw_row(prev, s_char, t_codes, scoring=DEFAULT_SCORING):
+    """The historical pre-workspace ``sw_row``, kept verbatim as the
+    vectorized baseline: per-call ``np.where`` substitution lookup, fresh
+    candidate/ramp/int64 buffers on every row."""
+    sub = np.where(t_codes == s_char, np.int32(scoring.match), np.int32(scoring.mismatch))
+    cand = np.empty(prev.size, dtype=SCORE_DTYPE)
+    cand[0] = 0
+    np.maximum(prev[:-1] + sub, prev[1:] + SCORE_DTYPE(scoring.gap), out=cand[1:])
+    np.maximum(cand, 0, out=cand)
+    g = -scoring.gap
+    idx = np.arange(cand.size, dtype=np.int64)
+    x = cand.astype(np.int64)
+    x += g * idx
+    np.maximum.accumulate(x, out=x)
+    x -= g * idx
+    return x.astype(SCORE_DTYPE)
+
+
+def _best_of(fn, rounds: int) -> float:
+    """Min-of-rounds wall time after one untimed warmup call."""
+    fn()
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _machine(quick: bool) -> dict:
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "quick": quick,
+    }
+
+
+def _bench_pair_scan(quick: bool, rounds: int) -> dict:
+    """naive -> vectorized (seed kernel) -> workspace on one square scan."""
+    n = 512 if quick else 4096
+    s = random_dna(n, rng=11)
+    t = random_dna(n, rng=12)
+    cells = len(s) * len(t)
+
+    def seed_scan():
+        prev = initial_row(len(t), local=True)
+        for ch in s:
+            prev = _seed_sw_row(prev, int(ch), t)
+        return prev
+
+    def workspace_scan():
+        ws = KernelWorkspace(t)
+        prev = initial_row(len(t), local=True)
+        for ch in s:
+            prev = ws.sw_row(prev, int(ch), out=prev)
+        return prev
+
+    if not np.array_equal(seed_scan(), workspace_scan()):
+        raise AssertionError("workspace scan diverged from the seed kernel")
+    seed_s = _best_of(seed_scan, rounds)
+    workspace_s = _best_of(workspace_scan, rounds)
+
+    # One naive row, extrapolated: the per-cell Python loop is ~1000x off.
+    prev = initial_row(len(t), local=True)
+    start = time.perf_counter()
+    sw_row_naive(prev, int(s[0]), t)
+    naive_row_s = time.perf_counter() - start
+
+    # Prove the recorded GCUPS rests on *counted* cells: one batched scan
+    # under observed() must agree with the m*n geometry.
+    with observed("bench") as (_, metrics):
+        ws = KernelWorkspace(t)
+        block = np.empty((len(s), len(t) + 1), dtype=SCORE_DTYPE)
+        ws.sw_rows(initial_row(len(t), local=True), s, out=block)
+    cells_counted = metrics.counter("cells_computed").value
+    if cells_counted != cells:
+        raise AssertionError(f"counted {cells_counted} cells, expected {cells}")
+
+    return {
+        "kernel": "classic",
+        "dtype": "int32",
+        "lane_mode": "pairwise",
+        "naive_cells_per_s": len(t) / naive_row_s,
+        "vectorized_cells_per_s": cells / seed_s,
+        "workspace_cells_per_s": cells / workspace_s,
+        "vectorized_seconds": seed_s,
+        "workspace_seconds": workspace_s,
+        "workspace_speedup_vs_vectorized": seed_s / workspace_s,
+        "workspace_gcups": gcups(cells_counted, workspace_s),
+        "cells_counted": cells_counted,
+    }
+
+
+def _bench_batched_rows(quick: bool, rounds: int) -> dict:
+    """The sw_rows batch API filling a whole matrix block."""
+    n = 512 if quick else 4096
+    m = 128 if quick else 512
+    s = random_dna(n, rng=11)
+    t = random_dna(n, rng=12)
+    block = np.zeros((m + 1, n + 1), dtype=SCORE_DTYPE)
+
+    def fill():
+        ws = KernelWorkspace(t)
+        ws.sw_rows(block[0], s[:m], out=block[1:])
+        return block
+
+    elapsed = _best_of(fill, rounds)
+    return {
+        "kernel": "classic",
+        "dtype": "int32",
+        "lane_mode": "pairwise",
+        "cells_per_s": m * n / elapsed,
+        "gcups": gcups(m * n, elapsed),
+    }
+
+
+def _search_workload(quick: bool):
+    n_db = 200 if quick else 1000
+    query_bp = 500 if quick else 2000
+    db = synthetic_database(n=n_db, min_length=300, max_length=700, rng=77)
+    query = random_dna(query_bp, rng=78)
+    return query, db, n_db
+
+
+def _bench_db_search(quick: bool, rounds: int) -> dict:
+    """Classic batched search vs the one-at-a-time sequential reference."""
+    query, db, n_db = _search_workload(quick)
+    subset = db[: max(20, n_db // 10)]
+    config = SearchConfig(top_k=10)
+
+    sequential = search_db_sequential(query, subset, config)
+    if search_db(query, subset, config).scores() != sequential.scores():
+        raise AssertionError("batched search ranking diverged from sequential")
+
+    packed = pack_database(db)
+    elapsed = _best_of(lambda: search_db(query, packed, config), rounds)
+    result = search_db(query, packed, config)
+
+    sequential_rate = sequential.total_cells / sequential.wall_seconds
+    batched_rate = result.total_cells / elapsed
+    return {
+        "kernel": "classic",
+        "dtype": "int16",
+        "lane_mode": "batched",
+        "n_sequences": n_db,
+        "total_cells": result.total_cells,
+        "padded_slots": packed.padded_slots,
+        "sequential_cells_per_s": sequential_rate,
+        "batched_cells_per_s": batched_rate,
+        "sequential_gcups": gcups(sequential.total_cells, sequential.wall_seconds),
+        "batched_gcups": gcups(result.total_cells, elapsed),
+        "batched_seconds": elapsed,
+        "batched_speedup_vs_sequential": batched_rate / sequential_rate,
+    }
+
+
+def _bench_db_search_striped(quick: bool, rounds: int, classic_gcups: float) -> dict:
+    """The striped kernel on the same database-search workload.
+
+    Parity with the classic ranking is asserted on the *full* database
+    before anything is timed; the recorded profile-cache and overflow
+    counters come from the striped kernel's own stats hooks.
+    """
+    from ..core import striped
+
+    query, db, n_db = _search_workload(quick)
+    config = SearchConfig(top_k=10, kernel="striped")
+    classic = search_db(query, db, SearchConfig(top_k=10))
+
+    packed = pack_database(
+        db,
+        max_lanes=config.resolved_max_lanes,
+        max_waste=config.resolved_max_waste,
+    )
+    result = search_db(query, packed, config)
+    if result.scores() != classic.scores():
+        raise AssertionError("striped search ranking diverged from classic")
+
+    striped.clear_profile_cache()
+    striped.reset_overflow_stats()
+    elapsed = _best_of(lambda: search_db(query, packed, config), rounds)
+    cache = striped.profile_cache_stats()
+    overflow = striped.overflow_stats()
+
+    striped_gcups = gcups(result.total_cells, elapsed)
+    return {
+        "kernel": "striped",
+        "dtype": "int8",
+        "lane_mode": "auto",
+        "n_sequences": n_db,
+        "total_cells": result.total_cells,
+        "padded_slots": packed.padded_slots,
+        "striped_cells_per_s": result.total_cells / elapsed,
+        "striped_gcups": striped_gcups,
+        "striped_seconds": elapsed,
+        "striped_speedup_vs_batched": (
+            striped_gcups / classic_gcups if classic_gcups else 0.0
+        ),
+        "profile_cache_hits": cache["hits"],
+        "profile_cache_misses": cache["misses"],
+        "overflow_lanes": overflow["lanes"],
+        "overflow_recomputes": overflow["recomputes"],
+    }
+
+
+def _bench_pool_wavefront(quick: bool) -> dict:
+    """Pool-amortized vs spawn-per-call mp_wavefront repeats."""
+    from ..parallel import (
+        AlignmentWorkerPool,
+        MpWavefrontConfig,
+        mp_wavefront_alignments,
+    )
+
+    gp = genome_pair(
+        600, 600, n_regions=2, region_length=60, mutation_rate=0.02, rng=51
+    )
+    config = MpWavefrontConfig(n_workers=2, rows_per_exchange=16)
+    reps = 3 if quick else 10
+
+    start = time.perf_counter()
+    for _ in range(reps):
+        mp_wavefront_alignments(gp.s, gp.t, config)
+    spawn_s = time.perf_counter() - start
+
+    with AlignmentWorkerPool(n_workers=2) as pool:
+        pool.load_pair(gp.s, gp.t)
+        pool.wavefront(config=config)  # warmup: first call pays arena attach
+        start = time.perf_counter()
+        for _ in range(reps):
+            pool.wavefront(config=config)
+        pool_s = time.perf_counter() - start
+
+    return {
+        "kernel": "classic",
+        "dtype": "int32",
+        "lane_mode": "pairwise",
+        "n_workers": 2,
+        "repeats": reps,
+        "spawn_seconds": spawn_s,
+        "pool_seconds": pool_s,
+        "pool_speedup": spawn_s / pool_s,
+    }
+
+
+def run_kernel_bench(quick: bool = False, progress=None) -> dict:
+    """Run the whole suite; returns the BENCH_kernels.json payload."""
+    rounds = 1 if quick else 3
+
+    def note(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    results: dict = {"_machine": _machine(quick)}
+    note("sw_scan: naive / vectorized / workspace ...")
+    results["sw_scan_4096x4096"] = _bench_pair_scan(quick, rounds)
+    note("sw_rows: batched block ...")
+    results["sw_rows_batched_512x4096"] = _bench_batched_rows(quick, rounds)
+    note("db_search: classic batched ...")
+    results["db_search_1000seq_2kbp_query"] = _bench_db_search(quick, rounds)
+    note("db_search: striped ...")
+    results["db_search_striped_1000seq_2kbp_query"] = _bench_db_search_striped(
+        quick, rounds, results["db_search_1000seq_2kbp_query"]["batched_gcups"]
+    )
+    note("mp_wavefront: pool vs spawn ...")
+    results["mp_wavefront_10_repeats_600x600"] = _bench_pool_wavefront(quick)
+    return results
+
+
+def write_bench(results: dict, path: str) -> None:
+    """Write the payload as sorted, indented JSON (stable diffs)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")

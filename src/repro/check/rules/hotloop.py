@@ -18,7 +18,7 @@ from .dtype import ALLOCATORS, _is_numpy_attr
 
 #: Modules whose every function is held to kernel discipline.
 KERNEL_MODULES = frozenset(
-    {"core/engine.py", "core/multi_engine.py", "core/kernels.py"}
+    {"core/engine.py", "core/multi_engine.py", "core/kernels.py", "core/striped.py"}
 )
 
 #: Comment marker promoting a single function to kernel discipline.

@@ -67,13 +67,30 @@ def cmd_align(args) -> int:
         if args.backend == "mp":
             from .strategies import canonical_strategy, run_mp_pipeline
 
-            if canonical_strategy(args.strategy) == "pre_process":
+            strategy = canonical_strategy(args.strategy)
+            if strategy == "pre_process":
                 raise SystemExit(
                     f"strategy {args.strategy!r} has no real-parallel backend; "
                     "use --strategy heuristic or heuristic_block with --backend mp"
                 )
+            mp_config = None
+            if args.kernel != "classic":
+                from .parallel import MpBlockedConfig, MpWavefrontConfig
+
+                if strategy == "heuristic":
+                    mp_config = MpWavefrontConfig(
+                        n_workers=args.mp_workers, kernel=args.kernel
+                    )
+                else:
+                    mp_config = MpBlockedConfig(
+                        n_workers=args.mp_workers, kernel=args.kernel
+                    )
             result = run_mp_pipeline(
-                s, t, backend=args.strategy, n_workers=args.mp_workers
+                s,
+                t,
+                backend=args.strategy,
+                n_workers=args.mp_workers,
+                phase1_config=mp_config,
             )
             print(
                 f"phase 1 ({result.backend}, {result.n_workers} worker processes): "
@@ -94,12 +111,33 @@ def cmd_align(args) -> int:
                 from .plan import InlineExecutor
 
                 executor = InlineExecutor()
+            phase1_config = None
+            if args.kernel != "classic":
+                from .strategies import (
+                    BlockedConfig,
+                    PreprocessConfig,
+                    WavefrontConfig,
+                    canonical_strategy,
+                )
+
+                phase1_config = {
+                    "heuristic": WavefrontConfig(
+                        n_procs=args.procs, kernel=args.kernel
+                    ),
+                    "heuristic_block": BlockedConfig(
+                        n_procs=args.procs, kernel=args.kernel
+                    ),
+                    "pre_process": PreprocessConfig(
+                        n_procs=args.procs, kernel=args.kernel
+                    ),
+                }[canonical_strategy(args.strategy)]
             result = run_pipeline(
                 s,
                 t,
                 strategy=args.strategy,
                 n_procs=args.procs,
                 scale=args.scale,
+                phase1_config=phase1_config,
                 executor=executor,
             )
             p1 = result.phase1
@@ -159,15 +197,18 @@ def cmd_search(args) -> int:
         raise SystemExit("empty query FASTA")
     query = queries[0]
     config = SearchConfig(
-        top_k=args.top, max_lanes=args.batch_lanes, max_waste=args.max_waste
+        top_k=args.top,
+        max_lanes=args.batch_lanes,
+        max_waste=args.max_waste,
+        kernel=args.kernel,
     )
     observing = bool(args.trace or args.metrics)
     scope = obs.observed("coordinator") if observing else nullcontext((None, None))
     with scope as (tracer, metrics):
         packed = pack_database(
             stream_fasta(args.database),
-            max_lanes=args.batch_lanes,
-            max_waste=args.max_waste,
+            max_lanes=config.resolved_max_lanes,
+            max_waste=config.resolved_max_waste,
         )
         if args.workers > 1:
             from .parallel import AlignmentWorkerPool
@@ -208,6 +249,15 @@ def cmd_search(args) -> int:
                 }
             )
         )
+    return 0
+
+
+def cmd_bench_kernels(args) -> int:
+    from .analysis.bench import run_kernel_bench, write_bench
+
+    results = run_kernel_bench(quick=args.quick, progress=print)
+    write_bench(results, args.out)
+    print(f"wrote {args.out}: {len(results)} benchmark entries")
     return 0
 
 
@@ -405,6 +455,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the metrics registry (cells, GCUPS, queue waits) after the run",
     )
+    p_align.add_argument(
+        "--kernel",
+        default="classic",
+        choices=("classic", "striped"),
+        help="row kernel: classic dense scans, or the striped query-profile "
+        "kernel with narrow lanes and overflow recovery",
+    )
     p_align.set_defaults(func=cmd_align)
 
     p_search = sub.add_parser("search", help="scan a query against a FASTA database")
@@ -418,13 +475,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="1 = in-process batched scan; >1 = dynamic dispatch over the pool",
     )
     p_search.add_argument(
-        "--batch-lanes", type=int, default=512, help="max sequences per SIMD batch"
+        "--batch-lanes",
+        type=int,
+        default=None,
+        help="max sequences per SIMD batch (default: 512 classic, 4096 striped)",
     )
     p_search.add_argument(
         "--max-waste",
         type=float,
-        default=0.15,
-        help="max padded fraction of a batch before a new length bucket is cut",
+        default=None,
+        help="max padded fraction of a batch before a new length bucket is cut "
+        "(default: 0.15 classic, 0.5 striped)",
+    )
+    p_search.add_argument(
+        "--kernel",
+        default="classic",
+        choices=("classic", "striped"),
+        help="bucket scan kernel: classic dense batch, or the striped "
+        "query-profile kernel with narrow lanes and overflow recovery",
     )
     p_search.add_argument(
         "--trace", metavar="FILE", help="write a wall-clock Chrome-trace JSON"
@@ -435,6 +503,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the metrics registry (cells, GCUPS, per-worker rates) after the run",
     )
     p_search.set_defaults(func=cmd_search)
+
+    p_bench = sub.add_parser(
+        "bench", help="regenerate the committed benchmark baselines"
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_bench_kernels = bench_sub.add_parser(
+        "kernels", help="deterministic kernel suite -> BENCH_kernels.json"
+    )
+    p_bench_kernels.add_argument(
+        "--out", default="BENCH_kernels.json", help="output JSON path"
+    )
+    p_bench_kernels.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller workloads and one timing round (CI smoke; numbers are "
+        "not comparable to the committed baseline)",
+    )
+    p_bench_kernels.set_defaults(func=cmd_bench_kernels)
 
     p_check = sub.add_parser(
         "check", help="run the project-specific static analyzer"

@@ -38,6 +38,17 @@ from .exact_linear import (
 )
 from .engine import KernelWorkspace
 from .multi_engine import PAD_CODE, PAD_SCORE, MultiSequenceWorkspace, pack_codes
+from .striped import (
+    LANE_MODES,
+    StripedMultiWorkspace,
+    StripedPairWorkspace,
+    clear_profile_cache,
+    overflow_stats,
+    profile_cache_stats,
+    reset_overflow_stats,
+    score_bounds,
+    striped_profile,
+)
 from .global_align import SubsequenceAlignment, align_region, global_alignment
 from .heuristic import HeuristicAligner, HeuristicParams, heuristic_local_alignments
 from .hirschberg import hirschberg
@@ -75,6 +86,7 @@ __all__ = [
     "HeuristicAligner",
     "HeuristicParams",
     "KernelWorkspace",
+    "LANE_MODES",
     "LocalAlignment",
     "MatrixScoring",
     "MatrixTooLarge",
@@ -92,6 +104,8 @@ __all__ = [
     "ScoreEndpoint",
     "Scoring",
     "StreamingRegionFinder",
+    "StripedMultiWorkspace",
+    "StripedPairWorkspace",
     "SubsequenceAlignment",
     "TracebackResult",
     "align_region",
@@ -103,6 +117,7 @@ __all__ = [
     "banded_global_score",
     "best_cell",
     "cigar_of",
+    "clear_profile_cache",
     "count_hits",
     "expand_cigar",
     "exact_alignments_above",
@@ -118,15 +133,20 @@ __all__ = [
     "needleman_wunsch",
     "nw_last_row",
     "nw_row",
+    "overflow_stats",
     "pack_codes",
     "predicted_necessary_fraction",
     "predicted_unnecessary_cells",
+    "profile_cache_stats",
     "rebuild_alignment",
+    "reset_overflow_stats",
     "reverse_scan",
+    "score_bounds",
     "semiglobal",
     "semiglobal_matrix",
     "similarity_matrix",
     "smith_waterman",
+    "striped_profile",
     "sw_best_endpoint",
     "sw_endpoints_above",
     "sw_row",

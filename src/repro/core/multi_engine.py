@@ -118,6 +118,7 @@ class MultiSequenceWorkspace:
         "_cand",
         "_tmp",
         "_acc",
+        "_zero",
         "_row",
         "_row_views",
         "_rowmax",
@@ -167,6 +168,9 @@ class MultiSequenceWorkspace:
         self._cand = np.empty((n + 1, k), dtype=self.dtype)
         self._tmp = np.empty((n, k), dtype=self.dtype)
         self._acc = np.empty((n + 1, k), dtype=np.int64) if self._wide else None
+        # Zero-clamp operand: a scalar 0 falls off numpy's vectorized inner
+        # loop for integer maximum, an array operand does not.
+        self._zero = np.zeros((n + 1, k), dtype=np.int64 if self._wide else self.dtype)
         self._row = np.zeros((n + 1, k), dtype=self.dtype)
         # Pre-sliced per-column views of the owned row buffer: the chain loop
         # costs one vectorized maximum per column, no per-iteration slicing.
@@ -239,13 +243,13 @@ class MultiSequenceWorkspace:
             np.add(cand, self._ramp, out=acc)
             self._chain(acc)
             np.subtract(acc, self._ramp, out=acc)
-            np.maximum(acc, 0, out=acc)
+            np.maximum(acc, self._zero, out=acc)
             out[:] = acc  # exact downcast: true row values fit the lane dtype
         else:
             np.add(cand, self._ramp, out=out)
             self._chain(out)
             np.subtract(out, self._ramp, out=out)
-            np.maximum(out, 0, out=out)
+            np.maximum(out, self._zero, out=out)
         return out
 
     # -- whole-query scans -------------------------------------------------

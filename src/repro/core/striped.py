@@ -1,0 +1,665 @@
+"""Striped query-profile Smith-Waterman kernels (lazy-F eliminated).
+
+:class:`repro.core.MultiSequenceWorkspace` already turns the batch axis into
+the SIMD lane axis, but its inner loop still walks the target one position at
+a time: ``n`` vector ops per query row, each touching ``k`` lanes.  This
+module applies the two remaining tricks of the wide-SIMD Smith-Waterman
+literature (Farrar's striped layout; Snytsar's "de(con)struction of the
+lazy-F loop" -- see PAPERS.md):
+
+* **Striped layout.**  The target axis ``j`` is split as ``j = c*seg + r``
+  into ``p = ceil(n/seg)`` segments of ``seg`` positions.  The DP state is a
+  ``(seg, p, k)`` block -- plane ``r`` holds position ``r`` of *every*
+  segment of *every* lane -- so one numpy call advances ``p*k`` cells and the
+  serial plane loop runs only ``seg ~ sqrt(n)`` times per query row instead
+  of ``n`` times.  Within a segment, plane ``r-1`` is position ``j-1``, so
+  the within-segment part of the horizontal gap chain rides along the plane
+  loop for free (one fused ``maximum`` per plane).
+
+* **Lazy-F elimination.**  Farrar's kernel corrects cross-segment gap
+  carries by re-running the column loop to a fixpoint.  Here the correction
+  is computed analytically in two vector phases: phase 2 takes each
+  segment's end value ``tend[c]`` and resolves the carry into segment
+  ``c+1`` (a carry can only cross a *whole* segment when some end value
+  exceeds ``span = |gap|*seg``, so the serial segment chain is skipped on
+  the overwhelming majority of rows); phase 3 broadcasts
+  ``carry[c] + gap*(r+1)`` over the first ``d`` planes, where ``d`` is
+  truncated to the depth the row maximum can still reach.  No fixpoint loop,
+  no data-dependent iteration count on the fast path.
+
+* **Narrow lanes with overflow recovery.**  The scan runs in int8 or int16
+  lanes.  numpy integer arithmetic wraps rather than saturates, so the
+  layout *emulates* saturation by construction: the padded-position profile
+  score is exactly ``iinfo.min + span``, which makes the most negative
+  reachable intermediate (``pad + gap*seg``) land on ``iinfo.min`` without
+  wrapping, and the detection threshold ``cap = -iinfo.min - span - hi - 1``
+  leaves enough headroom above that a row whose maximum first reaches
+  ``cap`` is still exact.  Lanes whose running maximum crosses ``cap`` get a
+  sticky per-lane overflow flag (lanes never mix, so garbage after the first
+  crossing stays lane-local) and are transparently recomputed at the next
+  wider dtype -- int8 -> int16 -> int32 -- with only the flagged sequences
+  re-scanned.
+
+The scores are bitwise identical to :class:`KernelWorkspace` /
+:class:`MultiSequenceWorkspace` scans: the zero-clamp is applied after the
+chain (same identity as :mod:`repro.core.multi_engine` --
+``max_{i<=j}(max(C[i],0)+g*i) = max(max_{i<=j}(C[i]+g*i), g*j)``), and every
+narrow-lane result is either provably unwrapped or flagged and recomputed.
+
+Striped query profiles are cached module-wide (LRU, keyed by target-batch
+digest, scoring, lane dtype and segment length) so repeated searches against
+the same packed database -- the pool serving pattern -- pay the profile
+build once.  Hit/miss counters are exported through :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from collections import OrderedDict
+
+import numpy as np
+
+from ..obs import count_cells, get_metrics, is_enabled
+from .engine import KernelWorkspace
+from .multi_engine import PAD_CODE, MultiSequenceWorkspace
+from .scoring import DEFAULT_SCORING, SCORE_DTYPE, Scoring
+
+__all__ = [
+    "LANE_MODES",
+    "LaneLimits",
+    "StripedMultiWorkspace",
+    "StripedPairWorkspace",
+    "StripedProfile",
+    "clear_profile_cache",
+    "overflow_stats",
+    "profile_cache_stats",
+    "reset_overflow_stats",
+    "score_bounds",
+    "striped_profile",
+]
+
+#: Accepted ``lane_mode`` values: the *starting* rung of the escalation
+#: ladder (rungs the scoring scheme cannot fit are skipped automatically).
+LANE_MODES = ("auto", "int8", "int16", "int32")
+
+_LADDERS = {
+    "auto": (np.int8, np.int16, SCORE_DTYPE),
+    "int8": (np.int8, np.int16, SCORE_DTYPE),
+    "int16": (np.int16, SCORE_DTYPE),
+    "int32": (SCORE_DTYPE,),
+}
+
+#: Upper bound on the segment length.  ``seg ~ sqrt(n)`` balances the serial
+#: plane loop against per-dispatch overhead; beyond 64 planes the dispatch
+#: cost dominates any further vector-width gain.
+MAX_SEG = 64
+
+#: Entries kept in the module-wide striped-profile LRU cache.
+PROFILE_CACHE_CAPACITY = 16
+
+_PROFILE_CACHE: "OrderedDict[tuple, StripedProfile]" = OrderedDict()
+_PROFILE_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+_OVERFLOW_STATS = {"lanes": 0, "recomputes": 0}
+
+_BOUNDS_CACHE: dict[Scoring, tuple[int, int]] = {}
+
+
+def score_bounds(scoring: Scoring) -> tuple[int, int]:
+    """``(lo, hi)`` bounds of the substitution scores over the DNA alphabet.
+
+    Derived from the scoring object itself (not its ``match``/``mismatch``
+    summary fields, which for :class:`MatrixScoring` are the diagonal max and
+    off-diagonal min, not global bounds).
+    """
+    bounds = _BOUNDS_CACHE.get(scoring)
+    if bounds is None:
+        probe = np.arange(4, dtype=np.uint8)
+        rows = [scoring.substitution_row(code, probe) for code in range(4)]
+        flat = np.concatenate(rows)
+        bounds = (int(flat.min()), int(flat.max()))
+        _BOUNDS_CACHE[scoring] = bounds
+    return bounds
+
+
+class LaneLimits:
+    """Saturation geometry of one lane dtype for one scoring scheme.
+
+    ``span = |gap| * seg`` is the largest decay a gap chain suffers crossing
+    one whole segment.  ``pad = iinfo.min + span`` is the padded-position
+    profile score: the most negative reachable intermediate is
+    ``pad + gap*seg = iinfo.min`` exactly, so nothing wraps below.
+    ``cap = -iinfo.min - span - max(hi,0) - 1`` is the sticky overflow
+    threshold: a row maximum that first reaches ``cap`` is still exact
+    (``cap + hi <= iinfo.max``), anything at or above it flags the lane.
+    """
+
+    __slots__ = ("dtype", "seg", "gap", "span", "cap", "pad", "fits")
+
+    def __init__(self, dtype, seg: int, gap: int, lo: int, hi: int) -> None:
+        info = np.iinfo(dtype)
+        self.dtype = np.dtype(dtype)
+        self.seg = int(seg)
+        self.gap = int(gap)
+        self.span = (-self.gap) * self.seg
+        self.cap = (-int(info.min)) - self.span - max(hi, 0) - 1
+        self.pad = int(info.min) + self.span
+        # Feasibility: the threshold leaves room for at least one real score
+        # step, and every real profile entry is exactly representable (a
+        # wrapped profile cast would corrupt scores *without* tripping the
+        # overflow flag, so unfit dtypes must be skipped up front).
+        self.fits = self.cap >= max(1, hi) and lo >= self.pad
+
+
+def _pick_seg(n: int, dtype, gap: int, lo: int, hi: int) -> int:
+    """Default segment length: ``~sqrt(n)``, clamped to what ``dtype`` fits.
+
+    Returns 0 when no segment length makes the dtype feasible.
+    """
+    gi = -int(gap)
+    info = np.iinfo(dtype)
+    hm = max(hi, 0)
+    seg_cap = ((-int(info.min)) - hm - 1 - max(1, hi)) // gi
+    if lo < 0:
+        seg_cap = min(seg_cap, (lo - int(info.min)) // gi)
+    if seg_cap < 1:
+        return 0
+    base = max(1, math.isqrt(max(n, 1)))
+    return min(base, seg_cap, MAX_SEG)
+
+
+def profile_cache_stats() -> dict[str, int]:
+    """Hit/miss/eviction counters of the striped-profile LRU cache."""
+    return dict(_PROFILE_STATS)
+
+
+def clear_profile_cache() -> None:
+    """Drop every cached striped profile and zero the cache counters."""
+    _PROFILE_CACHE.clear()
+    for key in _PROFILE_STATS:
+        _PROFILE_STATS[key] = 0
+
+
+def overflow_stats() -> dict[str, int]:
+    """Cumulative overflow-escalation counters (lanes flagged, recomputes)."""
+    return dict(_OVERFLOW_STATS)
+
+
+def reset_overflow_stats() -> None:
+    for key in _OVERFLOW_STATS:
+        _OVERFLOW_STATS[key] = 0
+
+
+class StripedProfile:
+    """Farrar-striped query profile of one packed target batch.
+
+    For each query code the profile is a ``(seg, p, k)`` block in the lane
+    dtype -- plane ``r`` holds the substitution scores of the code against
+    target position ``r`` of every segment of every lane -- stored as a
+    tuple of per-plane views so the row kernel indexes no arrays in its hot
+    loop.  Padded positions hold :attr:`LaneLimits.pad`.  DNA codes are
+    profiled eagerly, anything else lazily (protein batches work unchanged).
+    """
+
+    __slots__ = ("scoring", "limits", "seg", "p", "k", "n", "npad", "_safe", "_invalid", "_blocks")
+
+    def __init__(self, codes: np.ndarray, scoring: Scoring, limits: LaneLimits) -> None:
+        k, n = codes.shape
+        seg = limits.seg
+        self.scoring = scoring
+        self.limits = limits
+        self.seg = seg
+        self.k = k
+        self.n = n
+        self.p = -(-n // seg)
+        self.npad = seg * self.p
+        ct = np.full((self.npad, k), PAD_CODE, dtype=np.uint8)
+        ct[:n] = codes.T
+        striped = np.ascontiguousarray(ct.reshape(self.p, seg, k).transpose(1, 0, 2))
+        self._invalid = striped == PAD_CODE
+        # Scorings may index 4x4 matrices with the codes, so padded cells are
+        # remapped to code 0 for the lookup and then overwritten.
+        self._safe = np.where(self._invalid, np.uint8(0), striped)
+        self._blocks: dict[int, tuple] = {}
+        for code in range(4):
+            self.block(code)
+
+    def block(self, code: int) -> tuple:
+        """Per-plane ``(p, k)`` views of the striped profile of ``code``."""
+        planes = self._blocks.get(code)
+        if planes is None:
+            raw = self.scoring.substitution_row(code, self._safe).astype(self.limits.dtype)
+            raw[self._invalid] = self.limits.pad
+            block = np.ascontiguousarray(raw)
+            planes = tuple(block[r] for r in range(self.seg))
+            self._blocks[code] = planes
+        return planes
+
+
+def striped_profile(codes: np.ndarray, scoring: Scoring, limits: LaneLimits) -> StripedProfile:
+    """The cached striped profile for ``(codes, scoring, dtype, seg)``.
+
+    ``codes`` must be a C-contiguous ``(k, n)`` uint8 batch; the cache key is
+    a digest of its bytes plus the scoring scheme and lane geometry, so pool
+    workers re-serving the same packed database hit the cache on every query.
+    """
+    key = (
+        hashlib.sha1(codes.tobytes()).hexdigest(),
+        codes.shape,
+        scoring,
+        limits.dtype.name,
+        limits.seg,
+    )
+    prof = _PROFILE_CACHE.get(key)
+    if prof is not None:
+        _PROFILE_CACHE.move_to_end(key)
+        _PROFILE_STATS["hits"] += 1
+        if is_enabled():
+            get_metrics().counter("striped_profile_hits").inc()
+        return prof
+    _PROFILE_STATS["misses"] += 1
+    if is_enabled():
+        get_metrics().counter("striped_profile_misses").inc()
+    prof = StripedProfile(codes, scoring, limits)
+    _PROFILE_CACHE[key] = prof
+    while len(_PROFILE_CACHE) > PROFILE_CACHE_CAPACITY:
+        _PROFILE_CACHE.popitem(last=False)
+        _PROFILE_STATS["evictions"] += 1
+    return prof
+
+
+class _StripedScan:
+    """One narrow-lane pass over one packed batch: state plus the row kernel.
+
+    Ping-pong ``(seg, p, k)`` state blocks with per-parity prebuilt plane
+    views, so the hot row advance performs no slicing and no allocation.
+    """
+
+    __slots__ = (
+        "_prof", "_seg", "_p", "_k", "_gi", "_g", "_gseg", "_span", "_cap",
+        "_u", "_diag0", "_carry", "_endh", "_c3", "_zplane", "_decay",
+        "_best", "_rowmax", "_ovf", "_ovtmp", "_plans", "_parity", "chain_rows",
+    )
+
+    def __init__(self, prof: StripedProfile) -> None:
+        limits = prof.limits
+        dt = limits.dtype
+        seg, p, k = prof.seg, prof.p, prof.k
+        self._prof = prof
+        self._seg = seg
+        self._p = p
+        self._k = k
+        self._gi = -limits.gap
+        self._g = dt.type(limits.gap)
+        self._gseg = dt.type(limits.gap * seg)
+        self._span = limits.span
+        self._cap = dt.type(limits.cap)
+        h = np.zeros((seg, p, k), dtype=dt)
+        t = np.zeros((seg, p, k), dtype=dt)
+        self._u = np.empty((p, k), dtype=dt)
+        self._diag0 = np.empty((p, k), dtype=dt)
+        self._carry = np.empty((p, k), dtype=dt)
+        self._endh = np.empty((p, k), dtype=dt)
+        self._c3 = np.empty((seg, p, k), dtype=dt)
+        # Clamp operand: a scalar 0 falls off numpy's vectorized inner loop
+        # for integer maximum, an array operand does not.
+        self._zplane = np.zeros((p, k), dtype=dt)
+        self._decay = (dt.type(limits.gap) * np.arange(1, seg + 1, dtype=dt))[:, None, None]
+        self._best = np.zeros(k, dtype=dt)
+        self._rowmax = np.empty(k, dtype=dt)
+        self._ovf = np.zeros(k, dtype=bool)
+        self._ovtmp = np.empty(k, dtype=bool)
+        self._plans = (self._plan(h, t), self._plan(t, h))
+        self._parity = 0
+        self.chain_rows = 0
+
+    def _plan(self, prev_arr: np.ndarray, out_arr: np.ndarray) -> tuple:
+        seg = self._seg
+        pv = [prev_arr[r] for r in range(seg)]
+        ov = [out_arr[r] for r in range(seg)]
+        steps = tuple((ov[r], pv[r], pv[r - 1]) for r in range(1, seg))
+        flat = out_arr.reshape(seg * self._p, self._k)
+        return (ov[0], pv[0], pv[seg - 1], steps, out_arr, flat)
+
+    def run(self, s_codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Stream the query; returns ``(best, overflowed)`` per lane."""
+        row = self._row
+        prof = self._prof
+        for ch in s_codes:
+            row(prof.block(int(ch)))
+        return self._best.astype(SCORE_DTYPE), self._ovf
+
+    def _row(self, pv: tuple) -> None:  # repro: kernel -- striped lazy-F row advance
+        cur0, h0, hlast, steps, out_arr, flat = self._plans[self._parity]
+        add_ = np.add
+        max_ = np.maximum
+        diag0 = self._diag0
+        diag0[1:] = hlast[:-1]
+        diag0[0] = 0
+        u = self._u
+        g = self._g
+        # Phase 1: diagonal + vertical candidates, fused with the
+        # within-segment horizontal chain (plane r-1 is position j-1).
+        add_(diag0, pv[0], out=cur0)
+        add_(h0, g, out=u)
+        max_(cur0, u, out=cur0)
+        prev = cur0
+        r = 1
+        for cur, h, hm1 in steps:
+            add_(hm1, pv[r], out=cur)
+            max_(h, prev, out=u)
+            add_(u, g, out=u)
+            max_(cur, u, out=cur)
+            prev = cur
+            r += 1
+        # Phase 2: cross-segment carries.  A carry can cross a *whole*
+        # segment only when some end value exceeds span, so the serial
+        # segment chain (the one data-dependent loop) is almost never taken.
+        carry = self._carry
+        tm = int(prev.max())
+        if tm > self._span:
+            tm = self._chain(prev)
+            self.chain_rows += 1
+        else:
+            carry[1:] = prev[:-1]
+            carry[0] = 0
+        # Phase 3: inject carries, truncated to the depth d the row maximum
+        # can still reach (deeper planes would only receive values the final
+        # zero-clamp dominates anyway).
+        d = min(self._seg, max(0, (tm - 1) // self._gi))
+        if d > 0:
+            c3 = self._c3
+            add_(carry[None, :, :], self._decay[:d], out=c3[:d])
+            max_(out_arr[:d], c3[:d], out=out_arr[:d])
+        max_(out_arr, self._zplane, out=out_arr)
+        np.maximum.reduce(flat, axis=0, out=self._rowmax)
+        max_(self._best, self._rowmax, out=self._best)
+        np.greater_equal(self._rowmax, self._cap, out=self._ovtmp)
+        np.logical_or(self._ovf, self._ovtmp, out=self._ovf)
+        self._parity ^= 1
+
+    def _chain(self, tend: np.ndarray) -> int:  # repro: kernel -- rare serial carry chain
+        endh = self._endh
+        gseg = self._gseg
+        add_ = np.add
+        max_ = np.maximum
+        endh[0] = tend[0]
+        prev = endh[0]
+        for c in range(1, self._p):
+            cur = endh[c]
+            add_(prev, gseg, out=cur)
+            max_(cur, tend[c], out=cur)
+            prev = cur
+        carry = self._carry
+        carry[1:] = endh[:-1]
+        carry[0] = 0
+        return int(carry.max())
+
+
+def _run_scan(codes, s_codes, scoring, limits) -> tuple[np.ndarray, np.ndarray]:
+    prof = striped_profile(codes, scoring, limits)
+    return _StripedScan(prof).run(s_codes)
+
+
+def _note_overflow(lanes_flagged: int) -> None:
+    _OVERFLOW_STATS["lanes"] += lanes_flagged
+    _OVERFLOW_STATS["recomputes"] += 1
+    if is_enabled():
+        metrics = get_metrics()
+        metrics.counter("striped_overflow_lanes").inc(lanes_flagged)
+        metrics.counter("striped_recomputes").inc()
+
+
+class StripedMultiWorkspace:
+    """Striped drop-in for :class:`MultiSequenceWorkspace` best-score scans.
+
+    Same packed-batch contract (``codes`` is a ``(k, n)`` uint8 matrix padded
+    with :data:`PAD_CODE`, ``lengths`` the per-lane real lengths) and the
+    same result: :meth:`sw_best_scores` is bitwise equal to ``k`` independent
+    :class:`KernelWorkspace` scans.  ``lane_mode`` picks the starting lane
+    dtype of the escalation ladder (``"auto"`` starts at the narrowest dtype
+    the scoring scheme fits); overflowed lanes are recomputed one rung wider
+    with only the flagged sequences re-scanned.
+    """
+
+    __slots__ = ("scoring", "lengths", "lanes", "width", "lane_mode", "seg", "_codes")
+
+    def __init__(
+        self,
+        codes: np.ndarray,
+        lengths,
+        scoring: Scoring = DEFAULT_SCORING,
+        lane_mode: str = "auto",
+        seg: int | None = None,
+    ) -> None:
+        codes = np.ascontiguousarray(codes, dtype=np.uint8)
+        if codes.ndim != 2:
+            raise ValueError("codes must be a (k, n) matrix")
+        k, n = codes.shape
+        self.lengths = np.asarray(lengths, dtype=np.int64)
+        if self.lengths.shape != (k,):
+            raise ValueError("lengths must have one entry per lane")
+        if self.lengths.size and int(self.lengths.max()) > n:
+            raise ValueError("lane length exceeds the packed width")
+        if lane_mode not in LANE_MODES:
+            raise ValueError(f"lane_mode must be one of {LANE_MODES}")
+        self.scoring = scoring
+        self.lanes = k
+        self.width = n
+        self.lane_mode = lane_mode
+        self.seg = seg
+        self._codes = codes
+
+    def _ladder(self) -> list[LaneLimits]:
+        """The feasible lane dtypes, narrowest first, always ending in int32."""
+        lo, hi = score_bounds(self.scoring)
+        gap = int(self.scoring.gap)
+        ladder = []
+        for dt in _LADDERS[self.lane_mode]:
+            seg = self.seg if self.seg is not None else _pick_seg(self.width, dt, gap, lo, hi)
+            if seg < 1:
+                continue
+            limits = LaneLimits(dt, seg, gap, lo, hi)
+            if limits.fits:
+                ladder.append(limits)
+        if not ladder:
+            raise ValueError("no feasible lane dtype for this scoring scheme")
+        return ladder
+
+    def sw_best_scores(self, s_codes) -> np.ndarray:
+        """Best local score of the query against every lane (:data:`SCORE_DTYPE`).
+
+        Runs the ladder: scan every lane at the starting dtype, then re-scan
+        only the overflow-flagged lanes one rung wider.  int32 results are
+        exact by construction; should a lane flag even there (astronomical
+        scoring magnitudes), it is handed to the classic
+        :class:`MultiSequenceWorkspace`, whose int64 widening path has no
+        ceiling.
+        """
+        s_codes = np.asarray(s_codes, dtype=np.uint8)
+        best = np.zeros(self.lanes, dtype=SCORE_DTYPE)
+        m = int(s_codes.size)
+        if self.lanes == 0 or self.width == 0 or m == 0:
+            return best
+        ladder = self._ladder()
+        codes = self._codes
+        lengths = self.lengths
+        indices = np.arange(self.lanes, dtype=np.int64)
+        for rung, limits in enumerate(ladder):
+            count_cells(m * int(lengths.sum()))
+            scores, ovf = _run_scan(codes, s_codes, self.scoring, limits)
+            ok = ~ovf
+            best[indices[ok]] = scores[ok]
+            flagged = int(ovf.sum())
+            if flagged == 0:
+                break
+            _note_overflow(flagged)
+            indices = indices[ovf]
+            codes = np.ascontiguousarray(codes[ovf])
+            lengths = lengths[ovf]
+            if rung + 1 == len(ladder):
+                rescue = MultiSequenceWorkspace(codes, lengths, self.scoring)
+                best[indices] = rescue.sw_best_scores(s_codes)
+                break
+        return best
+
+
+class StripedPairWorkspace(KernelWorkspace):
+    """A :class:`KernelWorkspace` whose SW rows run the striped kernel.
+
+    Overrides only :meth:`sw_row` and :meth:`sw_row_slice`; the batched row
+    APIs and :meth:`nw_row` are inherited (the engine's batch loops dispatch
+    through ``self``), so this is a drop-in behind ``compute_tile`` and the
+    plan runtimes.  Rows are computed in :data:`SCORE_DTYPE` -- pairwise
+    scans have no lane axis to amortize narrow dtypes over -- and are bitwise
+    equal to the classic rows.  Targets wide enough for the classic int64
+    widening regime (and empty targets) fall back to the inherited kernels.
+    """
+
+    __slots__ = (
+        "_striped", "_seg", "_p", "_npad", "_span", "_spad", "_sgseg",
+        "_ppad", "_pviews", "_opad", "_oviews", "_o2d", "_sdiag0", "_su",
+        "_scarry", "_sc3", "_sdecay", "_szero", "_sprof",
+    )
+
+    def __init__(
+        self,
+        t_codes: np.ndarray,
+        scoring: Scoring = DEFAULT_SCORING,
+        eager_codes=range(4),
+    ) -> None:
+        super().__init__(t_codes, scoring, eager_codes)
+        n = self.width
+        self._striped = n > 0 and not self._wide
+        if not self._striped:
+            return
+        lo, hi = score_bounds(scoring)
+        seg = _pick_seg(n, SCORE_DTYPE, self._gap, lo, hi)
+        limits = LaneLimits(SCORE_DTYPE, seg, self._gap, lo, hi)
+        p = -(-n // seg)
+        npad = seg * p
+        self._seg = seg
+        self._p = p
+        self._npad = npad
+        self._span = limits.span
+        self._spad = SCORE_DTYPE(limits.pad)
+        self._sgseg = self._gap * seg
+        # Previous/current rows live in zero-padded (npad,) buffers; plane r
+        # is the strided view [r::seg] (position r of every segment).  The
+        # pad positions of _ppad are written once here and never touched
+        # again: real cells precede every pad within its segment, so pads
+        # never feed a real cell.
+        self._ppad = np.zeros(npad, dtype=SCORE_DTYPE)
+        self._pviews = tuple(self._ppad[r::seg] for r in range(seg))
+        self._opad = np.zeros(npad, dtype=SCORE_DTYPE)
+        self._oviews = tuple(self._opad[r::seg] for r in range(seg))
+        self._o2d = self._opad.reshape(p, seg).T
+        self._sdiag0 = np.empty(p, dtype=SCORE_DTYPE)
+        self._su = np.empty(p, dtype=SCORE_DTYPE)
+        self._scarry = np.empty(p, dtype=SCORE_DTYPE)
+        self._sc3 = np.empty((seg, p), dtype=SCORE_DTYPE)
+        self._sdecay = (SCORE_DTYPE(self._gap) * np.arange(1, seg + 1, dtype=SCORE_DTYPE))[:, None]
+        # Clamp operand: a scalar 0 falls off numpy's vectorized inner loop
+        # for integer maximum, an array operand does not.
+        self._szero = np.zeros(npad, dtype=SCORE_DTYPE)
+        self._sprof: dict[int, tuple] = {}
+
+    def _striped_profile(self, s_char: int) -> tuple:
+        planes = self._sprof.get(s_char)
+        if planes is None:
+            padded = np.full(self._npad, self._spad, dtype=SCORE_DTYPE)
+            padded[: self.width] = self.profile_row(s_char)
+            seg = self._seg
+            planes = tuple(padded[r::seg] for r in range(seg))
+            self._sprof[s_char] = planes
+        return planes
+
+    def sw_row(
+        self, prev: np.ndarray, s_char: int, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """One Smith-Waterman row; ``out`` may alias ``prev`` (in-place scan)."""
+        if not self._striped:
+            return super().sw_row(prev, s_char, out)
+        return self._striped_row(prev, int(s_char), 0, out)
+
+    def sw_row_slice(
+        self,
+        prev: np.ndarray,
+        s_char: int,
+        left_current: int,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """One SW row over a column slice given the left neighbour's border."""
+        if not self._striped:
+            return super().sw_row_slice(prev, s_char, left_current, out)
+        return self._striped_row(prev, int(s_char), int(left_current), out)
+
+    def _striped_row(
+        self, prev: np.ndarray, s_char: int, border: int, out: np.ndarray | None
+    ) -> np.ndarray:  # repro: kernel -- striped pairwise row advance
+        if prev.size != self.width + 1:
+            raise ValueError(
+                f"prev row has {prev.size} cells; workspace target needs "
+                f"{self.width + 1}"
+            )
+        pv = self._striped_profile(s_char)
+        n = self.width
+        seg = self._seg
+        prev0 = int(prev[0])
+        ppad = self._ppad
+        ppad[:n] = prev[1:]
+        pviews = self._pviews
+        oviews = self._oviews
+        diag0 = self._sdiag0
+        hlast = pviews[seg - 1]
+        diag0[1:] = hlast[:-1]
+        diag0[0] = prev0
+        u = self._su
+        g = SCORE_DTYPE(self._gap)
+        add_ = np.add
+        max_ = np.maximum
+        cur0 = oviews[0]
+        add_(diag0, pv[0], out=cur0)
+        add_(pviews[0], g, out=u)
+        max_(cur0, u, out=cur0)
+        prevp = cur0
+        for r in range(1, seg):
+            cur = oviews[r]
+            add_(pviews[r - 1], pv[r], out=cur)
+            max_(pviews[r], prevp, out=u)
+            add_(u, g, out=u)
+            max_(cur, u, out=cur)
+            prevp = cur
+        carry = self._scarry
+        tm = int(prevp.max())
+        if tm > self._span or border > self._span:
+            tm = self._chain_pair(prevp, border)
+        else:
+            carry[1:] = prevp[:-1]
+            carry[0] = border
+            tm = max(tm, border)
+        d = min(seg, max(0, (tm - 1) // (-self._gap)))
+        if d > 0:
+            c3 = self._sc3
+            add_(carry[None, :], self._sdecay[:d], out=c3[:d])
+            max_(self._o2d[:d], c3[:d], out=self._o2d[:d])
+        opad = self._opad
+        max_(opad, self._szero, out=opad)
+        if out is None:
+            out = np.empty(n + 1, dtype=SCORE_DTYPE)
+        out[1:] = opad[:n]
+        out[0] = border
+        return out
+
+    def _chain_pair(self, tend: np.ndarray, border: int) -> int:  # repro: kernel
+        """Serial cross-segment carry chain (rows whose scores exceed span)."""
+        carry = self._scarry
+        gseg = self._sgseg
+        e = border
+        tm = border
+        for c in range(self._p):
+            carry[c] = e
+            if e > tm:
+                tm = e
+            e = max(int(tend[c]), e + gseg)
+        return tm

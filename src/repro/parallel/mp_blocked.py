@@ -49,6 +49,7 @@ class MpBlockedConfig:
     threshold: int = 35
     min_score: int | None = None
     timeout: float = 300.0
+    kernel: str = "classic"
 
     def __post_init__(self) -> None:
         if self.n_workers <= 0 or self.n_bands <= 0 or self.n_blocks <= 0:
@@ -62,6 +63,7 @@ class MpBlockedConfig:
             n_blocks=self.n_blocks,
             threshold=self.threshold,
             min_score=self.min_score,
+            kernel=self.kernel,
         )
 
 

@@ -49,6 +49,7 @@ class MpWavefrontConfig:
     threshold: int = 35
     min_score: int | None = None
     timeout: float = 300.0
+    kernel: str = "classic"
 
     def __post_init__(self) -> None:
         if self.n_workers <= 0 or self.rows_per_exchange <= 0:
@@ -61,6 +62,7 @@ class MpWavefrontConfig:
             group_rows=self.rows_per_exchange,
             threshold=self.threshold,
             min_score=self.min_score,
+            kernel=self.kernel,
         )
 
 

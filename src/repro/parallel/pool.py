@@ -225,7 +225,9 @@ def _job_search(role: int, job: dict, arenas: dict, work) -> list:
     per worker is enqueued ahead of the job.
     """
     q, blob = _get_pair(arenas, job["arena"])
-    runtime = SearchRuntime(q, blob, job["scoring"], job["top_k"])
+    runtime = SearchRuntime(
+        q, blob, job["scoring"], job["top_k"], kernel=job.get("kernel", "classic")
+    )
     tracer = get_tracer()
     tracing = tracer.enabled
     busy_s = 0.0
@@ -536,6 +538,7 @@ class AlignmentWorkerPool:
             group_rows=config.rows_per_exchange,
             threshold=config.threshold,
             min_score=config.min_score,
+            kernel=config.kernel,
         )
         return self.run_plan(spec, timeout=config.timeout, scoring=scoring).alignments
 
@@ -556,6 +559,7 @@ class AlignmentWorkerPool:
             n_blocks=config.n_blocks,
             threshold=config.threshold,
             min_score=config.min_score,
+            kernel=config.kernel,
         )
         return self.run_plan(spec, timeout=config.timeout, scoring=scoring).alignments
 
@@ -596,6 +600,7 @@ class AlignmentWorkerPool:
         packed,
         top_k: int = 10,
         scoring: Scoring = DEFAULT_SCORING,
+        kernel: str = "classic",
     ) -> list[tuple[int, int]]:
         """One query against a :class:`repro.seq.PackedDatabase`.
 
@@ -607,7 +612,7 @@ class AlignmentWorkerPool:
         query = encode(query)
         if not packed.buckets:
             return []
-        graph = plan_search_buckets(packed, len(query), top_k=top_k)
+        graph = plan_search_buckets(packed, len(query), top_k=top_k, kernel=kernel)
         return self.run_search_plan(
             graph, query, search_blob(packed), scoring=scoring
         ).hits
@@ -652,6 +657,7 @@ class AlignmentWorkerPool:
                         "kind": "search",
                         "arena": arena.handle,
                         "top_k": graph.params["top_k"],
+                        "kernel": graph.params.get("kernel", "classic"),
                         "scoring": scoring,
                     },
                     fail_fast=False,

@@ -60,6 +60,17 @@ def _spec(kind: str, **params: object) -> PlanSpec:
     return PlanSpec(kind, tuple(sorted(params.items())))
 
 
+#: Row-kernel implementations the runtimes can drive (see
+#: :mod:`repro.core.striped` for the striped one).
+KERNELS = ("classic", "striped")
+
+
+def _check_kernel(kernel: str) -> str:
+    if kernel not in KERNELS:
+        raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
+    return kernel
+
+
 def wavefront_spec(
     n_procs: int,
     group_rows: int = 1,
@@ -69,6 +80,7 @@ def wavefront_spec(
     min_score: int | None = None,
     overlap_slack: int = 8,
     home_migration: bool = False,
+    kernel: str = "classic",
 ) -> PlanSpec:
     return _spec(
         "wavefront",
@@ -80,6 +92,7 @@ def wavefront_spec(
         min_score=min_score,
         overlap_slack=overlap_slack,
         home_migration=home_migration,
+        kernel=_check_kernel(kernel),
     )
 
 
@@ -92,6 +105,7 @@ def blocked_spec(
     row_tolerance: int = 16,
     min_score: int | None = None,
     overlap_slack: int = 8,
+    kernel: str = "classic",
 ) -> PlanSpec:
     return _spec(
         "blocked",
@@ -103,6 +117,7 @@ def blocked_spec(
         row_tolerance=row_tolerance,
         min_score=min_score,
         overlap_slack=overlap_slack,
+        kernel=_check_kernel(kernel),
     )
 
 
@@ -118,6 +133,7 @@ def preprocess_spec(
     io_mode: str = "none",
     cache_friendly_rows: int = 32_000,
     cache_penalty: float = 0.20,
+    kernel: str = "classic",
 ) -> PlanSpec:
     return _spec(
         "preprocess",
@@ -132,6 +148,7 @@ def preprocess_spec(
         io_mode=io_mode,
         cache_friendly_rows=cache_friendly_rows,
         cache_penalty=cache_penalty,
+        kernel=_check_kernel(kernel),
     )
 
 
@@ -152,6 +169,7 @@ def plan_wavefront(
     min_score: int | None = None,
     overlap_slack: int = 8,
     home_migration: bool = False,
+    kernel: str = "classic",
 ) -> TaskGraph:
     """Section 4.2 schedule: columns split N/P, rows grouped by ``group_rows``."""
     if cols < n_procs:
@@ -188,6 +206,7 @@ def plan_wavefront(
             "min_score": min_score,
             "overlap_slack": overlap_slack,
             "home_migration": home_migration,
+            "kernel": _check_kernel(kernel),
         },
         spec=wavefront_spec(
             n_procs,
@@ -198,6 +217,7 @@ def plan_wavefront(
             min_score,
             overlap_slack,
             home_migration,
+            kernel,
         ),
     )
     return graph.validate()
@@ -242,6 +262,7 @@ def plan_blocked(
     row_tolerance: int = 16,
     min_score: int | None = None,
     overlap_slack: int = 8,
+    kernel: str = "classic",
 ) -> TaskGraph:
     """Section 4.3 schedule: bands x blocks, band ``b`` owned by ``b mod P``."""
     tiling = explicit_tiling(rows, cols, n_bands, n_blocks)
@@ -260,6 +281,7 @@ def plan_blocked(
             "row_tolerance": row_tolerance,
             "min_score": min_score,
             "overlap_slack": overlap_slack,
+            "kernel": _check_kernel(kernel),
         },
         spec=blocked_spec(
             n_procs,
@@ -270,6 +292,7 @@ def plan_blocked(
             row_tolerance,
             min_score,
             overlap_slack,
+            kernel,
         ),
     )
     return graph.validate()
@@ -290,6 +313,7 @@ def plan_preprocess(
     io_mode: str = "none",
     cache_friendly_rows: int = 32_000,
     cache_penalty: float = 0.20,
+    kernel: str = "classic",
 ) -> TaskGraph:
     """Section 5 schedule: bands x column chunks with the scoreboard payload.
 
@@ -317,6 +341,7 @@ def plan_preprocess(
             "io_mode": io_mode,
             "cache_friendly_rows": cache_friendly_rows,
             "cache_penalty": cache_penalty,
+            "kernel": _check_kernel(kernel),
         },
         spec=preprocess_spec(
             n_procs,
@@ -330,12 +355,15 @@ def plan_preprocess(
             io_mode,
             cache_friendly_rows,
             cache_penalty,
+            kernel,
         ),
     )
     return graph.validate()
 
 
-def plan_search_buckets(packed, query_len: int, *, top_k: int = 10) -> TaskGraph:
+def plan_search_buckets(
+    packed, query_len: int, *, top_k: int = 10, kernel: str = "classic"
+) -> TaskGraph:
     """Database search: one independent tile per length bucket.
 
     Tiles carry ``(offset, width, lanes, lengths, indices)`` locating one
@@ -368,7 +396,11 @@ def plan_search_buckets(packed, query_len: int, *, top_k: int = 10) -> TaskGraph
         n_procs=1,
         shape=(query_len, offset),
         tiles=tuple(tiles),
-        params={"top_k": top_k, "query_len": query_len},
+        params={
+            "top_k": top_k,
+            "query_len": query_len,
+            "kernel": _check_kernel(kernel),
+        },
     )
     return graph.validate()
 

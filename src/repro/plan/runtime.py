@@ -29,6 +29,7 @@ from ..core.engine import KernelWorkspace, compute_tile
 from ..core.multi_engine import MultiSequenceWorkspace
 from ..core.regions import RegionConfig, StreamingRegionFinder
 from ..core.scoring import DEFAULT_SCORING, SCORE_DTYPE, Scoring
+from ..core.striped import StripedMultiWorkspace, StripedPairWorkspace
 from ..core.topk import TopK
 from .ir import TaskGraph, Tile
 from .result import ExecutionResult
@@ -49,6 +50,20 @@ def state_shape(graph: TaskGraph) -> tuple[int, ...] | None:
     if graph.kind == "search":
         return None
     raise ValueError(f"unknown plan kind {graph.kind!r}")
+
+
+def _pair_workspace(
+    params: dict, t_codes: np.ndarray, scoring: Scoring
+) -> KernelWorkspace:
+    """The pairwise row workspace a graph's ``kernel`` param selects.
+
+    ``"classic"`` (and absent, for graphs planned before the knob existed)
+    is the dense :class:`KernelWorkspace`; ``"striped"`` swaps in the
+    bitwise-identical striped scan of :mod:`repro.core.striped`.
+    """
+    if params.get("kernel", "classic") == "striped":
+        return StripedPairWorkspace(t_codes, scoring)
+    return KernelWorkspace(t_codes, scoring)
 
 
 def _region_config(params: dict) -> RegionConfig:
@@ -124,7 +139,7 @@ class WavefrontRuntime(PlanRuntime):
             c0, c1 = self.graph.params["slices"][p]
             st = {
                 "c0": c0,
-                "ws": KernelWorkspace(self.t[c0:c1], self.scoring),
+                "ws": _pair_workspace(self.graph.params, self.t[c0:c1], self.scoring),
                 "prev": np.zeros(c1 - c0 + 1, dtype=SCORE_DTYPE),
                 "finder": StreamingRegionFinder(_region_config(self.graph.params)),
             }
@@ -190,7 +205,7 @@ class _BandedRuntime(PlanRuntime):
     def _workspace(self, block: int, c0: int, c1: int) -> KernelWorkspace:
         ws = self._workspaces.get(block)
         if ws is None:
-            ws = KernelWorkspace(self.t[c0:c1], self.scoring)
+            ws = _pair_workspace(self.graph.params, self.t[c0:c1], self.scoring)
             self._workspaces[block] = ws
         return ws
 
@@ -307,19 +322,23 @@ class SearchRuntime(PlanRuntime):
         blob: np.ndarray,
         scoring: Scoring = DEFAULT_SCORING,
         top_k: int = 10,
+        kernel: str = "classic",
     ) -> None:
         self.query = query
         self.blob = blob
         self.scoring = scoring
+        self.kernel = kernel
         self.top = TopK(top_k)
         self.cells = 0  # residues scanned x query length (local accounting)
 
     def run_tile(self, tile: Tile) -> None:
         offset, width, lanes, lengths, indices = tile.payload
         codes = self.blob[offset : offset + lanes * width].reshape(lanes, width)
-        ws = MultiSequenceWorkspace(
-            codes, np.asarray(lengths, dtype=np.int64), self.scoring
-        )
+        lengths = np.asarray(lengths, dtype=np.int64)
+        if self.kernel == "striped":
+            ws = StripedMultiWorkspace(codes, lengths, self.scoring)
+        else:
+            ws = MultiSequenceWorkspace(codes, lengths, self.scoring)
         self.top.push_lanes(ws.sw_best_scores(self.query), indices)
         self.cells += tile.cells
 
@@ -348,7 +367,13 @@ def make_runtime(
     tiles' bucket locators index into.
     """
     if graph.kind == "search":
-        return SearchRuntime(s, t, scoring, graph.params["top_k"])
+        return SearchRuntime(
+            s,
+            t,
+            scoring,
+            graph.params["top_k"],
+            kernel=graph.params.get("kernel", "classic"),
+        )
     try:
         cls = _RUNTIMES[graph.kind]
     except KeyError:

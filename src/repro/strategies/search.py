@@ -52,12 +52,33 @@ __all__ = [
 
 @dataclass(frozen=True)
 class SearchConfig:
-    """Knobs of one database search."""
+    """Knobs of one database search.
+
+    ``kernel`` selects the bucket scan: "classic" is the dense
+    :class:`repro.core.MultiSequenceWorkspace`, "striped" the query-profile
+    kernel of :mod:`repro.core.striped`.  Packing knobs left as ``None``
+    resolve per kernel: the striped scan amortizes its per-plane dispatch
+    over the lane axis, so it wants far wider buckets (4096 lanes, 50%
+    padding) than the classic one (512 lanes, 15%).
+    """
 
     top_k: int = 10
-    max_lanes: int = 512
-    max_waste: float = 0.15
+    max_lanes: int | None = None
+    max_waste: float | None = None
     scoring: Scoring = DEFAULT_SCORING
+    kernel: str = "classic"
+
+    @property
+    def resolved_max_lanes(self) -> int:
+        if self.max_lanes is not None:
+            return self.max_lanes
+        return 4096 if self.kernel == "striped" else 512
+
+    @property
+    def resolved_max_waste(self) -> float:
+        if self.max_waste is not None:
+            return self.max_waste
+        return 0.5 if self.kernel == "striped" else 0.15
 
 
 @dataclass(frozen=True)
@@ -94,7 +115,9 @@ def _as_packed(database, config: SearchConfig) -> PackedDatabase:
     if isinstance(database, PackedDatabase):
         return database
     return pack_database(
-        database, max_lanes=config.max_lanes, max_waste=config.max_waste
+        database,
+        max_lanes=config.resolved_max_lanes,
+        max_waste=config.resolved_max_waste,
     )
 
 
@@ -131,14 +154,20 @@ def search_db(
         cells=cells,
     ):
         if pool is None:
-            graph = plan_search_buckets(packed, len(query), top_k=config.top_k)
+            graph = plan_search_buckets(
+                packed, len(query), top_k=config.top_k, kernel=config.kernel
+            )
             ranked = InlineExecutor().run(
                 graph, query, search_blob(packed), config.scoring
             ).hits
             n_workers = 1
         else:
             ranked = pool.search(
-                query, packed, top_k=config.top_k, scoring=config.scoring
+                query,
+                packed,
+                top_k=config.top_k,
+                scoring=config.scoring,
+                kernel=config.kernel,
             )
             n_workers = pool.n_workers
     if is_enabled():
@@ -151,7 +180,9 @@ def search_db(
         total_cells=cells,
         wall_seconds=sw.elapsed,
         n_workers=n_workers,
-        backend="batched" if pool is None else "pool",
+        backend=("striped" if config.kernel == "striped" else "batched")
+        if pool is None
+        else "pool",
     )
 
 

@@ -75,6 +75,15 @@ def test_non_kernel_module_is_exempt():
     assert check_source(NESTED, RULES, module="strategies/x.py") == []
 
 
+def test_striped_module_is_a_kernel_module():
+    """core/striped.py is whole-module kernel discipline, like the engines."""
+    from repro.check.rules.hotloop import KERNEL_MODULES
+
+    assert "core/striped.py" in KERNEL_MODULES
+    findings = check_source(NESTED, RULES, module="core/striped.py")
+    assert [f.rule for f in findings] == ["LOOP001"]
+
+
 def test_marker_comment_promotes_a_function_anywhere():
     src = """
 import numpy as np
