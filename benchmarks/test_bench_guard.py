@@ -18,6 +18,7 @@ import os
 import pytest
 
 from repro.analysis.bench import run_kernel_bench
+from repro.obs.ledger import REGRESSION_THRESHOLD
 
 BASELINE_PATH = os.path.abspath(
     os.path.join(os.path.dirname(__file__), "..", "BENCH_kernels.json")
@@ -26,8 +27,9 @@ BASELINE_PATH = os.path.abspath(
 #: Allowed throughput drop before the guard fires.  Generous because the
 #: suite runs on whatever this host is doing right now; a real kernel
 #: regression (a lost vectorized path, an accidental per-row allocation)
-#: costs 2x or more, well past this line.
-MAX_REGRESSION = 0.30
+#: costs 2x or more, well past this line.  Shared with ``repro obs diff``
+#: (it is the ledger's constant) so the two gates can never drift apart.
+MAX_REGRESSION = REGRESSION_THRESHOLD
 
 #: Wall-time / speedup keys are not guarded: seconds scale with machine
 #: speed and speedups are ratios of two runs' noise.  Only the *_gcups

@@ -33,7 +33,7 @@ from ..obs import gcups, observed
 from ..seq import genome_pair, pack_database, random_dna, synthetic_database
 from ..strategies import SearchConfig, search_db, search_db_sequential
 
-__all__ = ["run_kernel_bench", "write_bench"]
+__all__ = ["record_bench", "run_kernel_bench", "write_bench"]
 
 
 def _seed_sw_row(prev, s_char, t_codes, scoring=DEFAULT_SCORING):
@@ -312,3 +312,18 @@ def write_bench(results: dict, path: str) -> None:
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(results, fh, indent=2, sort_keys=True)
         fh.write("\n")
+
+
+def record_bench(results: dict) -> dict | None:
+    """Append this suite run to the active run ledger (no-op when inactive).
+
+    The flattened ``{entry}.{metric}`` rate keys match what
+    :func:`repro.obs.ledger.entry_from_bench` derives from a committed
+    ``BENCH_kernels.json``, so ``obs diff`` compares a fresh run against
+    the baseline file directly.
+    """
+    from ..obs.ledger import bench_rates, record_run
+
+    return record_run(
+        "bench-kernels", bench_rates(results), config=results.get("_machine")
+    )

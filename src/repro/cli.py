@@ -10,6 +10,13 @@ Subcommands
                metric registry (cells, GCUPS, queue waits).
 ``obs``        observability utilities; ``obs report TRACE.json`` prints the
                per-phase time/cells/GCUPS table from an ``align --trace`` run.
+               ``obs critical-path TRACE.json`` joins the per-tile spans
+               against the plan's task graph: achieved vs theoretical
+               critical path, per-worker utilization, classified stalls.
+               ``obs gantt TRACE.json`` renders the same window as an ASCII
+               timeline.  ``obs diff A B`` compares two run-ledger entries
+               (or BENCH-style json files) and exits 1 on regressions past
+               the benchmark guard's threshold.
 ``search``     scan one query against a FASTA database with the batched
                multi-sequence kernel (length-bucketed SIMD lanes) and print
                the top-scoring hits; ``--workers N`` fans buckets out over
@@ -55,11 +62,20 @@ def _load_pair(args) -> tuple:
     return a[0].codes, b[0].codes
 
 
+def _install_ledger(args) -> None:
+    """Route this command's runs into a jsonl ledger when ``--ledger`` is set."""
+    if getattr(args, "ledger", None):
+        from .obs.ledger import set_ledger
+
+        set_ledger(args.ledger)
+
+
 def cmd_align(args) -> int:
     from contextlib import nullcontext
 
     from . import obs
 
+    _install_ledger(args)
     s, t = _load_pair(args)
     observing = bool(args.trace or args.metrics)
     scope = obs.observed("coordinator") if observing else nullcontext((None, None))
@@ -192,6 +208,7 @@ def cmd_search(args) -> int:
     from .seq import pack_database, read_fasta, stream_fasta
     from .strategies import SearchConfig, search_db
 
+    _install_ledger(args)
     queries = read_fasta(args.query)
     if not queries:
         raise SystemExit("empty query FASTA")
@@ -253,11 +270,15 @@ def cmd_search(args) -> int:
 
 
 def cmd_bench_kernels(args) -> int:
-    from .analysis.bench import run_kernel_bench, write_bench
+    from .analysis.bench import record_bench, run_kernel_bench, write_bench
 
+    _install_ledger(args)
     results = run_kernel_bench(quick=args.quick, progress=print)
     write_bench(results, args.out)
     print(f"wrote {args.out}: {len(results)} benchmark entries")
+    entry = record_bench(results)
+    if entry is not None:
+        print(f"ledger entry {entry['run_id']} ({len(entry['rates'])} rates)")
     return 0
 
 
@@ -278,6 +299,40 @@ def cmd_obs_report(args) -> int:
 
     print(render_report(load_trace(args.trace)))
     return 0
+
+
+def cmd_obs_critical_path(args) -> int:
+    from .obs.attrib import attribute, load_payload
+
+    attrib = attribute(load_payload(args.trace), pick=args.plan)
+    print(attrib.render(top_stalls=args.stalls))
+    return 0
+
+
+def cmd_obs_gantt(args) -> int:
+    from .obs.attrib import load_payload, render_gantt
+
+    print(render_gantt(load_payload(args.trace), width=args.width, pick=args.plan))
+    return 0
+
+
+def cmd_obs_diff(args) -> int:
+    from .obs.ledger import (
+        REGRESSION_THRESHOLD,
+        RunLedger,
+        active_ledger,
+        diff_entries,
+        render_diff,
+        resolve_ref,
+    )
+
+    ledger = RunLedger(args.ledger) if args.ledger else active_ledger()
+    before = resolve_ref(ledger, args.before)
+    after = resolve_ref(ledger, args.after)
+    threshold = REGRESSION_THRESHOLD if args.threshold is None else args.threshold
+    rows = diff_entries(before, after, threshold=threshold)
+    print(render_diff(before, after, rows))
+    return 1 if any(r["regressed"] for r in rows) else 0
 
 
 def cmd_experiment(args) -> int:
@@ -462,6 +517,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="row kernel: classic dense scans, or the striped query-profile "
         "kernel with narrow lanes and overflow recovery",
     )
+    p_align.add_argument(
+        "--ledger",
+        metavar="FILE",
+        help="append this run's headline rates (and attribution summary when "
+        "--trace/--metrics is on) to a jsonl run ledger for 'obs diff'",
+    )
     p_align.set_defaults(func=cmd_align)
 
     p_search = sub.add_parser("search", help="scan a query against a FASTA database")
@@ -502,6 +563,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the metrics registry (cells, GCUPS, per-worker rates) after the run",
     )
+    p_search.add_argument(
+        "--ledger",
+        metavar="FILE",
+        help="append this run's search rates to a jsonl run ledger for 'obs diff'",
+    )
     p_search.set_defaults(func=cmd_search)
 
     p_bench = sub.add_parser(
@@ -519,6 +585,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="smaller workloads and one timing round (CI smoke; numbers are "
         "not comparable to the committed baseline)",
+    )
+    p_bench_kernels.add_argument(
+        "--ledger",
+        metavar="FILE",
+        help="also append the suite's rates to a jsonl run ledger, so 'obs "
+        "diff' can compare runs (or a run against BENCH_kernels.json)",
     )
     p_bench_kernels.set_defaults(func=cmd_bench_kernels)
 
@@ -543,6 +615,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_obs_report.add_argument("trace", help="JSON file written by align --trace")
     p_obs_report.set_defaults(func=cmd_obs_report)
+    p_obs_cp = obs_sub.add_parser(
+        "critical-path",
+        help="achieved vs theoretical critical path, per-worker utilization "
+        "and classified stalls from a traced plan run",
+    )
+    p_obs_cp.add_argument("trace", help="JSON file written by align/search --trace")
+    p_obs_cp.add_argument(
+        "--plan",
+        type=int,
+        default=None,
+        help="plan span index in trace order (default: the largest by cells)",
+    )
+    p_obs_cp.add_argument(
+        "--stalls", type=int, default=5, help="stall intervals to list"
+    )
+    p_obs_cp.set_defaults(func=cmd_obs_critical_path)
+    p_obs_gantt = obs_sub.add_parser(
+        "gantt", help="ASCII per-process timeline of one traced plan window"
+    )
+    p_obs_gantt.add_argument("trace", help="JSON file written by align/search --trace")
+    p_obs_gantt.add_argument("--width", type=int, default=80, help="columns")
+    p_obs_gantt.add_argument(
+        "--plan",
+        type=int,
+        default=None,
+        help="plan span index in trace order (default: the largest by cells)",
+    )
+    p_obs_gantt.set_defaults(func=cmd_obs_gantt)
+    p_obs_diff = obs_sub.add_parser(
+        "diff",
+        help="compare two run-ledger entries (run ids, labels, negative "
+        "indices, or BENCH-style json paths); exits 1 on regressions",
+    )
+    p_obs_diff.add_argument("before", help="baseline entry ref (e.g. -2)")
+    p_obs_diff.add_argument("after", help="candidate entry ref (e.g. -1)")
+    p_obs_diff.add_argument(
+        "--ledger",
+        metavar="FILE",
+        help="ledger jsonl to resolve refs in (default: $REPRO_LEDGER)",
+    )
+    p_obs_diff.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="fractional loss that counts as a regression (default: the "
+        "benchmark guard's 0.30)",
+    )
+    p_obs_diff.set_defaults(func=cmd_obs_diff)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p_exp.add_argument("name", help="experiment id (e.g. table1, fig9) or 'all'")

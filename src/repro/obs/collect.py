@@ -11,9 +11,11 @@ yielding one coherent timeline (perf_counter is system-wide on Linux, so no
 clock reconciliation is needed).
 
 Robustness contract: a worker killed mid-write leaves a missing or truncated
-segment.  :func:`merge_segments` reads each file line by line and stops at
-the first undecodable line, so partial segments contribute their valid
-prefix and never corrupt the merged timeline (exercised by
+segment -- and a worker killed *then restarted* re-opens its segment, so a
+torn line can sit in the middle of the file with valid records after it.
+:func:`merge_segments` therefore reads each file line by line and skips any
+undecodable line individually: partial segments contribute every valid
+record around the tear and never corrupt the merged timeline (exercised by
 ``tests/obs/test_collect.py``).
 """
 
@@ -100,9 +102,11 @@ def observed_worker(obs: ObsJob | None, process: str):
 def merge_segments(dir_: str, key: str) -> tuple[list[dict], list[dict]]:
     """Read every segment of one job; tolerate missing/partial files.
 
-    Returns ``(slices, metric_snapshots)``.  Each file is consumed up to the
-    first truncated/undecodable line; malformed span records are skipped
-    individually.
+    Returns ``(slices, metric_snapshots)``.  Undecodable lines are skipped
+    *individually* (not treated as end-of-file): a worker killed mid-write
+    and restarted re-opens its segment, leaving the torn line followed by
+    valid records that must still be collected.  Malformed span records are
+    likewise skipped one by one.
     """
     slices: list[dict] = []
     snapshots: list[dict] = []
@@ -116,7 +120,7 @@ def merge_segments(dir_: str, key: str) -> tuple[list[dict], list[dict]]:
             try:
                 record = json.loads(line)
             except ValueError:
-                break  # truncated tail of a killed worker; keep the prefix
+                continue  # torn line of a killed (maybe restarted) worker
             if not isinstance(record, dict):
                 continue
             if record.get("kind") == "span":
@@ -140,7 +144,7 @@ def read_sanitizer_events(dir_: str, key: str) -> list[dict]:
             try:
                 record = json.loads(line)
             except ValueError:
-                break  # truncated tail of a killed worker
+                continue  # torn line of a killed (maybe restarted) worker
             if (
                 isinstance(record, dict)
                 and record.get("kind") == "sanitizer"

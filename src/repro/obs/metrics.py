@@ -26,6 +26,13 @@ derives it from a cell counter plus a wall-clock duration.
 from __future__ import annotations
 
 from bisect import bisect_left
+from math import isfinite
+
+#: Denominators at or below this are treated as "no time measured".  Rates
+#: over sub-picosecond windows are clock noise amplified to absurdity (or a
+#: plain uninitialised 0.0), so every rate helper returns 0.0 instead of
+#: raising ZeroDivisionError or printing ``inf``.
+MIN_RATE_SECONDS = 1e-12
 
 #: Default latency buckets (seconds): 0.1 ms .. 10 s, roughly 1-3-10 spaced.
 DEFAULT_SECONDS_BUCKETS = (
@@ -150,6 +157,14 @@ class MetricsRegistry:
             },
         }
 
+    def gcups(self, seconds: float, counter: str = "cells_computed") -> float:
+        """GCUPS of a counted cell total over a measured wall-clock window.
+
+        Guarded like every rate in this module: zero, near-zero, negative or
+        non-finite ``seconds`` yield 0.0, never a ZeroDivisionError or inf.
+        """
+        return gcups(self.counter(counter).value, seconds)
+
     def merge(self, snapshot: dict) -> None:
         """Fold another process's snapshot into this registry.
 
@@ -180,6 +195,13 @@ class MetricsRegistry:
             h.count += count
 
 
+def safe_rate(amount: float, seconds: float) -> float:
+    """``amount`` per second; 0.0 for zero/near-zero/invalid denominators."""
+    if not isfinite(seconds) or seconds <= MIN_RATE_SECONDS:
+        return 0.0
+    return amount / seconds
+
+
 def gcups(cells: float, seconds: float) -> float:
     """Giga cell updates per second; 0.0 when no time was measured."""
-    return cells / seconds / 1e9 if seconds > 0 else 0.0
+    return safe_rate(cells, seconds) / 1e9

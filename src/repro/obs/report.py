@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 
-from .metrics import gcups
+from .metrics import gcups, safe_rate
 
 
 def load_trace(path: str) -> dict:
@@ -59,7 +59,7 @@ def phase_rows(payload: dict) -> list[dict]:
                 "gcups": gcups(cells, seconds),
                 "compute_s": comp / 1e6,
                 "comm_s": comm / 1e6,
-                "comm_ratio": (comm / comp) if comp else 0.0,
+                "comm_ratio": safe_rate(comm / 1e6, comp / 1e6),
             }
         )
     if rows:
@@ -73,10 +73,8 @@ def phase_rows(payload: dict) -> list[dict]:
                 "gcups": gcups(total_cells, total_s),
                 "compute_s": sum(r["compute_s"] for r in rows),
                 "comm_s": sum(r["comm_s"] for r in rows),
-                "comm_ratio": (
-                    sum(r["comm_s"] for r in rows) / sum(r["compute_s"] for r in rows)
-                    if sum(r["compute_s"] for r in rows)
-                    else 0.0
+                "comm_ratio": safe_rate(
+                    sum(r["comm_s"] for r in rows), sum(r["compute_s"] for r in rows)
                 ),
             }
         )
@@ -106,7 +104,7 @@ def process_rows(payload: dict) -> list[dict]:
                 "process": process,
                 "compute_s": comp,
                 "comm_s": comm,
-                "busy_pct": 100.0 * (comp + comm) / (span_us / 1e6) if span_us else 0.0,
+                "busy_pct": 100.0 * safe_rate(comp + comm, span_us / 1e6),
             }
         )
     return rows

@@ -175,8 +175,7 @@ def _job_plan(role: int, job: dict, arenas: dict) -> list:
                     "computation",
                     t0,
                     spent,
-                    tile=tile.id,
-                    cells=tile.cells,
+                    **runtime.tile_args(tile),
                 )
             if not runtime.ENGINE_COUNTS_CELLS:
                 cells += tile.cells
@@ -255,6 +254,7 @@ def _job_search(role: int, job: dict, arenas: dict, work) -> list:
                 spent,
                 lanes=tile.payload[2],
                 width=tile.payload[1],
+                **runtime.tile_args(tile),
             )
     if tracing:
         metrics = get_metrics()
@@ -497,9 +497,16 @@ class AlignmentWorkerPool:
                 f"plan wants {graph.n_procs} processors"
                 f" but the pool has {self.n_workers} workers"
             )
+        tracer = get_tracer()
+        # pool.wavefront/blocked come here directly (not through
+        # Executor.run), so the pool stamps its own plan span; attribution
+        # deduplicates the nested copy when a PoolExecutor wraps this call.
+        span_args = graph.span_args(backend="pool") if tracer.enabled else {}
         # Nested `with` (not sequential creates + try/finally): if the second
         # allocation raises, the first segment is still unwound.
-        with create_shared_array(
+        with tracer.span(
+            f"plan:{graph.kind}", "coordination", **span_args
+        ), create_shared_array(
             state_shape(graph), SCORE_DTYPE
         ) as state, create_shared_array((len(graph.tiles),), np.int64) as done:
             collected = self._submit(
@@ -633,49 +640,56 @@ class AlignmentWorkerPool:
         pull tiles greedily and return local top-k heaps; the deterministic
         total order makes the merged ranking interleaving-independent.
         """
+        tracer = get_tracer()
+        # The search graph has no rebuildable spec, so everything attribution
+        # needs (tiles/cells/critical-path) rides this span's args directly.
+        span_args = graph.span_args(backend="pool") if tracer.enabled else {}
         arena: SequenceArena | None = None
-        try:
-            # The arena is created inside the try so that *any* failure after
-            # it exists -- including the metrics block below -- unwinds it;
-            # previously an exception between creation and dispatch leaked
-            # the named segment.
-            with get_tracer().span(
-                "shm_publish", "communication", bytes=int(query.size + blob.size)
-            ):
-                arena = SequenceArena(query, blob)
-            if is_enabled():
-                metrics = get_metrics()
-                metrics.counter("arena_bytes_published").inc(int(query.size + blob.size))
-                metrics.gauge("search_queue_chunks").set(len(graph.tiles))
+        with tracer.span(f"plan:{graph.kind}", "coordination", **span_args):
             try:
-                for tile in graph.tiles:
-                    self._work.put(tile)
-                for _ in range(self.n_workers):
-                    self._work.put(SENTINEL)
-                collected = self._submit(
-                    {
-                        "kind": "search",
-                        "arena": arena.handle,
-                        "top_k": graph.params["top_k"],
-                        "kernel": graph.params.get("kernel", "classic"),
-                        "scoring": scoring,
-                    },
-                    fail_fast=False,
-                )
-            except PoolJobError:
-                # Every worker has reported back (fail_fast=False), so nothing
-                # is still pulling: leftover tiles and the failed worker's
-                # sentinel can be drained without starving anyone.
-                self._drain_work()
-                raise
-            except BaseException:
-                # Timeout/crash/interrupt: workers may be mid-pull, so the
-                # queue cannot be drained safely -- retire the pool instead.
-                self.close(join_timeout=1.0)
-                raise
-        finally:
-            if arena is not None:
-                arena.close()
+                # The arena is created inside the try so that *any* failure
+                # after it exists -- including the metrics block below --
+                # unwinds it; previously an exception between creation and
+                # dispatch leaked the named segment.
+                with get_tracer().span(
+                    "shm_publish", "communication", bytes=int(query.size + blob.size)
+                ):
+                    arena = SequenceArena(query, blob)
+                if is_enabled():
+                    metrics = get_metrics()
+                    metrics.counter("arena_bytes_published").inc(
+                        int(query.size + blob.size)
+                    )
+                    metrics.gauge("search_queue_chunks").set(len(graph.tiles))
+                try:
+                    for tile in graph.tiles:
+                        self._work.put(tile)
+                    for _ in range(self.n_workers):
+                        self._work.put(SENTINEL)
+                    collected = self._submit(
+                        {
+                            "kind": "search",
+                            "arena": arena.handle,
+                            "top_k": graph.params["top_k"],
+                            "kernel": graph.params.get("kernel", "classic"),
+                            "scoring": scoring,
+                        },
+                        fail_fast=False,
+                    )
+                except PoolJobError:
+                    # Every worker has reported back (fail_fast=False), so
+                    # nothing is still pulling: leftover tiles and the failed
+                    # worker's sentinel can be drained without starving anyone.
+                    self._drain_work()
+                    raise
+                except BaseException:
+                    # Timeout/crash/interrupt: workers may be mid-pull, so the
+                    # queue cannot be drained safely -- retire the pool.
+                    self.close(join_timeout=1.0)
+                    raise
+            finally:
+                if arena is not None:
+                    arena.close()
         parts = [collected[role] for role in sorted(collected)]
         result = finalize_plan(graph, parts)
         result.backend = "pool"

@@ -53,13 +53,12 @@ class Executor:
         scale: int = 1,
     ):
         tracer = get_tracer()
+        # Span args (including the O(tiles) critical-path walk and the
+        # embedded spec for trace-side attribution) are only built when a
+        # tracer is installed -- the disabled path stays one branch.
+        span_args = graph.span_args(backend=self.BACKEND) if tracer.enabled else {}
         with Stopwatch() as sw, tracer.span(
-            f"plan:{graph.kind}",
-            "coordination",
-            backend=self.BACKEND,
-            tiles=len(graph.tiles),
-            cells=graph.total_cells,
-            n_procs=graph.n_procs,
+            f"plan:{graph.kind}", "coordination", **span_args
         ):
             result = self._execute(graph, s, t, scoring, scale)
         if is_enabled():
@@ -93,8 +92,7 @@ class InlineExecutor(Executor):
                     "computation",
                     t0,
                     perf_counter() - t0,
-                    tile=tile.id,
-                    cells=tile.cells,
+                    **runtime.tile_args(tile),
                 )
             else:
                 runtime.run_tile(tile)

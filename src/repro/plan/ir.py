@@ -102,3 +102,29 @@ class TaskGraph:
             here = tile.cells + max((best[d] for d in tile.deps), default=0)
             best.append(here)
         return max(best, default=0)
+
+    def span_args(self, **extra) -> dict:
+        """Args stamped onto the ``plan:{kind}`` coordination span.
+
+        This is the trace side of the attribution join
+        (:mod:`repro.obs.attrib`): the graph's cell accounting rides the
+        span directly, and -- when the graph has a rebuildable spec -- the
+        spec's kind/params/shape ride along too, so an analysis tool can
+        reconstruct the exact dependency structure from the trace file
+        alone.  All values are JSON-scalar (spec params are scalars by
+        construction), so they survive the Chrome-trace round trip.
+        """
+        args = {
+            "kind": self.kind,
+            "tiles": len(self.tiles),
+            "cells": self.total_cells,
+            "critical_path_cells": self.critical_path_cells(),
+            "n_procs": self.n_procs,
+            "rows": self.shape[0],
+            "cols": self.shape[1],
+            **extra,
+        }
+        if self.spec is not None:
+            args["spec_kind"] = self.spec.kind
+            args["spec_params"] = dict(self.spec.params)
+        return args

@@ -97,6 +97,30 @@ class PlanRuntime:
     SPAN_NAME = "tile"
     ENGINE_COUNTS_CELLS = True
 
+    #: Attribution labels (see :meth:`tile_args`).  Graph-bound runtimes
+    #: overwrite these in ``__init__`` from the graph's params; the search
+    #: runtime sets its own.  ``dtype_name`` is the *scheduled* DP state
+    #: dtype ("auto" where the kernel picks lane dtypes per bucket).
+    kind_name = ""
+    kernel_name = "classic"
+    dtype_name = "int32"
+
+    def tile_args(self, tile: Tile) -> dict:
+        """Span args stamped onto every executed tile, on every backend.
+
+        ``tile`` (the id) is the join key :mod:`repro.obs.attrib` uses to
+        line trace slices up with the plan's dependency structure; the rest
+        lets a report say *what* ran without the graph in hand.
+        """
+        return {
+            "tile": tile.id,
+            "owner": tile.owner,
+            "kind": self.kind_name,
+            "cells": tile.cells,
+            "kernel": self.kernel_name,
+            "dtype": self.dtype_name,
+        }
+
     def run_tile(self, tile: Tile) -> None:
         raise NotImplementedError
 
@@ -131,6 +155,8 @@ class WavefrontRuntime(PlanRuntime):
         self.t = t
         self.scoring = scoring
         self.borders = state
+        self.kind_name = graph.kind
+        self.kernel_name = graph.params.get("kernel", "classic")
         self._owners: dict[int, dict] = {}
 
     def _owner(self, p: int) -> dict:
@@ -197,6 +223,8 @@ class _BandedRuntime(PlanRuntime):
         self.t = t
         self.scoring = scoring
         self.boundaries = state
+        self.kind_name = graph.kind
+        self.kernel_name = graph.params.get("kernel", "classic")
         self.row_bounds = graph.params["row_bounds"]
         self.col_bounds = graph.params["col_bounds"]
         self._bands: dict[int, dict] = {}  # owner -> current-band scratch
@@ -328,6 +356,11 @@ class SearchRuntime(PlanRuntime):
         self.blob = blob
         self.scoring = scoring
         self.kernel = kernel
+        self.kind_name = "search"
+        self.kernel_name = kernel
+        # Lane dtypes are chosen per bucket: int16-when-provably-safe for the
+        # classic batch, the int8->int16->int32 escalation for striped.
+        self.dtype_name = "auto"
         self.top = TopK(top_k)
         self.cells = 0  # residues scanned x query length (local accounting)
 

@@ -29,9 +29,12 @@ clock is charged ``scale**2`` cells per actual cell, the
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from ..dsm.jiajia import JiaJia
+from ..obs import get_tracer
 from ..sim.costmodel import DEFAULT_COST_MODEL, CostModel
 from ..sim.disk import NfsDisk
 from ..sim.engine import Delay, Simulator
@@ -86,6 +89,29 @@ class SimExecutor(Executor):
     def __init__(self, cost: CostModel = DEFAULT_COST_MODEL, timeline=None) -> None:
         self.cost = cost
         self.timeline = timeline
+
+    @staticmethod
+    def _run_tile(runtime: PlanRuntime, tile) -> None:
+        """Run one tile's real kernel, stamping a wall-clock span when traced.
+
+        The virtual clock is charged separately (``dsm.compute``); this span
+        is the *host* time the kernel took, carrying the same per-tile args
+        as the inline and pool backends so attribution and the cross-backend
+        tile-id parity suite see one schema everywhere.
+        """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            runtime.run_tile(tile)
+            return
+        t0 = perf_counter()
+        runtime.run_tile(tile)
+        tracer.record(
+            runtime.SPAN_NAME,
+            "computation",
+            t0,
+            perf_counter() - t0,
+            **runtime.tile_args(tile),
+        )
 
     def _execute(self, graph, s, t, scoring, scale) -> StrategyResult:
         runtime = make_runtime(graph, s, t, scoring)
@@ -156,7 +182,7 @@ class SimExecutor(Executor):
                     yield from dsm.fault(p, pages=1, repeat=g_nominal)
                     yield from dsm.setcv(p, _cv_ack(p - 1), repeat=g_nominal)
                 # real kernel over my slice of rows [lo, hi)
-                runtime.run_tile(tile)
+                self._run_tile(runtime, tile)
                 seconds = tile.cells * scale * scale * cost.heuristic_cell_time
                 yield from dsm.compute(p, seconds, cells=tile.cells * scale * scale)
                 # The writing row chunk is re-dirtied every nominal row.  A
@@ -250,7 +276,7 @@ class SimExecutor(Executor):
                     yield from dsm.waitcv(p, _cv_block(band - 1, block, n_blocks))
                     # passage pages are home-local to this consumer: the
                     # producer's diffs already delivered the data.
-                runtime.run_tile(tile)
+                self._run_tile(runtime, tile)
                 if w == 0 or h == 0:
                     continue
                 yield from dsm.compute(
@@ -338,7 +364,7 @@ class SimExecutor(Executor):
                 h, w = r1 - r0, c1 - c0
                 if band > 0:
                     yield from dsm.waitcv(p, _cv_chunk(band - 1, chunk, n_chunks))
-                runtime.run_tile(tile)
+                self._run_tile(runtime, tile)
                 yield from dsm.compute(
                     p,
                     tile.cells * scale * scale * cell_time(h * scale),

@@ -15,6 +15,7 @@ from ..core.alignment import LocalAlignment
 from ..core.global_align import SubsequenceAlignment
 from ..core.scoring import DEFAULT_SCORING, Scoring
 from ..obs import gcups, get_metrics, get_tracer, is_enabled
+from ..obs.ledger import record_run
 from ..obs.trace import Stopwatch
 from ..sim.costmodel import DEFAULT_COST_MODEL, CostModel
 from .base import ScaledWorkload, StrategyResult
@@ -162,6 +163,21 @@ def run_pipeline(
                 phase2_config or Phase2Config(n_procs=n_procs),
                 cost,
             )
+    record_run(
+        f"align-{backend}",
+        {
+            "wall_seconds": wall.elapsed,
+            "virtual_cluster_seconds": phase1.total_time + phase2.total_time,
+        },
+        config={
+            "strategy": strategy,
+            "backend": backend,
+            "n_procs": n_procs,
+            "scale": scale,
+            "rows": len(s),
+            "cols": len(t),
+        },
+    )
     return PipelineResult(
         phase1=phase1,
         phase2=phase2,
@@ -269,6 +285,21 @@ def run_mp_pipeline(
         metrics.gauge("phase2_seconds").set(sw2.elapsed)
         metrics.gauge("phase1_gcups").set(gcups(phase1_cells, sw1.elapsed))
         metrics.gauge("phase2_gcups").set(gcups(phase2_cells, sw2.elapsed))
+    record_run(
+        f"align-{backend}",
+        {
+            "phase1_seconds": sw1.elapsed,
+            "phase2_seconds": sw2.elapsed,
+            "phase1_gcups": gcups(phase1_cells, sw1.elapsed),
+            "phase2_gcups": gcups(phase2_cells, sw2.elapsed),
+        },
+        config={
+            "backend": backend,
+            "n_workers": pool.n_workers,
+            "rows": len(s),
+            "cols": len(t),
+        },
+    )
     return MpPipelineResult(
         backend=backend,
         n_workers=pool.n_workers,

@@ -34,6 +34,7 @@ from ..core.engine import KernelWorkspace
 from ..core.scoring import DEFAULT_SCORING, SCORE_DTYPE, Scoring
 from ..core.topk import TopK
 from ..obs import gcups, get_metrics, get_tracer, is_enabled
+from ..obs.ledger import record_run
 from ..obs.trace import Stopwatch
 from ..plan import InlineExecutor, plan_search_buckets, search_blob
 from ..seq.alphabet import encode
@@ -174,6 +175,21 @@ def search_db(
         metrics = get_metrics()
         metrics.gauge("search_seconds").set(sw.elapsed)
         metrics.gauge("search_gcups").set(gcups(cells, sw.elapsed))
+    record_run(
+        "search-pool" if pool is not None else "search-inline",
+        {
+            "search_seconds": sw.elapsed,
+            "search_gcups": gcups(cells, sw.elapsed),
+        },
+        config={
+            "kernel": config.kernel,
+            "top_k": config.top_k,
+            "n_workers": n_workers,
+            "sequences": packed.n_sequences,
+            "buckets": len(packed.buckets),
+            "query_bp": int(len(query)),
+        },
+    )
     return SearchResult(
         hits=_hits(packed, ranked),
         n_sequences=packed.n_sequences,

@@ -82,6 +82,43 @@ class TestKilledWorker:
         # worker-1 never reached its metrics line; worker-0's survives.
         assert len(snaps) == 1
 
+    def test_torn_line_mid_file_keeps_records_after_it(self, tmp_path):
+        """A killed-then-restarted worker re-opens its segment: the torn line
+        sits in the *middle* of the file with valid records after it, and
+        every record around the tear must still be collected."""
+        path = segment_path(ObsJob(str(tmp_path), "job1"), "worker-0")
+        span = {
+            "kind": "span",
+            "name": "rows",
+            "cat": "computation",
+            "process": "worker-0",
+            "start": 1.0,
+            "dur": 0.5,
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(span) + "\n")
+            fh.write('{"kind": "span", "name": "rows", "cat": "comp\n')  # torn
+            fh.write(json.dumps({**span, "start": 2.0}) + "\n")  # after restart
+            fh.write(
+                json.dumps({"kind": "metrics", "data": {"counters": {"c": 3}}})
+                + "\n"
+            )
+        slices, snaps = merge_segments(str(tmp_path), "job1")
+        assert [s["start"] for s in slices] == [1.0, 2.0]
+        assert snaps == [{"counters": {"c": 3}}]
+
+    def test_torn_line_mid_file_in_sanitizer_events(self, tmp_path):
+        from repro.obs.collect import read_sanitizer_events
+
+        path = segment_path(ObsJob(str(tmp_path), "job1"), "worker-0")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write('{"kind": "sanitizer", "eve\n')  # torn
+            fh.write(
+                json.dumps({"kind": "sanitizer", "events": [{"op": "wait"}]})
+                + "\n"
+            )
+        assert read_sanitizer_events(str(tmp_path), "job1") == [{"op": "wait"}]
+
     def test_missing_segment_is_fine(self, tmp_path):
         _make_segment(tmp_path, "job1", "worker-0")
         slices, snaps = merge_segments(str(tmp_path), "job1")

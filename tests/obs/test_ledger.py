@@ -1,0 +1,200 @@
+"""Run ledger: persistence, ref resolution, direction-aware diffing.
+
+The acceptance case is the injected 2x slowdown: two entries whose rates
+differ by a factor of two must be flagged by ``diff_entries`` in *both*
+directions (halved GCUPS, doubled seconds), and the flag threshold must be
+the same constant the benchmark guard uses.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.ledger import (
+    REGRESSION_THRESHOLD,
+    RunLedger,
+    active_ledger,
+    bench_rates,
+    config_digest,
+    diff_entries,
+    entry_from_bench,
+    make_entry,
+    record_run,
+    render_diff,
+    resolve_ref,
+    set_ledger,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_ledger_state(monkeypatch):
+    monkeypatch.delenv("REPRO_LEDGER", raising=False)
+    set_ledger(None)
+    yield
+    set_ledger(None)
+
+
+class TestPersistence:
+    def test_append_and_read_back(self, tmp_path):
+        ledger = RunLedger(tmp_path / "runs.jsonl")
+        ledger.append(make_entry("run-a", {"x_gcups": 1.0}))
+        ledger.append(make_entry("run-b", {"x_gcups": 2.0}))
+        entries = ledger.entries()
+        assert [e["label"] for e in entries] == ["run-a", "run-b"]
+        assert entries[0]["machine"]["python"]
+
+    def test_get_by_id_label_and_negative_index(self, tmp_path):
+        ledger = RunLedger(tmp_path / "runs.jsonl")
+        first = ledger.append(make_entry("nightly", {"x_gcups": 1.0}))
+        second = ledger.append(make_entry("nightly", {"x_gcups": 2.0}))
+        assert ledger.get(first["run_id"]) == first
+        assert ledger.get("nightly") == second  # latest run of a label wins
+        assert ledger.get(-1) == second and ledger.get(-2) == first
+        assert ledger.get("-2") == first  # CLI refs arrive as strings
+        with pytest.raises(LookupError):
+            ledger.get("no-such-run")
+
+    def test_torn_trailing_line_tolerated(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        ledger = RunLedger(path)
+        ledger.append(make_entry("ok", {"x_gcups": 1.0}))
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"run_id": "torn", "rates": {"x_gc')
+        assert [e["label"] for e in ledger.entries()] == ["ok"]
+
+    def test_empty_or_missing_file(self, tmp_path):
+        ledger = RunLedger(tmp_path / "never-written.jsonl")
+        assert ledger.entries() == []
+        with pytest.raises(LookupError):
+            ledger.get(-1)
+
+
+class TestRecordRun:
+    def test_noop_without_active_ledger(self):
+        assert active_ledger() is None
+        assert record_run("r", {"x_gcups": 1.0}) is None
+
+    def test_env_var_activates(self, tmp_path, monkeypatch):
+        path = tmp_path / "env.jsonl"
+        monkeypatch.setenv("REPRO_LEDGER", str(path))
+        entry = record_run("r", {"x_gcups": 1.0}, config={"n": 2})
+        assert entry is not None
+        assert RunLedger(path).get(-1)["config"] == {"n": 2}
+
+    def test_attribution_rides_along_when_traced(self, tmp_path):
+        set_ledger(tmp_path / "runs.jsonl")
+        with obs.observed() as (tracer, _):
+            tracer.record(
+                "plan:wavefront", "coordination", 0.0, 1.0,
+                kind="wavefront", tiles=1, cells=100, critical_path_cells=60,
+                n_procs=1, rows=10, cols=10, backend="inline",
+            )
+            tracer.record(
+                "rows", "computation", 0.1, 0.5,
+                tile=0, owner=0, kind="wavefront", cells=100,
+                kernel="classic", dtype="int32",
+            )
+            entry = record_run("r", {"x_gcups": 1.0})
+        assert entry["attribution"]["kind"] == "wavefront"
+        assert entry["attribution"]["cells_traced"] == 100
+        # and it survives the jsonl round trip
+        assert RunLedger(tmp_path / "runs.jsonl").get(-1)["attribution"][
+            "cells_traced"
+        ] == 100
+
+    def test_untraced_entry_has_no_attribution(self, tmp_path):
+        set_ledger(tmp_path / "runs.jsonl")
+        entry = record_run("r", {"x_gcups": 1.0})
+        assert entry["attribution"] is None
+
+
+class TestDiff:
+    def test_injected_2x_slowdown_is_flagged_both_directions(self):
+        """The ISSUE's acceptance check: a 2x slowdown must be detected."""
+        fast = make_entry("fast", {"phase1_gcups": 1.0, "phase1_seconds": 1.0})
+        slow = make_entry("slow", {"phase1_gcups": 0.5, "phase1_seconds": 2.0})
+        rows = diff_entries(fast, slow)
+        assert {r["key"]: r["regressed"] for r in rows} == {
+            "phase1_gcups": True,
+            "phase1_seconds": True,
+        }
+        text = render_diff(fast, slow, rows)
+        assert "!!" in text and "2 regression(s)" in text
+
+    def test_threshold_boundary_is_strict(self):
+        base = make_entry("a", {"x_gcups": 1.0, "x_seconds": 1.0})
+        at_edge = make_entry("b", {
+            "x_gcups": 1.0 - REGRESSION_THRESHOLD,          # exactly -30%
+            "x_seconds": 1.0 / (1.0 - REGRESSION_THRESHOLD),  # the mirror
+        })
+        assert not any(r["regressed"] for r in diff_entries(base, at_edge))
+        past = make_entry("c", {"x_gcups": 0.69, "x_seconds": 1.45})
+        assert all(r["regressed"] for r in diff_entries(base, past))
+
+    def test_improvements_never_flagged(self):
+        a = make_entry("a", {"x_gcups": 1.0, "x_seconds": 2.0})
+        b = make_entry("b", {"x_gcups": 5.0, "x_seconds": 0.1})
+        assert not any(r["regressed"] for r in diff_entries(a, b))
+
+    def test_neutral_keys_reported_but_never_flagged(self):
+        a = make_entry("a", {"cells": 100.0})
+        b = make_entry("b", {"cells": 1.0})
+        rows = diff_entries(a, b)
+        assert rows[0]["direction"] == "neutral" and not rows[0]["regressed"]
+
+    def test_guard_threshold_matches_bench_guard(self):
+        """One constant for both gates; the bench guard imports it."""
+        import importlib.util
+        import os
+
+        path = os.path.join(
+            os.path.dirname(__file__), "..", "..", "benchmarks", "test_bench_guard.py"
+        )
+        spec = importlib.util.spec_from_file_location("bench_guard", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert module.MAX_REGRESSION == REGRESSION_THRESHOLD
+
+
+class TestBenchInterop:
+    BENCH = {
+        "_machine": {"platform": "test", "quick": True},
+        "scan": {"workspace_gcups": 2.0, "workspace_seconds": 0.5, "cells": 42},
+    }
+
+    def test_bench_rates_flatten_with_direction_suffixes_only(self):
+        rates = bench_rates(self.BENCH)
+        assert rates == {
+            "scan.workspace_gcups": 2.0,
+            "scan.workspace_seconds": 0.5,
+        }
+
+    def test_resolve_ref_accepts_bench_file(self, tmp_path):
+        path = tmp_path / "BENCH_kernels.json"
+        path.write_text(json.dumps(self.BENCH))
+        entry = resolve_ref(None, str(path))
+        assert entry["rates"]["scan.workspace_gcups"] == 2.0
+        assert entry["machine"]["quick"] is True
+
+    def test_bench_run_diffs_against_baseline_file(self, tmp_path):
+        baseline = entry_from_bench(self.BENCH)
+        slowed = dict(self.BENCH, scan={"workspace_gcups": 0.9,
+                                        "workspace_seconds": 1.2, "cells": 42})
+        rows = diff_entries(baseline, entry_from_bench(slowed))
+        assert {r["key"]: r["regressed"] for r in rows} == {
+            "scan.workspace_gcups": True,
+            "scan.workspace_seconds": True,
+        }
+
+    def test_resolve_ref_without_ledger_or_file(self):
+        with pytest.raises(LookupError, match="no ledger"):
+            resolve_ref(None, "-1")
+
+
+class TestConfigDigest:
+    def test_stable_and_order_independent(self):
+        assert config_digest({"a": 1, "b": 2}) == config_digest({"b": 2, "a": 1})
+        assert config_digest({"a": 1}) != config_digest({"a": 2})

@@ -4,11 +4,13 @@ import pytest
 
 from repro.obs.metrics import (
     DEFAULT_SECONDS_BUCKETS,
+    MIN_RATE_SECONDS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     gcups,
+    safe_rate,
 )
 
 
@@ -121,3 +123,23 @@ class TestGcups:
 
     def test_zero_time(self):
         assert gcups(1e9, 0.0) == 0.0
+
+    def test_near_zero_negative_and_nonfinite_all_yield_zero(self):
+        """Degenerate denominators must give 0.0, never a raise or inf."""
+        for seconds in (0.0, MIN_RATE_SECONDS, MIN_RATE_SECONDS / 2, -1.0,
+                        float("nan"), float("inf"), float("-inf")):
+            assert gcups(1e9, seconds) == 0.0
+            assert safe_rate(5.0, seconds) == 0.0
+
+    def test_just_above_floor_divides(self):
+        assert safe_rate(4.0, 2.0) == pytest.approx(2.0)
+        assert safe_rate(1.0, 1e-9) == pytest.approx(1e9)
+
+    def test_registry_gcups_guarded(self):
+        r = MetricsRegistry()
+        r.counter("cells_computed").inc(2_000_000_000)
+        assert r.gcups(2.0) == pytest.approx(1.0)
+        assert r.gcups(0.0) == 0.0
+        assert r.gcups(float("nan")) == 0.0
+        # counter that was never incremented: 0 cells over real time is 0.0
+        assert r.gcups(1.0, counter="never_touched") == 0.0

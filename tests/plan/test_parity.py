@@ -12,15 +12,18 @@ import dataclasses
 
 import pytest
 
+import repro.obs as obs
 from repro.parallel import AlignmentWorkerPool
 from repro.plan import (
     InlineExecutor,
     PoolExecutor,
     SimExecutor,
+    cached_plan,
     plan_blocked,
     plan_search_buckets,
     plan_wavefront,
     search_blob,
+    wavefront_spec,
 )
 from repro.seq import encode, genome_pair
 from repro.seq.db import pack_database, synthetic_database
@@ -89,6 +92,52 @@ class TestSearchParity:
         reference = [(h.score, h.index) for h in sequential.hits]
         assert reference
         assert inline == pooled == reference
+
+
+class TestTileTraceParity:
+    """Attribution parity: every backend stamps the same tiles the same way.
+
+    The same PlanSpec must yield identical traced tile-id sets -- and
+    identical per-tile labels (owner/kind/cells/kernel/dtype) -- whether it
+    runs inline, on the simulator, or on the pool.  This is what lets
+    ``repro obs`` reports from different backends be compared directly.
+    """
+
+    @staticmethod
+    def _traced_tiles(run):
+        """Map tile id -> its full span-arg label for one traced run."""
+        tiles = {}
+        with obs.observed() as (tracer, _):
+            run()
+            for span in tracer.spans:
+                if span.category == "computation" and "tile" in span.args:
+                    args = dict(span.args)
+                    args.pop("lanes", None)  # pool search extras, not labels
+                    args.pop("width", None)
+                    tile_id = args.pop("tile")
+                    tiles[tile_id] = tuple(sorted(args.items()))
+        return tiles
+
+    def test_same_spec_same_tiles_every_backend(self, pair, pool):
+        s, t = pair
+        spec = wavefront_spec(n_procs=2, group_rows=16)
+        graph = cached_plan(spec, len(s), len(t))
+        inline = self._traced_tiles(lambda: InlineExecutor().run(graph, s, t))
+        sim = self._traced_tiles(lambda: SimExecutor().run(graph, s, t))
+        pooled = self._traced_tiles(lambda: PoolExecutor(pool).run(graph, s, t))
+        assert set(inline) == {tile.id for tile in graph.tiles}
+        assert inline == sim == pooled
+
+    def test_labels_carry_the_attribution_fields(self, pair):
+        s, t = pair
+        graph = plan_wavefront(len(s), len(t), n_procs=2, group_rows=16)
+        traced = self._traced_tiles(lambda: InlineExecutor().run(graph, s, t))
+        cells_by_id = {tile.id: tile.cells for tile in graph.tiles}
+        for tile_id, label in traced.items():
+            args = dict(label)
+            assert set(args) == {"owner", "kind", "cells", "kernel", "dtype"}
+            assert args["kind"] == "wavefront"
+            assert args["cells"] == cells_by_id[tile_id]
 
 
 class TestExecutorGuards:
