@@ -92,3 +92,26 @@ def test_striped_entry_holds_3x_over_recorded_batched(baseline):
         f"striped db search at {entry['striped_gcups']:.3f} GCUPS, "
         "below 3x the 0.28 batched baseline"
     )
+
+
+def test_pruned_entry_holds_acceptance_floor(baseline):
+    """Score-bound pruning must keep earning its complexity budget.
+
+    The issue's acceptance floor on the planted-homolog workload: at least
+    40% of sequences pruned, and at least 1.5x wall time over the same scan
+    with ``--prefilter off``.  Both are workload properties more than
+    machine properties (the pruned fraction is deterministic; the speedup
+    is a ratio of two same-machine runs), so unlike raw GCUPS they are
+    pinned as absolute floors.
+    """
+    entry = baseline.get("db_search_pruned_5000seq_1500bp_query")
+    if entry is None:
+        pytest.skip("no pruned db-search entry recorded yet")
+    assert entry["pruned_fraction"] >= 0.40, (
+        f"prefilter pruned only {entry['pruned_fraction']:.1%} of sequences, "
+        "below the 40% acceptance floor"
+    )
+    assert entry["pruned_speedup_vs_off"] >= 1.5, (
+        f"pruned search only {entry['pruned_speedup_vs_off']:.2f}x over "
+        "prefilter=off, below the 1.5x acceptance floor"
+    )

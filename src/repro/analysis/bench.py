@@ -4,7 +4,9 @@ Regenerates every entry of ``BENCH_kernels.json`` from fixed seeds: the
 4 kBP pairwise scan (naive -> vectorized -> workspace), the batched row
 block, the 1,000-sequence database search through both the classic batched
 kernel and the striped query-profile kernel of :mod:`repro.core.striped`,
-and the pool-vs-spawn wavefront repeat.  The same workloads and timing
+the score-bound-pruned search over a planted-homolog database
+(:mod:`repro.strategies.prefilter`), and the pool-vs-spawn wavefront
+repeat.  The same workloads and timing
 discipline as the ``benchmarks/`` pytest suite (min-of-rounds after a
 warmup call, cell counts cross-checked against the ``repro.obs`` metrics
 registry), so numbers regenerated here are comparable to the committed
@@ -28,9 +30,17 @@ import numpy as np
 
 from ..core import KernelWorkspace, StripedMultiWorkspace, initial_row
 from ..core.kernels import SCORE_DTYPE, sw_row_naive
-from ..core.scoring import DEFAULT_SCORING
+from ..core.scoring import DEFAULT_SCORING, Scoring
 from ..obs import gcups, observed
-from ..seq import genome_pair, pack_database, random_dna, synthetic_database
+from ..seq import (
+    FastaRecord,
+    biased_dna,
+    genome_pair,
+    mutate,
+    pack_database,
+    random_dna,
+    synthetic_database,
+)
 from ..strategies import SearchConfig, search_db, search_db_sequential
 
 __all__ = ["record_bench", "run_kernel_bench", "write_bench"]
@@ -244,6 +254,82 @@ def _bench_db_search_striped(quick: bool, rounds: int, classic_gcups: float) -> 
     }
 
 
+def _pruned_search_workload(quick: bool):
+    """A database the bounds can actually prune.
+
+    Uniform random equal-length sequences are unprunable -- every lane has
+    the same ceiling and a chance-level best score right below it.  Real
+    databases are not like that: lengths vary, composition varies, and the
+    top-k is dominated by a few genuine homologs whose scores tower over the
+    background.  This workload plants all three (length spread, AT/GC-biased
+    subpopulations, mutated query substrings as homologs) under a stringent
+    blastn-like scoring where background scores stay near zero, so the
+    admissible ceilings separate cleanly from the seeded threshold.
+    """
+    rng = np.random.default_rng(42)
+    scoring = Scoring(match=1, mismatch=-3, gap=-4)
+    n_uniform = 300 if quick else 3000
+    n_biased = 100 if quick else 1000
+    n_homolog = 12 if quick else 40
+    query = random_dna(1500, rng)
+    db: list[FastaRecord] = []
+    for i in range(n_uniform):
+        length = int(rng.integers(150, 601))
+        db.append(FastaRecord(f"bg{i:04d}", random_dna(length, rng)))
+    for i in range(n_biased):
+        length = int(rng.integers(150, 601))
+        db.append(FastaRecord(f"at{i:04d}", biased_dna(length, 0.20, rng)))
+    for i in range(n_biased):
+        length = int(rng.integers(150, 601))
+        db.append(FastaRecord(f"gc{i:04d}", biased_dna(length, 0.80, rng)))
+    for i in range(n_homolog):
+        span = int(rng.integers(350, 501))
+        start = int(rng.integers(0, len(query) - span))
+        db.append(
+            FastaRecord(f"hom{i:02d}", mutate(query[start : start + span], 0.05, rng))
+        )
+    return query, db, scoring
+
+
+def _bench_db_search_pruned(quick: bool, rounds: int) -> dict:
+    """Exact score-bound pruning vs the same scan with ``--prefilter off``.
+
+    Ranking parity with the sequential reference is asserted before timing;
+    the recorded numbers are the pruned fraction and wall-time speedup the
+    tiered filter buys on a database where most sequences provably cannot
+    reach the top-10.
+    """
+    query, db, scoring = _pruned_search_workload(quick)
+    off = SearchConfig(top_k=10, scoring=scoring, prefilter="off")
+    on = SearchConfig(top_k=10, scoring=scoring, prefilter="kmer")
+    packed = pack_database(db)
+
+    sequential = search_db_sequential(query, packed, off)
+    pruned = search_db(query, packed, on)
+    if pruned.scores() != sequential.scores():
+        raise AssertionError("pruned search ranking diverged from sequential")
+
+    off_elapsed = _best_of(lambda: search_db(query, packed, off), rounds)
+    on_elapsed = _best_of(lambda: search_db(query, packed, on), rounds)
+
+    return {
+        "kernel": "classic",
+        "dtype": "int16",
+        "lane_mode": "batched",
+        "prefilter": pruned.prefilter,
+        "n_sequences": pruned.n_sequences,
+        "total_cells": pruned.total_cells,
+        "sequences_pruned": pruned.sequences_pruned,
+        "pruned_fraction": pruned.pruned_fraction,
+        "cells_skipped": pruned.cells_skipped,
+        "off_seconds": off_elapsed,
+        "pruned_seconds": on_elapsed,
+        "off_gcups": gcups(pruned.total_cells, off_elapsed),
+        "pruned_gcups": gcups(pruned.total_cells, on_elapsed),
+        "pruned_speedup_vs_off": off_elapsed / on_elapsed,
+    }
+
+
 def _bench_pool_wavefront(quick: bool) -> dict:
     """Pool-amortized vs spawn-per-call mp_wavefront repeats."""
     from ..parallel import (
@@ -301,6 +387,10 @@ def run_kernel_bench(quick: bool = False, progress=None) -> dict:
     note("db_search: striped ...")
     results["db_search_striped_1000seq_2kbp_query"] = _bench_db_search_striped(
         quick, rounds, results["db_search_1000seq_2kbp_query"]["batched_gcups"]
+    )
+    note("db_search: score-bound pruning ...")
+    results["db_search_pruned_5000seq_1500bp_query"] = _bench_db_search_pruned(
+        quick, rounds
     )
     note("mp_wavefront: pool vs spawn ...")
     results["mp_wavefront_10_repeats_600x600"] = _bench_pool_wavefront(quick)

@@ -14,6 +14,7 @@ it fires on a minimal bad example and stays quiet on the fixed idiom (see
 
 from __future__ import annotations
 
+from .bounds import UnmarkedBound
 from .clock import WallClockInObs
 from .dtype import FloatWidening, UnpinnedAllocation
 from .hotloop import KERNEL_MARKER, KERNEL_MODULES, LoopAllocation, NestedKernelLoop
@@ -30,6 +31,7 @@ DEFAULT_RULES = (
     WallClockInObs(),
     UnboundedQueueGet(),
     LoneSentinelSend(),
+    UnmarkedBound(),
 )
 
 __all__ = [
@@ -42,6 +44,7 @@ __all__ = [
     "NestedKernelLoop",
     "UnboundedQueueGet",
     "UnguardedSharedResource",
+    "UnmarkedBound",
     "UnpinnedAllocation",
     "WallClockInObs",
 ]

@@ -1,0 +1,82 @@
+"""Admissibility discipline for the prefilter's score ceilings.
+
+Every pruning decision in :mod:`repro.strategies.prefilter` trusts that a
+ceiling from :mod:`repro.core.bounds` over-estimates the true
+Smith-Waterman score -- one bound that can under-estimate silently drops a
+true top-k hit, and no exactness test on a lucky database would notice.
+The proof lives in the fuzz suite, but the *discipline* is syntactic: each
+ceiling function carries a ``# repro: admissible`` marker on its ``def``
+line, and is registered in ``ADMISSIBLE_BOUNDS`` so the registry-driven
+admissibility fuzz test exercises it automatically.  This rule closes the
+loop: a new ``*_bound`` function cannot land unmarked or unregistered.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import FileContext, Finding, Rule
+
+#: The marker an admissible ceiling must carry on its ``def`` line.
+ADMISSIBLE_MARKER = "repro: admissible"
+
+#: The registry the admissibility fuzz test iterates.
+REGISTRY_NAME = "ADMISSIBLE_BOUNDS"
+
+
+class UnmarkedBound(Rule):
+    """BOUND001: score ceiling without the admissibility marker/registration."""
+
+    id = "BOUND001"
+    summary = (
+        "*_bound function in core/bounds.py must be marked '# repro: "
+        "admissible' and registered in ADMISSIBLE_BOUNDS so the "
+        "registry-driven fuzz test proves it never under-estimates"
+    )
+
+    def applies(self, module: str) -> bool:
+        return module == "core/bounds.py"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        registered = _registered_bounds(ctx.tree)
+        for node in ctx.tree.body:
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if not node.name.endswith("_bound"):
+                continue
+            if not ctx.line_has_comment(node.lineno, ADMISSIBLE_MARKER):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{node.name} returns a score ceiling but its def line "
+                    f"lacks the '# {ADMISSIBLE_MARKER}' marker",
+                )
+            if node.name not in registered:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{node.name} is not registered in {REGISTRY_NAME}; the "
+                    "admissibility fuzz test only covers registered bounds",
+                )
+
+
+def _registered_bounds(tree: ast.Module) -> set[str]:
+    """Function names appearing as values of the ``ADMISSIBLE_BOUNDS`` literal."""
+    names: set[str] = set()
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == REGISTRY_NAME
+                and isinstance(node.value, ast.Dict)
+            ):
+                for value in node.value.values:
+                    if isinstance(value, ast.Name):
+                        names.add(value.id)
+    return names

@@ -218,6 +218,7 @@ def cmd_search(args) -> int:
         max_lanes=args.batch_lanes,
         max_waste=args.max_waste,
         kernel=args.kernel,
+        prefilter=args.prefilter,
     )
     observing = bool(args.trace or args.metrics)
     scope = obs.observed("coordinator") if observing else nullcontext((None, None))
@@ -243,6 +244,12 @@ def cmd_search(args) -> int:
         f"{result.total_cells:,} cells in {result.wall_seconds:.3f} s wall = "
         f"{result.gcups:.3f} GCUPS ({result.backend}, {result.n_workers} worker(s))"
     )
+    if result.prefilter != "off":
+        print(
+            f"prefilter [{result.prefilter}]: {result.sequences_pruned:,} of "
+            f"{result.n_sequences:,} sequences pruned "
+            f"({result.pruned_fraction:.1%}), {result.cells_skipped:,} DP cells skipped"
+        )
     print()
     print(f"{'rank':>4}  {'score':>6}  {'length':>7}  name")
     for rank, hit in enumerate(result.hits, 1):
@@ -554,6 +561,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("classic", "striped"),
         help="bucket scan kernel: classic dense batch, or the striped "
         "query-profile kernel with narrow lanes and overflow recovery",
+    )
+    p_search.add_argument(
+        "--prefilter",
+        default="auto",
+        choices=("off", "composition", "kmer", "auto"),
+        help="exact score-bound pruning: skip the DP scan of sequences whose "
+        "admissible ceiling cannot reach the top-k (rankings are unchanged; "
+        "auto = kmer tiers on databases of 512+ sequences)",
     )
     p_search.add_argument(
         "--trace", metavar="FILE", help="write a wall-clock Chrome-trace JSON"

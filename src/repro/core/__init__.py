@@ -49,6 +49,14 @@ from .striped import (
     score_bounds,
     striped_profile,
 )
+from .bounds import (
+    ADMISSIBLE_BOUNDS,
+    QueryBoundContext,
+    TieredFilter,
+    composition_bound,
+    kmer_bound,
+    length_bound,
+)
 from .global_align import SubsequenceAlignment, align_region, global_alignment
 from .heuristic import HeuristicAligner, HeuristicParams, heuristic_local_alignments
 from .hirschberg import hirschberg
@@ -76,6 +84,7 @@ from .semiglobal import locate, semiglobal, semiglobal_matrix
 from .scoring import DEFAULT_SCORING, TRANSITION_TRANSVERSION, MatrixScoring, Scoring
 
 __all__ = [
+    "ADMISSIBLE_BOUNDS",
     "AffineScoring",
     "AlignmentQueue",
     "AlignmentStats",
@@ -93,6 +102,7 @@ __all__ = [
     "MultiSequenceWorkspace",
     "PAD_CODE",
     "PAD_SCORE",
+    "QueryBoundContext",
     "TRANSITION_TRANSVERSION",
     "affine_best_score",
     "affine_matrices",
@@ -107,6 +117,7 @@ __all__ = [
     "StripedMultiWorkspace",
     "StripedPairWorkspace",
     "SubsequenceAlignment",
+    "TieredFilter",
     "TracebackResult",
     "align_region",
     "alignment_from_cigar",
@@ -117,6 +128,7 @@ __all__ = [
     "banded_global_score",
     "best_cell",
     "cigar_of",
+    "composition_bound",
     "clear_profile_cache",
     "count_hits",
     "expand_cigar",
@@ -128,6 +140,8 @@ __all__ = [
     "hirschberg",
     "initial_row",
     "iter_sw_rows",
+    "kmer_bound",
+    "length_bound",
     "locate",
     "local_alignments_above",
     "needleman_wunsch",

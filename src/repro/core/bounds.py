@@ -1,0 +1,327 @@
+"""Admissible score ceilings for exact database-search pruning.
+
+The search pipeline (ALAE-style, see PAPERS.md) skips the Smith-Waterman
+scan of any database sequence whose score *ceiling* is provably below the
+running top-k threshold.  Every function here that returns a ceiling must be
+**admissible** -- ``ceiling(q, t) >= sw_score(q, t)`` for every pair, no
+exceptions -- because pruning with an inexact bound silently changes
+rankings.  The ``repro check`` rule BOUND001 enforces the contract
+syntactically: each bound carries a ``# repro: admissible`` marker and is
+registered in :data:`ADMISSIBLE_BOUNDS`, which the fuzz suite iterates to
+verify domination against the real kernel.
+
+Three tiers, in ascending cost order (:data:`TIER_ORDER`):
+
+* ``length`` -- an alignment has at most ``min(m, n)`` substitution columns,
+  each worth at most the best pair score; gap columns only subtract.
+* ``composition`` -- per-letter counts cap how many high-scoring columns can
+  exist at all, regardless of order.  With no positive mismatch score every
+  positive column is an identical pair, giving the tight
+  ``sum_c min(q_c, t_c) * max(0, S[c][c])`` form.
+* ``kmer`` -- matches concentrate on identical diagonal runs; a run of
+  length ``L`` contributes ``L - k + 1`` target k-mers that must also occur
+  in the query.  Few shared k-mers therefore force either few matches or
+  many separate runs, and each extra run costs at least one penalised
+  (mismatch or gap) column.  See DESIGN.md section 5i for the closed form.
+
+All bounds are vectorized over one packed bucket: ``codes`` is the padded
+``(lanes, width)`` uint8 matrix (PAD rows out-of-alphabet codes never count)
+and ``lengths`` the per-lane real lengths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .scoring import Scoring
+
+__all__ = [
+    "ADMISSIBLE_BOUNDS",
+    "DEFAULT_KMER_K",
+    "TIER_ORDER",
+    "QueryBoundContext",
+    "TieredFilter",
+    "composition_bound",
+    "kmer_bound",
+    "kmer_hits",
+    "length_bound",
+    "seed_order",
+]
+
+#: Tiers in ascending evaluation cost; a tiered filter runs them in this
+#: order so the cheap bounds prune lanes before the expensive ones look.
+TIER_ORDER = ("length", "composition", "kmer")
+
+#: Window size of the k-mer tier.  4**6 = 4096 table slots: small enough to
+#: rebuild per query, long enough that random sequences share few windows.
+DEFAULT_KMER_K = 6
+
+_ALPHABET = 4
+
+
+class QueryBoundContext:
+    """Per-query precomputation shared by every bound evaluation.
+
+    Probes the scoring object into an explicit 4x4 matrix (works for both
+    :class:`~repro.core.scoring.Scoring` and ``MatrixScoring``), and keeps
+    the query's letter counts and (lazily) its k-mer presence table.
+    """
+
+    def __init__(
+        self, query: np.ndarray, scoring: Scoring, kmer_k: int = DEFAULT_KMER_K
+    ) -> None:
+        if kmer_k < 2:
+            raise ValueError("kmer_k must be at least 2")
+        self.query = np.asarray(query, dtype=np.uint8)
+        self.query_len = int(self.query.size)
+        self.scoring = scoring
+        self.kmer_k = int(kmer_k)
+        matrix = np.array(
+            [
+                [scoring.pair_score(a, b) for b in range(_ALPHABET)]
+                for a in range(_ALPHABET)
+            ],
+            dtype=np.int64,
+        )
+        self.matrix = matrix
+        self.diag = matrix.diagonal().copy()
+        self.d_max = int(self.diag.max())  # best identical-pair score
+        self.s_max = int(matrix.max())  # best any-pair score
+        off = matrix[~np.eye(_ALPHABET, dtype=bool)]
+        self.off_max = int(off.max())  # best mismatch score
+        self.gap = int(scoring.gap)
+        self.q_counts = np.array(
+            [int((self.query == c).sum()) for c in range(_ALPHABET)], dtype=np.int64
+        )
+        self.row_max = matrix.max(axis=1)
+        self.col_max = matrix.max(axis=0)
+        self._kmer_table: np.ndarray | None = None
+
+    @property
+    def run_penalty(self) -> int:
+        """Cheapest penalised column separating two identical runs.
+
+        Only meaningful when every mismatch scores negative
+        (``off_max < 0``); the k-mer tier checks that before using it.
+        """
+        return min(-self.off_max, -self.gap)
+
+    @property
+    def kmer_table(self) -> np.ndarray:
+        """``bool[4**k]`` presence table of the query's k-mers (lazy)."""
+        if self._kmer_table is None:
+            k = self.kmer_k
+            table = np.zeros(_ALPHABET**k, dtype=bool)
+            if self.query_len >= k:
+                ids = np.zeros(self.query_len - k + 1, dtype=np.int64)
+                for i in range(k):
+                    ids = ids * _ALPHABET + self.query[i : self.query_len - k + 1 + i]
+                table[ids] = True
+            self._kmer_table = table
+        return self._kmer_table
+
+
+def length_bound(ctx: QueryBoundContext, codes, lengths) -> np.ndarray:  # repro: admissible
+    """``min(m, n) * s_max``: the trivial per-pair ceiling.
+
+    Admissible because a local alignment of ``q`` (length ``m``) and ``t``
+    (length ``n``) has at most ``min(m, n)`` substitution columns, each
+    scoring at most ``s_max``, while gap columns score ``gap < 0``.  The
+    empty alignment makes every SW score >= 0, hence the clip.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    return np.maximum(np.minimum(lengths, ctx.query_len) * ctx.s_max, 0)
+
+
+def composition_bound(ctx: QueryBoundContext, codes, lengths) -> np.ndarray:  # repro: admissible
+    """Letter-count ceiling: pairing capacity caps the column scores.
+
+    When no mismatch scores positive, every positive column aligns identical
+    letters ``(c, c)``, and there can be at most ``min(q_c, t_c)`` of those:
+    ``ceiling = sum_c min(q_c, t_c) * max(0, S[c][c])``.  With positive
+    mismatch scores that argument fails, so the bound falls back to charging
+    each letter its best row (query side) or column (target side) score --
+    both one-sided overcounts -- and takes the smaller.
+    """
+    codes = np.asarray(codes)
+    t_counts = np.empty((codes.shape[0], _ALPHABET), dtype=np.int64)
+    for c in range(_ALPHABET):
+        t_counts[:, c] = (codes == c).sum(axis=1)
+    if ctx.off_max <= 0:
+        per_letter = np.minimum(ctx.q_counts[np.newaxis, :], t_counts)
+        return per_letter @ np.maximum(ctx.diag, 0)
+    query_side = int((ctx.q_counts * np.maximum(ctx.row_max, 0)).sum())
+    target_side = t_counts @ np.maximum(ctx.col_max, 0)
+    return np.minimum(target_side, query_side)
+
+
+def kmer_hits(ctx: QueryBoundContext, codes) -> np.ndarray:
+    """Per-lane count of target k-mer windows that also occur in the query.
+
+    Windows touching padding (or any out-of-alphabet code) never count.
+    """
+    codes = np.asarray(codes)
+    k = ctx.kmer_k
+    lanes, width = codes.shape
+    n_windows = width - k + 1
+    if n_windows <= 0:
+        return np.zeros(lanes, dtype=np.int64)
+    ids = np.zeros((lanes, n_windows), dtype=np.int64)
+    valid = np.ones((lanes, n_windows), dtype=bool)
+    for i in range(k):
+        sl = codes[:, i : i + n_windows]
+        in_alphabet = sl < _ALPHABET
+        valid &= in_alphabet
+        ids = ids * _ALPHABET + np.where(in_alphabet, sl, 0)
+    return (ctx.kmer_table[ids] & valid).sum(axis=1).astype(np.int64)
+
+
+def kmer_bound(ctx: QueryBoundContext, codes, lengths) -> np.ndarray | None:  # repro: admissible
+    """Diagonal-run ceiling from shared k-mer counts (DESIGN.md section 5i).
+
+    Applicable only when every mismatch scores negative (otherwise matches
+    need not sit on identical runs and the run argument collapses; the
+    filter then skips this tier).  For an alignment whose identical-match
+    columns form ``r`` maximal diagonal runs totalling ``c`` matches:
+
+    * each run of length ``L`` yields ``max(0, L - k + 1)`` target windows
+      that are also query k-mers, so ``H >= c - r*(k - 1)`` where ``H`` is
+      the shared-k-mer count -- i.e. ``c <= H + r*(k - 1)``;
+    * consecutive runs are separated by >= 1 penalised column, so
+      ``score <= c*d_max - (r - 1)*pen`` with ``pen = min(-off_max, -gap)``.
+
+    Maximising ``f(r) = min(H + r*(k-1), min(m, n)) * d_max - (r-1)*pen``
+    over ``r >= 1``: f is concave piecewise-linear, so its integer maximum
+    sits at ``r = 1``, at the smallest run count that saturates the
+    ``min(m, n)`` cap, or one below it; the bound evaluates all three.
+    """
+    if ctx.off_max >= 0:
+        return None
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if ctx.d_max <= 0:
+        # No column scores positive, so no alignment beats the empty one.
+        return np.zeros(len(lengths), dtype=np.int64)
+    k = ctx.kmer_k
+    pen = ctx.run_penalty
+    hits = kmer_hits(ctx, codes)
+    cap = np.minimum(lengths, ctx.query_len)
+
+    def f(runs: np.ndarray) -> np.ndarray:
+        matches = np.minimum(hits + runs * (k - 1), cap)
+        return matches * ctx.d_max - (runs - 1) * pen
+
+    r_sat = np.maximum(1, -((hits - cap) // (k - 1)))  # ceil((cap - H)/(k-1))
+    best = np.maximum(f(np.ones_like(cap)), f(r_sat))
+    best = np.maximum(best, f(np.maximum(r_sat - 1, 1)))
+    return np.maximum(best, 0)
+
+
+#: Registry of every admissible ceiling, keyed by tier name.  The BOUND001
+#: admissibility fuzz test iterates this dict, so adding a bound here (and
+#: only here) is what puts it on the hook for verification.
+ADMISSIBLE_BOUNDS = {
+    "length": length_bound,
+    "composition": composition_bound,
+    "kmer": kmer_bound,
+}
+
+
+def seed_order(lengths, query_len: int, count: int) -> np.ndarray:
+    """Database indices of the ``count`` highest-ceiling sequences.
+
+    The length tier makes ``min(length, query_len)`` a monotone proxy for
+    every sequence's best possible ceiling, so scanning the longest targets
+    first establishes a strong top-k threshold before any bound is checked.
+    Ties break toward the smaller index (deterministic).
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    proxy = np.minimum(lengths, query_len)
+    order = np.lexsort((np.arange(len(lengths), dtype=np.int64), -proxy))
+    return order[: max(0, count)]
+
+
+class TieredFilter:
+    """Evaluate bound tiers in cost order, pruning lanes below a threshold.
+
+    One instance per (query, scoring, tiers) triple; :meth:`survivors` is
+    called once per packed bucket by both the planned filter tiles and the
+    pool coordinator, so every backend prunes through this single code path.
+    Pruning is strict (``ceiling < threshold``): a tie must survive because
+    an equal score at a smaller index still displaces the current k-th hit.
+    """
+
+    def __init__(
+        self,
+        query: np.ndarray,
+        scoring: Scoring,
+        tiers=TIER_ORDER,
+        kmer_k: int = DEFAULT_KMER_K,
+    ) -> None:
+        unknown = [t for t in tiers if t not in ADMISSIBLE_BOUNDS]
+        if unknown:
+            raise ValueError(f"unknown bound tiers {unknown!r}")
+        self.ctx = QueryBoundContext(query, scoring, kmer_k)
+        self.tiers = tuple(t for t in TIER_ORDER if t in tiers)
+
+    def ceilings(
+        self, codes, lengths
+    ) -> tuple[np.ndarray, dict[str, np.ndarray], int]:
+        """``(combined, per_tier, bound_cells)`` ceilings for every lane.
+
+        The thresholdless form used by the pool coordinator: it needs every
+        lane's ceiling up front -- both to scan the highest-ceiling prefix
+        first (strongest threshold earliest) and to prune the rest in one
+        vectorized comparison once that threshold exists.  ``combined`` is
+        the min over applicable tiers (each admissible, so their min is);
+        ``per_tier`` keeps the individual ceilings for prune attribution.
+        """
+        codes = np.asarray(codes)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        # Float on purpose: +inf is the identity of the running min, and the
+        # threshold these ceilings meet is itself a float (TopK.threshold).
+        combined = np.full(len(lengths), np.inf, dtype=np.float64)  # repro: noqa[DTYPE002]
+        per_tier: dict[str, np.ndarray] = {}
+        bound_cells = 0
+        for tier in self.tiers:
+            if tier != "length":
+                bound_cells += int(lengths.sum())
+            values = ADMISSIBLE_BOUNDS[tier](self.ctx, codes, lengths)
+            if values is None:
+                continue
+            per_tier[tier] = values
+            combined = np.minimum(combined, values)
+        return combined, per_tier, bound_cells
+
+    def survivors(
+        self, codes, lengths, threshold: float
+    ) -> tuple[np.ndarray, dict[str, int], int]:
+        """``(keep_mask, pruned_per_tier, bound_cells)`` for one bucket.
+
+        ``bound_cells`` is the number of residues the bound evaluations
+        actually touched (the filter's own work, for attribution and the
+        simulator's virtual clock).
+        """
+        codes = np.asarray(codes)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        keep = np.ones(len(lengths), dtype=bool)
+        pruned: dict[str, int] = {}
+        bound_cells = 0
+        if threshold == float("-inf") or not self.tiers:
+            return keep, pruned, bound_cells
+        for tier in self.tiers:
+            live = np.flatnonzero(keep)
+            if live.size == 0:
+                break
+            # The length tier reads only lane lengths; the others scan the
+            # surviving lanes' residues once.
+            if tier != "length":
+                bound_cells += int(lengths[live].sum())
+            ceilings = ADMISSIBLE_BOUNDS[tier](self.ctx, codes[live], lengths[live])
+            if ceilings is None:  # tier inapplicable for this scoring
+                continue
+            drop = ceilings < threshold
+            n_drop = int(drop.sum())
+            if n_drop:
+                pruned[tier] = pruned.get(tier, 0) + n_drop
+                keep[live[drop]] = False
+        return keep, pruned, bound_cells

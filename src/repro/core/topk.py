@@ -51,6 +51,21 @@ class TopK:
         for score, index in items:
             self.push(score, index)
 
+    def threshold(self) -> float:
+        """Score a candidate must *beat or tie* to enter the current top-k.
+
+        The k-th best score seen so far, ``-inf`` while the heap is underfull
+        (anything can still enter), ``+inf`` for ``k == 0`` (nothing can).
+        Exact pruning must be strict -- drop a candidate only when its score
+        ceiling is ``< threshold()`` -- because a tie with the k-th entry at a
+        smaller database index still displaces it.
+        """
+        if self.k == 0:
+            return float("inf")
+        if len(self._heap) < self.k:
+            return float("-inf")
+        return float(self._heap[0][0])
+
     def items(self) -> list[tuple[int, int]]:
         """Unordered ``(score, index)`` survivors (picklable)."""
         return [(score, -neg) for score, neg in self._heap]

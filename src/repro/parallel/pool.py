@@ -640,6 +640,12 @@ class AlignmentWorkerPool:
         pull tiles greedily and return local top-k heaps; the deterministic
         total order makes the merged ranking interleaving-independent.
         """
+        if graph.params.get("prefilter"):
+            raise ValueError(
+                "staged (prefilter) search graphs need a shared top-k threshold "
+                "and cannot ride the dynamic work queue; use "
+                "repro.strategies.prefilter.pooled_pruned_search"
+            )
         tracer = get_tracer()
         # The search graph has no rebuildable spec, so everything attribution
         # needs (tiles/cells/critical-path) rides this span's args directly.

@@ -362,45 +362,116 @@ def plan_preprocess(
 
 
 def plan_search_buckets(
-    packed, query_len: int, *, top_k: int = 10, kernel: str = "classic"
+    packed,
+    query_len: int,
+    *,
+    top_k: int = 10,
+    kernel: str = "classic",
+    prefilter: tuple[str, ...] = (),
+    kmer_k: int = 6,
+    seed_count: int | None = None,
 ) -> TaskGraph:
     """Database search: one independent tile per length bucket.
 
-    Tiles carry ``(offset, width, lanes, lengths, indices)`` locating one
-    bucket inside the flat blob built by :func:`search_blob`; there are no
-    edges, so any dispatch order (greedy work queue included) is valid.
+    With ``prefilter=()`` (the default) tiles carry
+    ``(offset, width, lanes, lengths, indices)`` locating one bucket inside
+    the flat blob built by :func:`search_blob`; there are no edges, so any
+    dispatch order (greedy work queue included) is valid.
+
+    With bound tiers named in ``prefilter`` the graph grows a *filter
+    stage*: the ``seed_count`` highest-ceiling lanes become ``seed`` DP
+    tiles that run first and establish a strong top-k threshold, then every
+    bucket's remaining lanes pass through a ``filter`` tile (cheap
+    admissible bounds, see :mod:`repro.core.bounds`) that feeds only the
+    surviving lanes into the paired ``dp`` tile.  Tagged payloads are
+    ``(stage, *locator, lane_selection)``; ``filter`` payloads also name the
+    dp tile they gate.  Stage order is encoded in the dependency edges, so
+    every backend executes -- and the simulator models -- the same pruned
+    topology.
+
     Search graphs have no spec: they derive from a packed database, not from
     ``(rows, cols)``.
     """
-    tiles: list[Tile] = []
+    locators = []
     offset = 0
-    for tid, bucket in enumerate(packed.buckets):
-        residues = int(sum(int(x) for x in bucket.lengths))
-        tiles.append(
-            Tile(
-                tid,
-                DYNAMIC,
-                query_len * residues,
-                (
-                    offset,
-                    int(bucket.width),
-                    int(bucket.lanes),
-                    tuple(int(x) for x in bucket.lengths),
-                    tuple(int(x) for x in bucket.indices),
-                ),
+    for bucket in packed.buckets:
+        locators.append(
+            (
+                offset,
+                int(bucket.width),
+                int(bucket.lanes),
+                tuple(int(x) for x in bucket.lengths),
+                tuple(int(x) for x in bucket.indices),
             )
         )
         offset += int(bucket.codes.size)
+    params = {
+        "top_k": top_k,
+        "query_len": query_len,
+        "kernel": _check_kernel(kernel),
+    }
+    tiles: list[Tile] = []
+    if not prefilter:
+        for tid, loc in enumerate(locators):
+            residues = sum(loc[3])
+            tiles.append(Tile(tid, DYNAMIC, query_len * residues, loc))
+    else:
+        from ..core.bounds import seed_order
+
+        all_lengths = np.concatenate(
+            [np.asarray(loc[3], dtype=np.int64) for loc in locators]
+        ) if locators else np.zeros(0, dtype=np.int64)
+        all_indices = np.concatenate(
+            [np.asarray(loc[4], dtype=np.int64) for loc in locators]
+        ) if locators else np.zeros(0, dtype=np.int64)
+        if seed_count is None:
+            seed_count = max(32, 2 * top_k)
+        picked = seed_order(all_lengths, query_len, seed_count)
+        seeds = {int(all_indices[i]) for i in picked}
+        selections = []
+        for loc in locators:
+            indices = loc[4]
+            seed_sel = tuple(l for l, i in enumerate(indices) if i in seeds)
+            rest_sel = tuple(l for l, i in enumerate(indices) if i not in seeds)
+            selections.append((seed_sel, rest_sel))
+        tid = 0
+        for loc, (seed_sel, _) in zip(locators, selections):
+            if not seed_sel:
+                continue
+            residues = sum(loc[3][l] for l in seed_sel)
+            tiles.append(
+                Tile(tid, DYNAMIC, query_len * residues, ("seed", *loc, seed_sel))
+            )
+            tid += 1
+        seed_ids = tuple(range(tid))
+        for loc, (_, rest_sel) in zip(locators, selections):
+            if not rest_sel:
+                continue
+            residues = sum(loc[3][l] for l in rest_sel)
+            # filter tile gates its dp tile (the next id); its cells are the
+            # residues the bound evaluations touch, not DP cells.
+            tiles.append(
+                Tile(tid, DYNAMIC, residues, ("filter", tid + 1, *loc, rest_sel), seed_ids)
+            )
+            tiles.append(
+                Tile(
+                    tid + 1,
+                    DYNAMIC,
+                    query_len * residues,
+                    ("dp", *loc, rest_sel),
+                    (tid,),
+                )
+            )
+            tid += 2
+        params["prefilter"] = tuple(prefilter)
+        params["kmer_k"] = int(kmer_k)
+        params["seed_count"] = int(seed_count)
     graph = TaskGraph(
         kind="search",
         n_procs=1,
         shape=(query_len, offset),
         tiles=tuple(tiles),
-        params={
-            "top_k": top_k,
-            "query_len": query_len,
-            "kernel": _check_kernel(kernel),
-        },
+        params=params,
     )
     return graph.validate()
 

@@ -25,12 +25,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.alignment import AlignmentQueue, LocalAlignment
+from ..core.bounds import DEFAULT_KMER_K, TieredFilter
 from ..core.engine import KernelWorkspace, compute_tile
 from ..core.multi_engine import MultiSequenceWorkspace
 from ..core.regions import RegionConfig, StreamingRegionFinder
 from ..core.scoring import DEFAULT_SCORING, SCORE_DTYPE, Scoring
 from ..core.striped import StripedMultiWorkspace, StripedPairWorkspace
 from ..core.topk import TopK
+from ..obs import get_metrics, is_enabled
 from .ir import TaskGraph, Tile
 from .result import ExecutionResult
 
@@ -333,12 +335,42 @@ class PreprocessRuntime(_BandedRuntime):
         return [(band, self.result_matrix[band].copy()) for band in bands]
 
 
+def empty_search_stats() -> dict:
+    """Zeroed prune accounting, the shape every search emission carries."""
+    return {
+        "sequences_pruned": 0,
+        "cells_skipped": 0,
+        "bound_cells": 0,
+        "tier_pruned": {},
+        "thresholds": [],
+    }
+
+
+def merge_search_stats(acc: dict, part: dict) -> None:
+    """Fold one emission's prune accounting into an accumulator in place."""
+    acc["sequences_pruned"] += part.get("sequences_pruned", 0)
+    acc["cells_skipped"] += part.get("cells_skipped", 0)
+    acc["bound_cells"] += part.get("bound_cells", 0)
+    for tier, n in part.get("tier_pruned", {}).items():
+        acc["tier_pruned"][tier] = acc["tier_pruned"].get(tier, 0) + n
+    acc["thresholds"].extend(part.get("thresholds", ()))
+
+
 class SearchRuntime(PlanRuntime):
     """Database-search execution: one batched bucket scan per tile.
 
     Deliberately constructible without a graph (``query``, ``blob``,
     ``scoring``, ``top_k``): pool workers receive the blob through a shared
     arena and the tiles through the work queue, never the graph object.
+
+    Untagged payloads (``(offset, width, lanes, lengths, indices)``) scan a
+    whole bucket.  Staged payloads carry a leading stage tag (see
+    :func:`~repro.plan.planners.plan_search_buckets`): ``seed`` and ``dp``
+    tiles scan a lane selection, ``filter`` tiles evaluate the admissible
+    bound tiers against the running top-k threshold and store the surviving
+    lanes for the dp tile they gate.  ``charged_cells`` after each tile is
+    the work *actually done* (DP cells scanned, or residues the bounds
+    touched) -- the quantity the simulator bills to its virtual clock.
     """
 
     SPAN_NAME = "search_chunk"
@@ -351,6 +383,8 @@ class SearchRuntime(PlanRuntime):
         scoring: Scoring = DEFAULT_SCORING,
         top_k: int = 10,
         kernel: str = "classic",
+        prefilter: tuple[str, ...] = (),
+        kmer_k: int = DEFAULT_KMER_K,
     ) -> None:
         self.query = query
         self.blob = blob
@@ -363,20 +397,95 @@ class SearchRuntime(PlanRuntime):
         self.dtype_name = "auto"
         self.top = TopK(top_k)
         self.cells = 0  # residues scanned x query length (local accounting)
+        self.prefilter = tuple(prefilter)
+        self.kmer_k = kmer_k
+        self.charged_cells = 0  # actual work of the last tile (sim billing)
+        self.stats = empty_search_stats()
+        self._filter: TieredFilter | None = None
+        self._masks: dict[int, tuple[int, ...]] = {}  # dp tile id -> lanes
 
-    def run_tile(self, tile: Tile) -> None:
-        offset, width, lanes, lengths, indices = tile.payload
-        codes = self.blob[offset : offset + lanes * width].reshape(lanes, width)
-        lengths = np.asarray(lengths, dtype=np.int64)
+    def tile_args(self, tile: Tile) -> dict:
+        args = super().tile_args(tile)
+        if tile.payload and isinstance(tile.payload[0], str):
+            args["stage"] = tile.payload[0]
+        return args
+
+    def _scan(self, codes, lengths, indices) -> None:
         if self.kernel == "striped":
             ws = StripedMultiWorkspace(codes, lengths, self.scoring)
         else:
             ws = MultiSequenceWorkspace(codes, lengths, self.scoring)
         self.top.push_lanes(ws.sw_best_scores(self.query), indices)
-        self.cells += tile.cells
 
-    def emit(self, owner: int) -> list:
-        return self.top.items()
+    def _tiered_filter(self) -> TieredFilter:
+        if self._filter is None:
+            self._filter = TieredFilter(
+                self.query, self.scoring, self.prefilter, self.kmer_k
+            )
+        return self._filter
+
+    def run_tile(self, tile: Tile) -> None:
+        payload = tile.payload
+        if payload and isinstance(payload[0], str):
+            self._run_staged(tile)
+            return
+        offset, width, lanes, lengths, indices = payload
+        codes = self.blob[offset : offset + lanes * width].reshape(lanes, width)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        self._scan(codes, lengths, indices)
+        self.cells += tile.cells
+        self.charged_cells = tile.cells
+
+    def _run_staged(self, tile: Tile) -> None:
+        stage = tile.payload[0]
+        if stage == "filter":
+            _, dp_id, offset, width, lanes, lengths, indices, sel = tile.payload
+        else:
+            _, offset, width, lanes, lengths, indices, sel = tile.payload
+            dp_id = None
+        bucket = self.blob[offset : offset + lanes * width].reshape(lanes, width)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        if stage == "filter":
+            sel_arr = np.asarray(sel, dtype=np.int64)
+            threshold = self.top.threshold()
+            keep, tier_pruned, bound_cells = self._tiered_filter().survivors(
+                bucket[sel_arr], lengths[sel_arr], threshold
+            )
+            survivors = tuple(int(lane) for lane in sel_arr[keep])
+            self._masks[dp_id] = survivors
+            dropped = sel_arr[~keep]
+            skipped = int(len(self.query)) * int(lengths[dropped].sum())
+            stats = self.stats
+            stats["sequences_pruned"] += len(dropped)
+            stats["cells_skipped"] += skipped
+            stats["bound_cells"] += bound_cells
+            for tier, n in tier_pruned.items():
+                stats["tier_pruned"][tier] = stats["tier_pruned"].get(tier, 0) + n
+            stats["thresholds"].append(float(threshold))
+            self.charged_cells = bound_cells
+            if is_enabled():
+                metrics = get_metrics()
+                metrics.counter("sequences_pruned").inc(len(dropped))
+                metrics.counter("cells_skipped").inc(skipped)
+                for tier, n in tier_pruned.items():
+                    metrics.counter(f"prefilter_{tier}_pruned").inc(n)
+                if threshold != float("-inf"):
+                    metrics.gauge("prefilter_threshold").set(float(threshold))
+            return
+        lanes_to_run = self._masks.pop(tile.id, sel) if stage == "dp" else sel
+        if not lanes_to_run:
+            self.charged_cells = 0
+            return
+        sel_arr = np.asarray(lanes_to_run, dtype=np.int64)
+        run_lengths = lengths[sel_arr]
+        run_indices = np.asarray(indices, dtype=np.int64)[sel_arr]
+        self._scan(bucket[sel_arr], run_lengths, run_indices)
+        scanned = int(len(self.query)) * int(run_lengths.sum())
+        self.cells += scanned
+        self.charged_cells = scanned
+
+    def emit(self, owner: int) -> dict:
+        return {"items": self.top.items(), "stats": self.stats}
 
 
 _RUNTIMES = {
@@ -406,6 +515,8 @@ def make_runtime(
             scoring,
             graph.params["top_k"],
             kernel=graph.params.get("kernel", "classic"),
+            prefilter=graph.params.get("prefilter", ()),
+            kmer_k=graph.params.get("kmer_k", DEFAULT_KMER_K),
         )
     try:
         cls = _RUNTIMES[graph.kind]
@@ -471,9 +582,15 @@ def finalize_plan(
         }
     elif graph.kind == "search":
         top = TopK(params["top_k"])
+        stats = empty_search_stats()
         for part in parts:
-            top.merge(part)
+            if isinstance(part, dict):
+                top.merge(part["items"])
+                merge_search_stats(stats, part.get("stats", {}))
+            else:  # legacy plain-items emission
+                top.merge(part)
         result.hits = top.ranked()
+        result.extras = {"prefilter": stats}
     else:
         raise ValueError(f"unknown plan kind {graph.kind!r}")
     return result

@@ -118,6 +118,8 @@ class SimExecutor(Executor):
         sim = Simulator(self.timeline)
         dsm = JiaJia(sim, graph.n_procs, self.cost)
         marks: dict[str, float] = {}
+        if graph.kind == "search":
+            return self._search_execute(graph, runtime, sim, dsm, scale, marks)
         choreography = {
             "wavefront": self._wavefront_nodes,
             "blocked": self._blocked_nodes,
@@ -143,6 +145,65 @@ class SimExecutor(Executor):
             alignments=merged.alignments,
             extras={**merged.extras, **sim_extras()},
         )
+
+    # -- Database search: work-queue pull with the optional filter stage ----
+
+    def _search_execute(self, graph, runtime, sim, dsm, scale, marks):
+        """Simulate a search graph, modelling the filter stage in virtual time.
+
+        Tiles run in id order on node 0 (ids are topological, so the
+        seed -> filter -> dp staging of a pruned plan is honoured exactly as
+        the inline backend runs it); each tile costs one work-queue dispatch
+        message plus its *actual* work -- the DP cells the kernel scanned at
+        ``search_cell_time``, or for filter tiles the residues the bound
+        evaluations touched at ``bound_cell_time``.  Pruning therefore
+        shrinks virtual time the same way it shrinks real time.
+        """
+        cost = self.cost
+        stage_seconds: dict[str, float] = {}
+
+        def node(p: int):
+            yield Delay(cost.node_startup_time)
+            yield from dsm.barrier(p)
+            if p == 0:
+                marks["core_start"] = sim.now
+                for tile in graph.tiles:
+                    dispatch = cost.message_time(64)
+                    dsm.stats[p].record_message(64)
+                    dsm.stats[p].breakdown.add("communication", dispatch)
+                    yield Delay(dispatch)
+                    self._run_tile(runtime, tile)
+                    payload = tile.payload
+                    stage = (
+                        payload[0]
+                        if payload and isinstance(payload[0], str)
+                        else "dp"
+                    )
+                    per_cell = (
+                        cost.bound_cell_time
+                        if stage == "filter"
+                        else cost.search_cell_time
+                    )
+                    charged = runtime.charged_cells * scale * scale
+                    seconds = charged * per_cell
+                    stage_seconds[stage] = stage_seconds.get(stage, 0.0) + seconds
+                    yield from dsm.compute(p, seconds, cells=charged)
+            yield from dsm.barrier(p)
+            if p == 0:
+                marks["core_end"] = sim.now
+            yield Delay(cost.node_teardown_time)
+            yield from dsm.barrier(p)
+
+        procs = [sim.spawn(node(p), name=f"node{p}") for p in range(graph.n_procs)]
+        sim.run_all(procs)
+        merged = finalize_plan(graph, [runtime.emit(p) for p in graph.owners()], scale)
+        core_start = marks.get("core_start", 0.0)
+        merged.extras["sim"] = {
+            "total_time": sim.now,
+            "core_seconds": marks.get("core_end", sim.now) - core_start,
+            "stage_seconds": stage_seconds,
+        }
+        return merged
 
     # -- Section 4.2: wave-front without blocking factors -------------------
 

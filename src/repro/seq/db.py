@@ -96,6 +96,46 @@ class PackedDatabase:
         return sum(b.lanes * b.width for b in self.buckets)
 
 
+def _pack_buffer(
+    buffer: list[tuple[int, np.ndarray]],
+    buckets: list[PackedBucket],
+    max_lanes: int,
+    max_waste: float,
+) -> None:
+    """Cut one ``(db index, codes)`` buffer into buckets (appended, cleared).
+
+    Sorts by length descending, cuts whenever a bucket reaches ``max_lanes``
+    lanes or the next sequence would pad more than ``max_waste`` of the
+    bucket width, then restores database order within each bucket so equal
+    scores rank identically to a sequential scan.
+    """
+    if not buffer:
+        return
+    buffer.sort(key=lambda item: -len(item[1]))
+    start = 0
+    while start < len(buffer):
+        width = len(buffer[start][1])
+        floor = (1.0 - max_waste) * width
+        stop = start + 1
+        while (
+            stop < len(buffer)
+            and stop - start < max_lanes
+            and len(buffer[stop][1]) >= floor
+        ):
+            stop += 1
+        run = sorted(buffer[start:stop], key=lambda item: item[0])
+        codes, lane_lengths = pack_codes([c for _, c in run], width=width)
+        buckets.append(
+            PackedBucket(
+                codes=codes,
+                lengths=lane_lengths,
+                indices=np.array([i for i, _ in run], dtype=np.int64),
+            )
+        )
+        start = stop
+    buffer.clear()
+
+
 def pack_database(
     records: Iterable[FastaRecord | tuple[str, np.ndarray]],
     max_lanes: int = 512,
@@ -104,11 +144,9 @@ def pack_database(
 ) -> PackedDatabase:
     """Greedily pack a record stream into length buckets.
 
-    Records are buffered ``window`` at a time and sorted by length
-    (descending); consecutive runs become buckets, cut whenever a bucket
-    reaches ``max_lanes`` lanes or the next sequence would pad more than
-    ``max_waste`` of the bucket width.  Within a bucket, lanes stay in
-    database order so equal scores rank identically to a sequential scan.
+    Records are buffered ``window`` at a time and cut into buckets by
+    :func:`_pack_buffer`; buckets double as the dispatch chunks of the
+    search work queue.
     """
     if max_lanes <= 0:
         raise ValueError("max_lanes must be positive")
@@ -120,31 +158,7 @@ def pack_database(
     buffer: list[tuple[int, np.ndarray]] = []  # (db index, codes)
 
     def flush() -> None:
-        if not buffer:
-            return
-        buffer.sort(key=lambda item: -len(item[1]))
-        start = 0
-        while start < len(buffer):
-            width = len(buffer[start][1])
-            floor = (1.0 - max_waste) * width
-            stop = start + 1
-            while (
-                stop < len(buffer)
-                and stop - start < max_lanes
-                and len(buffer[stop][1]) >= floor
-            ):
-                stop += 1
-            run = sorted(buffer[start:stop], key=lambda item: item[0])
-            codes, lane_lengths = pack_codes([c for _, c in run], width=width)
-            buckets.append(
-                PackedBucket(
-                    codes=codes,
-                    lengths=lane_lengths,
-                    indices=np.array([i for i, _ in run], dtype=np.int64),
-                )
-            )
-            start = stop
-        buffer.clear()
+        _pack_buffer(buffer, buckets, max_lanes, max_waste)
 
     for record in records:
         name, codes = (record.name, record.codes) if isinstance(record, FastaRecord) else record
@@ -158,6 +172,43 @@ def pack_database(
     return PackedDatabase(
         buckets=buckets, names=names, lengths=np.array(lengths, dtype=np.int64)
     )
+
+
+def pack_subset(
+    packed: PackedDatabase,
+    indices,
+    max_lanes: int = 512,
+    max_waste: float = 0.15,
+) -> PackedDatabase:
+    """Re-pack a subset of an already-packed database into fresh buckets.
+
+    The pruned search path uses this twice: to cut the seed prefix into its
+    own graph, and to re-pack filter survivors so lane occupancy stays high
+    before shipping to the pool.  Lanes keep their **original** database
+    indices (so rankings merge exactly with hits from other subsets), and
+    ``names``/``lengths`` stay the full original arrays -- ``n_sequences`` /
+    ``total_residues`` of the returned database therefore describe the
+    *original* database, not the subset.
+    """
+    if max_lanes <= 0:
+        raise ValueError("max_lanes must be positive")
+    if not 0.0 <= max_waste < 1.0:
+        raise ValueError("max_waste must be in [0, 1)")
+    wanted = {int(i) for i in indices}
+    buffer: list[tuple[int, np.ndarray]] = []
+    for bucket in packed.buckets:
+        for lane in range(bucket.lanes):
+            index = int(bucket.indices[lane])
+            if index in wanted:
+                width = int(bucket.lengths[lane])
+                buffer.append((index, bucket.codes[lane, :width]))
+    missing = len(wanted) - len(buffer)
+    if missing:
+        raise ValueError(f"{missing} requested indices are not in the database")
+    buffer.sort(key=lambda item: item[0])
+    buckets: list[PackedBucket] = []
+    _pack_buffer(buffer, buckets, max_lanes, max_waste)
+    return PackedDatabase(buckets=buckets, names=packed.names, lengths=packed.lengths)
 
 
 def synthetic_database(

@@ -23,6 +23,12 @@ from .preprocess import (
     run_preprocess,
     serial_preprocess_time,
 )
+from .prefilter import (
+    AUTO_MIN_SEQUENCES,
+    PREFILTER_MODES,
+    pooled_pruned_search,
+    resolve_prefilter,
+)
 from .retrieval import InterestingRegion, interesting_regions, retrieve_alignments
 from .search import (
     SearchConfig,
@@ -48,6 +54,7 @@ from .wavefront import WavefrontConfig, run_wavefront, serial_wavefront_time
 from .wavefront_exact import ExactWavefrontConfig, exact_wavefront_alignments
 
 __all__ = [
+    "AUTO_MIN_SEQUENCES",
     "BAND_SCHEMES",
     "BlockedConfig",
     "ColumnStore",
@@ -57,6 +64,7 @@ __all__ = [
     "MP_BACKENDS",
     "MpPipelineResult",
     "InterestingRegion",
+    "PREFILTER_MODES",
     "Phase2Config",
     "PipelineResult",
     "PreprocessConfig",
@@ -84,6 +92,8 @@ __all__ = [
     "explicit_tiling",
     "hetero_serial_time",
     "interesting_regions",
+    "pooled_pruned_search",
+    "resolve_prefilter",
     "run_blocked",
     "run_hetero",
     "run_mp_pipeline",

@@ -37,8 +37,10 @@ from ..obs import gcups, get_metrics, get_tracer, is_enabled
 from ..obs.ledger import record_run
 from ..obs.trace import Stopwatch
 from ..plan import InlineExecutor, plan_search_buckets, search_blob
+from ..plan.runtime import empty_search_stats
 from ..seq.alphabet import encode
 from ..seq.db import PackedDatabase, pack_database
+from .prefilter import pooled_pruned_search, resolve_prefilter
 
 __all__ = [
     "SearchConfig",
@@ -68,6 +70,12 @@ class SearchConfig:
     max_waste: float | None = None
     scoring: Scoring = DEFAULT_SCORING
     kernel: str = "classic"
+    #: Exact score-bound pruning mode: "off", "composition" (length +
+    #: composition tiers), "kmer" (all three tiers), or "auto" (kmer tiers,
+    #: but disabled below :data:`repro.strategies.prefilter.AUTO_MIN_SEQUENCES`
+    #: sequences where the bounds cost more than they save).  Pruning never
+    #: changes rankings -- only which sequences pay for a DP scan.
+    prefilter: str = "auto"
 
     @property
     def resolved_max_lanes(self) -> int:
@@ -102,10 +110,26 @@ class SearchResult:
     wall_seconds: float
     n_workers: int = 1
     backend: str = "batched"
+    #: Bound tiers that ran ("off" when pruning was disabled or inactive).
+    prefilter: str = "off"
+    #: Sequences the admissible bounds proved out of the top-k (no DP scan).
+    sequences_pruned: int = 0
+    #: DP cells those pruned sequences would have cost.
+    cells_skipped: int = 0
 
     @property
     def gcups(self) -> float:
+        """Effective throughput: geometric cells over wall time.
+
+        ``total_cells`` stays the full query x database geometry even when
+        pruning skipped most of it -- that is the point: skipped cells make
+        the *effective* rate exceed the kernel's raw rate.
+        """
         return gcups(self.total_cells, self.wall_seconds)
+
+    @property
+    def pruned_fraction(self) -> float:
+        return self.sequences_pruned / self.n_sequences if self.n_sequences else 0.0
 
     def scores(self) -> list[tuple[int, int]]:
         """The ``(score, index)`` ranking (comparison-friendly form)."""
@@ -145,6 +169,7 @@ def search_db(
     config = config or SearchConfig()
     query = encode(query)
     packed = _as_packed(database, config)
+    tiers = resolve_prefilter(config.prefilter, packed.n_sequences)
     cells = int(len(query)) * packed.total_residues
     tracer = get_tracer()
     with Stopwatch() as sw, tracer.span(
@@ -153,23 +178,36 @@ def search_db(
         sequences=packed.n_sequences,
         buckets=len(packed.buckets),
         cells=cells,
+        prefilter=",".join(tiers) or "off",
     ):
         if pool is None:
             graph = plan_search_buckets(
-                packed, len(query), top_k=config.top_k, kernel=config.kernel
+                packed,
+                len(query),
+                top_k=config.top_k,
+                kernel=config.kernel,
+                prefilter=tiers,
             )
-            ranked = InlineExecutor().run(
+            executed = InlineExecutor().run(
                 graph, query, search_blob(packed), config.scoring
-            ).hits
+            )
+            ranked = executed.hits
+            stats = executed.extras.get("prefilter", empty_search_stats())
             n_workers = 1
         else:
-            ranked = pool.search(
-                query,
-                packed,
-                top_k=config.top_k,
-                scoring=config.scoring,
-                kernel=config.kernel,
-            )
+            if tiers:
+                ranked, stats = pooled_pruned_search(
+                    query, packed, config, pool, tiers
+                )
+            else:
+                ranked = pool.search(
+                    query,
+                    packed,
+                    top_k=config.top_k,
+                    scoring=config.scoring,
+                    kernel=config.kernel,
+                )
+                stats = empty_search_stats()
             n_workers = pool.n_workers
     if is_enabled():
         metrics = get_metrics()
@@ -188,6 +226,8 @@ def search_db(
             "sequences": packed.n_sequences,
             "buckets": len(packed.buckets),
             "query_bp": int(len(query)),
+            "prefilter": ",".join(tiers) or "off",
+            "sequences_pruned": stats["sequences_pruned"],
         },
     )
     return SearchResult(
@@ -199,6 +239,9 @@ def search_db(
         backend=("striped" if config.kernel == "striped" else "batched")
         if pool is None
         else "pool",
+        prefilter=",".join(tiers) or "off",
+        sequences_pruned=stats["sequences_pruned"],
+        cells_skipped=stats["cells_skipped"],
     )
 
 

@@ -1,0 +1,75 @@
+"""BOUND001 fixtures: score ceilings must be marked admissible and registered."""
+
+from __future__ import annotations
+
+from repro.check import check_source
+from repro.check.rules.bounds import UnmarkedBound
+
+RULES = [UnmarkedBound()]
+
+
+def bounds(source: str):
+    return check_source(source, RULES, module="core/bounds.py")
+
+
+GOOD = (
+    "def length_bound(ctx, codes, lengths):  # repro: admissible\n"
+    "    return lengths\n"
+    "\n"
+    "ADMISSIBLE_BOUNDS = {'length': length_bound}\n"
+)
+
+
+def test_marked_and_registered_is_quiet():
+    assert bounds(GOOD) == []
+
+
+def test_unmarked_bound_fires():
+    src = (
+        "def length_bound(ctx, codes, lengths):\n"
+        "    return lengths\n"
+        "\n"
+        "ADMISSIBLE_BOUNDS = {'length': length_bound}\n"
+    )
+    findings = bounds(src)
+    assert [f.rule for f in findings] == ["BOUND001"]
+    assert "marker" in findings[0].message
+
+
+def test_unregistered_bound_fires():
+    src = (
+        "def length_bound(ctx, codes, lengths):  # repro: admissible\n"
+        "    return lengths\n"
+        "\n"
+        "ADMISSIBLE_BOUNDS = {}\n"
+    )
+    findings = bounds(src)
+    assert [f.rule for f in findings] == ["BOUND001"]
+    assert "registered" in findings[0].message
+
+
+def test_unmarked_and_unregistered_fires_twice():
+    src = "def kmer_bound(ctx, codes, lengths):\n    return lengths\n"
+    findings = bounds(src)
+    assert [f.rule for f in findings] == ["BOUND001", "BOUND001"]
+
+
+def test_helpers_without_bound_suffix_are_quiet():
+    src = "def kmer_hits(ctx, codes):\n    return codes\n"
+    assert bounds(src) == []
+
+
+def test_rule_is_scoped_to_core_bounds():
+    src = "def length_bound(ctx, codes, lengths):\n    return lengths\n"
+    assert check_source(src, RULES, module="core/engine.py") == []
+    assert check_source(src, RULES, module="strategies/prefilter.py") == []
+
+
+def test_suppression_comment_silences():
+    src = (
+        "def odd_bound(ctx, codes, lengths):  # repro: noqa[BOUND001]\n"
+        "    return lengths\n"
+        "\n"
+        "ADMISSIBLE_BOUNDS = {'odd': odd_bound}\n"
+    )
+    assert bounds(src) == []

@@ -69,6 +69,34 @@ class TestTopK:
         with pytest.raises(ValueError):
             TopK(-1)
 
+    def test_threshold_is_minus_inf_while_underfull(self):
+        top = TopK(3)
+        assert top.threshold() == float("-inf")
+        top.push(9, 0)
+        top.push(5, 1)
+        assert top.threshold() == float("-inf")
+
+    def test_threshold_is_kth_score_when_full(self):
+        top = TopK(3)
+        for score, idx in [(9, 0), (5, 1), (7, 2), (1, 3)]:
+            top.push(score, idx)
+        assert top.threshold() == 5
+
+    def test_threshold_on_ties(self):
+        # Equal scores fill the heap; the threshold is that tied score, and
+        # pruning must stay strict (<) so other tied sequences still get
+        # scanned -- an equal score at a smaller index displaces the k-th.
+        top = TopK(2)
+        top.push(5, 4)
+        top.push(5, 9)
+        assert top.threshold() == 5
+        top.push(5, 2)
+        assert top.threshold() == 5
+        assert top.ranked() == [(5, 2), (5, 4)]
+
+    def test_threshold_k_zero_prunes_everything(self):
+        assert TopK(0).threshold() == float("inf")
+
 
 class TestSearchDb:
     def test_batched_matches_sequential(self, workload):
