@@ -24,30 +24,41 @@ package encodes those invariants as executable checks:
 
 from __future__ import annotations
 
+from .dataflow import LaneProof, ModuleFlow, prove_lane_limits, prove_striped
 from .engine import (
+    CHECK_SCHEMA_VERSION,
     FileContext,
     Finding,
     Rule,
     check_paths,
     check_source,
+    findings_from_json,
     render_json,
     render_text,
+    rule_url,
 )
 from .rules import DEFAULT_RULES
 from .sanitizer import SanitizedLock, Sanitizer, analyze, get_sanitizer, sanitize_lock
 
 __all__ = [
+    "CHECK_SCHEMA_VERSION",
     "DEFAULT_RULES",
     "FileContext",
     "Finding",
+    "LaneProof",
+    "ModuleFlow",
     "Rule",
     "SanitizedLock",
     "Sanitizer",
     "analyze",
     "check_paths",
     "check_source",
+    "findings_from_json",
     "get_sanitizer",
+    "prove_lane_limits",
+    "prove_striped",
     "render_json",
     "render_text",
+    "rule_url",
     "sanitize_lock",
 ]

@@ -1,0 +1,1446 @@
+"""Interprocedural dtype / value-range dataflow over the kernel modules.
+
+The syntactic rules in :mod:`repro.check.rules` pattern-match one AST node
+at a time; they cannot see a value *flow* -- an int16 intermediate crossing
+a function boundary into int32 arithmetic, a constant that stopped fitting
+its lane dtype after someone widened it, an accumulation loop whose sticky
+overflow check was deleted.  This module adds the semantic tier: a small
+abstract interpreter over one module's AST that propagates two lattices
+
+* **dtype** -- numpy element types ordered by width (``int8 < int16 <
+  int32 < int64 < float``), with ``None`` as unknown-top; and
+* **value range** -- integer intervals ``[lo, hi]`` with ``±inf`` ends,
+  widened at loop heads so the interpretation terminates
+
+through assignments, ufunc calls (``np.add(..., out=...)`` and friends),
+branches, loops, and -- interprocedurally -- calls to functions and methods
+defined in the same module, whose bodies are re-interpreted under the
+caller's abstract arguments (memoized, recursion cut at a fixed depth).
+
+Four rules consume the analysis (all scoped to ``core/``):
+
+* **FLOW001 -- overflow-unsafe narrowing.**  A cast (``x.astype(dt)``,
+  ``np.int8(x)``, ``dt.type(x)``, or a ufunc ``out=`` into a narrower
+  array) whose *derived* source interval provably exceeds the target
+  dtype's range.  Fires only on proven overflow: unknown ranges stay
+  quiet, so the rule is deterministic and the shipped tree stays clean.
+* **FLOW002 -- dtype widening across a call boundary.**  An int8/int16
+  array passed to a local function that combines it with a wider operand:
+  the silent upcast hides the narrow value's provenance from the caller,
+  which is exactly how a lane buffer escapes its saturation discipline.
+  Cast explicitly at the boundary instead.
+* **FLOW003 -- unchecked saturating op.**  In-place integer arithmetic on
+  an unconditionally int8/int16 buffer inside a loop, in a function (or
+  class) with no sticky-flag overflow check, where the derived interval
+  cannot prove the result fits.  numpy integer arithmetic wraps, so narrow
+  accumulation without a sticky flag is garbage waiting to happen.
+* **FLOW004 -- unproven lane cap.**  Runs :func:`prove_lane_limits` over
+  ``core/striped.py`` itself: the saturation geometry (``span``, ``cap``,
+  ``pad``, ``fits``) is *extracted from the checked file's AST* and its
+  proof obligations discharged with interval arithmetic for every
+  reachable scoring regime (:data:`SCORING_REGIMES` x int8/int16 x every
+  segment length up to ``MAX_SEG``).  Editing the formulas in a way the
+  prover cannot re-prove -- or deleting the sticky-flag check -- fails CI.
+
+The sticky-flag idiom the analysis recognises is the one the striped kernel
+uses::
+
+    np.greater_equal(rowmax, cap, out=tmp)   # compare against the cap ...
+    np.logical_or(flags, tmp, out=flags)     # ... and latch, never clear
+
+A class (or function) containing both halves counts as *guarded*:
+overflow there is detected-by-construction, so FLOW001/FLOW003 stand down.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from .engine import FileContext, Finding, Rule
+
+__all__ = [
+    "INT_BOUNDS",
+    "SCORING_REGIMES",
+    "AbstractValue",
+    "Interval",
+    "LaneProof",
+    "ModuleFlow",
+    "OverflowUnsafeNarrowing",
+    "UncheckedSaturatingOp",
+    "UnprovenLaneCap",
+    "WideningAcrossCall",
+    "prove_lane_limits",
+    "prove_striped",
+]
+
+_INF = float("inf")
+
+#: Two's-complement ranges of the integer dtypes the lattice tracks
+#: (``np.iinfo`` values; hard-coded so :mod:`repro.check` needs no numpy).
+INT_BOUNDS = {
+    "bool": (0, 1),
+    "int8": (-128, 127),
+    "int16": (-32768, 32767),
+    "int32": (-(2**31), 2**31 - 1),
+    "int64": (-(2**63), 2**63 - 1),
+    "uint8": (0, 255),
+    "uint16": (0, 2**16 - 1),
+    "uint32": (0, 2**32 - 1),
+    "uint64": (0, 2**64 - 1),
+}
+
+#: Lane dtypes narrow enough to need saturation discipline.
+NARROW_DTYPES = frozenset({"int8", "int16"})
+
+_WIDTH = {
+    "bool": 1,
+    "int8": 8,
+    "uint8": 8,
+    "int16": 16,
+    "uint16": 16,
+    "int32": 32,
+    "uint32": 32,
+    "int64": 64,
+    "uint64": 64,
+    "float32": 96,  # any float outranks any int in the promotion order
+    "float64": 97,
+    "float": 97,
+}
+
+#: Modules the dataflow rules watch (the narrow-lane DP state lives here).
+FLOW_MODULES = ("core/",)
+
+
+def _promote(a: Optional[str], b: Optional[str]) -> Optional[str]:
+    """Joined element dtype of a two-operand op (``None`` = unknown).
+
+    Python-int operands (``"pyint"``) do not widen a numpy operand -- that
+    mirrors numpy's value-based scalar casting closely enough for bounds
+    checking, and it is the *conservative* direction for FLOW002: a plain
+    constant does not count as a widening partner.
+    """
+    if a == "pyint":
+        return b
+    if b == "pyint":
+        return a
+    if a is None or b is None:
+        return None
+    if a == b:
+        return a
+    wa, wb = _WIDTH.get(a), _WIDTH.get(b)
+    if wa is None or wb is None:
+        return None
+    return a if wa >= wb else b
+
+
+@dataclass(frozen=True)
+class Interval:
+    """Integer interval ``[lo, hi]`` with ``±inf`` ends (floats)."""
+
+    lo: float
+    hi: float
+
+    @staticmethod
+    def top() -> "Interval":
+        return Interval(-_INF, _INF)
+
+    @staticmethod
+    def const(value: float) -> "Interval":
+        return Interval(value, value)
+
+    @staticmethod
+    def of_dtype(dtype: Optional[str]) -> "Interval":
+        bounds = INT_BOUNDS.get(dtype or "")
+        if bounds is None:
+            return Interval.top()
+        return Interval(bounds[0], bounds[1])
+
+    @property
+    def bounded(self) -> bool:
+        return self.lo > -_INF and self.hi < _INF
+
+    @property
+    def point(self) -> Optional[int]:
+        if self.bounded and self.lo == self.hi:
+            return int(self.lo)
+        return None
+
+    def join(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def add(self, other: "Interval") -> "Interval":
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def sub(self, other: "Interval") -> "Interval":
+        return Interval(self.lo - other.hi, self.hi - other.lo)
+
+    def neg(self) -> "Interval":
+        return Interval(-self.hi, -self.lo)
+
+    def mul(self, other: "Interval") -> "Interval":
+        def prod(x: float, y: float) -> float:
+            if x == 0 or y == 0:
+                return 0
+            return x * y
+
+        corners = [
+            prod(self.lo, other.lo),
+            prod(self.lo, other.hi),
+            prod(self.hi, other.lo),
+            prod(self.hi, other.hi),
+        ]
+        return Interval(min(corners), max(corners))
+
+    def max_(self, other: "Interval") -> "Interval":
+        return Interval(max(self.lo, other.lo), max(self.hi, other.hi))
+
+    def min_(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), min(self.hi, other.hi))
+
+    def within(self, dtype: Optional[str]) -> bool:
+        bounds = INT_BOUNDS.get(dtype or "")
+        if bounds is None:
+            return True
+        return self.lo >= bounds[0] and self.hi <= bounds[1]
+
+    def exceeds(self, dtype: Optional[str]) -> bool:
+        """*Every* value in the interval is outside ``dtype``.
+
+        Mere overlap is not proof -- a value in ``[100, 300]`` may well be
+        100 and fit int8 -- so FLOW001 only claims overflow when the whole
+        interval is disjoint from the target range.  Unknown ends never
+        prove anything.
+        """
+        bounds = INT_BOUNDS.get(dtype or "")
+        if bounds is None:
+            return False
+        return self.lo > bounds[1] or self.hi < bounds[0]
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """One lattice point: what the interpreter knows about one value.
+
+    ``kind`` is ``"num"`` for scalars/arrays (``dtype`` is the element
+    type, ``"pyint"`` for plain Python ints), ``"dtype"`` / ``"iinfo"``
+    for dtype objects and their ``np.iinfo`` views (``dtype`` names the
+    referenced type), ``"tuple"`` for small literal tuples, and ``"top"``
+    for everything unknown.  ``taints`` carries the parameter names a
+    value derives from while a callee is interpreted under a caller's
+    arguments -- the breadcrumb FLOW002 follows.
+    """
+
+    kind: str = "top"
+    dtype: Optional[str] = None
+    ival: Interval = field(default_factory=Interval.top)
+    array: bool = False
+    items: tuple = ()
+    taints: frozenset = frozenset()
+
+    @staticmethod
+    def top() -> "AbstractValue":
+        return _TOP
+
+    @staticmethod
+    def num(
+        dtype: Optional[str],
+        ival: Optional[Interval] = None,
+        *,
+        array: bool = False,
+        taints: frozenset = frozenset(),
+    ) -> "AbstractValue":
+        if ival is None:
+            ival = Interval.of_dtype(dtype)
+        return AbstractValue("num", dtype, ival, array, (), taints)
+
+    @staticmethod
+    def const(value: int) -> "AbstractValue":
+        return AbstractValue.num("pyint", Interval.const(value))
+
+    def join(self, other: "AbstractValue") -> "AbstractValue":
+        if self.kind != other.kind:
+            return _TOP
+        if self.kind == "num":
+            dtype = self.dtype if self.dtype == other.dtype else _promote(self.dtype, other.dtype)
+            if self.dtype != other.dtype and (self.dtype is None or other.dtype is None):
+                dtype = None
+            return AbstractValue.num(
+                dtype,
+                self.ival.join(other.ival),
+                array=self.array or other.array,
+                taints=self.taints | other.taints,
+            )
+        if self.kind in ("dtype", "iinfo"):
+            if self.dtype == other.dtype:
+                return self
+            return AbstractValue(self.kind, None)
+        return _TOP
+
+
+_TOP = AbstractValue()
+
+
+def _same(a: AbstractValue, b: AbstractValue) -> bool:
+    return (
+        a.kind == b.kind
+        and a.dtype == b.dtype
+        and a.ival == b.ival
+        and a.array == b.array
+    )
+
+
+@dataclass
+class _Scope:
+    """Interpretation context of one function body."""
+
+    name: str  # qualified: "func" or "Class.method"
+    cls: Optional[str]
+    loop_depth: int = 0
+    returns: list = field(default_factory=list)
+    call_site: Optional[ast.AST] = None  # set when interpreting a local call
+    caller_scope: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class CastSite:
+    node: ast.AST
+    scope: str
+    src: AbstractValue
+    target: str
+
+
+@dataclass(frozen=True)
+class ArithSite:
+    node: ast.AST
+    scope: str
+    cls: Optional[str]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class WidenSite:
+    node: ast.AST  # the call expression in the *caller*
+    scope: str  # the caller's scope
+    callee: str
+    param: str
+    narrow: str
+    wide: str
+
+
+_NUMPY_NAMES = ("np", "numpy")
+_UFUNC_ARITH = {"add": "add", "subtract": "sub", "multiply": "mul"}
+_UFUNC_MINMAX = {"maximum": "max_", "minimum": "min_"}
+_UFUNC_COMPARE = {"greater", "greater_equal", "less", "less_equal", "equal", "not_equal"}
+_ALLOCATORS = {"zeros", "empty", "ones", "full", "arange", "zeros_like", "empty_like", "full_like"}
+_DTYPE_NAMES = set(INT_BOUNDS) | {"float32", "float64", "intp", "uint8"}
+_MAX_CALL_DEPTH = 4
+
+
+class ModuleFlow:
+    """The per-module analysis: interpret every function, record the sites.
+
+    Build once per parsed file (rules share the instance through
+    :func:`module_flow`), then read :attr:`casts` (FLOW001 material),
+    :attr:`widenings` (FLOW002), :attr:`narrow_arith` + :attr:`guarded`
+    (FLOW003).
+    """
+
+    def __init__(self, tree: ast.Module, *, interpret: bool = True) -> None:
+        self.tree = tree
+        self.funcs: dict[str, ast.FunctionDef] = {}
+        self.methods: dict[tuple[str, str], ast.FunctionDef] = {}
+        self.classes: dict[str, ast.ClassDef] = {}
+        self.module_env: dict[str, AbstractValue] = {}
+        self.casts: dict[int, CastSite] = {}
+        self.narrow_arith: dict[int, ArithSite] = {}
+        self.widenings: dict[tuple[int, str], WidenSite] = {}
+        self.guarded: set[str] = set()  # function/class names with a sticky check
+        self._summaries: dict[tuple, AbstractValue] = {}
+        self._instance_envs: dict[str, dict[str, AbstractValue]] = {}
+        self._depth = 0
+        self._collect()
+        self._find_guards()
+        self._eval_module_body()
+        if interpret:
+            # ``interpret=False`` builds only the registries and the module
+            # env -- enough for targeted extraction like the lane-cap
+            # prover, which re-runs one __init__ hundreds of times.
+            self._run()
+
+    # -- registry ----------------------------------------------------------
+
+    def _collect(self) -> None:
+        for node in self.tree.body:
+            if isinstance(node, ast.FunctionDef):
+                self.funcs[node.name] = node
+            elif isinstance(node, ast.ClassDef):
+                self.classes[node.name] = node
+                for item in node.body:
+                    if isinstance(item, ast.FunctionDef):
+                        self.methods[(node.name, item.name)] = item
+
+    def _find_guards(self) -> None:
+        """Mark scopes containing the sticky-flag idiom (compare + latch)."""
+        for name, fn in self.funcs.items():
+            if self._has_sticky(fn):
+                self.guarded.add(name)
+        for cls, node in self.classes.items():
+            if any(
+                self._has_sticky(item)
+                for item in node.body
+                if isinstance(item, ast.FunctionDef)
+            ):
+                self.guarded.add(cls)
+
+    @staticmethod
+    def _has_sticky(fn: ast.FunctionDef) -> bool:
+        compared = latched = False
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                attr = node.func.attr
+                if attr in _UFUNC_COMPARE:
+                    compared = True
+                if attr == "logical_or" and any(k.arg == "out" for k in node.keywords):
+                    latched = True
+            elif isinstance(node, ast.Compare) and any(
+                isinstance(op, (ast.Gt, ast.GtE, ast.Lt, ast.LtE)) for op in node.ops
+            ):
+                compared = True
+            elif isinstance(node, ast.AugAssign) and isinstance(node.op, ast.BitOr):
+                latched = True
+        return compared and latched
+
+    # -- driver ------------------------------------------------------------
+
+    def _run(self) -> None:
+        for name, fn in self.funcs.items():
+            self._interpret(fn, _Scope(name, None), self._param_env(fn))
+        for cls in self.classes:
+            env = self.instance_env(cls, {})
+            for (owner, mname), fn in self.methods.items():
+                if owner != cls or mname == "__init__":
+                    continue
+                scope = _Scope(f"{cls}.{mname}", cls)
+                menv = self._param_env(fn, skip_self=True)
+                menv.update(env)
+                self._interpret(fn, scope, menv)
+
+    def _eval_module_body(self) -> None:
+        scope = _Scope("<module>", None)
+        for node in self.tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 and isinstance(
+                node.targets[0], ast.Name
+            ):
+                value = self._eval(node.value, self.module_env, scope)
+                self.module_env[node.targets[0].id] = value
+
+    def _param_env(
+        self, fn: ast.FunctionDef, *, skip_self: bool = False
+    ) -> dict[str, AbstractValue]:
+        env: dict[str, AbstractValue] = dict(self.module_env)
+        args = fn.args.posonlyargs + fn.args.args
+        if skip_self and args and args[0].arg == "self":
+            args = args[1:]
+        for arg in args:
+            env[arg.arg] = _TOP
+        return env
+
+    def instance_env(
+        self, cls: str, arg_values: dict[str, AbstractValue]
+    ) -> dict[str, AbstractValue]:
+        """``self.*`` entries after interpreting ``cls.__init__``.
+
+        With ``arg_values`` empty this is the class's generic attribute
+        state (memoized); with concrete arguments it is the exact state the
+        lane-cap prover extracts formulas from.
+        """
+        if not arg_values and cls in self._instance_envs:
+            return self._instance_envs[cls]
+        init = self.methods.get((cls, "__init__"))
+        env: dict[str, AbstractValue] = dict(self.module_env)
+        if init is not None:
+            scope = _Scope(f"{cls}.__init__", cls)
+            args = init.args.posonlyargs + init.args.args
+            for arg in args[1:]:
+                env[arg.arg] = arg_values.get(arg.arg, _TOP)
+            self._exec_block(init.body, env, scope)
+        attrs = {k: v for k, v in env.items() if k.startswith("self.")}
+        if not arg_values:
+            self._instance_envs[cls] = attrs
+        return attrs
+
+    def _interpret(
+        self, fn: ast.FunctionDef, scope: _Scope, env: dict[str, AbstractValue]
+    ) -> AbstractValue:
+        self._exec_block(fn.body, env, scope)
+        result = _TOP
+        if scope.returns:
+            result = scope.returns[0]
+            for other in scope.returns[1:]:
+                result = result.join(other)
+        return result
+
+    # -- statements --------------------------------------------------------
+
+    def _exec_block(
+        self, body: Sequence[ast.stmt], env: dict[str, AbstractValue], scope: _Scope
+    ) -> None:
+        for stmt in body:
+            self._exec(stmt, env, scope)
+
+    def _exec(self, stmt: ast.stmt, env: dict[str, AbstractValue], scope: _Scope) -> None:
+        if isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value, env, scope)
+            for target in stmt.targets:
+                self._assign(target, value, env, scope)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign(stmt.target, self._eval(stmt.value, env, scope), env, scope)
+        elif isinstance(stmt, ast.AugAssign):
+            left = self._eval(stmt.target, env, scope)
+            right = self._eval(stmt.value, env, scope)
+            value = self._binop(stmt, stmt.op, left, right, env, scope)
+            self._assign(stmt.target, value, env, scope)
+        elif isinstance(stmt, ast.Return):
+            value = _TOP if stmt.value is None else self._eval(stmt.value, env, scope)
+            scope.returns.append(value)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value, env, scope)
+        elif isinstance(stmt, ast.If):
+            self._exec_if(stmt, env, scope)
+        elif isinstance(stmt, (ast.For, ast.While)):
+            self._exec_loop(stmt, env, scope)
+        elif isinstance(stmt, ast.With):
+            self._exec_block(stmt.body, env, scope)
+        elif isinstance(stmt, ast.Try):
+            self._exec_block(stmt.body, env, scope)
+            for handler in stmt.handlers:
+                branch = dict(env)
+                self._exec_block(handler.body, branch, scope)
+                self._merge(env, branch)
+            self._exec_block(stmt.finalbody, env, scope)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            pass  # nested definitions: out of scope for the lattice
+        # everything else (pass/raise/assert/import/...) has no lattice effect
+
+    def _exec_if(self, stmt: ast.If, env: dict[str, AbstractValue], scope: _Scope) -> None:
+        test = self._eval(stmt.test, env, scope)
+        truth = test.ival.point if test.kind == "num" else None
+        if truth == 1:
+            self._exec_block(stmt.body, env, scope)
+            return
+        if truth == 0:
+            self._exec_block(stmt.orelse, env, scope)
+            return
+        then_env = dict(env)
+        self._refine(stmt.test, then_env, scope, assume=True)
+        self._exec_block(stmt.body, then_env, scope)
+        else_env = dict(env)
+        self._exec_block(stmt.orelse, else_env, scope)
+        env.clear()
+        env.update(else_env)
+        self._merge(env, then_env)
+
+    def _exec_loop(self, stmt, env: dict[str, AbstractValue], scope: _Scope) -> None:
+        if isinstance(stmt, ast.For):
+            self._assign(
+                stmt.target, self._iter_element(stmt.iter, env, scope), env, scope
+            )
+        before = dict(env)
+        scope.loop_depth += 1
+        self._exec_block(stmt.body, env, scope)
+        # Widen whatever the first trip changed, then re-interpret once so
+        # in-loop sites are judged against the fixpoint state.
+        for name, value in list(env.items()):
+            prior = before.get(name)
+            if prior is None or not _same(prior, value):
+                if value.kind == "num":
+                    env[name] = AbstractValue.num(
+                        value.dtype,
+                        Interval.of_dtype(value.dtype),
+                        array=value.array,
+                        taints=value.taints,
+                    )
+                else:
+                    env[name] = value.join(prior) if prior is not None else _TOP
+        self._exec_block(stmt.body, env, scope)
+        scope.loop_depth -= 1
+        self._merge(env, before)
+        self._exec_block(stmt.orelse, env, scope)
+
+    def _iter_element(self, iter_node: ast.expr, env, scope) -> AbstractValue:
+        if (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Name)
+            and iter_node.func.id == "range"
+        ):
+            bounds = [self._eval(a, env, scope) for a in iter_node.args]
+            if bounds and all(b.kind == "num" and b.ival.bounded for b in bounds):
+                if len(bounds) == 1:
+                    return AbstractValue.num("pyint", Interval(0, bounds[0].ival.hi - 1))
+                return AbstractValue.num(
+                    "pyint", Interval(bounds[0].ival.lo, bounds[1].ival.hi - 1)
+                )
+            return AbstractValue.num("pyint", Interval.top())
+        value = self._eval(iter_node, env, scope)
+        if value.kind == "num":
+            return AbstractValue.num(
+                value.dtype, value.ival, array=value.array, taints=value.taints
+            )
+        if value.kind == "tuple" and value.items:
+            joined = value.items[0]
+            for item in value.items[1:]:
+                joined = joined.join(item)
+            return joined
+        return _TOP
+
+    def _merge(self, env: dict[str, AbstractValue], other: dict[str, AbstractValue]) -> None:
+        for name, value in other.items():
+            mine = env.get(name)
+            env[name] = value if mine is None else mine.join(value)
+        for name in list(env):
+            if name not in other:
+                env[name] = env[name].join(_TOP) if False else env[name]
+
+    def _refine(self, test: ast.expr, env, scope, *, assume: bool) -> None:
+        """Bound a simple ``name <op> constant`` comparison in the true branch."""
+        if not (isinstance(test, ast.Compare) and len(test.ops) == 1):
+            return
+        left, op, right = test.left, test.ops[0], test.comparators[0]
+        if not isinstance(left, ast.Name):
+            return
+        bound = self._eval(right, env, scope)
+        if bound.kind != "num" or not bound.ival.bounded:
+            return
+        value = env.get(left.id)
+        if value is None or value.kind != "num":
+            return
+        ival = value.ival
+        if isinstance(op, ast.LtE):
+            ival = Interval(ival.lo, min(ival.hi, bound.ival.hi))
+        elif isinstance(op, ast.Lt):
+            ival = Interval(ival.lo, min(ival.hi, bound.ival.hi - 1))
+        elif isinstance(op, ast.GtE):
+            ival = Interval(max(ival.lo, bound.ival.lo), ival.hi)
+        elif isinstance(op, ast.Gt):
+            ival = Interval(max(ival.lo, bound.ival.lo + 1), ival.hi)
+        else:
+            return
+        env[left.id] = AbstractValue.num(
+            value.dtype, ival, array=value.array, taints=value.taints
+        )
+
+    def _assign(
+        self, target: ast.expr, value: AbstractValue, env: dict[str, AbstractValue], scope: _Scope
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+        elif isinstance(target, ast.Attribute) and isinstance(target.value, ast.Name):
+            if target.value.id == "self":
+                env[f"self.{target.attr}"] = value
+        elif isinstance(target, ast.Subscript):
+            # Slice-store: the container keeps its dtype; a provably
+            # out-of-range store into a known-narrow container is a cast.
+            container = self._eval(target.value, env, scope)
+            if container.kind == "num" and container.dtype in INT_BOUNDS:
+                self._record_cast(target, value, container.dtype, scope)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            items = value.items if value.kind == "tuple" else ()
+            for i, elt in enumerate(target.elts):
+                self._assign(
+                    elt, items[i] if i < len(items) else _TOP, env, scope
+                )
+
+    # -- expressions -------------------------------------------------------
+
+    def _eval(self, node: ast.expr, env: dict[str, AbstractValue], scope: _Scope) -> AbstractValue:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return AbstractValue.num("bool", Interval.const(int(node.value)))
+            if isinstance(node.value, int):
+                return AbstractValue.const(node.value)
+            if isinstance(node.value, float):
+                return AbstractValue.num("float", Interval.top())
+            return _TOP
+        if isinstance(node, ast.Name):
+            return env.get(node.id, _TOP)
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node, env, scope)
+        if isinstance(node, ast.BinOp):
+            left = self._eval(node.left, env, scope)
+            right = self._eval(node.right, env, scope)
+            return self._binop(node, node.op, left, right, env, scope)
+        if isinstance(node, ast.UnaryOp):
+            operand = self._eval(node.operand, env, scope)
+            if isinstance(node.op, ast.USub) and operand.kind == "num":
+                return AbstractValue.num(
+                    operand.dtype, operand.ival.neg(), array=operand.array, taints=operand.taints
+                )
+            if isinstance(node.op, ast.Not):
+                return AbstractValue.num("bool", Interval(0, 1))
+            return _TOP
+        if isinstance(node, ast.BoolOp):
+            values = [self._eval(v, env, scope) for v in node.values]
+            truths = [v.ival.point if v.kind == "num" else None for v in values]
+            if all(t is not None for t in truths):
+                if isinstance(node.op, ast.And):
+                    result = all(truths)
+                else:
+                    result = any(truths)
+                return AbstractValue.num("bool", Interval.const(int(result)))
+            return AbstractValue.num("bool", Interval(0, 1))
+        if isinstance(node, ast.Compare):
+            return self._compare(node, env, scope)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env, scope)
+        if isinstance(node, ast.IfExp):
+            a = self._eval(node.body, env, scope)
+            b = self._eval(node.orelse, env, scope)
+            test = self._eval(node.test, env, scope)
+            truth = test.ival.point if test.kind == "num" else None
+            if truth == 1:
+                return a
+            if truth == 0:
+                return b
+            return a.join(b)
+        if isinstance(node, ast.Subscript):
+            value = self._eval(node.value, env, scope)
+            if value.kind == "num":
+                return AbstractValue.num(
+                    value.dtype, value.ival, array=value.array, taints=value.taints
+                )
+            if value.kind == "tuple":
+                index = self._eval(node.slice, env, scope)
+                point = index.ival.point if index.kind == "num" else None
+                if point is not None and 0 <= point < len(value.items):
+                    return value.items[point]
+                if value.items:
+                    joined = value.items[0]
+                    for item in value.items[1:]:
+                        joined = joined.join(item)
+                    return joined
+            return _TOP
+        if isinstance(node, (ast.Tuple, ast.List)):
+            return AbstractValue(
+                "tuple", items=tuple(self._eval(e, env, scope) for e in node.elts)
+            )
+        return _TOP
+
+    def _compare(self, node: ast.Compare, env, scope) -> AbstractValue:
+        if len(node.ops) == 1:
+            left = self._eval(node.left, env, scope)
+            right = self._eval(node.comparators[0], env, scope)
+            if left.kind == "num" and right.kind == "num" and not left.array and not right.array:
+                li, ri, op = left.ival, right.ival, node.ops[0]
+                verdict: Optional[bool] = None
+                if isinstance(op, ast.GtE):
+                    verdict = True if li.lo >= ri.hi else (False if li.hi < ri.lo else None)
+                elif isinstance(op, ast.Gt):
+                    verdict = True if li.lo > ri.hi else (False if li.hi <= ri.lo else None)
+                elif isinstance(op, ast.LtE):
+                    verdict = True if li.hi <= ri.lo else (False if li.lo > ri.hi else None)
+                elif isinstance(op, ast.Lt):
+                    verdict = True if li.hi < ri.lo else (False if li.lo >= ri.hi else None)
+                if verdict is not None:
+                    return AbstractValue.num("bool", Interval.const(int(verdict)))
+        return AbstractValue.num("bool", Interval(0, 1))
+
+    def _eval_attribute(self, node: ast.Attribute, env, scope) -> AbstractValue:
+        if isinstance(node.value, ast.Name):
+            base_name = node.value.id
+            if base_name in _NUMPY_NAMES:
+                if node.attr in _DTYPE_NAMES:
+                    return AbstractValue("dtype", node.attr)
+                return _TOP
+            if base_name == "self":
+                return env.get(f"self.{node.attr}", _TOP)
+        base = self._eval(node.value, env, scope)
+        if base.kind == "iinfo" and node.attr in ("min", "max"):
+            bounds = INT_BOUNDS.get(base.dtype or "")
+            if bounds is None:
+                return AbstractValue.num("pyint", Interval.top())
+            value = bounds[0] if node.attr == "min" else bounds[1]
+            return AbstractValue.const(value)
+        if base.kind == "num" and node.attr == "dtype":
+            return AbstractValue("dtype", base.dtype)
+        return _TOP
+
+    def _binop(self, node, op, left, right, env, scope) -> AbstractValue:
+        if left.kind != "num" or right.kind != "num":
+            return _TOP
+        dtype = _promote(left.dtype, right.dtype)
+        taints = left.taints | right.taints
+        self._note_widening(node, left, right, scope)
+        if isinstance(op, ast.Add):
+            ival = left.ival.add(right.ival)
+        elif isinstance(op, ast.Sub):
+            ival = left.ival.sub(right.ival)
+        elif isinstance(op, ast.Mult):
+            ival = left.ival.mul(right.ival)
+        elif isinstance(op, (ast.FloorDiv, ast.Mod)):
+            ival = Interval.top()
+            if isinstance(op, ast.FloorDiv) and right.ival.lo >= 1:
+                ival = Interval(min(left.ival.lo, 0), max(left.ival.hi, 0))
+        elif isinstance(op, ast.Pow):
+            points = (left.ival.point, right.ival.point)
+            if None not in points and -64 <= points[1] <= 64 and points[1] >= 0:
+                ival = Interval.const(points[0] ** points[1])
+            else:
+                ival = Interval.top()
+        else:
+            return _TOP
+        result = AbstractValue.num(
+            dtype, ival, array=left.array or right.array, taints=taints
+        )
+        self._note_arith(node, op, result, scope)
+        return result
+
+    def _note_arith(self, node, op, result: AbstractValue, scope: _Scope) -> None:
+        if not isinstance(op, (ast.Add, ast.Sub, ast.Mult)):
+            return
+        if (
+            scope.loop_depth > 0
+            and result.array
+            and result.dtype in NARROW_DTYPES
+            and not result.ival.within(result.dtype)
+        ):
+            self.narrow_arith.setdefault(
+                id(node), ArithSite(node, scope.name, scope.cls, result.dtype)
+            )
+
+    def _note_widening(self, node, left: AbstractValue, right: AbstractValue, scope: _Scope) -> None:
+        for tainted, other in ((left, right), (right, left)):
+            if not tainted.taints or tainted.dtype not in NARROW_DTYPES:
+                continue
+            if other.dtype in (None, "pyint", "bool"):
+                continue
+            if _WIDTH.get(other.dtype, 0) > _WIDTH.get(tainted.dtype, 0):
+                if scope.call_site is not None:
+                    for param in tainted.taints:
+                        key = (id(scope.call_site), param)
+                        self.widenings.setdefault(
+                            key,
+                            WidenSite(
+                                scope.call_site,
+                                scope.caller_scope or scope.name,
+                                scope.name,
+                                param,
+                                tainted.dtype,
+                                other.dtype,
+                            ),
+                        )
+
+    # -- calls -------------------------------------------------------------
+
+    def _eval_call(self, node: ast.Call, env, scope) -> AbstractValue:
+        func = node.func
+        kwargs = {k.arg: self._eval(k.value, env, scope) for k in node.keywords if k.arg}
+        args = [self._eval(a, env, scope) for a in node.args]
+        if isinstance(func, ast.Attribute):
+            return self._eval_attr_call(node, func, args, kwargs, env, scope)
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name == "int":
+                if args and args[0].kind == "num":
+                    return AbstractValue.num("pyint", args[0].ival, taints=args[0].taints)
+                return AbstractValue.num("pyint", Interval.top())
+            if name == "abs" and args and args[0].kind == "num":
+                ival = args[0].ival
+                lo = 0.0 if ival.lo <= 0 <= ival.hi else min(abs(ival.lo), abs(ival.hi))
+                return AbstractValue.num(
+                    args[0].dtype, Interval(lo, max(abs(ival.lo), abs(ival.hi)))
+                )
+            if name in ("max", "min") and len(args) >= 2 and all(
+                a.kind == "num" for a in args
+            ):
+                ival = args[0].ival
+                for a in args[1:]:
+                    ival = ival.max_(a.ival) if name == "max" else ival.min_(a.ival)
+                dtype = args[0].dtype
+                for a in args[1:]:
+                    dtype = _promote(dtype, a.dtype)
+                return AbstractValue.num(dtype, ival)
+            if name == "len":
+                return AbstractValue.num("pyint", Interval(0, _INF))
+            if name in self.funcs:
+                return self._call_local(node, self.funcs[name], name, args, scope)
+            if name in self.classes:
+                return _TOP
+        return _TOP
+
+    def _eval_attr_call(self, node, func: ast.Attribute, args, kwargs, env, scope) -> AbstractValue:
+        attr = func.attr
+        base_is_np = isinstance(func.value, ast.Name) and func.value.id in _NUMPY_NAMES
+        if base_is_np:
+            if attr == "iinfo":
+                dtype = args[0].dtype if args and args[0].kind in ("dtype", "num") else None
+                if args and args[0].kind == "dtype":
+                    dtype = args[0].dtype
+                elif args and args[0].kind == "iinfo":
+                    dtype = args[0].dtype
+                else:
+                    dtype = args[0].dtype if args and args[0].kind == "dtype" else None
+                return AbstractValue("iinfo", dtype)
+            if attr == "dtype":
+                dtype = args[0].dtype if args and args[0].kind in ("dtype", "iinfo") else None
+                return AbstractValue("dtype", dtype)
+            if attr in _DTYPE_NAMES:
+                if args:  # np.int8(x): a scalar cast
+                    return self._cast(node, args[0], attr, scope)
+                return AbstractValue("dtype", attr)
+            if attr in _ALLOCATORS:
+                return self._alloc(attr, args, kwargs)
+            if attr in _UFUNC_ARITH or attr in _UFUNC_MINMAX:
+                return self._ufunc(node, attr, args, kwargs, env, scope)
+            if attr in _UFUNC_COMPARE or attr in ("logical_or", "logical_and"):
+                result = AbstractValue.num("bool", Interval(0, 1), array=True)
+                self._store_out(node, result, kwargs, env, scope)
+                return result
+            if attr in ("where", "clip", "minimum", "maximum"):
+                nums = [a for a in args if a.kind == "num"]
+                if nums:
+                    joined = nums[0]
+                    for a in nums[1:]:
+                        joined = joined.join(a)
+                    return joined
+                return _TOP
+            if attr in ("asarray", "ascontiguousarray"):
+                if args and args[0].kind == "num":
+                    dtype = kwargs.get("dtype")
+                    if dtype is not None and dtype.kind == "dtype":
+                        return self._cast(node, args[0], dtype.dtype or "", scope)
+                    return args[0]
+                return _TOP
+            return _TOP
+        # value-attached calls: x.astype(dt), dt.type(x), arr.max(), ...
+        base = self._eval(func.value, env, scope)
+        if attr == "astype" and base.kind == "num":
+            target = None
+            if args and args[0].kind == "dtype":
+                target = args[0].dtype
+            dt_kw = kwargs.get("dtype")
+            if target is None and dt_kw is not None and dt_kw.kind == "dtype":
+                target = dt_kw.dtype
+            if target is not None:
+                return self._cast(node, base, target, scope)
+            return AbstractValue.num(None, base.ival, array=base.array)
+        if attr == "type" and base.kind == "dtype":
+            if args and base.dtype is not None:
+                return self._cast(node, args[0], base.dtype, scope)
+            return _TOP
+        if attr in ("max", "min", "sum") and base.kind == "num":
+            ival = base.ival if attr != "sum" else Interval.top()
+            return AbstractValue.num(base.dtype, ival, taints=base.taints)
+        if attr == "reduce" and isinstance(func.value, ast.Attribute):
+            # np.maximum.reduce(x, out=...) keeps dtype and range.
+            if args and args[0].kind == "num":
+                result = AbstractValue.num(
+                    args[0].dtype, args[0].ival, array=True, taints=args[0].taints
+                )
+                self._store_out(node, result, kwargs, env, scope)
+                return result
+            return _TOP
+        if isinstance(func.value, ast.Name) and func.value.id == "self" and scope.cls:
+            fn = self.methods.get((scope.cls, attr))
+            if fn is not None:
+                return self._call_local(
+                    node, fn, f"{scope.cls}.{attr}", args, scope, method=True
+                )
+        return _TOP
+
+    def _alloc(self, attr: str, args, kwargs) -> AbstractValue:
+        dtype = None
+        dt = kwargs.get("dtype")
+        if dt is not None and dt.kind == "dtype":
+            dtype = dt.dtype
+        if attr in ("zeros", "zeros_like"):
+            ival = Interval.const(0)
+        elif attr in ("ones",):
+            ival = Interval.const(1)
+        elif attr in ("full", "full_like"):
+            fill = args[1] if len(args) > 1 else kwargs.get("fill_value")
+            ival = fill.ival if fill is not None and fill.kind == "num" else Interval.of_dtype(dtype)
+        elif attr == "arange":
+            ival = Interval(0, _INF)
+            bounded = [a for a in args if a.kind == "num" and a.ival.bounded]
+            if bounded:
+                ival = Interval(
+                    min(a.ival.lo for a in bounded), max(a.ival.hi for a in bounded)
+                )
+        else:  # empty / empty_like: anything representable
+            ival = Interval.of_dtype(dtype)
+        return AbstractValue.num(dtype, ival, array=True)
+
+    def _ufunc(self, node, attr: str, args, kwargs, env, scope) -> AbstractValue:
+        if len(args) < 2 or args[0].kind != "num" or args[1].kind != "num":
+            result = _TOP
+        else:
+            a, b = args[0], args[1]
+            self._note_widening(node, a, b, scope)
+            op_name = _UFUNC_ARITH.get(attr) or _UFUNC_MINMAX[attr]
+            ival = getattr(a.ival, op_name)(b.ival)
+            result = AbstractValue.num(
+                _promote(a.dtype, b.dtype),
+                ival,
+                array=a.array or b.array,
+                taints=a.taints | b.taints,
+            )
+            if attr in _UFUNC_ARITH:
+                self._note_arith(node, ast.Add(), result, scope)
+        self._store_out(node, result, kwargs, env, scope)
+        return result
+
+    def _store_out(self, node, result: AbstractValue, kwargs, env, scope) -> None:
+        out = kwargs.get("out")
+        if out is None or out.kind != "num" or out.dtype is None:
+            return
+        if result.kind == "num" and result.dtype is not None and result.dtype != out.dtype:
+            self._record_cast(node, result, out.dtype, scope)
+        # The out buffer now holds the (dtype-clamped) result: write it
+        # back into the environment so a loop's second interpretation sees
+        # the accumulated state, not the allocation-time interval.
+        out_expr = next((k.value for k in node.keywords if k.arg == "out"), None)
+        if out_expr is not None and result.kind == "num":
+            ival = result.ival if result.ival.within(out.dtype) else Interval.of_dtype(out.dtype)
+            self._assign(
+                out_expr,
+                AbstractValue.num(out.dtype, ival, array=True, taints=result.taints),
+                env,
+                scope,
+            )
+
+    def _call_local(
+        self, node, fn: ast.FunctionDef, qualname: str, args, scope: _Scope, *, method: bool = False
+    ) -> AbstractValue:
+        key = (
+            qualname,
+            tuple(
+                (a.kind, a.dtype, a.ival.lo, a.ival.hi, a.array) for a in args
+            ),
+        )
+        if key in self._summaries:
+            return self._summaries[key]
+        if self._depth >= _MAX_CALL_DEPTH:
+            return _TOP
+        self._summaries[key] = _TOP  # recursion cut
+        self._depth += 1
+        try:
+            params = fn.args.posonlyargs + fn.args.args
+            if method and params and params[0].arg == "self":
+                params = params[1:]
+            env = dict(self.module_env)
+            if method and "." in qualname:
+                env.update(self.instance_env(qualname.split(".")[0], {}))
+            taint_any = False
+            for i, param in enumerate(params):
+                if i < len(args):
+                    value = args[i]
+                    if value.kind == "num" and value.dtype in NARROW_DTYPES and value.array:
+                        value = AbstractValue.num(
+                            value.dtype,
+                            value.ival,
+                            array=True,
+                            taints=value.taints | {param.arg},
+                        )
+                        taint_any = True
+                    env[param.arg] = value
+                else:
+                    env[param.arg] = _TOP
+            callee_scope = _Scope(
+                qualname,
+                qualname.split(".")[0] if "." in qualname else None,
+                call_site=node if taint_any else None,
+                caller_scope=scope.name,
+            )
+            result = self._interpret(fn, callee_scope, env)
+        finally:
+            self._depth -= 1
+        self._summaries[key] = result
+        return result
+
+    # -- casts -------------------------------------------------------------
+
+    def _cast(self, node, src: AbstractValue, target: str, scope: _Scope) -> AbstractValue:
+        if src.kind != "num":
+            return AbstractValue.num(target, array=False)
+        self._record_cast(node, src, target, scope)
+        ival = src.ival if src.ival.within(target) else Interval.of_dtype(target)
+        return AbstractValue.num(target, ival, array=src.array)
+
+    def _record_cast(self, node, src: AbstractValue, target: str, scope: _Scope) -> None:
+        if target not in INT_BOUNDS:
+            return
+        if src.kind != "num" or not src.ival.exceeds(target):
+            return
+        self.casts.setdefault(id(node), CastSite(node, scope.name, src, target))
+
+    def scope_guarded(self, scope: str, cls: Optional[str]) -> bool:
+        return scope in self.guarded or (cls is not None and cls in self.guarded)
+
+
+# -- shared per-file analysis cache ----------------------------------------
+
+_FLOW_CACHE: dict[int, tuple[ast.Module, ModuleFlow]] = {}
+
+
+def module_flow(ctx: FileContext) -> ModuleFlow:
+    """The (cached) :class:`ModuleFlow` of one parsed file.
+
+    The three FLOW rules run over the same file in sequence; keying the
+    cache on the tree object keeps one interpretation per file per run.
+    """
+    cached = _FLOW_CACHE.get(id(ctx.tree))
+    if cached is not None and cached[0] is ctx.tree:
+        return cached[1]
+    flow = ModuleFlow(ctx.tree)
+    _FLOW_CACHE[id(ctx.tree)] = (ctx.tree, flow)
+    while len(_FLOW_CACHE) > 8:
+        _FLOW_CACHE.pop(next(iter(_FLOW_CACHE)))
+    return flow
+
+
+class _FlowRule(Rule):
+    def applies(self, module: str) -> bool:
+        return module.startswith(FLOW_MODULES)
+
+
+class OverflowUnsafeNarrowing(_FlowRule):
+    """FLOW001: a narrowing cast whose derived range cannot fit."""
+
+    id = "FLOW001"
+    summary = "cast narrows a value whose derived range exceeds the target dtype"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        flow = module_flow(ctx)
+        for site in flow.casts.values():
+            if flow.scope_guarded(site.scope, site.scope.split(".")[0]):
+                continue
+            lo, hi = INT_BOUNDS[site.target]
+            src = site.src.ival
+            src_lo = "-inf" if src.lo == -_INF else str(int(src.lo))
+            src_hi = "inf" if src.hi == _INF else str(int(src.hi))
+            yield self.finding(
+                ctx,
+                site.node,
+                f"value in [{src_lo}, {src_hi}] cannot fit {site.target} "
+                f"[{lo}, {hi}]; the wrapped result corrupts scores without "
+                f"tripping any overflow flag",
+            )
+
+
+class WideningAcrossCall(_FlowRule):
+    """FLOW002: a narrow array silently widening inside a local callee."""
+
+    id = "FLOW002"
+    summary = "int8/int16 value widens across a call boundary without an explicit cast"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        flow = module_flow(ctx)
+        for site in flow.widenings.values():
+            yield self.finding(
+                ctx,
+                site.node,
+                f"{site.narrow} argument {site.param!r} is combined with "
+                f"{site.wide} inside {site.callee}(); cast at the call "
+                f"boundary so the widening is visible to the caller",
+            )
+
+
+class UncheckedSaturatingOp(_FlowRule):
+    """FLOW003: narrow in-loop accumulation with no sticky overflow check."""
+
+    id = "FLOW003"
+    summary = "narrow-lane arithmetic in a loop without a sticky overflow check"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        flow = module_flow(ctx)
+        for site in flow.narrow_arith.values():
+            if flow.scope_guarded(site.scope, site.cls):
+                continue
+            yield self.finding(
+                ctx,
+                site.node,
+                f"{site.dtype} accumulation in a loop can exceed "
+                f"[{INT_BOUNDS[site.dtype][0]}, {INT_BOUNDS[site.dtype][1]}] "
+                f"but no sticky overflow flag is ever latched in "
+                f"{site.cls or site.scope}; numpy wraps silently",
+            )
+
+
+# -- the lane-cap prover ---------------------------------------------------
+
+#: The five canonical scoring regimes the striped kernel must stay sound
+#: for, as ``(name, gap, lo, hi)`` with ``(lo, hi)`` the substitution-score
+#: bounds over the DNA alphabet.  Kept in lockstep with
+#: :mod:`repro.core.scoring` by ``tests/check/test_dataflow.py``, which
+#: rebuilds each regime with the real scoring objects and asserts
+#: ``score_bounds`` agreement -- the prover itself must not import numpy.
+SCORING_REGIMES = (
+    ("paper-unit", -2, -1, 1),  # Scoring(): +1/-1/-2, every paper experiment
+    ("megablast", -2, -2, 1),  # Scoring(1, -2, -2)
+    ("transition-transversion", -3, -3, 2),  # TRANSITION_TRANSVERSION matrix
+    ("high-reward", -8, -4, 5),  # Scoring(5, -4, -8), BLAST-like magnitudes
+    ("wide-matrix", -11, -12, 10),  # a BLOSUM-magnitude 4x4 MatrixScoring
+)
+
+#: Largest segment length the planner will ever pick (mirrors
+#: ``repro.core.striped.MAX_SEG``; re-read from the checked tree when the
+#: module defines it, so the sweep tracks the implementation).
+DEFAULT_MAX_SEG = 64
+
+_LANE_DTYPES = ("int8", "int16")
+
+
+@dataclass(frozen=True)
+class LaneProof:
+    """One discharged (or failed) saturation proof for one lane regime.
+
+    The geometry fields (``span``/``cap``/``pad``/``fits``) are *extracted*
+    from ``LaneLimits.__init__`` in the checked source by abstract
+    interpretation -- not recomputed from the known-good formulas -- so a
+    mutated formula produces a mutated proof.  The derived fields are what
+    interval analysis of the row kernel's phases concludes:
+
+    * ``reach_lo``/``reach_hi`` -- the extreme intermediates an *unflagged*
+      lane can produce in one row (previous row values sit in
+      ``[0, cap-1]``, profile entries in ``[pad, hi]``, gap chains decay by
+      at most ``gap*seg`` within a segment);
+    * ``floor_cap`` -- the least threshold that leaves room for one real
+      score step (``max(1, hi)``): any smaller cap flags every lane
+      immediately and the rung is useless;
+    * ``safe_cap`` -- the largest threshold for which
+      ``reach_hi <= iinfo.max`` still holds, i.e.
+      ``iinfo.max - max(hi, 0) + 1``.
+
+    Soundness is ``floor_cap <= cap <= safe_cap`` plus wrap-freedom at both
+    ends and the sticky check being present; :attr:`failures` lists every
+    obligation that did not discharge.
+    """
+
+    dtype: str
+    seg: int
+    gap: int
+    lo: int
+    hi: int
+    span: int
+    cap: int
+    pad: int
+    fits: bool
+    reach_lo: int
+    reach_hi: int
+    floor_cap: int
+    safe_cap: int
+    sticky_check: bool
+    failures: tuple[str, ...]
+
+    @property
+    def sound(self) -> bool:
+        return not self.failures
+
+
+def _find_class(tree: ast.Module, name: str) -> Optional[ast.ClassDef]:
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _module_int(tree: ast.Module, name: str, default: int) -> int:
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if (
+                isinstance(target, ast.Name)
+                and target.id == name
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, int)
+            ):
+                return node.value.value
+    return default
+
+
+def has_sticky_check(tree: ast.Module) -> bool:
+    """True when the scanned module latches a cap comparison somewhere.
+
+    The structural shape looked for is the one the striped kernel uses: a
+    ``np.greater_equal``/``np.greater`` call whose comparand is a ``cap``
+    attribute, plus a ``np.logical_or(..., out=...)`` latch in the same
+    function.
+    """
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        compared = latched = False
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+                if sub.func.attr in ("greater_equal", "greater"):
+                    if any(
+                        isinstance(a, ast.Attribute) and "cap" in a.attr
+                        for a in sub.args
+                    ):
+                        compared = True
+                if sub.func.attr == "logical_or" and any(
+                    k.arg == "out" for k in sub.keywords
+                ):
+                    latched = True
+        if compared and latched:
+            return True
+    return False
+
+
+def prove_lane_limits(
+    tree: ast.Module,
+    *,
+    dtype: str,
+    seg: int,
+    gap: int,
+    lo: int,
+    hi: int,
+    sticky: Optional[bool] = None,
+    flow: Optional[ModuleFlow] = None,
+) -> LaneProof:
+    """Extract the saturation geometry from ``tree`` and discharge it.
+
+    ``tree`` must define a ``LaneLimits`` class with the striped kernel's
+    ``__init__`` signature; the formulas for ``span``/``cap``/``pad`` and
+    the ``fits`` predicate are evaluated abstractly under the concrete
+    regime ``(dtype, seg, gap, lo, hi)``.  Obligations are only checked
+    for regimes the extracted ``fits`` declares reachable -- an unfit rung
+    is skipped by the escalation ladder, so its geometry is vacuously
+    sound.
+    """
+    imin, imax = INT_BOUNDS[dtype]
+    failures: list[str] = []
+    if sticky is None:
+        sticky = has_sticky_check(tree)
+    cls = _find_class(tree, "LaneLimits")
+    if cls is None:
+        return LaneProof(
+            dtype, seg, gap, lo, hi, 0, 0, 0, False, 0, 0, 0, 0, bool(sticky),
+            ("no LaneLimits class to extract the saturation geometry from",),
+        )
+    if flow is None:
+        flow = ModuleFlow(tree, interpret=False)
+    env = flow.instance_env(
+        "LaneLimits",
+        {
+            "dtype": AbstractValue("dtype", dtype),
+            "seg": AbstractValue.const(seg),
+            "gap": AbstractValue.const(gap),
+            "lo": AbstractValue.const(lo),
+            "hi": AbstractValue.const(hi),
+        },
+    )
+
+    def point(attr: str) -> Optional[int]:
+        value = env.get(f"self.{attr}")
+        if value is None or value.kind != "num":
+            return None
+        return value.ival.point
+
+    span, cap, pad, fits_val = point("span"), point("cap"), point("pad"), point("fits")
+    if None in (span, cap, pad, fits_val):
+        missing = [
+            name
+            for name, value in (("span", span), ("cap", cap), ("pad", pad), ("fits", fits_val))
+            if value is None
+        ]
+        return LaneProof(
+            dtype, seg, gap, lo, hi, span or 0, cap or 0, pad or 0, False,
+            0, 0, 0, 0, bool(sticky),
+            (f"LaneLimits.__init__ not statically evaluable: {', '.join(missing)}",),
+        )
+    fits = bool(fits_val)
+    hm = max(hi, 0)
+    reach_hi = (cap - 1) + hm
+    reach_lo = pad + gap * seg
+    floor_cap = max(1, hi)
+    safe_cap = imax - hm + 1
+    if fits:
+        if lo < pad:
+            failures.append(
+                f"profile entry {lo} is below pad {pad}: the narrowing cast "
+                f"of the substitution row wraps without flagging"
+            )
+        if hi > imax:
+            failures.append(f"profile entry {hi} exceeds {dtype} max {imax}")
+        if reach_lo < imin:
+            failures.append(
+                f"gap chain reaches {reach_lo} < {dtype} min {imin}: "
+                f"pad placement does not absorb a whole-segment decay"
+            )
+        if reach_hi > imax:
+            failures.append(
+                f"an unflagged row can reach {reach_hi} > {dtype} max {imax}: "
+                f"cap {cap} leaves too little headroom above the threshold"
+            )
+        if cap < floor_cap:
+            failures.append(
+                f"cap {cap} is below the useful floor {floor_cap}: every "
+                f"lane would flag before scoring a single match"
+            )
+        if cap > safe_cap:
+            failures.append(
+                f"cap {cap} exceeds the provably safe threshold {safe_cap}"
+            )
+        if not sticky:
+            failures.append(
+                "no sticky overflow check latches the cap comparison: "
+                "crossings would go undetected"
+            )
+    return LaneProof(
+        dtype, seg, gap, lo, hi, int(span), int(cap), int(pad), fits,
+        int(reach_lo), int(reach_hi), int(floor_cap), int(safe_cap),
+        bool(sticky), tuple(failures),
+    )
+
+
+def prove_striped(
+    tree: ast.Module,
+    regimes: Sequence[tuple[str, int, int, int]] = SCORING_REGIMES,
+    dtypes: Sequence[str] = _LANE_DTYPES,
+) -> list[tuple[str, LaneProof]]:
+    """Every failed proof over the full regime grid (empty = all sound).
+
+    Sweeps every scoring regime x lane dtype x segment length up to the
+    module's ``MAX_SEG``; only the first failing segment length per
+    ``(regime, dtype)`` is reported (the rest repeat the same formula bug).
+    """
+    max_seg = _module_int(tree, "MAX_SEG", DEFAULT_MAX_SEG)
+    sticky = has_sticky_check(tree)
+    flow = ModuleFlow(tree, interpret=False)
+    failed: list[tuple[str, LaneProof]] = []
+    for name, gap, lo, hi in regimes:
+        for dtype in dtypes:
+            for seg in range(1, max_seg + 1):
+                proof = prove_lane_limits(
+                    tree, dtype=dtype, seg=seg, gap=gap, lo=lo, hi=hi,
+                    sticky=sticky, flow=flow,
+                )
+                if not proof.sound:
+                    failed.append((name, proof))
+                    break
+    return failed
+
+
+class UnprovenLaneCap(Rule):
+    """FLOW004: the striped saturation geometry must re-prove on every run."""
+
+    id = "FLOW004"
+    summary = "striped lane overflow cap or pad placement is not statically provable"
+
+    def applies(self, module: str) -> bool:
+        return module == "core/striped.py"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if _find_class(ctx.tree, "LaneLimits") is None:
+            return
+        anchor = _find_class(ctx.tree, "LaneLimits")
+        for name, proof in prove_striped(ctx.tree):
+            yield self.finding(
+                ctx,
+                anchor,
+                f"[{name} {proof.dtype} seg={proof.seg}] {proof.failures[0]}",
+            )

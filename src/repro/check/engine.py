@@ -16,16 +16,38 @@ deliberately *not* honoured, to keep the two tools' exemptions independent.
 from __future__ import annotations
 
 import ast
+import io
 import json
 import os
 import re
+import tokenize
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional, Sequence
 
 #: Pseudo-rule reported when a file cannot be parsed at all.
 PARSE_ERROR_RULE = "E000"
 
+#: Rule id of the suppression-hygiene pass (see :func:`check_source`).  The
+#: pass is engine-driven -- it needs to know which suppressions actually
+#: absorbed a finding -- so the :class:`repro.check.rules.hygiene.NoqaHygiene`
+#: rule object is only the registry entry that switches it on.
+NOQA_RULE = "NOQA001"
+
+#: Version of the JSON payload :func:`render_json` emits.  Bump it whenever
+#: a field is renamed or removed; adding fields is backward compatible.
+CHECK_SCHEMA_VERSION = 2
+
+#: Base of the per-rule documentation links carried in the JSON payload.
+#: Every shipped rule has a matching ``#### RULEID`` heading in the rule
+#: reference section of CONTRIBUTING.md.
+RULE_DOC_BASE = "CONTRIBUTING.md#"
+
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9_,\s]+)\])?")
+
+
+def rule_url(rule_id: str) -> str:
+    """Documentation URL (repo-relative anchor) of one rule id."""
+    return f"{RULE_DOC_BASE}{rule_id.lower()}"
 
 
 @dataclass(frozen=True, order=True)
@@ -133,20 +155,37 @@ class Rule:
 
 
 def _parse_noqa(lines: Sequence[str]) -> dict[int, frozenset[str]]:
-    """Map 1-based line numbers to suppressed rule sets (empty = all rules)."""
+    """Map 1-based line numbers to suppressed rule sets (empty = all rules).
+
+    Only real COMMENT tokens count: a ``# repro: noqa`` *mentioned inside a
+    docstring* (this file has several) is documentation, not an exemption,
+    and must neither suppress findings nor trip the NOQA001 hygiene pass.
+    The raw line scan is kept as the fallback for sources ``tokenize``
+    rejects.
+    """
     out: dict[int, frozenset[str]] = {}
-    for lineno, text in enumerate(lines, 1):
-        hash_at = text.find("#")
-        if hash_at < 0:
-            continue
-        match = _NOQA_RE.search(text, hash_at)
+
+    def record(lineno: int, text: str) -> None:
+        match = _NOQA_RE.search(text)
         if match is None:
-            continue
+            return
         rules = match.group("rules")
         if rules is None:
             out[lineno] = frozenset()
         else:
             out[lineno] = frozenset(r.strip() for r in rules.split(",") if r.strip())
+
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO("\n".join(lines)).readline):
+            if tok.type == tokenize.COMMENT:
+                record(tok.start[0], tok.string)
+        return out
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        out.clear()
+    for lineno, text in enumerate(lines, 1):
+        hash_at = text.find("#")
+        if hash_at >= 0:
+            record(lineno, text[hash_at:])
     return out
 
 
@@ -198,13 +237,73 @@ def check_source(
             )
         ]
     findings: list[Finding] = []
+    used: set[tuple[int, str]] = set()
     for rule in rules:
         if not rule.applies(ctx.module):
             continue
         for finding in rule.check(ctx):
-            if not ctx.suppressed(finding.line, finding.rule):
+            if ctx.suppressed(finding.line, finding.rule):
+                used.add((finding.line, finding.rule))
+            else:
                 findings.append(finding)
+    if any(rule.id == NOQA_RULE for rule in rules):
+        known = {rule.id for rule in rules} | {PARSE_ERROR_RULE}
+        for finding in _noqa_hygiene(ctx, used, known):
+            # Only an *explicit* NOQA001 listing silences the hygiene pass:
+            # a bare noqa silencing its own staleness report would make
+            # stale bare suppressions unreportable by construction.
+            marked = ctx._noqa.get(finding.line)
+            if marked and NOQA_RULE in marked:
+                continue
+            findings.append(finding)
     return sorted(findings)
+
+
+def _noqa_hygiene(
+    ctx: FileContext, used: set[tuple[int, str]], known: set[str]
+) -> Iterator[Finding]:
+    """Findings for suppressions that absorb nothing (see :data:`NOQA_RULE`).
+
+    A ``# repro: noqa[RULE]`` that no longer matches any finding of the
+    active rule set is dead weight that hides future regressions on its
+    line, and a typo'd rule code never suppressed anything to begin with --
+    both rot silently without this pass.  ``NOQA001`` itself counts as
+    always-used so the hygiene finding can be suppressed in place.
+    """
+    for line, codes in sorted(ctx._noqa.items()):
+        col = max(ctx.lines[line - 1].find("#"), 0) if line <= len(ctx.lines) else 0
+        if not codes:
+            if not any(line == used_line for used_line, _ in used):
+                yield Finding(
+                    path=ctx.path,
+                    line=line,
+                    col=col,
+                    rule=NOQA_RULE,
+                    message="stale suppression: bare 'repro: noqa' silences no finding",
+                )
+            continue
+        unknown = sorted(code for code in codes if code not in known)
+        stale = sorted(
+            code
+            for code in codes
+            if code in known and code != NOQA_RULE and (line, code) not in used
+        )
+        if unknown:
+            yield Finding(
+                path=ctx.path,
+                line=line,
+                col=col,
+                rule=NOQA_RULE,
+                message=f"unknown rule code(s) in suppression: {', '.join(unknown)}",
+            )
+        if stale:
+            yield Finding(
+                path=ctx.path,
+                line=line,
+                col=col,
+                rule=NOQA_RULE,
+                message=f"stale suppression: {', '.join(stale)} silences no finding",
+            )
 
 
 def check_paths(paths: Sequence[str], rules: Optional[Sequence[Rule]] = None) -> list[Finding]:
@@ -239,13 +338,50 @@ def render_text(findings: Sequence[Finding]) -> str:
 
 
 def render_json(findings: Sequence[Finding], rules: Optional[Sequence[Rule]] = None) -> str:
+    """The machine-readable report (schema :data:`CHECK_SCHEMA_VERSION`).
+
+    Every finding and every rule carries a ``url`` pointing at its entry in
+    the rule reference, and the payload pins ``schema_version`` so CI diff
+    gates can refuse to compare reports across incompatible schemas.
+    :func:`findings_from_json` is the exact inverse for the finding list.
+    """
     if rules is None:
         from .rules import DEFAULT_RULES
 
         rules = DEFAULT_RULES
     payload = {
-        "findings": [f.to_dict() for f in findings],
+        "schema_version": CHECK_SCHEMA_VERSION,
+        "findings": [dict(f.to_dict(), url=rule_url(f.rule)) for f in findings],
         "count": len(findings),
-        "rules": {rule.id: rule.summary for rule in rules},
+        "rules": {
+            rule.id: {"summary": rule.summary, "url": rule_url(rule.id)}
+            for rule in rules
+        },
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def findings_from_json(text: str) -> list[Finding]:
+    """Rebuild the finding list from a :func:`render_json` report.
+
+    Used by the round-trip tests and by the CI baseline diff gate
+    (``repro check --baseline``); refuses payloads from a different schema
+    version rather than silently mis-diffing them.
+    """
+    payload = json.loads(text)
+    version = payload.get("schema_version")
+    if version != CHECK_SCHEMA_VERSION:
+        raise ValueError(
+            f"check report schema {version!r} does not match "
+            f"this tool's schema {CHECK_SCHEMA_VERSION}"
+        )
+    return sorted(
+        Finding(
+            path=str(entry["path"]),
+            line=int(entry["line"]),
+            col=int(entry["col"]),
+            rule=str(entry["rule"]),
+            message=str(entry["message"]),
+        )
+        for entry in payload["findings"]
+    )

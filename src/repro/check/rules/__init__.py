@@ -14,10 +14,17 @@ it fires on a minimal bad example and stays quiet on the fixed idiom (see
 
 from __future__ import annotations
 
+from ..dataflow import (
+    OverflowUnsafeNarrowing,
+    UncheckedSaturatingOp,
+    UnprovenLaneCap,
+    WideningAcrossCall,
+)
 from .bounds import UnmarkedBound
 from .clock import WallClockInObs
 from .dtype import FloatWidening, UnpinnedAllocation
 from .hotloop import KERNEL_MARKER, KERNEL_MODULES, LoopAllocation, NestedKernelLoop
+from .hygiene import NoqaHygiene
 from .mp_protocol import LoneSentinelSend, UnboundedQueueGet
 from .shm_lifecycle import UnguardedSharedResource
 
@@ -32,6 +39,11 @@ DEFAULT_RULES = (
     UnboundedQueueGet(),
     LoneSentinelSend(),
     UnmarkedBound(),
+    OverflowUnsafeNarrowing(),
+    WideningAcrossCall(),
+    UncheckedSaturatingOp(),
+    UnprovenLaneCap(),
+    NoqaHygiene(),
 )
 
 __all__ = [
@@ -42,9 +54,14 @@ __all__ = [
     "LoneSentinelSend",
     "LoopAllocation",
     "NestedKernelLoop",
+    "NoqaHygiene",
+    "OverflowUnsafeNarrowing",
     "UnboundedQueueGet",
+    "UncheckedSaturatingOp",
     "UnguardedSharedResource",
     "UnmarkedBound",
     "UnpinnedAllocation",
+    "UnprovenLaneCap",
     "WallClockInObs",
+    "WideningAcrossCall",
 ]

@@ -6,7 +6,7 @@ Smith-Waterman score -- one bound that can under-estimate silently drops a
 true top-k hit, and no exactness test on a lucky database would notice.
 The proof lives in the fuzz suite, but the *discipline* is syntactic: each
 ceiling function carries a ``# repro: admissible`` marker on its ``def``
-line, and is registered in ``ADMISSIBLE_BOUNDS`` so the registry-driven
+signature, and is registered in ``ADMISSIBLE_BOUNDS`` so the registry-driven
 admissibility fuzz test exercises it automatically.  This rule closes the
 loop: a new ``*_bound`` function cannot land unmarked or unregistered.
 """
@@ -18,7 +18,7 @@ from typing import Iterator
 
 from ..engine import FileContext, Finding, Rule
 
-#: The marker an admissible ceiling must carry on its ``def`` line.
+#: The marker an admissible ceiling must carry on its ``def`` signature.
 ADMISSIBLE_MARKER = "repro: admissible"
 
 #: The registry the admissibility fuzz test iterates.
@@ -45,12 +45,18 @@ class UnmarkedBound(Rule):
                 continue
             if not node.name.endswith("_bound"):
                 continue
-            if not ctx.line_has_comment(node.lineno, ADMISSIBLE_MARKER):
+            # The marker may sit on any line of the signature: black-style
+            # multi-line defs put the comment after the closing paren.
+            sig_end = max(node.lineno, node.body[0].lineno - 1)
+            if not any(
+                ctx.line_has_comment(line, ADMISSIBLE_MARKER)
+                for line in range(node.lineno, sig_end + 1)
+            ):
                 yield self.finding(
                     ctx,
                     node,
-                    f"{node.name} returns a score ceiling but its def line "
-                    f"lacks the '# {ADMISSIBLE_MARKER}' marker",
+                    f"{node.name} returns a score ceiling but its def "
+                    f"signature lacks the '# {ADMISSIBLE_MARKER}' marker",
                 )
             if node.name not in registered:
                 yield self.finding(

@@ -1,0 +1,35 @@
+"""NOQA001: suppression comments must still suppress something.
+
+``# repro: noqa[RULE]`` markers are reviewed exemptions, and an exemption
+that outlived its finding is worse than none: it silently swallows the
+*next* regression on that line.  The detection itself lives in the engine
+(:func:`repro.check.engine.check_source` knows which suppressions absorbed
+a finding of the active rule set); this rule object is the registry entry
+that switches the pass on and carries its documentation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..engine import NOQA_RULE, FileContext, Finding, Rule
+
+
+class NoqaHygiene(Rule):
+    """Flag stale ``# repro: noqa`` comments and unknown rule codes.
+
+    A code is *stale* when it names an active rule that produced no finding
+    on that line this run, and *unknown* when it names no active rule at
+    all (typo, or a rule that has since been retired).  Suppressing the
+    hygiene finding itself is possible by adding ``NOQA001`` to the list --
+    that code always counts as used.
+    """
+
+    id = NOQA_RULE
+    summary = "suppression comment is stale or names an unknown rule code"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        # Engine-driven: check_source() runs the hygiene pass after all
+        # other rules precisely because it must know which suppressions
+        # were consumed.  Nothing to do per-rule.
+        return ()

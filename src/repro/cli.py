@@ -290,10 +290,37 @@ def cmd_bench_kernels(args) -> int:
 
 
 def cmd_check(args) -> int:
-    from .check import check_paths, render_json, render_text
+    from .check import check_paths, findings_from_json, render_json, render_text
     from .check.rules import DEFAULT_RULES
 
-    findings = check_paths(args.paths)
+    if not args.paths and not args.plans:
+        print("repro check: need paths to analyze, --plans, or both")
+        return 2
+    findings = check_paths(args.paths) if args.paths else []
+    if args.plans:
+        from dataclasses import replace
+
+        from .plan import sweep_plans
+
+        # The sweep's finding paths name only the plan kind; stamp the full
+        # combination (planner[kernel]@backend) so a report line identifies
+        # which sweep leg broke.
+        findings.extend(
+            replace(finding, path=f"<plan:{label}@{backend}>")
+            for label, backend, finding in sweep_plans()
+        )
+        findings.sort()
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as fh:
+            known = set(findings_from_json(fh.read()))
+        new = [f for f in findings if f not in known]
+        fixed = len(known) - len(set(findings) & known)
+        if args.format == "json":
+            print(render_json(new, DEFAULT_RULES))
+        else:
+            print(render_text(new))
+            print(f"baseline: {len(known)} known, {fixed} fixed, {len(new)} new")
+        return 1 if new else 0
     if args.format == "json":
         print(render_json(findings, DEFAULT_RULES))
     else:
@@ -613,13 +640,26 @@ def build_parser() -> argparse.ArgumentParser:
         "check", help="run the project-specific static analyzer"
     )
     p_check.add_argument(
-        "paths", nargs="+", help="files or directories to analyze (e.g. src/)"
+        "paths", nargs="*", help="files or directories to analyze (e.g. src/)"
     )
     p_check.add_argument(
         "--format",
         default="text",
         choices=("text", "json"),
         help="text = one line per finding; json = machine-readable report",
+    )
+    p_check.add_argument(
+        "--plans",
+        action="store_true",
+        help="also statically verify every planner x backend x kernel x "
+        "prefilter combination (PLAN001-PLAN006)",
+    )
+    p_check.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="a previous --format json report; only findings NOT in it fail "
+        "the run (the CI ratchet: fixed findings shrink the baseline, new "
+        "ones fail the build)",
     )
     p_check.set_defaults(func=cmd_check)
 

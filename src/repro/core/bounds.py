@@ -31,6 +31,8 @@ and ``lengths`` the per-lane real lengths.
 
 from __future__ import annotations
 
+from typing import Callable, Optional, Sequence
+
 import numpy as np
 
 from .scoring import Scoring
@@ -121,7 +123,9 @@ class QueryBoundContext:
         return self._kmer_table
 
 
-def length_bound(ctx: QueryBoundContext, codes, lengths) -> np.ndarray:  # repro: admissible
+def length_bound(
+    ctx: QueryBoundContext, codes: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:  # repro: admissible
     """``min(m, n) * s_max``: the trivial per-pair ceiling.
 
     Admissible because a local alignment of ``q`` (length ``m``) and ``t``
@@ -133,7 +137,9 @@ def length_bound(ctx: QueryBoundContext, codes, lengths) -> np.ndarray:  # repro
     return np.maximum(np.minimum(lengths, ctx.query_len) * ctx.s_max, 0)
 
 
-def composition_bound(ctx: QueryBoundContext, codes, lengths) -> np.ndarray:  # repro: admissible
+def composition_bound(
+    ctx: QueryBoundContext, codes: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:  # repro: admissible
     """Letter-count ceiling: pairing capacity caps the column scores.
 
     When no mismatch scores positive, every positive column aligns identical
@@ -155,7 +161,7 @@ def composition_bound(ctx: QueryBoundContext, codes, lengths) -> np.ndarray:  # 
     return np.minimum(target_side, query_side)
 
 
-def kmer_hits(ctx: QueryBoundContext, codes) -> np.ndarray:
+def kmer_hits(ctx: QueryBoundContext, codes: np.ndarray) -> np.ndarray:
     """Per-lane count of target k-mer windows that also occur in the query.
 
     Windows touching padding (or any out-of-alphabet code) never count.
@@ -176,7 +182,9 @@ def kmer_hits(ctx: QueryBoundContext, codes) -> np.ndarray:
     return (ctx.kmer_table[ids] & valid).sum(axis=1).astype(np.int64)
 
 
-def kmer_bound(ctx: QueryBoundContext, codes, lengths) -> np.ndarray | None:  # repro: admissible
+def kmer_bound(
+    ctx: QueryBoundContext, codes: np.ndarray, lengths: np.ndarray
+) -> np.ndarray | None:  # repro: admissible
     """Diagonal-run ceiling from shared k-mer counts (DESIGN.md section 5i).
 
     Applicable only when every mismatch scores negative (otherwise matches
@@ -219,14 +227,16 @@ def kmer_bound(ctx: QueryBoundContext, codes, lengths) -> np.ndarray | None:  # 
 #: Registry of every admissible ceiling, keyed by tier name.  The BOUND001
 #: admissibility fuzz test iterates this dict, so adding a bound here (and
 #: only here) is what puts it on the hook for verification.
-ADMISSIBLE_BOUNDS = {
+ADMISSIBLE_BOUNDS: dict[
+    str, Callable[[QueryBoundContext, np.ndarray, np.ndarray], Optional[np.ndarray]]
+] = {
     "length": length_bound,
     "composition": composition_bound,
     "kmer": kmer_bound,
 }
 
 
-def seed_order(lengths, query_len: int, count: int) -> np.ndarray:
+def seed_order(lengths: np.ndarray, query_len: int, count: int) -> np.ndarray:
     """Database indices of the ``count`` highest-ceiling sequences.
 
     The length tier makes ``min(length, query_len)`` a monotone proxy for
@@ -254,7 +264,7 @@ class TieredFilter:
         self,
         query: np.ndarray,
         scoring: Scoring,
-        tiers=TIER_ORDER,
+        tiers: Sequence[str] = TIER_ORDER,
         kmer_k: int = DEFAULT_KMER_K,
     ) -> None:
         unknown = [t for t in tiers if t not in ADMISSIBLE_BOUNDS]
@@ -264,7 +274,7 @@ class TieredFilter:
         self.tiers = tuple(t for t in TIER_ORDER if t in tiers)
 
     def ceilings(
-        self, codes, lengths
+        self, codes: np.ndarray, lengths: np.ndarray
     ) -> tuple[np.ndarray, dict[str, np.ndarray], int]:
         """``(combined, per_tier, bound_cells)`` ceilings for every lane.
 
@@ -293,7 +303,7 @@ class TieredFilter:
         return combined, per_tier, bound_cells
 
     def survivors(
-        self, codes, lengths, threshold: float
+        self, codes: np.ndarray, lengths: np.ndarray, threshold: float
     ) -> tuple[np.ndarray, dict[str, int], int]:
         """``(keep_mask, pruned_per_tier, bound_cells)`` for one bucket.
 

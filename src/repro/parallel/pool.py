@@ -62,6 +62,7 @@ from ..plan import (
     cached_plan,
     finalize_plan,
     make_runtime,
+    maybe_verify,
     plan_search_buckets,
     search_blob,
     state_shape,
@@ -497,6 +498,7 @@ class AlignmentWorkerPool:
                 f"plan wants {graph.n_procs} processors"
                 f" but the pool has {self.n_workers} workers"
             )
+        maybe_verify(graph, "pool")
         tracer = get_tracer()
         # pool.wavefront/blocked come here directly (not through
         # Executor.run), so the pool stamps its own plan span; attribution
@@ -646,6 +648,7 @@ class AlignmentWorkerPool:
                 "and cannot ride the dynamic work queue; use "
                 "repro.strategies.prefilter.pooled_pruned_search"
             )
+        maybe_verify(graph, "pool")
         tracer = get_tracer()
         # The search graph has no rebuildable spec, so everything attribution
         # needs (tiles/cells/critical-path) rides this span's args directly.

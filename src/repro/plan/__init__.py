@@ -12,7 +12,10 @@ schedule out of the backends:
 * :mod:`repro.plan.runtime` -- the single copy of kernel-driving code every
   backend executes tiles with (parity by construction);
 * :mod:`repro.plan.executors` / :mod:`repro.plan.sim_exec` -- the inline,
-  pool and simulated executors.
+  pool and simulated executors;
+* :mod:`repro.plan.verify` -- the static graph verifier (:func:`verify_plan`,
+  ``repro check --plans``) that proves a schedule's invariants before any
+  backend runs it.
 
 Import discipline: nothing in this package imports :mod:`repro.strategies`
 or :mod:`repro.parallel`; both of those layers import *us*.
@@ -56,6 +59,15 @@ from .runtime import (
     state_shape,
 )
 from .sim_exec import PAPER_NAMES, SimExecutor
+from .verify import (
+    PlanVerificationError,
+    is_strict,
+    maybe_verify,
+    set_strict,
+    sweep_plans,
+    verify_graph,
+    verify_plan,
+)
 
 __all__ = [
     "DYNAMIC",
@@ -66,6 +78,7 @@ __all__ = [
     "PAPER_NAMES",
     "PlanRuntime",
     "PlanSpec",
+    "PlanVerificationError",
     "PoolExecutor",
     "PreprocessRuntime",
     "SearchRuntime",
@@ -85,15 +98,21 @@ __all__ = [
     "column_partition",
     "explicit_tiling",
     "finalize_plan",
+    "is_strict",
     "make_runtime",
+    "maybe_verify",
     "plan_blocked",
     "plan_preprocess",
     "plan_search_buckets",
     "plan_wavefront",
     "preprocess_spec",
     "search_blob",
+    "set_strict",
     "split_even",
     "state_shape",
+    "sweep_plans",
     "tiling_from_multiplier",
+    "verify_graph",
+    "verify_plan",
     "wavefront_spec",
 ]

@@ -29,6 +29,7 @@ from ..obs.trace import Stopwatch
 from .ir import TaskGraph
 from .result import ExecutionResult
 from .runtime import finalize_plan, make_runtime
+from .verify import maybe_verify
 
 
 class Executor:
@@ -52,6 +53,7 @@ class Executor:
         *,
         scale: int = 1,
     ):
+        maybe_verify(graph, self.BACKEND)
         tracer = get_tracer()
         # Span args (including the O(tiles) critical-path walk and the
         # embedded spec for trace-side attribution) are only built when a

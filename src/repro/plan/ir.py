@@ -25,7 +25,10 @@ construction keeps (re)building them off the hot path's budget.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import NamedTuple
+from typing import TYPE_CHECKING, NamedTuple
+
+if TYPE_CHECKING:  # planners imports us; the annotation must not re-import it
+    from .planners import PlanSpec
 
 #: Owner value of tiles dispatched dynamically (work queue, not a rank).
 DYNAMIC = -1
@@ -64,7 +67,7 @@ class TaskGraph:
     shape: tuple[int, int]
     tiles: tuple[Tile, ...]
     params: dict = field(default_factory=dict)
-    spec: object | None = None
+    spec: PlanSpec | None = None
 
     def validate(self) -> "TaskGraph":
         if self.n_procs <= 0:

@@ -8,11 +8,14 @@ import os
 
 from repro.check import check_paths, check_source, render_json, render_text
 from repro.check.engine import (
+    CHECK_SCHEMA_VERSION,
     PARSE_ERROR_RULE,
     FileContext,
     Finding,
     Rule,
+    findings_from_json,
     module_path,
+    rule_url,
 )
 
 
@@ -99,6 +102,7 @@ def test_render_text_clean_and_dirty():
 def test_render_json_payload_shape():
     finding = Finding(path="x.py", line=3, col=1, rule="TEST001", message="m")
     payload = json.loads(render_json([finding], [AlwaysFlagName()]))
+    assert payload["schema_version"] == CHECK_SCHEMA_VERSION
     assert payload["count"] == 1
     assert payload["findings"][0] == {
         "path": "x.py",
@@ -106,8 +110,75 @@ def test_render_json_payload_shape():
         "col": 1,
         "rule": "TEST001",
         "message": "m",
+        "url": "CONTRIBUTING.md#test001",
     }
-    assert payload["rules"]["TEST001"].startswith("every name")
+    assert payload["rules"]["TEST001"]["summary"].startswith("every name")
+    assert payload["rules"]["TEST001"]["url"] == rule_url("TEST001")
+
+
+def test_render_json_round_trips_findings():
+    findings = check_source("b = 1\na = 2\n", [AlwaysFlagName()], path="x.py")
+    assert findings
+    assert findings_from_json(render_json(findings, [AlwaysFlagName()])) == findings
+
+
+def test_findings_from_json_rejects_other_schema_versions():
+    payload = json.loads(render_json([], [AlwaysFlagName()]))
+    payload["schema_version"] = CHECK_SCHEMA_VERSION + 1
+    try:
+        findings_from_json(json.dumps(payload))
+    except ValueError as exc:
+        assert str(CHECK_SCHEMA_VERSION + 1) in str(exc)
+    else:
+        raise AssertionError("mismatched schema_version must be rejected")
+
+
+class AlwaysFlagAssign(Rule):
+    """Test rule: flag every assignment statement."""
+
+    id = "TEST003"
+    summary = "every assignment is flagged (test rule)"
+
+    def check(self, ctx):
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign):
+                yield self.finding(ctx, node, "assignment")
+
+
+def test_one_suppression_comment_covers_multiple_rules():
+    rules = [AlwaysFlagName(), AlwaysFlagAssign()]
+    source = "a = b  # repro: noqa[TEST001,TEST003]\n"
+    assert check_source(source, rules) == []
+    # ... and listing only one of the two keeps the other finding alive.
+    partial = check_source("a = b  # repro: noqa[TEST003]\n", rules)
+    assert [f.rule for f in partial] == ["TEST001", "TEST001"]
+
+
+def test_syntax_error_yields_exactly_one_finding_regardless_of_rules():
+    source = "def broken(:\n    a = 1\n"
+    for rules in ([], [AlwaysFlagName()], [AlwaysFlagName(), AlwaysFlagAssign()]):
+        findings = check_source(source, rules, path="bad.py")
+        assert [f.rule for f in findings] == [PARSE_ERROR_RULE]
+        assert findings[0].line == 1
+
+
+def test_check_paths_keeps_walking_past_a_broken_file(tmp_path):
+    (tmp_path / "aa_broken.py").write_text("def broken(:\n")
+    (tmp_path / "bb_fine.py").write_text("x = 1\n")
+    findings = check_paths([str(tmp_path)], [AlwaysFlagName()])
+    assert [f.rule for f in findings] == [PARSE_ERROR_RULE, "TEST001"]
+
+
+def test_finding_order_is_deterministic_across_rule_order():
+    source = "a = b\nc = d\n"
+    rules = [AlwaysFlagName(), AlwaysFlagAssign()]
+    forward = check_source(source, rules, path="x.py")
+    backward = check_source(source, list(reversed(rules)), path="x.py")
+    assert forward == backward
+    assert forward == sorted(forward)
+    # Per line: the Store name at col 0, the Assign at col 0, the Load name
+    # at col 4 -- ties broken by rule id, so the order is reproducible.
+    assert [f.rule for f in forward] == ["TEST001", "TEST003", "TEST001"] * 2
 
 
 def test_statement_and_ancestors_navigation():

@@ -1,0 +1,79 @@
+"""NOQA001: stale and unknown-code suppression comments are flagged."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.check import DEFAULT_RULES, check_source
+from repro.check.engine import NOQA_RULE, Rule
+from repro.check.rules import NoqaHygiene
+
+
+class FlagEveryName(Rule):
+    id = "TEST001"
+    summary = "every name is flagged (test rule)"
+
+    def check(self, ctx):
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Name):
+                yield self.finding(ctx, node, f"name {node.id!r}")
+
+
+RULES = [FlagEveryName(), NoqaHygiene()]
+
+
+def test_used_suppression_is_not_flagged():
+    assert check_source("a = 1  # repro: noqa[TEST001]\n", RULES) == []
+
+
+def test_stale_suppression_is_flagged():
+    findings = check_source("1 + 1  # repro: noqa[TEST001]\n", RULES)
+    assert [f.rule for f in findings] == [NOQA_RULE]
+    assert "stale suppression" in findings[0].message
+    assert "TEST001" in findings[0].message
+
+
+def test_stale_bare_noqa_is_flagged():
+    findings = check_source("1 + 1  # repro: noqa\n", RULES)
+    assert [f.rule for f in findings] == [NOQA_RULE]
+    assert "bare" in findings[0].message
+
+
+def test_used_bare_noqa_is_not_flagged():
+    assert check_source("a = 1  # repro: noqa\n", RULES) == []
+
+
+def test_unknown_rule_code_is_flagged():
+    findings = check_source("a = 1  # repro: noqa[TEST001,NOPE999]\n", RULES)
+    assert [f.rule for f in findings] == [NOQA_RULE]
+    assert "unknown rule code" in findings[0].message
+    assert "NOPE999" in findings[0].message
+
+
+def test_mixed_stale_and_unknown_report_separately():
+    findings = check_source("1 + 1  # repro: noqa[TEST001,NOPE999]\n", RULES)
+    assert [f.rule for f in findings] == [NOQA_RULE, NOQA_RULE]
+    messages = "\n".join(f.message for f in findings)
+    assert "NOPE999" in messages and "TEST001" in messages
+
+
+def test_hygiene_finding_is_self_suppressible():
+    source = "1 + 1  # repro: noqa[TEST001,NOQA001]\n"
+    assert check_source(source, RULES) == []
+
+
+def test_hygiene_pass_is_off_without_the_rule():
+    # Passing a rule subset (as fixture tests do) must not drag the
+    # hygiene pass in: only the registry entry switches it on.
+    findings = check_source("1 + 1  # repro: noqa[TEST001]\n", [FlagEveryName()])
+    assert findings == []
+
+
+def test_docstring_mention_is_not_a_suppression():
+    source = '"""Docs mention # repro: noqa[TEST001] in passing."""\na = 1\n'
+    findings = check_source(source, RULES)
+    assert [f.rule for f in findings] == ["TEST001"]
+
+
+def test_noqa_hygiene_is_in_the_default_rule_set():
+    assert any(rule.id == NOQA_RULE for rule in DEFAULT_RULES)

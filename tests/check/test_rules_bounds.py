@@ -24,6 +24,29 @@ def test_marked_and_registered_is_quiet():
     assert bounds(GOOD) == []
 
 
+def test_marker_on_a_multiline_signature_counts():
+    src = (
+        "def length_bound(\n"
+        "    ctx, codes, lengths\n"
+        "):  # repro: admissible\n"
+        "    return lengths\n"
+        "\n"
+        "ADMISSIBLE_BOUNDS = {'length': length_bound}\n"
+    )
+    assert bounds(src) == []
+
+
+def test_marker_in_the_body_does_not_count():
+    src = (
+        "def length_bound(ctx, codes, lengths):\n"
+        "    return lengths  # repro: admissible\n"
+        "\n"
+        "ADMISSIBLE_BOUNDS = {'length': length_bound}\n"
+    )
+    findings = bounds(src)
+    assert [f.rule for f in findings] == ["BOUND001"]
+
+
 def test_unmarked_bound_fires():
     src = (
         "def length_bound(ctx, codes, lengths):\n"

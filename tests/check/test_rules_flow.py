@@ -1,0 +1,185 @@
+"""FLOW001/2/3/4 fixtures: seeded regressions fire, fixed idioms stay quiet."""
+
+from __future__ import annotations
+
+import inspect
+
+import repro.core.striped as striped
+from repro.check import check_source
+from repro.check.rules import (
+    OverflowUnsafeNarrowing,
+    UncheckedSaturatingOp,
+    UnprovenLaneCap,
+    WideningAcrossCall,
+)
+
+RULES = [OverflowUnsafeNarrowing(), WideningAcrossCall(), UncheckedSaturatingOp()]
+
+
+def check(source: str, module: str = "core/multi_engine.py"):
+    return check_source(source, RULES, module=module)
+
+
+# -- FLOW001: overflow-unsafe narrowing ------------------------------------
+
+
+def test_widened_constant_cast_is_caught():
+    # The seeded regression: someone widens a pad constant past the lane
+    # dtype; the cast wraps silently at import time.
+    source = (
+        "import numpy as np\n"
+        "PAD_SCORE = np.int8(-300)\n"
+    )
+    findings = check(source)
+    assert [f.rule for f in findings] == ["FLOW001"]
+    assert "int8" in findings[0].message
+    assert findings[0].line == 2
+
+
+def test_in_range_constant_cast_is_quiet():
+    assert check("import numpy as np\nPAD_SCORE = np.int8(-120)\n") == []
+
+
+def test_astype_of_provably_large_value_is_caught():
+    source = (
+        "import numpy as np\n"
+        "def shrink():\n"
+        "    wide = np.full(8, 40000, dtype=np.int32)\n"
+        "    return wide.astype(np.int16)\n"
+    )
+    findings = check(source)
+    assert [f.rule for f in findings] == ["FLOW001"]
+    assert "[40000, 40000]" in findings[0].message
+
+
+def test_overlap_is_not_proof_so_astype_stays_quiet():
+    # A value that *might* fit must not be flagged: the rule only claims
+    # proven overflow (interval disjoint from the target range).
+    source = (
+        "import numpy as np\n"
+        "def shrink(n):\n"
+        "    wide = np.arange(n, dtype=np.int32)\n"
+        "    return wide.astype(np.int16)\n"
+    )
+    assert check(source) == []
+
+
+def test_flow_rules_are_scoped_to_core():
+    source = "import numpy as np\nPAD_SCORE = np.int8(-300)\n"
+    assert check_source(source, RULES, module="strategies/search.py") == []
+
+
+# -- FLOW002: widening across a call boundary ------------------------------
+
+
+_WIDENING = (
+    "import numpy as np\n"
+    "def combine(row, acc):\n"
+    "    return row + acc\n"
+    "def run():\n"
+    "    lanes = np.zeros(16, dtype=np.int8)\n"
+    "    acc = np.zeros(16, dtype=np.int32)\n"
+    "    return combine(lanes, acc)\n"
+)
+
+
+def test_narrow_argument_widening_in_callee_is_caught():
+    findings = check(_WIDENING)
+    assert [f.rule for f in findings] == ["FLOW002"]
+    assert "'row'" in findings[0].message and "int32" in findings[0].message
+    # The finding anchors at the *call site*, where the fix belongs.
+    assert findings[0].line == 7
+
+
+def test_explicit_boundary_cast_is_quiet():
+    fixed = _WIDENING.replace(
+        "combine(lanes, acc)", "combine(lanes.astype(np.int32), acc)"
+    )
+    assert check(fixed) == []
+
+
+def test_narrow_on_narrow_arithmetic_is_not_a_widening():
+    same = _WIDENING.replace("dtype=np.int32", "dtype=np.int8")
+    assert [f.rule for f in check(same)] == []
+
+
+# -- FLOW003: unchecked saturating op --------------------------------------
+
+
+_UNCHECKED = (
+    "import numpy as np\n"
+    "class Scan:\n"
+    "    def run(self, n):\n"
+    "        h = np.zeros(64, dtype=np.int16)\n"
+    "        p = np.full(64, 3, dtype=np.int16)\n"
+    "        for _ in range(n):\n"
+    "            np.add(h, p, out=h)\n"
+    "        return h\n"
+)
+
+_STICKY = (
+    "np.add(h, p, out=h)\n"
+    "            np.greater_equal(h, 30000, out=tmp)\n"
+    "            np.logical_or(flags, tmp, out=flags)\n"
+)
+
+
+def test_unchecked_narrow_accumulation_is_caught():
+    # The seeded regression: a sticky-flag check deleted from an int16
+    # accumulation loop.
+    findings = check(_UNCHECKED)
+    assert [f.rule for f in findings] == ["FLOW003"]
+    assert "int16" in findings[0].message and "sticky" in findings[0].message
+    assert findings[0].line == 7
+
+
+def test_sticky_checked_accumulation_is_quiet():
+    guarded = _UNCHECKED.replace("np.add(h, p, out=h)\n", _STICKY).replace(
+        "p = np.full(64, 3, dtype=np.int16)\n",
+        "p = np.full(64, 3, dtype=np.int16)\n"
+        "        tmp = np.zeros(64, dtype=bool)\n"
+        "        flags = np.zeros(64, dtype=bool)\n",
+    )
+    assert check(guarded) == []
+
+
+def test_wide_accumulation_needs_no_sticky_check():
+    wide = _UNCHECKED.replace("np.int16", "np.int64")
+    assert check(wide) == []
+
+
+def test_suppression_works_on_flow_findings():
+    suppressed = _UNCHECKED.replace(
+        "np.add(h, p, out=h)", "np.add(h, p, out=h)  # repro: noqa[FLOW003]"
+    )
+    assert check(suppressed) == []
+
+
+# -- FLOW004: the lane-cap prover wired into the finding pipeline ----------
+
+
+STRIPED_SOURCE = inspect.getsource(striped)
+
+
+def test_shipped_striped_kernel_proves_clean():
+    findings = check_source(
+        STRIPED_SOURCE, [UnprovenLaneCap()], module="core/striped.py"
+    )
+    assert findings == []
+
+
+def test_mutated_cap_surfaces_as_flow004_findings():
+    mutated = STRIPED_SOURCE.replace(
+        "self.cap = (-int(info.min)) - self.span - max(hi, 0) - 1",
+        "self.cap = (-int(info.min)) - 1",
+    )
+    findings = check_source(mutated, [UnprovenLaneCap()], module="core/striped.py")
+    assert findings and all(f.rule == "FLOW004" for f in findings)
+    assert any("headroom" in f.message for f in findings)
+
+
+def test_flow004_only_applies_to_the_striped_module():
+    rule = UnprovenLaneCap()
+    assert rule.applies("core/striped.py")
+    assert not rule.applies("core/engine.py")
+    assert not rule.applies("plan/planners.py")

@@ -169,3 +169,46 @@ class TestExperiment:
         rc = main(["experiment", "sec6"])
         assert rc == 0
         assert "~30%" in capsys.readouterr().out
+
+
+class TestCheck:
+    def test_plans_sweep_alone_is_clean(self, capsys):
+        rc = main(["check", "--plans"])
+        assert rc == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_no_paths_and_no_plans_is_a_usage_error(self, capsys):
+        rc = main(["check"])
+        assert rc == 2
+        assert "need paths" in capsys.readouterr().out
+
+    def test_baseline_ratchet(self, tmp_path, capsys, monkeypatch):
+        """Known findings pass against their own report; new ones fail."""
+        import json
+
+        # Relative paths: rule scoping (core/...) is path-derived.
+        monkeypatch.chdir(tmp_path)
+        bad = tmp_path / "core"
+        bad.mkdir()
+        (bad / "multi_engine.py").write_text(
+            "import numpy as np\nPAD = np.int8(-300)\n"
+        )
+        rc = main(["check", "core", "--format", "json"])
+        assert rc == 1
+        report = capsys.readouterr().out
+        assert json.loads(report)["count"] == 1
+        baseline = tmp_path / "base.json"
+        baseline.write_text(report)
+
+        # Same tree vs its own report: the known finding is tolerated.
+        rc = main(["check", "core", "--baseline", str(baseline)])
+        assert rc == 0
+        assert "1 known, 0 fixed, 0 new" in capsys.readouterr().out
+
+        # A second regression is new and fails the gate.
+        (bad / "striped_helper.py").write_text(
+            "import numpy as np\nCAP = np.int16(90000)\n"
+        )
+        rc = main(["check", "core", "--baseline", str(baseline)])
+        assert rc == 1
+        assert "1 new" in capsys.readouterr().out
