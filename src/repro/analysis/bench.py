@@ -330,6 +330,61 @@ def _bench_db_search_pruned(quick: bool, rounds: int) -> dict:
     }
 
 
+def _bench_db_search_sharded(quick: bool, rounds: int) -> dict:
+    """Sharded inline search and the content-addressed result cache.
+
+    Ranking parity of the 4-shard scan against the unsharded one is
+    asserted before timing.  The recorded ``cache_hit_speedup`` is the
+    machine-independent figure the benchmark guard floors: a hit serves a
+    stored result without planning, sharding or any DP tile, so it must be
+    orders of magnitude faster than the scan that populated it.
+    """
+    from ..strategies.cache import DEFAULT_CACHE
+
+    rng = np.random.default_rng(77)
+    n_db = 500 if quick else 5000
+    db = synthetic_database(n=n_db, min_length=150, max_length=600, rng=rng)
+    query = random_dna(1500, rng)
+    packed = pack_database(db)
+    flat = SearchConfig(top_k=10, prefilter="off")
+    sharded = SearchConfig(top_k=10, prefilter="off", n_shards=4)
+
+    reference = search_db(query, packed, flat)
+    result = search_db(query, packed, sharded)
+    if result.scores() != reference.scores():
+        raise AssertionError("sharded search ranking diverged from unsharded")
+
+    flat_elapsed = _best_of(lambda: search_db(query, packed, flat), rounds)
+    sharded_elapsed = _best_of(lambda: search_db(query, packed, sharded), rounds)
+
+    cached = SearchConfig(top_k=10, prefilter="off", n_shards=4, cache=True)
+    DEFAULT_CACHE.clear()
+    search_db(query, packed, cached)  # the miss that populates the entry
+    hit_elapsed = _best_of(
+        lambda: search_db(query, packed, cached), max(rounds, 3)
+    )
+    hit = search_db(query, packed, cached)
+    if not hit.cached or hit.scores() != reference.scores():
+        raise AssertionError("cache hit diverged from the computed ranking")
+    DEFAULT_CACHE.clear()
+
+    return {
+        "kernel": "classic",
+        "dtype": "int16",
+        "lane_mode": "batched",
+        "n_shards": 4,
+        "n_sequences": n_db,
+        "total_cells": result.total_cells,
+        "unsharded_seconds": flat_elapsed,
+        "sharded_seconds": sharded_elapsed,
+        "unsharded_gcups": gcups(result.total_cells, flat_elapsed),
+        "sharded_gcups": gcups(result.total_cells, sharded_elapsed),
+        "sharded_time_vs_unsharded": sharded_elapsed / flat_elapsed,
+        "cache_hit_seconds": hit_elapsed,
+        "cache_hit_speedup": sharded_elapsed / hit_elapsed,
+    }
+
+
 def _bench_pool_wavefront(quick: bool) -> dict:
     """Pool-amortized vs spawn-per-call mp_wavefront repeats."""
     from ..parallel import (
@@ -392,6 +447,8 @@ def run_kernel_bench(quick: bool = False, progress=None) -> dict:
     results["db_search_pruned_5000seq_1500bp_query"] = _bench_db_search_pruned(
         quick, rounds
     )
+    note("db_search: sharded + result cache ...")
+    results["db_search_sharded_5000seq"] = _bench_db_search_sharded(quick, rounds)
     note("mp_wavefront: pool vs spawn ...")
     results["mp_wavefront_10_repeats_600x600"] = _bench_pool_wavefront(quick)
     return results

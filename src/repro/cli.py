@@ -213,12 +213,19 @@ def cmd_search(args) -> int:
     if not queries:
         raise SystemExit("empty query FASTA")
     query = queries[0]
+    if args.workers > 1 and args.shards > args.workers:
+        raise SystemExit(
+            f"--shards {args.shards} exceeds --workers {args.workers}: "
+            "each shard needs its own worker group"
+        )
     config = SearchConfig(
         top_k=args.top,
         max_lanes=args.batch_lanes,
         max_waste=args.max_waste,
         kernel=args.kernel,
         prefilter=args.prefilter,
+        n_shards=args.shards,
+        cache=args.cache,
     )
     observing = bool(args.trace or args.metrics)
     scope = obs.observed("coordinator") if observing else nullcontext((None, None))
@@ -228,21 +235,28 @@ def cmd_search(args) -> int:
             max_lanes=config.resolved_max_lanes,
             max_waste=config.resolved_max_waste,
         )
+        repeats = max(1, args.repeat)
         if args.workers > 1:
             from .parallel import AlignmentWorkerPool
 
             with AlignmentWorkerPool(n_workers=args.workers) as pool:
-                result = search_db(query.codes, packed, config, pool=pool)
+                runs = [
+                    search_db(query.codes, packed, config, pool=pool)
+                    for _ in range(repeats)
+                ]
         else:
-            result = search_db(query.codes, packed, config)
+            runs = [search_db(query.codes, packed, config) for _ in range(repeats)]
+        result = runs[0]
     print(
         f"query {query.name} ({len(query.codes)} bp) vs {result.n_sequences} "
         f"sequences ({packed.total_residues:,} residues in {len(packed.buckets)} "
         f"buckets, {packed.padded_slots - packed.total_residues:,} padded slots)"
     )
+    shard_note = f", {result.n_shards} shard(s)" if result.n_shards > 1 else ""
     print(
         f"{result.total_cells:,} cells in {result.wall_seconds:.3f} s wall = "
-        f"{result.gcups:.3f} GCUPS ({result.backend}, {result.n_workers} worker(s))"
+        f"{result.gcups:.3f} GCUPS ({result.backend}, {result.n_workers} "
+        f"worker(s){shard_note})"
     )
     if result.prefilter != "off":
         print(
@@ -254,6 +268,17 @@ def cmd_search(args) -> int:
     print(f"{'rank':>4}  {'score':>6}  {'length':>7}  name")
     for rank, hit in enumerate(result.hits, 1):
         print(f"{rank:>4}  {hit.score:>6}  {hit.length:>7}  {hit.name}")
+    if args.cache:
+        from .strategies.cache import DEFAULT_CACHE
+
+        served = sum(1 for r in runs if r.cached)
+        stats = DEFAULT_CACHE.stats()
+        print()
+        print(
+            f"cache: {served} of {len(runs)} run(s) served from cache "
+            f"({stats['hits']} hit(s), {stats['misses']} miss(es), "
+            f"{stats['evictions']} eviction(s), {stats['entries']} entries)"
+        )
     if args.trace:
         tracer.write_chrome_trace(args.trace, metrics=metrics.snapshot())
         print()
@@ -596,6 +621,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="exact score-bound pruning: skip the DP scan of sequences whose "
         "admissible ceiling cannot reach the top-k (rankings are unchanged; "
         "auto = kmer tiers on databases of 512+ sequences)",
+    )
+    p_search.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="deal the database round-robin into this many disjoint shards, "
+        "each scanned independently and tournament-merged (rankings are "
+        "unchanged; with --workers, shards may not exceed workers)",
+    )
+    p_search.add_argument(
+        "--cache",
+        action="store_true",
+        help="consult the content-addressed result cache: a repeat of the "
+        "same (query, database, scoring, top-k, prefilter) search is served "
+        "without planning or DP work",
+    )
+    p_search.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="run the search this many times (with --cache, runs after the "
+        "first are hits; reported below the ranking)",
     )
     p_search.add_argument(
         "--trace", metavar="FILE", help="write a wall-clock Chrome-trace JSON"

@@ -213,18 +213,27 @@ def _job_phase2(role: int, job: dict, arenas: dict) -> list:
     return out
 
 
-def _job_search(role: int, job: dict, arenas: dict, work) -> list:
+def _job_search(role: int, job: dict, arenas: dict, works) -> dict:
     """Dynamic-dispatch database search: pull graph tiles until SENTINEL.
 
-    The arena's ``s`` slot holds the query, ``t`` the flat bucket blob
-    (:func:`repro.plan.search_blob`); each queue item is one search-graph
-    :class:`~repro.plan.Tile` whose payload locates a bucket inside the
-    blob.  The worker's :class:`~repro.plan.SearchRuntime` keeps a local
-    top-k (deterministic total order, so the merge is
-    interleaving-independent) and stops at the first SENTINEL -- exactly one
-    per worker is enqueued ahead of the job.
+    The job's ``shard_of`` map assigns this worker to one database shard:
+    the worker attaches that shard's arena (``s`` slot the query, ``t`` the
+    shard's flat bucket blob, see :func:`repro.plan.search_blob`) and pulls
+    from that shard's work queue -- workers sharing a shard self-schedule
+    greedily off the same queue, so an unsharded job (every worker in group
+    0) behaves exactly as before.  Tiles carry shard-local offsets, so the
+    runtime runs them against the private blob at base 0.  The worker's
+    :class:`~repro.plan.SearchRuntime` keeps a local top-k (deterministic
+    total order, so the merge is interleaving-independent) and stops at the
+    first SENTINEL -- exactly one per worker is enqueued ahead of the job;
+    the emission is tagged with the shard for the coordinator's tournament
+    reduce.
     """
-    q, blob = _get_pair(arenas, job["arena"])
+    shard = job.get("shard_of", {}).get(role, 0)
+    handles = job.get("arenas")
+    handle = handles[shard] if handles else job["arena"]
+    work = works[shard]
+    q, blob = _get_pair(arenas, handle)
     runtime = SearchRuntime(
         q, blob, job["scoring"], job["top_k"], kernel=job.get("kernel", "classic")
     )
@@ -264,7 +273,9 @@ def _job_search(role: int, job: dict, arenas: dict, work) -> list:
         metrics.gauge("search_queue_depth").set(queue_depth)
         if busy_s > 0.0:
             metrics.gauge(f"search_worker{role}_gcups").set(gcups(runtime.cells, busy_s))
-    return runtime.emit(role)
+    out = runtime.emit(role)
+    out["shard"] = shard
+    return out
 
 
 _JOB_KINDS = {
@@ -273,7 +284,7 @@ _JOB_KINDS = {
 }
 
 
-def _pool_worker(role: int, tasks, results, work) -> None:
+def _pool_worker(role: int, tasks, results, works) -> None:
     arenas: dict = {}
     try:
         while True:
@@ -286,7 +297,7 @@ def _pool_worker(role: int, tasks, results, work) -> None:
                 # telemetry segment on the way out, error or not.
                 with observed_worker(job.get("obs"), f"worker-{role}"):
                     if job["kind"] == "search":
-                        payload = _job_search(role, job, arenas, work)
+                        payload = _job_search(role, job, arenas, works)
                     else:
                         payload = _JOB_KINDS[job["kind"]](role, job, arenas)
                 results.put((job["id"], role, "ok", payload))
@@ -323,14 +334,16 @@ class AlignmentWorkerPool:
         ctx = mp.get_context()
         self._tasks = [ctx.Queue() for _ in range(n_workers)]
         self._results = ctx.Queue()
-        # The dynamic work queue for search jobs.  Queues can only be
-        # inherited at fork time, so it exists for the pool's whole life; it
-        # is empty between jobs (drained even on failure).
-        self._work = ctx.Queue()
+        # The dynamic work queues for search jobs -- one per worker so a
+        # sharded job can give each shard group its own queue (shard s uses
+        # queue s).  Queues can only be inherited at fork time, so they
+        # exist for the pool's whole life whatever n_shards later jobs ask
+        # for; all are empty between jobs (drained even on failure).
+        self._works = [ctx.Queue() for _ in range(n_workers)]
         self._procs = [
             ctx.Process(
                 target=_pool_worker,
-                args=(w, self._tasks[w], self._results, self._work),
+                args=(w, self._tasks[w], self._results, self._works),
                 daemon=True,
             )
             for w in range(n_workers)
@@ -610,21 +623,37 @@ class AlignmentWorkerPool:
         top_k: int = 10,
         scoring: Scoring = DEFAULT_SCORING,
         kernel: str = "classic",
+        n_shards: int = 1,
     ) -> list[tuple[int, int]]:
         """One query against a :class:`repro.seq.PackedDatabase`.
 
         Plans one independent tile per length bucket
         (:func:`repro.plan.plan_search_buckets`) and runs the graph through
         :meth:`run_search_plan`; returns the merged ``(score, index)``
-        ranking, identical to a sequential scan.
+        ranking, identical to a sequential scan.  With ``n_shards > 1`` the
+        database is dealt into shards, each owned by its own worker group
+        and arena (see :meth:`run_search_plan`).
         """
         query = encode(query)
         if not packed.buckets:
             return []
-        graph = plan_search_buckets(packed, len(query), top_k=top_k, kernel=kernel)
-        return self.run_search_plan(
-            graph, query, search_blob(packed), scoring=scoring
-        ).hits
+        if n_shards > 1:
+            from ..seq.db import shard_database
+
+            shards = shard_database(packed, n_shards)
+            graph = plan_search_buckets(
+                packed,
+                len(query),
+                top_k=top_k,
+                kernel=kernel,
+                n_shards=n_shards,
+                shards=shards,
+            )
+            blob = search_blob(shards)
+        else:
+            graph = plan_search_buckets(packed, len(query), top_k=top_k, kernel=kernel)
+            blob = search_blob(packed)
+        return self.run_search_plan(graph, query, blob, scoring=scoring).hits
 
     def run_search_plan(
         self,
@@ -636,11 +665,17 @@ class AlignmentWorkerPool:
     ) -> ExecutionResult:
         """Dynamic-dispatch execution of one search graph.
 
-        Publishes the query plus the flat bucket blob through a single
-        arena, enqueues every tile of the graph on the dynamic work queue
-        (then one SENTINEL per worker), and broadcasts the job.  Workers
-        pull tiles greedily and return local top-k heaps; the deterministic
-        total order makes the merged ranking interleaving-independent.
+        Unsharded: publishes the query plus the flat bucket blob through a
+        single arena, enqueues every tile on work queue 0 (then one SENTINEL
+        per worker), and broadcasts the job; workers pull tiles greedily and
+        return local top-k heaps.  Sharded (``graph.n_shards > 1``): the
+        concatenated blob is cut back into per-shard blobs along
+        ``params["shard_bases"]``, each shard gets its *own* arena and work
+        queue, and worker ``r`` serves shard ``r % n_shards`` -- long-lived
+        per-shard worker groups, each self-scheduling off its shard's queue.
+        Emissions come back shard-tagged and :func:`repro.plan.finalize_plan`
+        runs the tournament reduce; the deterministic total order makes the
+        merged ranking interleaving- *and* shard-independent.
         """
         if graph.params.get("prefilter"):
             raise ValueError(
@@ -648,37 +683,51 @@ class AlignmentWorkerPool:
                 "and cannot ride the dynamic work queue; use "
                 "repro.strategies.prefilter.pooled_pruned_search"
             )
+        n_shards = graph.n_shards
+        if n_shards > self.n_workers:
+            raise ValueError(
+                f"graph wants {n_shards} shards but the pool has only "
+                f"{self.n_workers} workers (one worker group per shard)"
+            )
         maybe_verify(graph, "pool")
         tracer = get_tracer()
         # The search graph has no rebuildable spec, so everything attribution
         # needs (tiles/cells/critical-path) rides this span's args directly.
         span_args = graph.span_args(backend="pool") if tracer.enabled else {}
-        arena: SequenceArena | None = None
+        shard_of = {role: role % n_shards for role in range(self.n_workers)}
+        bases = list(graph.params.get("shard_bases") or (0,) * n_shards)
+        bases.append(int(blob.size))
+        arenas: list[SequenceArena] = []
         with tracer.span(f"plan:{graph.kind}", "coordination", **span_args):
             try:
-                # The arena is created inside the try so that *any* failure
-                # after it exists -- including the metrics block below --
-                # unwinds it; previously an exception between creation and
+                # Arenas are created inside the try so that *any* failure
+                # after one exists -- including the metrics block below --
+                # unwinds them; previously an exception between creation and
                 # dispatch leaked the named segment.
                 with get_tracer().span(
                     "shm_publish", "communication", bytes=int(query.size + blob.size)
                 ):
-                    arena = SequenceArena(query, blob)
+                    for s in range(n_shards):
+                        arenas.append(
+                            SequenceArena(query, blob[bases[s] : bases[s + 1]])
+                        )
                 if is_enabled():
                     metrics = get_metrics()
                     metrics.counter("arena_bytes_published").inc(
-                        int(query.size + blob.size)
+                        n_shards * int(query.size) + int(blob.size)
                     )
                     metrics.gauge("search_queue_chunks").set(len(graph.tiles))
                 try:
                     for tile in graph.tiles:
-                        self._work.put(tile)
-                    for _ in range(self.n_workers):
-                        self._work.put(SENTINEL)
+                        self._works[tile.shard].put(tile)
+                    for role in range(self.n_workers):
+                        self._works[shard_of[role]].put(SENTINEL)
                     collected = self._submit(
                         {
                             "kind": "search",
-                            "arena": arena.handle,
+                            "arenas": [a.handle for a in arenas],
+                            "shard_of": shard_of,
+                            "n_shards": n_shards,
                             "top_k": graph.params["top_k"],
                             "kernel": graph.params.get("kernel", "classic"),
                             "scoring": scoring,
@@ -697,7 +746,7 @@ class AlignmentWorkerPool:
                     self.close(join_timeout=1.0)
                     raise
             finally:
-                if arena is not None:
+                for arena in arenas:
                     arena.close()
         parts = [collected[role] for role in sorted(collected)]
         result = finalize_plan(graph, parts)
@@ -707,8 +756,9 @@ class AlignmentWorkerPool:
     def _drain_work(self) -> None:
         import queue as _queue
 
-        while True:
-            try:
-                self._work.get(timeout=0.1)
-            except (_queue.Empty, OSError, ValueError):
-                return
+        for work in self._works:
+            while True:
+                try:
+                    work.get(timeout=0.1)
+                except (_queue.Empty, OSError, ValueError):
+                    break

@@ -361,6 +361,104 @@ def plan_preprocess(
     return graph.validate()
 
 
+def _bucket_locators(packed) -> tuple[list[tuple], int]:
+    """Per-bucket ``(offset, width, lanes, lengths, indices)`` + blob size."""
+    locators = []
+    offset = 0
+    for bucket in packed.buckets:
+        locators.append(
+            (
+                offset,
+                int(bucket.width),
+                int(bucket.lanes),
+                tuple(int(x) for x in bucket.lengths),
+                tuple(int(x) for x in bucket.indices),
+            )
+        )
+        offset += int(bucket.codes.size)
+    return locators, offset
+
+
+def _shard_search_tiles(
+    locators: list[tuple],
+    query_len: int,
+    shard: int,
+    tid0: int,
+    prefilter: tuple[str, ...],
+    seed_count: int | None,
+) -> tuple[list[Tile], int]:
+    """Build one shard's search tiles starting at id ``tid0``.
+
+    Locator offsets are *shard-local* (relative to that shard's own blob);
+    the runtime adds ``params["shard_bases"][shard]`` when the shards are
+    concatenated into one blob, and pool workers use their shard's private
+    arena with base 0.  With a prefilter the seed threshold is established
+    shard-locally -- weaker than a global seed pass but still admissible,
+    so pruning stays exact.
+    """
+    tiles: list[Tile] = []
+    tid = tid0
+    if not prefilter:
+        for loc in locators:
+            residues = sum(loc[3])
+            tiles.append(Tile(tid, DYNAMIC, query_len * residues, loc, (), shard))
+            tid += 1
+        return tiles, tid
+    from ..core.bounds import seed_order
+
+    all_lengths = np.concatenate(
+        [np.asarray(loc[3], dtype=np.int64) for loc in locators]
+    ) if locators else np.zeros(0, dtype=np.int64)
+    all_indices = np.concatenate(
+        [np.asarray(loc[4], dtype=np.int64) for loc in locators]
+    ) if locators else np.zeros(0, dtype=np.int64)
+    picked = seed_order(all_lengths, query_len, seed_count)
+    seeds = {int(all_indices[i]) for i in picked}
+    selections = []
+    for loc in locators:
+        indices = loc[4]
+        seed_sel = tuple(l for l, i in enumerate(indices) if i in seeds)
+        rest_sel = tuple(l for l, i in enumerate(indices) if i not in seeds)
+        selections.append((seed_sel, rest_sel))
+    for loc, (seed_sel, _) in zip(locators, selections):
+        if not seed_sel:
+            continue
+        residues = sum(loc[3][l] for l in seed_sel)
+        tiles.append(
+            Tile(tid, DYNAMIC, query_len * residues, ("seed", *loc, seed_sel), (), shard)
+        )
+        tid += 1
+    seed_ids = tuple(range(tid0, tid))
+    for loc, (_, rest_sel) in zip(locators, selections):
+        if not rest_sel:
+            continue
+        residues = sum(loc[3][l] for l in rest_sel)
+        # filter tile gates its dp tile (the next id); its cells are the
+        # residues the bound evaluations touch, not DP cells.
+        tiles.append(
+            Tile(
+                tid,
+                DYNAMIC,
+                residues,
+                ("filter", tid + 1, *loc, rest_sel),
+                seed_ids,
+                shard,
+            )
+        )
+        tiles.append(
+            Tile(
+                tid + 1,
+                DYNAMIC,
+                query_len * residues,
+                ("dp", *loc, rest_sel),
+                (tid,),
+                shard,
+            )
+        )
+        tid += 2
+    return tiles, tid
+
+
 def plan_search_buckets(
     packed,
     query_len: int,
@@ -370,6 +468,8 @@ def plan_search_buckets(
     prefilter: tuple[str, ...] = (),
     kmer_k: int = 6,
     seed_count: int | None = None,
+    n_shards: int = 1,
+    shards=None,
 ) -> TaskGraph:
     """Database search: one independent tile per length bucket.
 
@@ -389,89 +489,63 @@ def plan_search_buckets(
     every backend executes -- and the simulator models -- the same pruned
     topology.
 
+    With ``n_shards > 1`` the database is dealt round-robin into shards
+    (:func:`repro.seq.db.shard_database`, or pass pre-split ``shards``) and
+    each shard gets its own independent tile set -- its own seed→filter→dp
+    stages when a prefilter is on -- tagged ``Tile.shard = s``.  Locator
+    offsets are shard-local; ``params["shard_bases"]`` holds each shard's
+    base offset in the concatenated blob (:func:`search_blob` over the shard
+    list).  Per-shard top-k results merge by tournament
+    (:func:`repro.core.topk.tournament_merge`) into the same global ranking
+    as an unsharded scan.
+
     Search graphs have no spec: they derive from a packed database, not from
     ``(rows, cols)``.
     """
-    locators = []
-    offset = 0
-    for bucket in packed.buckets:
-        locators.append(
-            (
-                offset,
-                int(bucket.width),
-                int(bucket.lanes),
-                tuple(int(x) for x in bucket.lengths),
-                tuple(int(x) for x in bucket.indices),
-            )
+    if n_shards <= 0:
+        raise ValueError("n_shards must be positive")
+    if shards is not None:
+        if len(shards) != n_shards:
+            raise ValueError(f"got {len(shards)} shards for n_shards={n_shards}")
+        shard_dbs = list(shards)
+    elif n_shards == 1:
+        shard_dbs = [packed]
+    else:
+        from ..seq.db import shard_database
+
+        shard_dbs = shard_database(packed, n_shards)
+    if prefilter and seed_count is None:
+        seed_count = max(32, 2 * top_k)
+    tiles: list[Tile] = []
+    shard_bases: list[int] = []
+    base = 0
+    tid = 0
+    for s, db in enumerate(shard_dbs):
+        locators, size = _bucket_locators(db)
+        shard_bases.append(base)
+        base += size
+        shard_tiles, tid = _shard_search_tiles(
+            locators, query_len, s, tid, tuple(prefilter), seed_count
         )
-        offset += int(bucket.codes.size)
+        tiles.extend(shard_tiles)
     params = {
         "top_k": top_k,
         "query_len": query_len,
         "kernel": _check_kernel(kernel),
+        "n_shards": n_shards,
+        "shard_bases": tuple(shard_bases),
     }
-    tiles: list[Tile] = []
-    if not prefilter:
-        for tid, loc in enumerate(locators):
-            residues = sum(loc[3])
-            tiles.append(Tile(tid, DYNAMIC, query_len * residues, loc))
-    else:
-        from ..core.bounds import seed_order
-
-        all_lengths = np.concatenate(
-            [np.asarray(loc[3], dtype=np.int64) for loc in locators]
-        ) if locators else np.zeros(0, dtype=np.int64)
-        all_indices = np.concatenate(
-            [np.asarray(loc[4], dtype=np.int64) for loc in locators]
-        ) if locators else np.zeros(0, dtype=np.int64)
-        if seed_count is None:
-            seed_count = max(32, 2 * top_k)
-        picked = seed_order(all_lengths, query_len, seed_count)
-        seeds = {int(all_indices[i]) for i in picked}
-        selections = []
-        for loc in locators:
-            indices = loc[4]
-            seed_sel = tuple(l for l, i in enumerate(indices) if i in seeds)
-            rest_sel = tuple(l for l, i in enumerate(indices) if i not in seeds)
-            selections.append((seed_sel, rest_sel))
-        tid = 0
-        for loc, (seed_sel, _) in zip(locators, selections):
-            if not seed_sel:
-                continue
-            residues = sum(loc[3][l] for l in seed_sel)
-            tiles.append(
-                Tile(tid, DYNAMIC, query_len * residues, ("seed", *loc, seed_sel))
-            )
-            tid += 1
-        seed_ids = tuple(range(tid))
-        for loc, (_, rest_sel) in zip(locators, selections):
-            if not rest_sel:
-                continue
-            residues = sum(loc[3][l] for l in rest_sel)
-            # filter tile gates its dp tile (the next id); its cells are the
-            # residues the bound evaluations touch, not DP cells.
-            tiles.append(
-                Tile(tid, DYNAMIC, residues, ("filter", tid + 1, *loc, rest_sel), seed_ids)
-            )
-            tiles.append(
-                Tile(
-                    tid + 1,
-                    DYNAMIC,
-                    query_len * residues,
-                    ("dp", *loc, rest_sel),
-                    (tid,),
-                )
-            )
-            tid += 2
+    if prefilter:
         params["prefilter"] = tuple(prefilter)
         params["kmer_k"] = int(kmer_k)
         params["seed_count"] = int(seed_count)
     graph = TaskGraph(
         kind="search",
-        n_procs=1,
-        shape=(query_len, offset),
+        n_procs=max(1, n_shards),
+        shape=(query_len, base),
         tiles=tuple(tiles),
         params=params,
+        n_shards=n_shards,
     )
     return graph.validate()
 
@@ -479,17 +553,21 @@ def plan_search_buckets(
 def search_blob(packed) -> np.ndarray:
     """Flatten every bucket's code matrix into one contiguous uint8 blob.
 
-    Offsets match :func:`plan_search_buckets` (same iteration order), so a
-    tile's ``(offset, width, lanes)`` slice of the blob reshapes back into
-    exactly that bucket's code matrix.
+    Accepts a single :class:`~repro.seq.db.PackedDatabase` or a list of
+    per-shard databases (concatenated in shard order).  Offsets match
+    :func:`plan_search_buckets` (same iteration order): a tile's shard-local
+    ``(offset, width, lanes)`` plus its shard's ``shard_bases`` entry slices
+    the blob back into exactly that bucket's code matrix.
     """
-    total = sum(int(b.codes.size) for b in packed.buckets)
+    dbs = list(packed) if isinstance(packed, (list, tuple)) else [packed]
+    total = sum(int(b.codes.size) for db in dbs for b in db.buckets)
     blob = np.empty(total, dtype=np.uint8)
     offset = 0
-    for bucket in packed.buckets:
-        flat = np.ascontiguousarray(bucket.codes).reshape(-1)
-        blob[offset : offset + flat.size] = flat
-        offset += flat.size
+    for db in dbs:
+        for bucket in db.buckets:
+            flat = np.ascontiguousarray(bucket.codes).reshape(-1)
+            blob[offset : offset + flat.size] = flat
+            offset += flat.size
     return blob
 
 

@@ -31,7 +31,7 @@ from ..core.multi_engine import MultiSequenceWorkspace
 from ..core.regions import RegionConfig, StreamingRegionFinder
 from ..core.scoring import DEFAULT_SCORING, SCORE_DTYPE, Scoring
 from ..core.striped import StripedMultiWorkspace, StripedPairWorkspace
-from ..core.topk import TopK
+from ..core.topk import TopK, tournament_merge
 from ..obs import get_metrics, is_enabled
 from .ir import TaskGraph, Tile
 from .result import ExecutionResult
@@ -371,6 +371,13 @@ class SearchRuntime(PlanRuntime):
     lanes for the dp tile they gate.  ``charged_cells`` after each tile is
     the work *actually done* (DP cells scanned, or residues the bounds
     touched) -- the quantity the simulator bills to its virtual clock.
+
+    With ``n_shards > 1`` (the inline/sim path over a concatenated blob)
+    each shard keeps its *own* :class:`TopK` and filter threshold --
+    matching what physically-separate shard workers would see -- and
+    ``shard_bases`` translates the tiles' shard-local offsets into blob
+    positions.  Pool workers instead run one unsharded runtime per worker
+    over their shard's private arena (base 0) and the coordinator merges.
     """
 
     SPAN_NAME = "search_chunk"
@@ -385,6 +392,8 @@ class SearchRuntime(PlanRuntime):
         kernel: str = "classic",
         prefilter: tuple[str, ...] = (),
         kmer_k: int = DEFAULT_KMER_K,
+        n_shards: int = 1,
+        shard_bases: tuple[int, ...] | None = None,
     ) -> None:
         self.query = query
         self.blob = blob
@@ -395,7 +404,10 @@ class SearchRuntime(PlanRuntime):
         # Lane dtypes are chosen per bucket: int16-when-provably-safe for the
         # classic batch, the int8->int16->int32 escalation for striped.
         self.dtype_name = "auto"
-        self.top = TopK(top_k)
+        self.n_shards = n_shards
+        self.shard_bases = shard_bases
+        self.tops = {s: TopK(top_k) for s in range(n_shards)}
+        self.top = self.tops[0]  # unsharded alias (pool workers, tests)
         self.cells = 0  # residues scanned x query length (local accounting)
         self.prefilter = tuple(prefilter)
         self.kmer_k = kmer_k
@@ -406,16 +418,28 @@ class SearchRuntime(PlanRuntime):
 
     def tile_args(self, tile: Tile) -> dict:
         args = super().tile_args(tile)
+        args["shard"] = tile.shard
         if tile.payload and isinstance(tile.payload[0], str):
             args["stage"] = tile.payload[0]
         return args
 
-    def _scan(self, codes, lengths, indices) -> None:
+    def _slot(self, tile: Tile) -> int:
+        """The local shard slot a tile lands in.
+
+        An unsharded runtime serving sharded tiles is a pool worker whose
+        arena *is* one shard's blob -- everything lands in slot 0 there.
+        """
+        return tile.shard if self.n_shards > 1 else 0
+
+    def _base(self, shard: int) -> int:
+        return self.shard_bases[shard] if self.shard_bases else 0
+
+    def _scan(self, codes, lengths, indices, shard: int = 0) -> None:
         if self.kernel == "striped":
             ws = StripedMultiWorkspace(codes, lengths, self.scoring)
         else:
             ws = MultiSequenceWorkspace(codes, lengths, self.scoring)
-        self.top.push_lanes(ws.sw_best_scores(self.query), indices)
+        self.tops[shard].push_lanes(ws.sw_best_scores(self.query), indices)
 
     def _tiered_filter(self) -> TieredFilter:
         if self._filter is None:
@@ -430,9 +454,11 @@ class SearchRuntime(PlanRuntime):
             self._run_staged(tile)
             return
         offset, width, lanes, lengths, indices = payload
+        slot = self._slot(tile)
+        offset += self._base(slot)
         codes = self.blob[offset : offset + lanes * width].reshape(lanes, width)
         lengths = np.asarray(lengths, dtype=np.int64)
-        self._scan(codes, lengths, indices)
+        self._scan(codes, lengths, indices, slot)
         self.cells += tile.cells
         self.charged_cells = tile.cells
 
@@ -443,11 +469,13 @@ class SearchRuntime(PlanRuntime):
         else:
             _, offset, width, lanes, lengths, indices, sel = tile.payload
             dp_id = None
+        slot = self._slot(tile)
+        offset += self._base(slot)
         bucket = self.blob[offset : offset + lanes * width].reshape(lanes, width)
         lengths = np.asarray(lengths, dtype=np.int64)
         if stage == "filter":
             sel_arr = np.asarray(sel, dtype=np.int64)
-            threshold = self.top.threshold()
+            threshold = self.tops[slot].threshold()
             keep, tier_pruned, bound_cells = self._tiered_filter().survivors(
                 bucket[sel_arr], lengths[sel_arr], threshold
             )
@@ -479,12 +507,23 @@ class SearchRuntime(PlanRuntime):
         sel_arr = np.asarray(lanes_to_run, dtype=np.int64)
         run_lengths = lengths[sel_arr]
         run_indices = np.asarray(indices, dtype=np.int64)[sel_arr]
-        self._scan(bucket[sel_arr], run_lengths, run_indices)
+        self._scan(bucket[sel_arr], run_lengths, run_indices, slot)
         scanned = int(len(self.query)) * int(run_lengths.sum())
         self.cells += scanned
         self.charged_cells = scanned
 
     def emit(self, owner: int) -> dict:
+        """Picklable partial result: per-shard survivor lists when sharded.
+
+        The unsharded shape (``{"items", "stats"}``) is kept byte-identical
+        to what pre-shard pool workers emitted, so worker-side runtimes (one
+        per shard, base 0) and old traces keep working.
+        """
+        if self.n_shards > 1:
+            return {
+                "shards": {s: top.items() for s, top in self.tops.items()},
+                "stats": self.stats,
+            }
         return {"items": self.top.items(), "stats": self.stats}
 
 
@@ -517,6 +556,8 @@ def make_runtime(
             kernel=graph.params.get("kernel", "classic"),
             prefilter=graph.params.get("prefilter", ()),
             kmer_k=graph.params.get("kmer_k", DEFAULT_KMER_K),
+            n_shards=graph.n_shards,
+            shard_bases=graph.params.get("shard_bases"),
         )
     try:
         cls = _RUNTIMES[graph.kind]
@@ -581,16 +622,23 @@ def finalize_plan(
             "n_chunks": params["n_chunks"],
         }
     elif graph.kind == "search":
-        top = TopK(params["top_k"])
+        k = params["top_k"]
+        n_shards = graph.n_shards
+        shard_tops = {s: TopK(k) for s in range(n_shards)}
         stats = empty_search_stats()
         for part in parts:
             if isinstance(part, dict):
-                top.merge(part["items"])
+                if "shards" in part:  # sharded runtime emission
+                    for s, items in part["shards"].items():
+                        shard_tops[int(s)].merge(items)
+                else:  # one worker's emission, tagged with its shard (or 0)
+                    shard_tops[int(part.get("shard", 0))].merge(part["items"])
                 merge_search_stats(stats, part.get("stats", {}))
             else:  # legacy plain-items emission
-                top.merge(part)
+                shard_tops[0].merge(part)
+        top = tournament_merge([shard_tops[s] for s in range(n_shards)], k)
         result.hits = top.ranked()
-        result.extras = {"prefilter": stats}
+        result.extras = {"prefilter": stats, "n_shards": n_shards}
     else:
         raise ValueError(f"unknown plan kind {graph.kind!r}")
     return result

@@ -151,46 +151,72 @@ class SimExecutor(Executor):
     def _search_execute(self, graph, runtime, sim, dsm, scale, marks):
         """Simulate a search graph, modelling the filter stage in virtual time.
 
-        Tiles run in id order on node 0 (ids are topological, so the
-        seed -> filter -> dp staging of a pruned plan is honoured exactly as
-        the inline backend runs it); each tile costs one work-queue dispatch
-        message plus its *actual* work -- the DP cells the kernel scanned at
-        ``search_cell_time``, or for filter tiles the residues the bound
-        evaluations touched at ``bound_cell_time``.  Pruning therefore
-        shrinks virtual time the same way it shrinks real time.
+        Node ``p`` runs shard ``p``'s tiles in id order (ids are
+        topological, so the seed -> filter -> dp staging of a pruned plan is
+        honoured exactly as the inline backend runs it); an unsharded graph
+        puts everything on node 0 as before.  Each tile costs one work-queue
+        dispatch message plus its *actual* work -- the DP cells the kernel
+        scanned at ``search_cell_time``, or for filter tiles the residues
+        the bound evaluations touched at ``bound_cell_time``.  Pruning
+        therefore shrinks virtual time the same way it shrinks real time.
+
+        A sharded run ends with the tournament reduce: ``ceil(log2(S))``
+        rounds in which every losing node ships its bounded top-k (one
+        ``64 + 32*top_k``-byte message) to its round winner.  The rounds are
+        barrier-separated, so the merge adds *log-depth* virtual time on top
+        of the slowest shard -- the cross-shard traffic term that lets the
+        virtual-time story scale past the 8-node DSM.
         """
         cost = self.cost
         stage_seconds: dict[str, float] = {}
+        n_shards = graph.n_shards
+        mine = [
+            [t for t in graph.tiles if t.shard == p] for p in range(graph.n_procs)
+        ]
 
         def node(p: int):
             yield Delay(cost.node_startup_time)
             yield from dsm.barrier(p)
             if p == 0:
                 marks["core_start"] = sim.now
-                for tile in graph.tiles:
-                    dispatch = cost.message_time(64)
-                    dsm.stats[p].record_message(64)
-                    dsm.stats[p].breakdown.add("communication", dispatch)
-                    yield Delay(dispatch)
-                    self._run_tile(runtime, tile)
-                    payload = tile.payload
-                    stage = (
-                        payload[0]
-                        if payload and isinstance(payload[0], str)
-                        else "dp"
-                    )
-                    per_cell = (
-                        cost.bound_cell_time
-                        if stage == "filter"
-                        else cost.search_cell_time
-                    )
-                    charged = runtime.charged_cells * scale * scale
-                    seconds = charged * per_cell
-                    stage_seconds[stage] = stage_seconds.get(stage, 0.0) + seconds
-                    yield from dsm.compute(p, seconds, cells=charged)
+            for tile in mine[p]:
+                dispatch = cost.message_time(64)
+                dsm.stats[p].record_message(64)
+                dsm.stats[p].breakdown.add("communication", dispatch)
+                yield Delay(dispatch)
+                self._run_tile(runtime, tile)
+                payload = tile.payload
+                stage = (
+                    payload[0]
+                    if payload and isinstance(payload[0], str)
+                    else "dp"
+                )
+                per_cell = (
+                    cost.bound_cell_time
+                    if stage == "filter"
+                    else cost.search_cell_time
+                )
+                charged = runtime.charged_cells * scale * scale
+                seconds = charged * per_cell
+                stage_seconds[stage] = stage_seconds.get(stage, 0.0) + seconds
+                yield from dsm.compute(p, seconds, cells=charged)
             yield from dsm.barrier(p)
             if p == 0:
                 marks["core_end"] = sim.now
+            # tournament reduce: stride doubles each round, losers ship up
+            stride = 1
+            while stride < n_shards:
+                if p % (2 * stride) == stride:
+                    nbytes = 64 + 32 * graph.params["top_k"]
+                    mtime = cost.message_time(nbytes)
+                    dsm.stats[p].record_message(nbytes)
+                    dsm.stats[p].breakdown.add("communication", mtime)
+                    stage_seconds["merge"] = (
+                        stage_seconds.get("merge", 0.0) + mtime
+                    )
+                    yield Delay(mtime)
+                yield from dsm.barrier(p)
+                stride *= 2
             yield Delay(cost.node_teardown_time)
             yield from dsm.barrier(p)
 

@@ -20,14 +20,19 @@ graph-level breaches):
   indexing and the simulator's cv numbering all index by id.
 * **PLAN003 -- owner breach.**  An owner outside ``0..n_procs-1`` (and not
   :data:`~repro.plan.ir.DYNAMIC`), a work-queue tile inside a static
-  schedule, or -- for the wave-front, whose column partition gives every
-  rank work -- a rank that owns nothing (its column slice would never be
-  computed).
+  schedule, a shard outside ``0..n_shards-1`` (or any non-zero shard in a
+  static schedule), a sharded search graph with more shards than
+  processors (the extra shards' tiles would never be dispatched), or --
+  for the wave-front, whose column partition gives every rank work -- a
+  rank that owns nothing (its column slice would never be computed).
 * **PLAN004 -- cell-count breach.**  Conservation against the partition
   geometry: every tile's ``cells`` must equal what its payload covers, the
   payload bounds must tile the DP matrix (or the packed buckets) exactly,
   and nothing may be covered twice or dropped.  This is the check that
-  catches a planner whose tiles silently skip rows.
+  catches a planner whose tiles silently skip rows.  Sharded search graphs
+  are conserved *per shard* (each shard's buckets score every lane exactly
+  once) plus *exactly-once across shards*: no database sequence may appear
+  in two shards, or its duplicate scores would double up in the merge.
 * **PLAN005 -- deadlock.**  The pool's worker/coordinator handshake is
   simulated as a state machine: each worker walks its own tiles in id
   order, blocking on cross-owner ``done`` flags (static plans) or pulling
@@ -112,6 +117,18 @@ def _check_structure(graph: TaskGraph) -> Iterator[Finding]:
     n = len(graph.tiles)
     if graph.n_procs <= 0:
         yield _finding(graph, "PLAN003", f"n_procs must be positive, got {graph.n_procs}")
+    if graph.n_shards <= 0:
+        yield _finding(
+            graph, "PLAN003", f"n_shards must be positive, got {graph.n_shards}"
+        )
+    elif graph.kind == "search" and graph.n_shards > graph.n_procs:
+        yield _finding(
+            graph,
+            "PLAN003",
+            f"graph declares {graph.n_shards} shards over {graph.n_procs} "
+            f"processors: shards beyond the node count would never be "
+            f"dispatched (the sim runs shard p on node p)",
+        )
     for pos, tile in enumerate(graph.tiles):
         if tile.id != pos:
             yield _finding(
@@ -156,6 +173,22 @@ def _check_structure(graph: TaskGraph) -> Iterator[Finding]:
                 "PLAN003",
                 f"tile {tile.id} owner {tile.owner} is outside ranks "
                 f"0..{graph.n_procs - 1}: no pool worker would run it",
+                tile.id,
+            )
+        if graph.n_shards > 0 and not 0 <= tile.shard < graph.n_shards:
+            yield _finding(
+                graph,
+                "PLAN003",
+                f"tile {tile.id} shard {tile.shard} is outside shards "
+                f"0..{graph.n_shards - 1}: no shard group would run it",
+                tile.id,
+            )
+        elif tile.shard != 0 and graph.kind in STATIC_KINDS:
+            yield _finding(
+                graph,
+                "PLAN003",
+                f"tile {tile.id} carries shard {tile.shard} inside the static "
+                f"{graph.kind!r} schedule: only search graphs are sharded",
                 tile.id,
             )
     if graph.kind == "wavefront" and graph.tiles:
@@ -301,7 +334,8 @@ def _check_search_cells(graph: TaskGraph) -> Iterator[Finding]:
     if query_len is None:
         yield _finding(graph, "PLAN004", "search params carry no 'query_len'")
         return
-    covered: dict[tuple, set[int]] = {}
+    covered: dict[tuple, set[int]] = {}  # (shard, locator) -> lanes scored
+    index_shard: dict[int, int] = {}  # db index -> the shard that owns it
     for tile in graph.tiles:
         stage, loc, sel = _search_stage(tile)
         lengths = loc[3]
@@ -317,26 +351,43 @@ def _check_search_cells(graph: TaskGraph) -> Iterator[Finding]:
             )
         if stage == "filter":
             continue  # bound evaluations do not consume DP coverage
-        bucket = covered.setdefault(loc, set())
+        # exactly-once across shards: a db sequence in two shards would be
+        # scored twice and its duplicate could double up in the merge
+        for lane in sel:
+            index = loc[4][lane]
+            owner_shard = index_shard.setdefault(index, tile.shard)
+            if owner_shard != tile.shard:
+                yield _finding(
+                    graph,
+                    "PLAN004",
+                    f"tile {tile.id} (shard {tile.shard}) aligns database "
+                    f"sequence {index}, already owned by shard {owner_shard}: "
+                    f"each sequence must live in exactly one shard",
+                    tile.id,
+                )
+        # per-shard conservation: within its shard, each bucket lane once
+        bucket = covered.setdefault((tile.shard, loc), set())
         doubled = bucket.intersection(sel)
         if doubled:
             yield _finding(
                 graph,
                 "PLAN004",
                 f"tile {tile.id} re-aligns lanes {sorted(doubled)} of the "
-                f"bucket at offset {loc[0]}: each lane must be scored once",
+                f"bucket at offset {loc[0]} (shard {tile.shard}): each lane "
+                f"must be scored once",
                 tile.id,
             )
         bucket.update(sel)
-    for loc, lanes_seen in covered.items():
+    for (shard, loc), lanes_seen in covered.items():
         expected_lanes = set(range(len(loc[3])))
         missing = sorted(expected_lanes - lanes_seen)
         if missing:
             yield _finding(
                 graph,
                 "PLAN004",
-                f"lanes {missing} of the bucket at offset {loc[0]} are never "
-                f"aligned: their sequences would vanish from the ranking",
+                f"lanes {missing} of the bucket at offset {loc[0]} (shard "
+                f"{shard}) are never aligned: their sequences would vanish "
+                f"from the ranking",
             )
 
 
@@ -349,12 +400,14 @@ def _check_deadlock(graph: TaskGraph) -> Iterator[Finding]:
     Static plans: one cursor per rank over its id-ordered tiles; a cursor
     may advance when every dependency's done flag is up (same-owner deps
     are satisfied by program order, cross-owner ones by the shared array).
-    Search plans: workers pull any queued tile whose deps are done --
-    dependency-bearing tiles on the dynamic queue only work because ids are
-    enqueued in order, which PLAN001 already guarantees.  Either way, if no
-    cursor can advance while work remains, that is the deadlock the
-    runtime would experience as a starved ``poll_until`` (static) or a
-    worker blocked past the sentinel (search).
+    Search plans: one cursor per *shard queue* (unsharded = the single
+    queue); workers pull any queued tile whose deps are done --
+    dependency-bearing tiles on a dynamic queue only work because ids are
+    enqueued in order, which PLAN001 already guarantees, and cross-shard
+    edges (which no shard group could ever satisfy locally) surface here as
+    a stuck cursor.  Either way, if no cursor can advance while work
+    remains, that is the deadlock the runtime would experience as a starved
+    ``poll_until`` (static) or a worker blocked past the sentinel (search).
     """
     # Skip the simulation if the structure is already broken in a way that
     # would make every step report the same PLAN001 breach again.
@@ -368,8 +421,10 @@ def _check_deadlock(graph: TaskGraph) -> Iterator[Finding]:
         walks = [
             [t for t in tiles if t.owner == rank] for rank in range(graph.n_procs)
         ]
-    else:
-        walks = [[t for t in tiles]]  # queue order = enqueue order = id order
+    else:  # one queue per shard; queue order = enqueue order = id order
+        walks = [
+            [t for t in tiles if t.shard == s] for s in range(max(1, graph.n_shards))
+        ]
     cursors = [0] * len(walks)
     progress = True
     while progress:
@@ -386,7 +441,11 @@ def _check_deadlock(graph: TaskGraph) -> Iterator[Finding]:
         if cursors[w] < len(walk):
             tile = walk[cursors[w]]
             blocked_on = [d for d in tile.deps if not done[by_pos[d]]]
-            who = f"worker {w}" if graph.kind in STATIC_KINDS else "the work queue"
+            who = (
+                f"worker {w}"
+                if graph.kind in STATIC_KINDS
+                else f"shard {w}'s work queue"
+            )
             yield _finding(
                 graph,
                 "PLAN005",
@@ -437,6 +496,23 @@ def _check_backend(graph: TaskGraph, backend: str) -> Iterator[Finding]:
                     f"locator",
                     staged[0],
                 )
+            tiles = graph.tiles
+            for tile in tiles:
+                crossing = [
+                    d
+                    for d in tile.deps
+                    if 0 <= d < len(tiles) and tiles[d].shard != tile.shard
+                ]
+                if crossing:
+                    yield _finding(
+                        graph,
+                        "PLAN006",
+                        f"tile {tile.id} (shard {tile.shard}) depends on "
+                        f"tiles {crossing} in other shards: shard groups "
+                        f"share no done flags, so the pool cannot order "
+                        f"across queues",
+                        tile.id,
+                    )
         elif graph.spec is None:
             yield _finding(
                 graph,
@@ -561,12 +637,19 @@ def sweep_plans(
     packed = _sweep_packed()
     for kernel in kernels:
         for prefilter in prefilters:
-            graph = plan_search_buckets(
-                packed, query_len=120, top_k=5, kernel=kernel, prefilter=prefilter
-            )
-            label = f"search[{kernel}{'+' + ','.join(prefilter) if prefilter else ''}]"
-            backends = ("inline", "sim") if prefilter else BACKENDS
-            for backend in backends:
-                for finding in verify_graph(graph, backend):
-                    breaches.append((label, backend, finding))
+            for n_shards in (1, 2, 4):
+                graph = plan_search_buckets(
+                    packed,
+                    query_len=120,
+                    top_k=5,
+                    kernel=kernel,
+                    prefilter=prefilter,
+                    n_shards=n_shards,
+                )
+                tag = f"{'+' + ','.join(prefilter) if prefilter else ''}"
+                label = f"search[{kernel}{tag}]x{n_shards}"
+                backends = ("inline", "sim") if prefilter else BACKENDS
+                for backend in backends:
+                    for finding in verify_graph(graph, backend):
+                        breaches.append((label, backend, finding))
     return breaches

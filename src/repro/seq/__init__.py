@@ -14,7 +14,9 @@ from .alphabet import (
 from .db import (
     PackedBucket,
     PackedDatabase,
+    content_digest,
     pack_database,
+    shard_database,
     stream_fasta,
     synthetic_database,
 )
@@ -48,6 +50,7 @@ __all__ = [
     "biased_dna",
     "complement",
     "composition",
+    "content_digest",
     "decode",
     "dotplot",
     "encode",
@@ -61,6 +64,7 @@ __all__ = [
     "random_dna",
     "read_fasta",
     "reverse_complement",
+    "shard_database",
     "stream_fasta",
     "synthetic_database",
     "write_fasta",

@@ -20,8 +20,9 @@ provides the ingestion side:
 
 from __future__ import annotations
 
+import hashlib
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 import numpy as np
@@ -81,6 +82,7 @@ class PackedDatabase:
     buckets: list[PackedBucket]
     names: list[str]
     lengths: np.ndarray
+    _digest: str | None = field(default=None, repr=False, compare=False)
 
     @property
     def n_sequences(self) -> int:
@@ -209,6 +211,70 @@ def pack_subset(
     buckets: list[PackedBucket] = []
     _pack_buffer(buffer, buckets, max_lanes, max_waste)
     return PackedDatabase(buckets=buckets, names=packed.names, lengths=packed.lengths)
+
+
+def shard_database(
+    packed: PackedDatabase,
+    n_shards: int,
+    max_lanes: int = 512,
+    max_waste: float = 0.15,
+) -> list[PackedDatabase]:
+    """Split a packed database into ``n_shards`` disjoint bucket sets.
+
+    Sequences are dealt round-robin by original database index
+    (``index % n_shards``), the paper's "scattered" mapping: consecutive
+    records land on different shards, so length (and therefore DP cost)
+    correlated with database order spreads evenly instead of loading one
+    shard with all the long targets.  Each shard is re-packed into its own
+    length buckets; lanes keep their **original** database indices, and
+    every shard carries the full ``names``/``lengths`` arrays (like
+    :func:`pack_subset`), so per-shard rankings merge exactly.
+
+    Exactly-once coverage -- every original index in precisely one shard --
+    is what the plan verifier's sharded PLAN004 rule re-checks downstream.
+    """
+    if n_shards <= 0:
+        raise ValueError("n_shards must be positive")
+    if max_lanes <= 0:
+        raise ValueError("max_lanes must be positive")
+    if not 0.0 <= max_waste < 1.0:
+        raise ValueError("max_waste must be in [0, 1)")
+    buffers: list[list[tuple[int, np.ndarray]]] = [[] for _ in range(n_shards)]
+    for bucket in packed.buckets:
+        for lane in range(bucket.lanes):
+            index = int(bucket.indices[lane])
+            width = int(bucket.lengths[lane])
+            buffers[index % n_shards].append((index, bucket.codes[lane, :width]))
+    shards: list[PackedDatabase] = []
+    for buffer in buffers:
+        buffer.sort(key=lambda item: item[0])
+        buckets: list[PackedBucket] = []
+        _pack_buffer(buffer, buckets, max_lanes, max_waste)
+        shards.append(
+            PackedDatabase(buckets=buckets, names=packed.names, lengths=packed.lengths)
+        )
+    return shards
+
+
+def content_digest(packed: PackedDatabase) -> str:
+    """A sha1 digest of a packed database's contents (memoised per instance).
+
+    Covers record names, lengths, and every bucket's codes, lane lengths and
+    lane indices -- anything that could change a search result.  The result
+    cache (:mod:`repro.strategies.cache`) keys on this, so two databases
+    that pack identically share cache entries and any content change
+    invalidates them.
+    """
+    if packed._digest is None:
+        h = hashlib.sha1()
+        h.update("\x00".join(packed.names).encode())
+        h.update(np.ascontiguousarray(packed.lengths).tobytes())
+        for bucket in packed.buckets:
+            h.update(np.ascontiguousarray(bucket.codes).tobytes())
+            h.update(np.ascontiguousarray(bucket.lengths).tobytes())
+            h.update(np.ascontiguousarray(bucket.indices).tobytes())
+        packed._digest = h.hexdigest()
+    return packed._digest
 
 
 def synthetic_database(

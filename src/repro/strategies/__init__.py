@@ -23,6 +23,7 @@ from .preprocess import (
     run_preprocess,
     serial_preprocess_time,
 )
+from .cache import DEFAULT_CACHE, SearchCache, cache_key
 from .prefilter import (
     AUTO_MIN_SEQUENCES,
     PREFILTER_MODES,
@@ -58,6 +59,8 @@ __all__ = [
     "BAND_SCHEMES",
     "BlockedConfig",
     "ColumnStore",
+    "DEFAULT_CACHE",
+    "SearchCache",
     "ExactWavefrontConfig",
     "HeteroConfig",
     "IO_MODES",
@@ -84,6 +87,7 @@ __all__ = [
     "balanced_band_size",
     "band_heights",
     "bounds_from_heights",
+    "cache_key",
     "canonical_strategy",
     "chunk_widths",
     "column_partition",

@@ -34,7 +34,7 @@ from ..core.topk import TopK
 from ..obs import get_metrics, get_tracer, is_enabled
 from ..plan import plan_search_buckets, search_blob
 from ..plan.runtime import empty_search_stats
-from ..seq.db import PackedDatabase, pack_subset
+from ..seq.db import PackedDatabase, pack_subset, shard_database
 
 __all__ = [
     "AUTO_MIN_SEQUENCES",
@@ -96,12 +96,27 @@ def pooled_pruned_search(
     max_waste = config.resolved_max_waste
 
     def ship(subset: PackedDatabase) -> None:
-        graph = plan_search_buckets(
-            subset, query_len, top_k=config.top_k, kernel=config.kernel
-        )
-        result = pool.run_search_plan(
-            graph, query, search_blob(subset), scoring=config.scoring
-        )
+        # Honour the config's shard count, but never deal more shards than
+        # the subset has sequences: the seed prefix can be smaller than the
+        # shard count and empty shards would only waste worker groups.
+        n_shards = min(getattr(config, "n_shards", 1), max(1, subset.n_sequences))
+        if n_shards > 1:
+            shards = shard_database(subset, n_shards, max_lanes, max_waste)
+            graph = plan_search_buckets(
+                subset,
+                query_len,
+                top_k=config.top_k,
+                kernel=config.kernel,
+                n_shards=n_shards,
+                shards=shards,
+            )
+            blob = search_blob(shards)
+        else:
+            graph = plan_search_buckets(
+                subset, query_len, top_k=config.top_k, kernel=config.kernel
+            )
+            blob = search_blob(subset)
+        result = pool.run_search_plan(graph, query, blob, scoring=config.scoring)
         top.merge(result.hits)
 
     # Pass 1: one cheap bound sweep over every lane.  The ceilings serve

@@ -39,7 +39,8 @@ from ..obs.trace import Stopwatch
 from ..plan import InlineExecutor, plan_search_buckets, search_blob
 from ..plan.runtime import empty_search_stats
 from ..seq.alphabet import encode
-from ..seq.db import PackedDatabase, pack_database
+from ..seq.db import PackedDatabase, content_digest, pack_database, shard_database
+from .cache import DEFAULT_CACHE, cache_key
 from .prefilter import pooled_pruned_search, resolve_prefilter
 
 __all__ = [
@@ -76,6 +77,16 @@ class SearchConfig:
     #: sequences where the bounds cost more than they save).  Pruning never
     #: changes rankings -- only which sequences pay for a DP scan.
     prefilter: str = "auto"
+    #: Shard count.  ``1`` is the unsharded legacy layout; ``> 1`` deals the
+    #: database round-robin into disjoint shards (:func:`repro.seq.db.shard_database`),
+    #: scans each shard's tiles independently, and tournament-merges the
+    #: per-shard top-k heaps -- the ranking stays bitwise identical on every
+    #: backend.  On a pool the shard count may not exceed the worker count.
+    n_shards: int = 1
+    #: Consult (and populate) the process-wide content-addressed result
+    #: cache (:data:`repro.strategies.cache.DEFAULT_CACHE`).  A hit skips
+    #: planning, sharding and every DP tile.
+    cache: bool = False
 
     @property
     def resolved_max_lanes(self) -> int:
@@ -116,6 +127,11 @@ class SearchResult:
     sequences_pruned: int = 0
     #: DP cells those pruned sequences would have cost.
     cells_skipped: int = 0
+    #: Shards the database was dealt into (1 = unsharded).
+    n_shards: int = 1
+    #: True when this result was served from the content-addressed cache
+    #: (no planning, no DP tiles -- ``wall_seconds`` is the probe time).
+    cached: bool = False
 
     @property
     def gcups(self) -> float:
@@ -167,9 +183,22 @@ def search_db(
     out over persistent workers; otherwise the scan runs in-process.
     """
     config = config or SearchConfig()
+    if config.n_shards < 1:
+        raise ValueError("n_shards must be positive")
     query = encode(query)
     packed = _as_packed(database, config)
     tiers = resolve_prefilter(config.prefilter, packed.n_sequences)
+    key = digest = None
+    if config.cache:
+        # Probe *before* the tracer span and any planning: a hit must leave
+        # zero tile spans behind -- its only cost is the probe itself.
+        digest = content_digest(packed)
+        key = cache_key(query, digest, config.scoring, config.top_k, tiers)
+        with Stopwatch() as probe:
+            hit = DEFAULT_CACHE.get(key)
+        if hit is not None:
+            hit.wall_seconds = probe.elapsed
+            return hit
     cells = int(len(query)) * packed.total_residues
     tracer = get_tracer()
     with Stopwatch() as sw, tracer.span(
@@ -179,17 +208,30 @@ def search_db(
         buckets=len(packed.buckets),
         cells=cells,
         prefilter=",".join(tiers) or "off",
+        shards=config.n_shards,
     ):
         if pool is None:
+            shards = (
+                shard_database(
+                    packed,
+                    config.n_shards,
+                    max_lanes=config.resolved_max_lanes,
+                    max_waste=config.resolved_max_waste,
+                )
+                if config.n_shards > 1
+                else None
+            )
             graph = plan_search_buckets(
                 packed,
                 len(query),
                 top_k=config.top_k,
                 kernel=config.kernel,
                 prefilter=tiers,
+                n_shards=config.n_shards,
+                shards=shards,
             )
             executed = InlineExecutor().run(
-                graph, query, search_blob(packed), config.scoring
+                graph, query, search_blob(shards or packed), config.scoring
             )
             ranked = executed.hits
             stats = executed.extras.get("prefilter", empty_search_stats())
@@ -206,6 +248,7 @@ def search_db(
                     top_k=config.top_k,
                     scoring=config.scoring,
                     kernel=config.kernel,
+                    n_shards=config.n_shards,
                 )
                 stats = empty_search_stats()
             n_workers = pool.n_workers
@@ -228,9 +271,11 @@ def search_db(
             "query_bp": int(len(query)),
             "prefilter": ",".join(tiers) or "off",
             "sequences_pruned": stats["sequences_pruned"],
+            "n_shards": config.n_shards,
+            "cache": config.cache,
         },
     )
-    return SearchResult(
+    result = SearchResult(
         hits=_hits(packed, ranked),
         n_sequences=packed.n_sequences,
         total_cells=cells,
@@ -242,7 +287,11 @@ def search_db(
         prefilter=",".join(tiers) or "off",
         sequences_pruned=stats["sequences_pruned"],
         cells_skipped=stats["cells_skipped"],
+        n_shards=config.n_shards,
     )
+    if key is not None:
+        DEFAULT_CACHE.put(key, digest, result)
+    return result
 
 
 def sequential_best_score(query: np.ndarray, target: np.ndarray, scoring: Scoring) -> int:

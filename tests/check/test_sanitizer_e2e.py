@@ -129,7 +129,7 @@ def test_search_failure_path_closes_the_arena(sanitize):
 
                 raise queue.Empty
 
-        pool._work = BrokenQueue()
+        pool._works = [BrokenQueue() for _ in range(pool.n_workers)]
         with pytest.raises(Boom):
             pool.search("ACGTACGT", packed, top_k=3)
     assert_clean()

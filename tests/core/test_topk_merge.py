@@ -1,0 +1,123 @@
+"""TopK.merge and the tournament reduce: sharding never changes the ranking.
+
+The sharded search's whole correctness argument rests on two properties of
+the bounded heap: the ``(score, -index)`` comparison is a strict total
+order (so a tie at a smaller database index still displaces the k-th
+entry), and any item outside its shard's local top-k is dominated by ``k``
+same-shard items (so dropping it locally cannot change the global top-k).
+These tests pin both, with special attention to duplicate scores whose
+holders straddle shard boundaries -- the case where a sloppy ``<=`` in the
+merge would silently reorder ties.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.topk import TopK, tournament_merge
+
+
+def global_topk(items: list[tuple[int, int]], k: int) -> list[tuple[int, int]]:
+    top = TopK(k)
+    for score, index in items:
+        top.push(score, index)
+    return top.ranked()
+
+
+def deal(items: list[tuple[int, int]], n_shards: int) -> list[TopK]:
+    """Round-robin by index -- the same mapping ``shard_database`` uses."""
+    tops = [TopK(3) for _ in range(n_shards)]
+    for score, index in items:
+        tops[index % n_shards].push(score, index)
+    return tops
+
+
+def test_merge_equals_pushing_everything_into_one_heap():
+    rng = np.random.default_rng(7)
+    items = [(int(rng.integers(0, 50)), i) for i in range(200)]
+    a, b = TopK(10), TopK(10)
+    for score, index in items[:100]:
+        a.push(score, index)
+    for score, index in items[100:]:
+        b.push(score, index)
+    a.merge(b)
+    assert a.ranked() == global_topk(items, 10)
+
+
+def test_merge_accepts_a_plain_items_list():
+    a = TopK(3)
+    a.push(5, 0)
+    a.merge([(7, 3), (5, 1)])
+    assert a.ranked() == [(7, 3), (5, 0), (5, 1)]
+
+
+def test_duplicate_scores_straddling_the_shard_boundary():
+    # Five sequences all score 9; k=3 keeps the three smallest indices.
+    # Round-robin over two shards puts {0, 2, 4} and {1, 3} in different
+    # heaps, so the survivors {0, 1, 2} only emerge at merge time -- and
+    # only if the tie at the k-th entry is resolved by index, not arrival.
+    items = [(9, i) for i in range(5)]
+    expected = [(9, 0), (9, 1), (9, 2)]
+    for n_shards in (2, 3, 4, 5):
+        tops = [TopK(3) for _ in range(n_shards)]
+        for score, index in items:
+            tops[index % n_shards].push(score, index)
+        assert tournament_merge(tops, 3).ranked() == expected, n_shards
+
+
+def test_tie_with_the_kth_entry_displaces_it_when_the_index_is_smaller():
+    a = TopK(2)
+    a.push(9, 4)
+    a.push(9, 7)  # heap full: threshold is 9
+    b = TopK(2)
+    b.push(9, 1)  # same score, smaller index: must displace index 7
+    a.merge(b)
+    assert a.ranked() == [(9, 1), (9, 4)]
+
+
+def test_merge_order_and_pairing_do_not_matter():
+    rng = np.random.default_rng(11)
+    # Heavy score collisions: only ~8 distinct scores over 300 items.
+    items = [(int(rng.integers(0, 8)), i) for i in range(300)]
+    expected = global_topk(items, 5)
+    for n_shards in (1, 2, 3, 4, 7, 8):
+        tops = [TopK(5) for _ in range(n_shards)]
+        for score, index in items:
+            tops[index % n_shards].push(score, index)
+        assert tournament_merge(tops, 5).ranked() == expected, n_shards
+        # reversed pairing must give the same answer
+        tops = [TopK(5) for _ in range(n_shards)]
+        for score, index in items:
+            tops[index % n_shards].push(score, index)
+        assert tournament_merge(list(reversed(tops)), 5).ranked() == expected
+
+
+def test_tournament_merge_of_nothing_is_an_empty_heap():
+    top = tournament_merge([], 4)
+    assert top.k == 4 and top.ranked() == []
+
+
+def test_tournament_merge_fuzz_against_the_unsharded_heap():
+    rng = np.random.default_rng(23)
+    for trial in range(25):
+        n = int(rng.integers(1, 120))
+        k = int(rng.integers(1, 12))
+        n_shards = int(rng.integers(1, 9))
+        items = [(int(rng.integers(-5, 15)), i) for i in range(n)]
+        tops = [TopK(k) for _ in range(n_shards)]
+        for score, index in items:
+            tops[index % n_shards].push(score, index)
+        assert tournament_merge(tops, k).ranked() == global_topk(items, k), (
+            trial,
+            n,
+            k,
+            n_shards,
+        )
+
+
+def test_k_zero_heaps_merge_to_nothing():
+    tops = [TopK(0), TopK(0)]
+    tops[0].push(5, 1)
+    tops[1].merge([(9, 0)])
+    assert tournament_merge(tops, 0).ranked() == []

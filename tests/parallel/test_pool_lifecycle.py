@@ -90,7 +90,7 @@ def test_search_closes_arena_when_dispatch_fails(monkeypatch):
             raise queue.Empty
 
     with AlignmentWorkerPool(n_workers=2) as pool:
-        pool._work = BrokenQueue()
+        pool._works = [BrokenQueue() for _ in range(pool.n_workers)]
         with pytest.raises(Boom):
             pool.search("ACGTACGTACGT", packed, top_k=3)
     assert len(arenas) == 1

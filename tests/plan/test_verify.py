@@ -171,6 +171,81 @@ def test_dropped_search_lane_is_a_plan004():
     )
 
 
+def test_more_shards_than_processors_is_a_plan003():
+    packed = _sweep_packed()
+    good = plan_search_buckets(packed, query_len=80, top_k=5, n_shards=2)
+    # Same tiles, but the graph claims fewer nodes than shards: shard 1's
+    # tiles would sit on a queue no worker group ever drains.
+    graph = TaskGraph(
+        kind="search", n_procs=1, shape=good.shape, tiles=good.tiles,
+        params=good.params, n_shards=2,
+    )
+    assert any(
+        f.rule == "PLAN003" and "never be dispatched" in f.message
+        for f in verify_graph(graph)
+    )
+
+
+def test_shard_outside_the_declared_range_is_a_plan003():
+    packed = _sweep_packed()
+    graph = plan_search_buckets(packed, query_len=80, top_k=5, n_shards=2)
+    victim = graph.tiles[0]
+    graph.tiles = (victim._replace(shard=5),) + graph.tiles[1:]
+    assert any(
+        f.rule == "PLAN003" and f.line == victim.id
+        and "no shard group would run it" in f.message
+        for f in verify_graph(graph)
+    )
+
+
+def test_sharded_tile_in_a_static_schedule_is_a_plan003():
+    graph = TaskGraph(
+        kind="blocked", n_procs=2, shape=(10, 10),
+        tiles=(Tile(0, 0, 50, (0, 0), ()), Tile(1, 1, 50, (1, 0), (), 1)),
+        params={
+            "row_bounds": ((0, 5), (5, 10)), "col_bounds": ((0, 10),),
+            "n_bands": 2, "n_blocks": 1,
+        },
+        n_shards=2,
+    )
+    assert any(
+        f.rule == "PLAN003" and "only search graphs are sharded" in f.message
+        for f in verify_graph(graph)
+    )
+
+
+def test_sequence_in_two_shards_is_a_plan004():
+    packed = _sweep_packed()
+    graph = plan_search_buckets(packed, query_len=80, top_k=5, n_shards=2)
+    # Duplicate a shard-0 tile into shard 1: every lane it covers is now
+    # scored in both shards, so its entries could double up in the merge.
+    victim = next(t for t in graph.tiles if t.shard == 0)
+    dup = victim._replace(id=len(graph.tiles), shard=1)
+    graph.tiles = graph.tiles + (dup,)
+    assert any(
+        f.rule == "PLAN004" and f.line == dup.id
+        and "exactly one shard" in f.message
+        for f in verify_graph(graph)
+    )
+
+
+def test_cross_shard_dependency_on_the_pool_is_a_plan006():
+    packed = _sweep_packed()
+    graph = plan_search_buckets(packed, query_len=80, top_k=5, n_shards=2)
+    tiles = list(graph.tiles)
+    donor = next(t for t in tiles if t.shard == 0)
+    victim = next(t for t in tiles if t.shard == 1 and t.id > donor.id)
+    tiles[victim.id] = victim._replace(deps=(donor.id,))
+    graph.tiles = tuple(tiles)
+    assert any(
+        f.rule == "PLAN006" and f.line == victim.id
+        and "share no done flags" in f.message
+        for f in verify_graph(graph, "pool")
+    )
+    # The same edge is harmless where one process sees every shard.
+    assert verify_graph(graph, "inline") == []
+
+
 def test_staged_search_graph_on_the_pool_is_a_plan006():
     packed = _sweep_packed()
     staged = plan_search_buckets(
